@@ -1,0 +1,70 @@
+//! Criterion benches for the wire codec: serialization throughput of the
+//! actual protocol messages the transports ship.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paxi_core::{Ballot, Command, NodeId, RequestId};
+use paxi_core::id::ClientId;
+use paxi_protocols::paxos::PaxosMsg;
+use paxi_protocols::epaxos::{EpaxosMsg, IRef};
+use std::hint::black_box;
+
+fn paxos_p2a() -> PaxosMsg {
+    PaxosMsg::P2a {
+        ballot: Ballot::first(NodeId::new(0, 0)),
+        slot: 123_456,
+        cmd: Command::put(42, vec![7u8; 64]),
+        req: Some(RequestId::new(ClientId(3), 999)),
+        commit_upto: 123_450,
+    }
+}
+
+fn epaxos_preaccept() -> EpaxosMsg {
+    EpaxosMsg::PreAccept {
+        iref: IRef { leader: NodeId::new(2, 0), idx: 77 },
+        cmd: Command::put(7, vec![1u8; 64]),
+        seq: 19,
+        deps: (0..5).map(|i| IRef { leader: NodeId::new(i, 0), idx: i as u64 * 10 }).collect(),
+    }
+}
+
+fn encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_encode");
+    let p2a = paxos_p2a();
+    let bytes = paxi_codec::to_bytes(&p2a).unwrap();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("paxos_p2a", |b| b.iter(|| paxi_codec::to_bytes(black_box(&p2a)).unwrap()));
+    let pre = epaxos_preaccept();
+    g.bench_function("epaxos_preaccept", |b| {
+        b.iter(|| paxi_codec::to_bytes(black_box(&pre)).unwrap())
+    });
+    g.finish();
+}
+
+fn decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_decode");
+    let p2a_bytes = paxi_codec::to_bytes(&paxos_p2a()).unwrap();
+    g.throughput(Throughput::Bytes(p2a_bytes.len() as u64));
+    g.bench_function("paxos_p2a", |b| {
+        b.iter(|| paxi_codec::from_bytes::<PaxosMsg>(black_box(&p2a_bytes)).unwrap())
+    });
+    let pre_bytes = paxi_codec::to_bytes(&epaxos_preaccept()).unwrap();
+    g.bench_function("epaxos_preaccept", |b| {
+        b.iter(|| paxi_codec::from_bytes::<EpaxosMsg>(black_box(&pre_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn framing(c: &mut Criterion) {
+    let payload = paxi_codec::to_bytes(&paxos_p2a()).unwrap();
+    c.bench_function("codec_frame_roundtrip", |b| {
+        b.iter(|| {
+            let framed = paxi_codec::encode_frame(black_box(&payload));
+            let mut dec = paxi_codec::FrameDecoder::new();
+            dec.feed(&framed);
+            dec.next_frame().unwrap().unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, encode, decode, framing);
+criterion_main!(benches);

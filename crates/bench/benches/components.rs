@@ -1,0 +1,91 @@
+//! Criterion benches of the framework's hot building blocks: histogram
+//! recording, quorum trackers, the multi-version store, and the Table 3
+//! workload generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxi_bench::{BenchmarkConfig, Distribution, GeneralWorkload};
+use paxi_core::dist::Rng64;
+use paxi_core::id::ClientId;
+use paxi_core::metrics::Histogram;
+use paxi_core::quorum::{FlexibleGridQuorum, GridPhase, MajorityQuorum, QuorumTracker};
+use paxi_core::store::MultiVersionStore;
+use paxi_core::{Command, Nanos, NodeId};
+use paxi_sim::Workload;
+use std::hint::black_box;
+
+fn histogram_record(c: &mut Criterion) {
+    c.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Nanos(black_box(v % 10_000_000)));
+        })
+    });
+    c.bench_function("histogram_p99", |b| {
+        let mut h = Histogram::new();
+        let mut rng = Rng64::seed(5);
+        for _ in 0..100_000 {
+            h.record(Nanos(rng.below(10_000_000)));
+        }
+        b.iter(|| black_box(&h).p99())
+    });
+}
+
+fn quorum_trackers(c: &mut Criterion) {
+    c.bench_function("majority_quorum_round", |b| {
+        b.iter(|| {
+            let mut q = MajorityQuorum::new(9);
+            for i in 0..5u8 {
+                q.ack(NodeId::new(0, i));
+            }
+            black_box(q.satisfied())
+        })
+    });
+    c.bench_function("flexible_grid_round", |b| {
+        b.iter(|| {
+            let mut q = FlexibleGridQuorum::new(5, 3, 1, 1, GridPhase::Two);
+            q.ack(NodeId::new(0, 0));
+            q.ack(NodeId::new(0, 1));
+            q.ack(NodeId::new(1, 0));
+            q.ack(NodeId::new(1, 1));
+            black_box(q.satisfied())
+        })
+    });
+}
+
+fn store_execute(c: &mut Criterion) {
+    c.bench_function("store_put_get", |b| {
+        let mut store = MultiVersionStore::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1000;
+            store.execute(&Command::put(k, vec![k as u8; 12]));
+            black_box(store.execute(&Command::get(k)))
+        })
+    });
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_next");
+    for (name, dist) in [
+        ("uniform", Distribution::Uniform),
+        ("zipfian", Distribution::Zipfian),
+        ("normal_locality", Distribution::Normal),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = BenchmarkConfig { distribution: dist, ..BenchmarkConfig::uniform(1000, 0.5) };
+            let mut w = GeneralWorkload::new(cfg, 5);
+            let mut rng = Rng64::seed(3);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                black_box(w.next(ClientId(1), 2, seq, Nanos(seq * 1000), &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, histogram_record, quorum_trackers, store_execute, workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches over the analytic models — one group per modeled
+//! table/figure (Table 1, Fig 4 models, Fig 8, Fig 10, Fig 12, Formulas).
+//!
+//! These measure how cheap back-of-the-envelope forecasting is compared to
+//! running the simulator: entire figure-series regenerate in microseconds to
+//! milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxi_model::formulas;
+use paxi_model::orderstat::kth_of_n_normal;
+use paxi_model::protocols::{EPaxosModel, PaxosModel, PerfModel, WPaxosModel};
+use paxi_model::queueing::{wait_time, QueueKind};
+use paxi_model::Deployment;
+use std::hint::black_box;
+
+fn table1_queue_formulas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_queue_formulas");
+    let s = 100e-6;
+    for (name, kind) in [
+        ("mm1", QueueKind::MM1),
+        ("md1", QueueKind::MD1),
+        ("mg1", QueueKind::MG1 { service_var: 2.25e-10 }),
+        ("gg1", QueueKind::GG1 { ca2: 1.0, cs2: 0.0225 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| wait_time(black_box(kind), black_box(8_000.0), black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+fn fig4_order_statistics(c: &mut Criterion) {
+    c.bench_function("fig4_kth_order_statistic_monte_carlo", |b| {
+        b.iter(|| kth_of_n_normal(black_box(4), black_box(8), 0.4271, 0.0476, 1_000, 7))
+    });
+}
+
+fn fig8_lan_curves(c: &mut Criterion) {
+    let d = Deployment::lan(9);
+    let mut g = c.benchmark_group("fig8_lan_model_curves");
+    g.bench_function("multipaxos", |b| {
+        let m = PaxosModel::multi_paxos();
+        b.iter(|| m.curve(black_box(&d), 24))
+    });
+    g.bench_function("fpaxos", |b| {
+        let m = PaxosModel::fpaxos(3);
+        b.iter(|| m.curve(black_box(&d), 24))
+    });
+    g.bench_function("epaxos", |b| {
+        let m = EPaxosModel::new(0.02);
+        b.iter(|| m.curve(black_box(&d), 24))
+    });
+    g.finish();
+}
+
+fn fig10_wan_curves(c: &mut Criterion) {
+    let d = Deployment::aws5(3);
+    let mut g = c.benchmark_group("fig10_wan_model_curves");
+    g.bench_function("paxos_ca_leader", |b| {
+        let m = PaxosModel::multi_paxos().with_leader_zone(2);
+        b.iter(|| m.curve(black_box(&d), 20))
+    });
+    g.bench_function("wpaxos_locality_07", |b| {
+        let m = WPaxosModel { fz: 0, f: 1, locality: 0.7 };
+        b.iter(|| m.curve(black_box(&d), 20))
+    });
+    g.finish();
+}
+
+fn fig12_conflict_sweep(c: &mut Criterion) {
+    let d = Deployment::aws5(1);
+    c.bench_function("fig12_epaxos_conflict_sweep", |b| {
+        b.iter(|| {
+            (0..=10)
+                .map(|i| EPaxosModel::new(i as f64 / 10.0).max_throughput(black_box(&d)))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn formulas_load_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("formulas");
+    g.bench_function("load", |b| {
+        b.iter(|| formulas::load(black_box(3), black_box(3), black_box(0.2)))
+    });
+    g.bench_function("latency", |b| {
+        b.iter(|| formulas::latency(black_box(0.3), black_box(0.7), black_box(80.0), black_box(10.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_queue_formulas,
+    fig4_order_statistics,
+    fig8_lan_curves,
+    fig10_wan_curves,
+    fig12_conflict_sweep,
+    formulas_load_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benches driving the discrete-event simulator — the kernels
+//! behind the experimental figures (Fig 7, Fig 9, Fig 11), at reduced
+//! windows so each iteration stays sub-second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxi_bench::runner::{run, Proto};
+use paxi_bench::workload::HotKeyWorkload;
+use paxi_bench::{BenchmarkConfig, GeneralWorkload};
+use paxi_core::{ClusterConfig, Nanos};
+use paxi_protocols::raft::RaftConfig;
+use paxi_protocols::wankeeper::WanKeeperConfig;
+use paxi_protocols::wpaxos::WPaxosConfig;
+use paxi_sim::{ClientSetup, SimConfig, Topology};
+use std::hint::black_box;
+
+fn short_lan() -> SimConfig {
+    SimConfig { warmup: Nanos::millis(50), measure: Nanos::millis(300), ..SimConfig::default() }
+}
+
+/// Fig 7 kernel: a 9-node LAN round under Paxos and Raft.
+fn fig7_single_leader(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sim_lan9");
+    g.sample_size(10);
+    for (name, proto) in [
+        ("paxos", Proto::paxos()),
+        ("raft", Proto::Raft { cfg: RaftConfig::default(), cpu_penalty: 1.0 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cluster = ClusterConfig::lan(9);
+                let clients = ClientSetup::closed_per_zone(&cluster, 8);
+                let r = run(
+                    &proto,
+                    short_lan(),
+                    cluster,
+                    paxi_sim::client::uniform_workload(1000),
+                    clients,
+                );
+                black_box(r.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9 kernel: each protocol family on its LAN deployment.
+fn fig9_protocol_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_sim_families");
+    g.sample_size(10);
+    g.bench_function("epaxos", |b| {
+        b.iter(|| {
+            let cluster = ClusterConfig::lan(9);
+            let clients = ClientSetup::closed_per_zone(&cluster, 8);
+            let r = run(
+                &Proto::epaxos(),
+                short_lan(),
+                cluster,
+                GeneralWorkload::new(BenchmarkConfig::uniform(1000, 0.5), 1),
+                clients,
+            );
+            black_box(r.completed)
+        })
+    });
+    for (name, proto) in [
+        ("wpaxos", Proto::WPaxos(WPaxosConfig::default())),
+        (
+            "wankeeper",
+            Proto::WanKeeper(WanKeeperConfig { shared_to_master: false, ..Default::default() }),
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cluster = ClusterConfig::wan(3, 3, 1, 0);
+                let clients = ClientSetup::closed_per_zone(&cluster, 8);
+                let sim = SimConfig { topology: Topology::lan_zones(3), ..short_lan() };
+                let r = run(
+                    &proto,
+                    sim,
+                    cluster,
+                    GeneralWorkload::new(BenchmarkConfig::uniform(1000, 0.5), 3),
+                    clients,
+                );
+                black_box(r.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig 11 kernel: a WAN conflict run (hot key in Ohio).
+fn fig11_wan_conflict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_sim_wan_conflict");
+    g.sample_size(10);
+    g.bench_function("wpaxos_fz0_c50", |b| {
+        b.iter(|| {
+            let cluster = ClusterConfig::wan(5, 3, 1, 0);
+            let clients = ClientSetup::closed_per_zone(&cluster, 2);
+            let sim = SimConfig {
+                topology: Topology::aws5(),
+                warmup: Nanos::millis(200),
+                measure: Nanos::millis(500),
+                ..SimConfig::default()
+            };
+            let workload = HotKeyWorkload { conflict: 0.5, hot_key: 0, private_keys: 20 };
+            let r = run(
+                &Proto::WPaxos(WPaxosConfig {
+                    initial_owner: Some(paxi_core::NodeId::new(1, 0)),
+                    ..Default::default()
+                }),
+                sim,
+                cluster,
+                workload,
+                clients,
+            );
+            black_box(r.completed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7_single_leader, fig9_protocol_families, fig11_wan_conflict);
+criterion_main!(benches);

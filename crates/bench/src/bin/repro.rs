@@ -1,0 +1,57 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--quick]          run every experiment
+//! repro <id> [--quick]         run one experiment (fig3, table1, fig4, fig7,
+//!                              fig8, fig9, fig10, fig11, fig12, fig13,
+//!                              table3, formulas, fig14)
+//! repro list                   list experiment ids
+//! ```
+//!
+//! Tables print to stdout and are written as CSV under `results/`.
+
+use paxi_bench::figures;
+use std::path::Path;
+
+const IDS: &[&str] = &[
+    "fig3", "table1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "table3", "formulas", "fig14", "ablation", "crossval", "availability",
+];
+
+fn emit(tables: &[paxi_bench::Table], results: &Path) {
+    for t in tables {
+        println!("{}", t.render());
+        match t.write_csv(results) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(e) => eprintln!("  !! could not write CSV: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let target = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let results = Path::new("results");
+
+    match target {
+        "list" => {
+            for id in IDS {
+                println!("{id}");
+            }
+        }
+        "all" => {
+            for (name, tables) in figures::all(quick) {
+                println!("### {name}");
+                emit(&tables, results);
+            }
+        }
+        id => match figures::by_name(id, quick) {
+            Some(tables) => emit(&tables, results),
+            None => {
+                eprintln!("unknown experiment '{id}'; try: repro list");
+                std::process::exit(2);
+            }
+        },
+    }
+}

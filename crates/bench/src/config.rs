@@ -1,0 +1,129 @@
+//! Benchmark configuration (paper Table 3).
+//!
+//! Field names and defaults follow the paper's benchmark parameter table
+//! verbatim, so a Paxi user recognizes every knob.
+
+use serde::{Deserialize, Serialize};
+
+/// Key-popularity distribution selector (Table 3 "Distribution").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Normal popularity around `mu` (used for locality workloads).
+    Normal,
+    /// Zipfian popularity.
+    Zipfian,
+    /// Exponential popularity.
+    Exponential,
+}
+
+/// The benchmarker's workload definition (paper Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct BenchmarkConfig {
+    /// Run for `T` seconds.
+    pub T: u64,
+    /// Run for `N` operations instead, when `N > 0`.
+    pub N: u64,
+    /// Total number of keys.
+    pub K: u64,
+    /// Write ratio.
+    pub W: f64,
+    /// Number of concurrent (closed-loop) clients.
+    pub concurrency: usize,
+    /// Check linearizability at the end of the benchmark.
+    pub linearizability_check: bool,
+    /// Name of the distribution used for key generation.
+    pub distribution: Distribution,
+    /// Random: minimum key number.
+    pub min: u64,
+    /// Random: percentage of conflicting keys (0–100). The conflicting
+    /// portion of requests is drawn from a shared pool; the rest from
+    /// client-private keys.
+    pub conflicts: u8,
+    /// Normal: mean.
+    pub mu: f64,
+    /// Normal: standard deviation.
+    pub sigma: f64,
+    /// Normal: moving average (hotspot drifts across the key space).
+    pub move_hotspot: bool,
+    /// Normal: moving speed in milliseconds (one σ of drift per interval).
+    pub speed_ms: u64,
+    /// Zipfian: `s` parameter.
+    pub zipfian_s: f64,
+    /// Zipfian: `v` parameter.
+    pub zipfian_v: f64,
+}
+
+impl Default for BenchmarkConfig {
+    /// The paper's Table 3 default values.
+    fn default() -> Self {
+        BenchmarkConfig {
+            T: 60,
+            N: 0,
+            K: 1000,
+            W: 0.5,
+            concurrency: 1,
+            linearizability_check: true,
+            distribution: Distribution::Uniform,
+            min: 0,
+            conflicts: 100,
+            mu: 0.0,
+            sigma: 60.0,
+            move_hotspot: false,
+            speed_ms: 500,
+            zipfian_s: 2.0,
+            zipfian_v: 1.0,
+        }
+    }
+}
+
+impl BenchmarkConfig {
+    /// A uniform workload over `k` keys with the given write ratio.
+    pub fn uniform(k: u64, write_ratio: f64) -> Self {
+        BenchmarkConfig { K: k, W: write_ratio, ..Default::default() }
+    }
+
+    /// A locality workload: each zone's keys cluster (Normal) around a
+    /// zone-specific center; `sigma` controls the overlap between zones.
+    pub fn locality(k: u64, sigma: f64) -> Self {
+        BenchmarkConfig {
+            K: k,
+            distribution: Distribution::Normal,
+            sigma,
+            ..Default::default()
+        }
+    }
+
+    /// A conflict workload: `percent`% of requests target one shared hot
+    /// key, the rest are client-private.
+    pub fn conflict(percent: u8) -> Self {
+        BenchmarkConfig { conflicts: percent, K: 1000, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table_3() {
+        let c = BenchmarkConfig::default();
+        assert_eq!(c.T, 60);
+        assert_eq!(c.N, 0);
+        assert_eq!(c.K, 1000);
+        assert_eq!(c.W, 0.5);
+        assert_eq!(c.concurrency, 1);
+        assert!(c.linearizability_check);
+        assert_eq!(c.distribution, Distribution::Uniform);
+        assert_eq!(c.min, 0);
+        assert_eq!(c.conflicts, 100);
+        assert_eq!(c.mu, 0.0);
+        assert_eq!(c.sigma, 60.0);
+        assert!(!c.move_hotspot);
+        assert_eq!(c.speed_ms, 500);
+        assert_eq!(c.zipfian_s, 2.0);
+        assert_eq!(c.zipfian_v, 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation study (beyond the paper's figures, called out in DESIGN.md):
+//! the two Paxos message-flow optimizations the paper's cost model bakes in.
+//!
+//! * **Piggybacked commit** (default) vs **eager commit**: an explicit
+//!   phase-3 broadcast adds one serialization per round at the leader, which
+//!   the model predicts costs `to/ts ≈ 5%` throughput plus the extra NIC
+//!   transmissions.
+//! * **Full broadcast** (default, the paper's full-replication assumption)
+//!   vs **thrifty**: phase-2a goes to exactly `|q2|−1` followers. The leader
+//!   sheds `N − |q2|` incoming acks per round, trading fault-tolerance slack
+//!   and follower freshness for throughput — the `Q = N − 1` remark under
+//!   Formula 3.
+
+use crate::runner::{sweep, Proto};
+use crate::table::{f0, f2, Table};
+use paxi_core::config::ClusterConfig;
+use paxi_protocols::paxos::PaxosConfig;
+use paxi_sim::client::uniform_workload;
+
+/// Builds the ablation comparison table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let cluster = ClusterConfig::lan(9);
+    let sim = super::sim_preset(quick);
+    let counts = if quick { vec![2, 16, 48] } else { vec![2, 8, 16, 32, 64, 96] };
+
+    let variants: Vec<(&str, PaxosConfig)> = vec![
+        ("piggyback+broadcast (paper)", PaxosConfig::default()),
+        ("eager commit", PaxosConfig { eager_commit: true, ..Default::default() }),
+        ("thrifty", PaxosConfig { thrifty: true, ..Default::default() }),
+        (
+            "thrifty FPaxos |q2|=3",
+            PaxosConfig { thrifty: true, ..PaxosConfig::flexible(3) },
+        ),
+    ];
+
+    let mut t = Table::new(
+        "Ablation: Paxos message-flow optimizations (9-node LAN)",
+        &["variant", "max_throughput", "low_load_latency_ms"],
+    );
+    for (name, cfg) in variants {
+        let points = sweep(&Proto::Paxos(cfg), &sim, &cluster, &counts, || uniform_workload(1000));
+        let max_tput = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
+        let low_lat = points.first().map(|p| p.mean_ms).unwrap_or(f64::NAN);
+        t.row(vec![name.into(), f0(max_tput), f2(low_lat)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn optimizations_rank_as_the_cost_model_predicts() {
+        let t = &super::run(true)[0];
+        let tput = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[1].parse().unwrap()
+        };
+        let piggyback = tput("piggyback");
+        let eager = tput("eager");
+        let thrifty = tput("thrifty");
+        // Eager commit costs throughput vs the piggybacked default.
+        assert!(eager < piggyback, "eager {eager} vs piggyback {piggyback}");
+        // Thrifty sheds follower acks and gains throughput.
+        assert!(thrifty > piggyback * 1.1, "thrifty {thrifty} vs piggyback {piggyback}");
+        // Thrifty FPaxos with |q2|=3 sheds even more.
+        let thrifty_fp = tput("thrifty FPaxos");
+        assert!(thrifty_fp > thrifty, "thrifty-fpaxos {thrifty_fp} vs thrifty {thrifty}");
+    }
+}

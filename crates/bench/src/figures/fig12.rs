@@ -1,0 +1,43 @@
+//! Figure 12 — modeled EPaxos maximum throughput vs conflict ratio.
+//!
+//! Five nodes, one per region. The conflict ratio forces the slow path on a
+//! growing fraction of commands, costing EPaxos up to ~40% of its capacity
+//! between no-conflict and full-conflict — yet it stays above single-leader
+//! Paxos, whose capacity a lone leader caps regardless of conflicts.
+
+use crate::table::{f0, Table};
+use paxi_model::protocols::{EPaxosModel, PaxosModel, PerfModel};
+use paxi_model::Deployment;
+
+/// Builds the throughput-vs-conflict table.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let d = Deployment::aws5(1);
+    let paxos = PaxosModel::multi_paxos().max_throughput(&d);
+    let mut t = Table::new(
+        "Fig 12: modeled EPaxos max throughput vs conflict (5 regions)",
+        &["conflict_pct", "epaxos_tput", "paxos_tput"],
+    );
+    for pct in (0..=100).step_by(10) {
+        let epaxos = EPaxosModel::new(pct as f64 / 100.0).max_throughput(&d);
+        t.row(vec![pct.to_string(), f0(epaxos), f0(paxos)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn degradation_is_25_to_55_percent_and_epaxos_stays_above_paxos() {
+        let t = &super::run(true)[0];
+        let first: f64 = t.rows[0][1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        let drop = 1.0 - last / first;
+        assert!((0.25..0.55).contains(&drop), "degradation {drop}");
+        let paxos: f64 = t.rows[0][2].parse().unwrap();
+        assert!(last > paxos, "EPaxos at c=1 ({last}) still above Paxos ({paxos})");
+        // Paxos line is flat.
+        for row in &t.rows {
+            assert_eq!(row[2], t.rows[0][2]);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Table 1, Table 3, the §6 formulas, and the Figure 14 flowchart.
+
+use crate::config::BenchmarkConfig;
+use crate::table::{f2, Table};
+use paxi_model::advisor::{recommend, Answers};
+use paxi_model::formulas;
+use paxi_model::queueing::{wait_time, QueueKind};
+
+/// Table 1 — the four queue types with their Wq expressions, evaluated at a
+/// grid of utilizations for a 100 µs service time.
+pub fn table1() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 1: queue types (Wq in microseconds, service = 100us)",
+        &["model", "arrivals", "service", "Wq_rho_0.5", "Wq_rho_0.8", "Wq_rho_0.95"],
+    );
+    let s = 100e-6;
+    let cv2 = 0.15 * 0.15;
+    let rows: Vec<(&str, &str, &str, QueueKind)> = vec![
+        ("M/M/1", "Poisson", "Exponential", QueueKind::MM1),
+        ("M/D/1", "Poisson", "Constant", QueueKind::MD1),
+        ("M/G/1", "Poisson", "General", QueueKind::MG1 { service_var: cv2 * s * s }),
+        ("G/G/1", "General", "General", QueueKind::GG1 { ca2: 1.0, cs2: cv2 }),
+    ];
+    for (name, arr, svc, kind) in rows {
+        let wq = |rho: f64| -> String {
+            match wait_time(kind, rho / s, s) {
+                Some(w) => f2(w * 1e6),
+                None => "unstable".into(),
+            }
+        };
+        t.row(vec![name.into(), arr.into(), svc.into(), wq(0.5), wq(0.8), wq(0.95)]);
+    }
+    vec![t]
+}
+
+/// Table 3 — the benchmark parameters and their defaults.
+pub fn table3() -> Vec<Table> {
+    let c = BenchmarkConfig::default();
+    let mut t = Table::new(
+        "Table 3: benchmark parameters (defaults)",
+        &["parameter", "default", "description"],
+    );
+    let rows: Vec<(&str, String, &str)> = vec![
+        ("T", c.T.to_string(), "Run for T seconds"),
+        ("N", c.N.to_string(), "Run for N operations (if N>0)"),
+        ("K", c.K.to_string(), "Total number of keys"),
+        ("W", c.W.to_string(), "Write ratio"),
+        ("Concurrency", c.concurrency.to_string(), "Number of concurrent clients"),
+        (
+            "LinearizabilityCheck",
+            c.linearizability_check.to_string(),
+            "Check linearizability at the end of benchmark",
+        ),
+        ("Distribution", format!("{:?}", c.distribution), "Key generation distribution"),
+        ("Min", c.min.to_string(), "Random: minimum key number"),
+        ("Conflicts", c.conflicts.to_string(), "Random: percentage of conflicting keys"),
+        ("Mu", c.mu.to_string(), "Normal: mean"),
+        ("Sigma", c.sigma.to_string(), "Normal: standard deviation"),
+        ("Move", c.move_hotspot.to_string(), "Normal: moving average (mu)"),
+        ("Speed", c.speed_ms.to_string(), "Normal: moving speed in milliseconds"),
+        ("Zipfian_s", c.zipfian_s.to_string(), "Zipfian: s parameter"),
+        ("Zipfian_v", c.zipfian_v.to_string(), "Zipfian: v parameter"),
+    ];
+    for (p, d, desc) in rows {
+        t.row(vec![p.into(), d, desc.into()]);
+    }
+    vec![t]
+}
+
+/// §6 — the load/capacity formulas evaluated for the three protocol shapes
+/// at N = 9, and the latency formula at representative WAN parameters.
+pub fn formulas() -> Vec<Table> {
+    let mut load = Table::new(
+        "Formulas 3-6: load L(S) = (1+c)(Q+L-2)/L at N=9",
+        &["protocol", "leaders_L", "quorum_Q", "conflict_c", "load", "capacity"],
+    );
+    let rows: Vec<(&str, usize, usize, f64)> = vec![
+        ("Paxos", 1, 5, 0.0),
+        ("EPaxos c=0", 9, 5, 0.0),
+        ("EPaxos c=0.5", 9, 5, 0.5),
+        ("EPaxos c=1", 9, 5, 1.0),
+        ("WPaxos 3x3", 3, 3, 0.0),
+    ];
+    for (name, l, q, c) in rows {
+        let ld = formulas::load(l, q, c);
+        load.row(vec![
+            name.into(),
+            l.to_string(),
+            q.to_string(),
+            c.to_string(),
+            f2(ld),
+            f2(1.0 / ld),
+        ]);
+    }
+
+    let mut lat = Table::new(
+        "Formula 7: latency (1+c)((1-l)(DL+DQ) + l*DQ), DL=80ms DQ=10ms",
+        &["conflict_c", "locality_l", "latency_ms"],
+    );
+    for &(c, l) in &[(0.0, 0.0), (0.0, 0.5), (0.0, 1.0), (0.3, 1.0), (1.0, 0.0)] {
+        lat.row(vec![c.to_string(), l.to_string(), f2(formulas::latency(c, l, 80.0, 10.0))]);
+    }
+    vec![load, lat]
+}
+
+/// Figure 14 — every path through the protocol-selection flowchart.
+pub fn fig14() -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 14: protocol selection flowchart (all paths)",
+        &["consensus", "wan", "read_heavy", "locality", "dynamic", "dc_failure", "recommendation"],
+    );
+    let b = |v: bool| if v { "y" } else { "n" }.to_string();
+    let mut emit = |a: Answers| {
+        let r = recommend(a);
+        t.row(vec![
+            b(a.needs_consensus),
+            b(a.wan),
+            b(a.read_heavy),
+            b(a.locality),
+            b(a.dynamic_locality),
+            b(a.datacenter_failure_concern),
+            r.protocols.join(" / "),
+        ]);
+    };
+    let base = Answers {
+        needs_consensus: true,
+        wan: false,
+        read_heavy: false,
+        locality: false,
+        dynamic_locality: false,
+        datacenter_failure_concern: false,
+    };
+    emit(Answers { needs_consensus: false, ..base });
+    emit(base);
+    emit(Answers { read_heavy: true, ..base });
+    emit(Answers { wan: true, ..base });
+    emit(Answers { wan: true, read_heavy: true, ..base });
+    emit(Answers { wan: true, locality: true, ..base });
+    emit(Answers { wan: true, locality: true, dynamic_locality: true, ..base });
+    emit(Answers {
+        wan: true,
+        locality: true,
+        dynamic_locality: true,
+        datacenter_failure_concern: true,
+        ..base
+    });
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_md1_is_half_mm1() {
+        let t = &super::table1()[0];
+        let mm1: f64 = t.rows[0][4].parse().unwrap();
+        let md1: f64 = t.rows[1][4].parse().unwrap();
+        assert!((md1 / mm1 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn table3_has_all_15_parameters() {
+        let t = &super::table3()[0];
+        assert_eq!(t.rows.len(), 15);
+    }
+
+    #[test]
+    fn formulas_table_matches_section_6() {
+        let t = &super::formulas()[0];
+        let load_of = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[4].parse().unwrap()
+        };
+        assert_eq!(load_of("Paxos"), 4.0);
+        assert!((load_of("EPaxos c=0") - 4.0 / 3.0).abs() < 0.01);
+        assert!((load_of("WPaxos 3x3") - 4.0 / 3.0).abs() < 0.01);
+        assert!((load_of("EPaxos c=1") - 8.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig14_covers_eight_paths() {
+        let t = &super::fig14()[0];
+        assert_eq!(t.rows.len(), 8);
+        assert!(t.rows.iter().any(|r| r[6].contains("WPaxos")));
+        assert!(t.rows.iter().any(|r| r[6].contains("Chain Replication")));
+    }
+}

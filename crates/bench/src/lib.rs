@@ -1,0 +1,31 @@
+//! # paxi-bench
+//!
+//! The benchmarking half of the Paxi framework plus the harness that
+//! regenerates every table and figure of the paper's evaluation:
+//!
+//! * [`config`] — the Table 3 benchmark parameters.
+//! * [`workload`] — tunable workload generation (distributions, conflicts,
+//!   locality, moving hotspot).
+//! * [`checker`] — the offline TAO-style linearizability checker.
+//! * [`consensus`] — the common-prefix consensus checker over replica stores.
+//! * [`runner`] — protocol dispatch and saturation sweeps.
+//! * [`table`] — result tables with console + CSV output.
+//! * [`figures`] — one module per reproduced table/figure; the `repro`
+//!   binary drives them.
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod config;
+pub mod consensus;
+pub mod figures;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use checker::{check_linearizability, Anomaly, AnomalyKind};
+pub use config::{BenchmarkConfig, Distribution};
+pub use consensus::{check_consensus, Divergence};
+pub use runner::{run, sweep, Proto, SweepPoint};
+pub use table::Table;
+pub use workload::{GeneralWorkload, HotKeyWorkload};

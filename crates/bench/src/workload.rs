@@ -1,0 +1,221 @@
+//! The workload generator.
+//!
+//! Translates a [`BenchmarkConfig`] (paper Table 3) into a
+//! [`paxi_sim::Workload`]: tunable read/write mix, key-popularity
+//! distributions (Figure 6), conflicting-key pools, per-zone access locality
+//! (Normal popularity with a zone-specific mean), and the moving hotspot.
+
+use crate::config::{BenchmarkConfig, Distribution};
+use paxi_core::command::Command;
+use paxi_core::dist::{KeyDist, KeySampler, Rng64};
+use paxi_core::id::ClientId;
+use paxi_core::time::Nanos;
+use paxi_sim::client::unique_value;
+use paxi_sim::Workload;
+
+/// Workload generator over a key space, parameterized per Table 3.
+pub struct GeneralWorkload {
+    cfg: BenchmarkConfig,
+    zones: u64,
+    sampler: Option<KeySampler>,
+}
+
+impl GeneralWorkload {
+    /// Builds the generator for a deployment of `zones` zones (locality
+    /// workloads center each zone's Normal on its own slice of the key
+    /// space).
+    pub fn new(cfg: BenchmarkConfig, zones: u8) -> Self {
+        let sampler = match cfg.distribution {
+            Distribution::Uniform => Some(KeySampler::new(cfg.K.max(1), KeyDist::Uniform)),
+            Distribution::Zipfian => Some(KeySampler::new(
+                cfg.K.max(1),
+                KeyDist::Zipfian { s: cfg.zipfian_s, v: cfg.zipfian_v },
+            )),
+            Distribution::Exponential => Some(KeySampler::new(
+                cfg.K.max(1),
+                KeyDist::Exponential { rate: 8.0 / cfg.K.max(1) as f64 },
+            )),
+            Distribution::Normal => None, // per-zone mean, sampled inline
+        };
+        GeneralWorkload { cfg, zones: zones.max(1) as u64, sampler }
+    }
+
+    /// The Normal-distribution center for `zone` at time `now`: zones are
+    /// spread evenly over the key space, and with `move_hotspot` the center
+    /// drifts one σ every `speed_ms`.
+    pub fn zone_mu(&self, zone: u8, now: Nanos) -> f64 {
+        let k = self.cfg.K.max(1) as f64;
+        let base = if self.cfg.mu != 0.0 {
+            self.cfg.mu + zone as f64 * k / self.zones as f64
+        } else {
+            (zone as f64 + 0.5) * k / self.zones as f64
+        };
+        if self.cfg.move_hotspot {
+            let steps = now.0 / Nanos::millis(self.cfg.speed_ms.max(1)).0;
+            (base + steps as f64 * self.cfg.sigma).rem_euclid(k)
+        } else {
+            base
+        }
+    }
+
+    fn sample_key(&self, client: ClientId, zone: u8, now: Nanos, rng: &mut Rng64) -> u64 {
+        // The conflicting portion of requests draws from the shared pool;
+        // the rest are client-private (never interfering).
+        if !rng.chance(self.cfg.conflicts as f64 / 100.0) {
+            return self.cfg.K + self.cfg.min + client.0 as u64;
+        }
+        let key = match self.cfg.distribution {
+            Distribution::Normal => {
+                let mu = self.zone_mu(zone, now);
+                let v = rng.normal(mu, self.cfg.sigma).round();
+                (v.rem_euclid(self.cfg.K.max(1) as f64)) as u64
+            }
+            _ => self.sampler.as_ref().expect("sampler").sample(rng),
+        };
+        self.cfg.min + key.min(self.cfg.K.saturating_sub(1))
+    }
+}
+
+impl Workload for GeneralWorkload {
+    fn next(
+        &mut self,
+        client: ClientId,
+        zone: u8,
+        seq: u64,
+        now: Nanos,
+        rng: &mut Rng64,
+    ) -> Command {
+        let key = self.sample_key(client, zone, now, rng);
+        if rng.chance(self.cfg.W) {
+            Command::put(key, unique_value(client, seq))
+        } else {
+            Command::get(key)
+        }
+    }
+}
+
+/// A single-hot-key conflict workload (the paper's WAN conflict experiment,
+/// Figure 11): with probability `conflict` the request writes the designated
+/// hot key; otherwise it writes a key private to the issuing zone.
+pub struct HotKeyWorkload {
+    /// Probability of targeting the hot key.
+    pub conflict: f64,
+    /// The shared hot key.
+    pub hot_key: u64,
+    /// Keys per zone for the non-conflicting portion.
+    pub private_keys: u64,
+}
+
+impl Workload for HotKeyWorkload {
+    fn next(
+        &mut self,
+        client: ClientId,
+        zone: u8,
+        seq: u64,
+        _now: Nanos,
+        rng: &mut Rng64,
+    ) -> Command {
+        let key = if rng.chance(self.conflict) {
+            self.hot_key
+        } else {
+            1 + 1000 * (zone as u64 + 1) + rng.below(self.private_keys.max(1))
+        };
+        Command::put(key, unique_value(client, seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_ratio_is_respected() {
+        let mut w = GeneralWorkload::new(BenchmarkConfig::uniform(100, 0.3), 1);
+        let mut rng = Rng64::seed(1);
+        let mut writes = 0;
+        let n = 10_000;
+        for seq in 0..n {
+            if w.next(ClientId(0), 0, seq, Nanos::ZERO, &mut rng).is_write() {
+                writes += 1;
+            }
+        }
+        let ratio = writes as f64 / n as f64;
+        assert!((ratio - 0.3).abs() < 0.03, "write ratio {ratio}");
+    }
+
+    #[test]
+    fn conflicts_zero_means_private_keys_only() {
+        let cfg = BenchmarkConfig { conflicts: 0, ..BenchmarkConfig::uniform(100, 1.0) };
+        let mut w = GeneralWorkload::new(cfg, 1);
+        let mut rng = Rng64::seed(2);
+        for seq in 0..1000 {
+            let c0 = w.next(ClientId(0), 0, seq, Nanos::ZERO, &mut rng);
+            let c1 = w.next(ClientId(1), 0, seq, Nanos::ZERO, &mut rng);
+            assert_ne!(c0.key, c1.key, "private keys must differ per client");
+        }
+    }
+
+    #[test]
+    fn locality_zones_get_distinct_centers() {
+        let mut w = GeneralWorkload::new(BenchmarkConfig::locality(1000, 30.0), 3);
+        let mut rng = Rng64::seed(3);
+        let mean_of = |w: &mut GeneralWorkload, zone: u8, rng: &mut Rng64| {
+            let mut sum = 0.0;
+            for seq in 0..2000 {
+                sum += w.next(ClientId(0), zone, seq, Nanos::ZERO, rng).key as f64;
+            }
+            sum / 2000.0
+        };
+        let m0 = mean_of(&mut w, 0, &mut rng);
+        let m1 = mean_of(&mut w, 1, &mut rng);
+        let m2 = mean_of(&mut w, 2, &mut rng);
+        assert!((m0 - 166.0).abs() < 30.0, "zone0 mean {m0}");
+        assert!((m1 - 500.0).abs() < 30.0, "zone1 mean {m1}");
+        assert!((m2 - 833.0).abs() < 30.0, "zone2 mean {m2}");
+    }
+
+    #[test]
+    fn moving_hotspot_drifts_with_time() {
+        let cfg = BenchmarkConfig {
+            move_hotspot: true,
+            speed_ms: 100,
+            ..BenchmarkConfig::locality(1000, 10.0)
+        };
+        let w = GeneralWorkload::new(cfg, 2);
+        let early = w.zone_mu(0, Nanos::ZERO);
+        let later = w.zone_mu(0, Nanos::millis(1000));
+        assert!((later - early - 100.0).abs() < 1e-9, "10 steps of sigma=10: {early} -> {later}");
+    }
+
+    #[test]
+    fn hot_key_workload_targets_hot_key() {
+        let mut w = HotKeyWorkload { conflict: 0.4, hot_key: 0, private_keys: 10 };
+        let mut rng = Rng64::seed(4);
+        let mut hot = 0;
+        let n = 10_000;
+        for seq in 0..n {
+            if w.next(ClientId(0), 1, seq, Nanos::ZERO, &mut rng).key == 0 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn zipfian_workload_skews() {
+        let cfg = BenchmarkConfig {
+            distribution: Distribution::Zipfian,
+            ..BenchmarkConfig::uniform(1000, 1.0)
+        };
+        let mut w = GeneralWorkload::new(cfg, 1);
+        let mut rng = Rng64::seed(5);
+        let mut zero = 0;
+        for seq in 0..5_000 {
+            if w.next(ClientId(0), 0, seq, Nanos::ZERO, &mut rng).key == 0 {
+                zero += 1;
+            }
+        }
+        assert!(zero as f64 / 5_000.0 > 0.4, "rank-0 fraction {}", zero as f64 / 5_000.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Codec errors.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    Eof,
+    /// A length prefix or enum tag was out of range.
+    Invalid(String),
+    /// Bytes that should be UTF-8 were not.
+    Utf8(std::str::Utf8Error),
+    /// `deserialize_any` was attempted: the format is not self-describing.
+    NotSelfDescribing,
+    /// Custom error raised by a `Serialize`/`Deserialize` impl.
+    Custom(String),
+    /// Trailing bytes remained after deserialization finished.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::Invalid(s) => write!(f, "invalid encoding: {s}"),
+            CodecError::Utf8(e) => write!(f, "invalid utf-8: {e}"),
+            CodecError::NotSelfDescribing => {
+                write!(f, "paxi-codec is not self-describing; deserialize_any unsupported")
+            }
+            CodecError::Custom(s) => write!(f, "{s}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Custom(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Custom(msg.to_string())
+    }
+}
+
+/// Codec result alias.
+pub type Result<T> = std::result::Result<T, CodecError>;

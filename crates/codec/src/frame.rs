@@ -1,0 +1,105 @@
+//! Length-prefixed framing for byte streams.
+//!
+//! TCP delivers a byte stream, not messages, so the socket transports wrap
+//! every encoded message in a 4-byte little-endian length prefix.
+//! [`FrameDecoder`] accumulates arbitrary chunks (as delivered by `read`)
+//! and yields complete frames.
+
+use crate::error::{CodecError, Result};
+use bytes::{Buf, BytesMut};
+
+/// Largest frame we accept; protects against corrupt prefixes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Prefixes `payload` with its `u32` length.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame reassembly over a byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes received from the stream.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(CodecError::Invalid(format!("frame of {len} bytes exceeds MAX_FRAME")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let frame = self.buf.split_to(len);
+        Ok(Some(frame.to_vec()))
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut d = FrameDecoder::new();
+        d.feed(&encode_frame(b"hello"));
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"hello");
+        assert!(d.next_frame().unwrap().is_none());
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn reassembles_across_chunks() {
+        let frame = encode_frame(&vec![7u8; 1000]);
+        let mut d = FrameDecoder::new();
+        for chunk in frame.chunks(13) {
+            d.feed(chunk);
+        }
+        assert_eq!(d.next_frame().unwrap().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn splits_coalesced_frames() {
+        let mut bytes = encode_frame(b"a");
+        bytes.extend_from_slice(&encode_frame(b"bb"));
+        bytes.extend_from_slice(&encode_frame(b""));
+        let mut d = FrameDecoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"a");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"bb");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"");
+        assert!(d.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut d = FrameDecoder::new();
+        d.feed(&(u32::MAX).to_le_bytes());
+        d.feed(&[0u8; 16]);
+        assert!(d.next_frame().is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! # paxi-codec
+//!
+//! A compact binary serde format plus length-prefixed framing, used by the
+//! wall-clock socket transports in `paxi-transport` to put protocol messages
+//! on the wire. Written in-repo because `bincode` is not in the offline
+//! dependency set; the format is deterministic and stable across builds.
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Ping { seq: u64, note: String }
+//!
+//! let msg = Ping { seq: 7, note: "hi".into() };
+//! let bytes = paxi_codec::to_bytes(&msg).unwrap();
+//! let back: Ping = paxi_codec::from_bytes(&bytes).unwrap();
+//! assert_eq!(msg, back);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod error;
+pub mod frame;
+pub mod ser;
+
+pub use de::{from_bytes, from_bytes_prefix};
+pub use error::{CodecError, Result};
+pub use frame::{encode_frame, FrameDecoder, MAX_FRAME};
+pub use ser::{to_bytes, to_writer};
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::{BTreeMap, HashMap};
+
+    fn roundtrip<T: Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = crate::to_bytes(v).unwrap();
+        let back: T = crate::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u8);
+        roundtrip(&u64::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&-1i32);
+        roundtrip(&3.5f64);
+        roundtrip(&f64::NEG_INFINITY);
+        roundtrip(&'λ');
+        roundtrip(&"hello world".to_string());
+        roundtrip(&String::new());
+    }
+
+    #[test]
+    fn collections() {
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&Vec::<u8>::new());
+        roundtrip(&Some(42u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&(1u8, "two".to_string(), 3.0f32));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2);
+        roundtrip(&m);
+        let mut h = HashMap::new();
+        h.insert(5u64, vec![1u8, 2]);
+        roundtrip(&h);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    enum Proto {
+        Unit,
+        New(u64),
+        Tuple(u8, String),
+        Struct { a: Option<Vec<u8>>, b: i16 },
+    }
+
+    #[test]
+    fn enums() {
+        roundtrip(&Proto::Unit);
+        roundtrip(&Proto::New(9));
+        roundtrip(&Proto::Tuple(1, "x".into()));
+        roundtrip(&Proto::Struct { a: Some(vec![1, 2, 3]), b: -5 });
+        roundtrip(&vec![Proto::Unit, Proto::New(1), Proto::Struct { a: None, b: 0 }]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = crate::to_bytes(&"hello".to_string()).unwrap();
+        let r: crate::Result<String> = crate::from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = crate::to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        let r: crate::Result<u32> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(crate::CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn prefix_decoding_reports_consumed() {
+        let mut bytes = crate::to_bytes(&11u16).unwrap();
+        bytes.extend_from_slice(&crate::to_bytes(&22u16).unwrap());
+        let (a, used): (u16, usize) = crate::from_bytes_prefix(&bytes).unwrap();
+        assert_eq!((a, used), (11, 2));
+        let (b, _): (u16, usize) = crate::from_bytes_prefix(&bytes[used..]).unwrap();
+        assert_eq!(b, 22);
+    }
+
+    #[test]
+    fn bogus_enum_tag_rejected() {
+        let bytes = 999u32.to_le_bytes().to_vec();
+        let r: crate::Result<Proto> = crate::from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Ballot numbers.
+//!
+//! A ballot is the round identifier of Paxos-family protocols. It orders
+//! competing leadership attempts: a node accepts a proposal only if it has
+//! not promised a higher ballot. Ballots must be totally ordered and unique
+//! per proposer, which we achieve by pairing a monotonically increasing
+//! counter with the proposer's [`NodeId`] as the tie breaker.
+
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Paxos ballot: `(counter, proposer)`, compared counter-major.
+///
+/// `Ballot::default()` (counter 0) is smaller than every ballot produced by
+/// [`Ballot::first`] / [`Ballot::next`], so it can serve as "no promise yet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Ballot {
+    /// Monotonically increasing round counter.
+    pub counter: u32,
+    /// The node that owns this ballot; breaks ties between concurrent rounds.
+    pub id: NodeId,
+}
+
+impl Ballot {
+    /// The smallest real ballot a node can propose.
+    pub const fn first(id: NodeId) -> Self {
+        Ballot { counter: 1, id }
+    }
+
+    /// The next ballot owned by `id` that is strictly greater than `self`.
+    ///
+    /// Used after a preemption: a proposer that saw a higher ballot `b`
+    /// calls `b.next(my_id)` to outbid it.
+    pub const fn next(self, id: NodeId) -> Self {
+        Ballot { counter: self.counter + 1, id }
+    }
+
+    /// Whether this is the zero ballot (no round started).
+    pub const fn is_zero(self) -> bool {
+        self.counter == 0
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}@{}", self.counter, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ballot_is_smallest() {
+        let b = Ballot::first(NodeId::new(0, 0));
+        assert!(Ballot::default() < b);
+        assert!(Ballot::default().is_zero());
+        assert!(!b.is_zero());
+    }
+
+    #[test]
+    fn next_outbids_any_seen_ballot() {
+        let a = NodeId::new(0, 1);
+        let b = NodeId::new(2, 0);
+        let seen = Ballot { counter: 7, id: b };
+        let mine = seen.next(a);
+        assert!(mine > seen);
+        assert_eq!(mine.id, a);
+    }
+
+    #[test]
+    fn counter_major_ordering() {
+        let lo = Ballot { counter: 1, id: NodeId::new(9, 9) };
+        let hi = Ballot { counter: 2, id: NodeId::new(0, 0) };
+        assert!(lo < hi);
+        // Same counter: node id breaks the tie.
+        let x = Ballot { counter: 2, id: NodeId::new(0, 1) };
+        assert!(hi < x);
+    }
+}

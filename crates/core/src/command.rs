@@ -1,0 +1,151 @@
+//! Commands, client requests, and responses.
+//!
+//! All protocols in this framework replicate a log (or a per-object log, or a
+//! dependency graph) of [`Command`]s against the in-memory key-value state
+//! machine in [`crate::store`]. A command targets one key and is either a
+//! read (`Get`) or a write (`Put`). Two commands *interfere* when they touch
+//! the same key and at least one of them writes — the interference relation
+//! drives EPaxos dependency tracking and defines the "conflict" workload
+//! parameter `c` of the paper.
+
+use crate::id::RequestId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Keys are dense integers; the benchmark draws them from `0..K` using one of
+/// the workload distributions (uniform / normal / zipfian / exponential).
+pub type Key = u64;
+
+/// Opaque value bytes.
+pub type Value = Vec<u8>;
+
+/// The operation part of a command.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the current version of the key.
+    Get,
+    /// Install a new version of the key.
+    Put(Value),
+    /// Remove the key (records a tombstone version).
+    Delete,
+}
+
+impl Op {
+    /// Whether this operation mutates state.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Op::Get)
+    }
+}
+
+/// A state-machine command: one operation against one key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// Target key.
+    pub key: Key,
+    /// Operation to apply.
+    pub op: Op,
+}
+
+impl Command {
+    /// Read command.
+    pub fn get(key: Key) -> Self {
+        Command { key, op: Op::Get }
+    }
+
+    /// Write command.
+    pub fn put(key: Key, value: Value) -> Self {
+        Command { key, op: Op::Put(value) }
+    }
+
+    /// Delete command.
+    pub fn delete(key: Key) -> Self {
+        Command { key, op: Op::Delete }
+    }
+
+    /// Whether the command writes.
+    pub fn is_write(&self) -> bool {
+        self.op.is_write()
+    }
+
+    /// EPaxos-style interference relation: same key, not both reads.
+    ///
+    /// Non-interfering commands may be committed on the fast path in any
+    /// relative order; interfering commands must be ordered by the protocol.
+    pub fn interferes(&self, other: &Command) -> bool {
+        self.key == other.key && (self.is_write() || other.is_write())
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            Op::Get => write!(f, "GET {}", self.key),
+            Op::Put(v) => write!(f, "PUT {} ({}B)", self.key, v.len()),
+            Op::Delete => write!(f, "DEL {}", self.key),
+        }
+    }
+}
+
+/// A client request as delivered to a replica by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRequest {
+    /// Unique id used to route the response back to the issuing client.
+    pub id: RequestId,
+    /// The command to replicate and execute.
+    pub cmd: Command,
+}
+
+/// The reply a replica produces once a command is committed and executed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientResponse {
+    /// Echoes the request id.
+    pub id: RequestId,
+    /// `Get` returns the read value (or `None` if absent); `Put`/`Delete`
+    /// return the previous value, mirroring Paxi's key-value store API.
+    pub value: Option<Value>,
+    /// False when the protocol rejected the request (e.g. redirected).
+    pub ok: bool,
+}
+
+impl ClientResponse {
+    /// Successful response carrying `value`.
+    pub fn ok(id: RequestId, value: Option<Value>) -> Self {
+        ClientResponse { id, value, ok: true }
+    }
+
+    /// Failure/rejection response.
+    pub fn err(id: RequestId) -> Self {
+        ClientResponse { id, value: None, ok: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_requires_a_writer() {
+        let r1 = Command::get(5);
+        let r2 = Command::get(5);
+        let w = Command::put(5, vec![1]);
+        let w_other = Command::put(6, vec![1]);
+        assert!(!r1.interferes(&r2), "two reads never interfere");
+        assert!(r1.interferes(&w));
+        assert!(w.interferes(&r1), "interference is symmetric");
+        assert!(w.interferes(&w.clone()));
+        assert!(!w.interferes(&w_other), "different keys never interfere");
+    }
+
+    #[test]
+    fn delete_counts_as_write() {
+        assert!(Command::delete(1).is_write());
+        assert!(Command::delete(1).interferes(&Command::get(1)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Command::get(3).to_string(), "GET 3");
+        assert_eq!(Command::put(3, vec![0; 16]).to_string(), "PUT 3 (16B)");
+        assert_eq!(Command::delete(9).to_string(), "DEL 9");
+    }
+}

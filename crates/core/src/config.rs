@@ -1,0 +1,121 @@
+//! Cluster configuration.
+//!
+//! A [`ClusterConfig`] describes the deployment every protocol runs in: how
+//! many zones (regions), how many nodes per zone, and the fault-tolerance
+//! parameters `f` (node crashes tolerated inside a zone) and `fz` (full-zone
+//! failures tolerated) that WPaxos-style flexible grid quorums are built
+//! from. It is the Rust analogue of Paxi's JSON configuration file.
+
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a cluster deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of zones (regions / failure domains).
+    pub zones: u8,
+    /// Nodes in each zone.
+    pub per_zone: u8,
+    /// Node-failure tolerance within a zone (used by grid quorums).
+    pub f: u8,
+    /// Zone-failure tolerance (used by grid quorums).
+    pub fz: u8,
+}
+
+impl ClusterConfig {
+    /// A LAN-style deployment: one zone of `n` nodes.
+    pub fn lan(n: u8) -> Self {
+        ClusterConfig { zones: 1, per_zone: n, f: n / 2, fz: 0 }
+    }
+
+    /// A WAN-style grid deployment of `zones × per_zone` nodes with node
+    /// fault-tolerance `f` and zone fault-tolerance `fz`.
+    pub fn wan(zones: u8, per_zone: u8, f: u8, fz: u8) -> Self {
+        assert!(zones > 0 && per_zone > 0);
+        assert!(f < per_zone, "f must be < per_zone");
+        assert!(fz < zones, "fz must be < zones");
+        ClusterConfig { zones, per_zone, f, fz }
+    }
+
+    /// Total node count.
+    pub fn n(&self) -> usize {
+        self.zones as usize * self.per_zone as usize
+    }
+
+    /// All node ids, zone-major.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.n());
+        for z in 0..self.zones {
+            for i in 0..self.per_zone {
+                v.push(NodeId::new(z, i));
+            }
+        }
+        v
+    }
+
+    /// Node ids of one zone.
+    pub fn zone_nodes(&self, zone: u8) -> Vec<NodeId> {
+        (0..self.per_zone).map(|i| NodeId::new(zone, i)).collect()
+    }
+
+    /// Whether `id` belongs to this cluster.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.zone < self.zones && id.node < self.per_zone
+    }
+
+    /// Dense index of a node in [`ClusterConfig::all_nodes`] order.
+    pub fn index_of(&self, id: NodeId) -> usize {
+        id.zone as usize * self.per_zone as usize + id.node as usize
+    }
+
+    /// Majority quorum size over the whole cluster.
+    pub fn majority(&self) -> usize {
+        crate::quorum::majority(self.n())
+    }
+
+    /// The "first" node, conventionally the initial leader for single-leader
+    /// protocols.
+    pub fn initial_leader(&self) -> NodeId {
+        NodeId::new(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_config_is_single_zone() {
+        let c = ClusterConfig::lan(9);
+        assert_eq!(c.n(), 9);
+        assert_eq!(c.majority(), 5);
+        assert_eq!(c.all_nodes().len(), 9);
+        assert!(c.all_nodes().iter().all(|n| n.zone == 0));
+    }
+
+    #[test]
+    fn wan_grid_enumeration_is_zone_major() {
+        let c = ClusterConfig::wan(3, 3, 1, 0);
+        let nodes = c.all_nodes();
+        assert_eq!(nodes.len(), 9);
+        assert_eq!(nodes[0], NodeId::new(0, 0));
+        assert_eq!(nodes[3], NodeId::new(1, 0));
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(c.index_of(*n), i);
+        }
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let c = ClusterConfig::wan(2, 3, 1, 0);
+        assert!(c.contains(NodeId::new(1, 2)));
+        assert!(!c.contains(NodeId::new(2, 0)));
+        assert!(!c.contains(NodeId::new(0, 3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wan_rejects_f_equal_per_zone() {
+        ClusterConfig::wan(3, 3, 3, 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Deterministic random number generation and the workload/latency
+//! distributions used throughout the framework.
+//!
+//! The simulator must be bit-for-bit reproducible from a seed, so we carry
+//! our own small PRNG (xoshiro256++, seeded via splitmix64) instead of
+//! depending on `rand`'s version-dependent `StdRng` stream, and implement the
+//! samplers the paper needs: Uniform, Normal (Box–Muller — the paper models
+//! LAN RTTs as Normal, Figure 3), Exponential, and Zipfian (benchmark key
+//! popularity, Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// xoshiro256++ PRNG. Fast, high quality, trivially seedable, and — unlike
+/// external crates — guaranteed stable across builds of this repository.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Seeds the generator deterministically from one word.
+    pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng64 { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping (tiny bias acceptable for
+        // workload generation; not used for cryptography).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        // Reject u1 == 0 to keep ln finite.
+        let mut u1 = self.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.next_f64();
+        }
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Exponential sample with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        let mut u = self.next_f64();
+        while u <= f64::MIN_POSITIVE {
+            u = self.next_f64();
+        }
+        -u.ln() / rate
+    }
+
+    /// Forks an independent deterministic stream (used to give every node and
+    /// client its own generator while keeping global determinism).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::seed(self.next_u64())
+    }
+}
+
+/// The key-popularity distributions the benchmarker supports (paper Table 3
+/// and Figure 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Every key in `[min, min+k)` equally likely.
+    Uniform,
+    /// Normal popularity centered at `mu` with deviation `sigma`, clamped to
+    /// the key space. `mu` varies per region to create access locality.
+    Normal {
+        /// Center of the popular-key region.
+        mu: f64,
+        /// Spread of the popular-key region.
+        sigma: f64,
+    },
+    /// Zipfian popularity `P(k) ∝ 1/(v+k)^s`.
+    Zipfian {
+        /// Skew exponent `s`.
+        s: f64,
+        /// Shift parameter `v` (must be ≥ 1 so rank 0 is defined).
+        v: f64,
+    },
+    /// Exponential popularity `P(k) ∝ exp(-rate·k)`.
+    Exponential {
+        /// Decay rate across the key space.
+        rate: f64,
+    },
+}
+
+/// Samples keys in `[0, k)` from a [`KeyDist`].
+///
+/// Zipfian and Exponential use a precomputed cumulative table with binary
+/// search; Normal clamps Box–Muller samples into range.
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    k: u64,
+    dist: KeyDist,
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler over `k` keys.
+    pub fn new(k: u64, dist: KeyDist) -> Self {
+        assert!(k > 0, "key space must be nonempty");
+        let cdf = match &dist {
+            KeyDist::Zipfian { s, v } => {
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(k as usize);
+                for i in 0..k {
+                    acc += 1.0 / (v + i as f64).powf(*s);
+                    cdf.push(acc);
+                }
+                for c in cdf.iter_mut() {
+                    *c /= acc;
+                }
+                cdf
+            }
+            KeyDist::Exponential { rate } => {
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(k as usize);
+                for i in 0..k {
+                    acc += (-rate * i as f64).exp();
+                    cdf.push(acc);
+                }
+                for c in cdf.iter_mut() {
+                    *c /= acc;
+                }
+                cdf
+            }
+            _ => Vec::new(),
+        };
+        KeySampler { k, dist, cdf }
+    }
+
+    /// Number of keys.
+    pub fn key_space(&self) -> u64 {
+        self.k
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        match &self.dist {
+            KeyDist::Uniform => rng.below(self.k),
+            KeyDist::Normal { mu, sigma } => {
+                let v = rng.normal(*mu, *sigma).round();
+                let v = v.rem_euclid(self.k as f64);
+                (v as u64).min(self.k - 1)
+            }
+            KeyDist::Zipfian { .. } | KeyDist::Exponential { .. } => {
+                let u = rng.next_f64();
+                match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+                    Ok(i) => i as u64,
+                    Err(i) => (i as u64).min(self.k - 1),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_from_seed() {
+        let mut a = Rng64::seed(42);
+        let mut b = Rng64::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Rng64::seed(1);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Rng64::seed(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {}", c);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng64::seed(11);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = r.normal(0.4271, 0.0476);
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 0.4271).abs() < 0.001, "mean {}", mean);
+        assert!((var.sqrt() - 0.0476).abs() < 0.001, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng64::seed(13);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += r.exponential(4.0);
+        }
+        assert!((sum / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let s = KeySampler::new(1000, KeyDist::Zipfian { s: 2.0, v: 1.0 });
+        let mut r = Rng64::seed(17);
+        let mut zero = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if s.sample(&mut r) == 0 {
+                zero += 1;
+            }
+        }
+        // With s=2, v=1 the rank-0 mass is 1/zeta-ish ~ 0.61.
+        let frac = zero as f64 / n as f64;
+        assert!(frac > 0.5, "rank-0 fraction {}", frac);
+    }
+
+    #[test]
+    fn normal_keys_cluster_around_mu() {
+        let s = KeySampler::new(1000, KeyDist::Normal { mu: 500.0, sigma: 60.0 });
+        let mut r = Rng64::seed(19);
+        let mut near = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = s.sample(&mut r);
+            if (380..=620).contains(&k) {
+                near += 1;
+            }
+        }
+        assert!(near as f64 / n as f64 > 0.9);
+    }
+
+    #[test]
+    fn uniform_keys_cover_space() {
+        let s = KeySampler::new(8, KeyDist::Uniform);
+        let mut r = Rng64::seed(23);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(s.sample(&mut r));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut a = Rng64::seed(5);
+        let mut b = a.fork();
+        let mut c = a.fork();
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,115 @@
+//! Node, client, and request identifiers.
+//!
+//! Paxi addresses every node with a two-level `zone.node` id, where the zone
+//! corresponds to a failure/latency domain (an availability zone in a LAN
+//! deployment, a geographic region in a WAN deployment). Several protocols in
+//! this crate family are zone-aware: WPaxos arranges its flexible grid
+//! quorums over zones, WanKeeper runs one Paxos group per zone, and VPaxos
+//! assigns object leadership to zone-local groups.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a replica: `zone.node`.
+///
+/// Ordering is lexicographic on `(zone, node)` which gives every node a
+/// stable total order — ballots use this order to break ties between
+/// competing leaders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct NodeId {
+    /// Failure/latency domain (region) of the node.
+    pub zone: u8,
+    /// Index of the node within its zone.
+    pub node: u8,
+}
+
+impl NodeId {
+    /// Creates a node id from a zone and an in-zone index.
+    pub const fn new(zone: u8, node: u8) -> Self {
+        NodeId { zone, node }
+    }
+
+    /// Packs the id into a dense `u16`, useful for array indexing.
+    pub const fn pack(self) -> u16 {
+        ((self.zone as u16) << 8) | self.node as u16
+    }
+
+    /// Inverse of [`NodeId::pack`].
+    pub const fn unpack(v: u16) -> Self {
+        NodeId { zone: (v >> 8) as u8, node: (v & 0xff) as u8 }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.zone, self.node)
+    }
+}
+
+/// Identifier of a client session. Clients are not replicas; they attach to
+/// one node (usually in their own zone) and issue requests through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Globally unique identifier of one client request: the issuing client plus
+/// a per-client sequence number. Protocols carry the `RequestId` through
+/// their message flow so the runtime can route the eventual response back to
+/// the waiting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct RequestId {
+    /// The client that issued the request.
+    pub client: ClientId,
+    /// Strictly increasing per-client sequence number.
+    pub seq: u64,
+}
+
+impl RequestId {
+    /// Creates a request id.
+    pub const fn new(client: ClientId, seq: u64) -> Self {
+        RequestId { client, seq }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_uses_zone_dot_node() {
+        assert_eq!(NodeId::new(2, 5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn node_id_pack_roundtrip() {
+        for zone in [0u8, 1, 7, 255] {
+            for node in [0u8, 3, 254, 255] {
+                let id = NodeId::new(zone, node);
+                assert_eq!(NodeId::unpack(id.pack()), id);
+            }
+        }
+    }
+
+    #[test]
+    fn node_id_order_is_zone_major() {
+        assert!(NodeId::new(0, 200) < NodeId::new(1, 0));
+        assert!(NodeId::new(1, 1) < NodeId::new(1, 2));
+    }
+
+    #[test]
+    fn request_id_display() {
+        let r = RequestId::new(ClientId(3), 42);
+        assert_eq!(r.to_string(), "c3#42");
+    }
+}

@@ -1,0 +1,49 @@
+//! # paxi-core
+//!
+//! Shared building blocks of the Paxi replication-protocol framework, a Rust
+//! reproduction of the system described in *"Dissecting the Performance of
+//! Strongly-Consistent Replication Protocols"* (SIGMOD 2019).
+//!
+//! The paper's framework factors every strongly-consistent replication
+//! protocol into common components — identifiers, ballots, quorum systems, a
+//! multi-version key-value state machine, configuration, and an event-handler
+//! replica interface — so that a protocol is defined by only its message
+//! types and replica logic. This crate provides those components:
+//!
+//! * [`id`] — `zone.node` addressing, client and request ids.
+//! * [`ballot`] — totally-ordered Paxos ballots.
+//! * [`command`] — commands, interference relation, client request/response.
+//! * [`store`] — the multi-version in-memory key-value state machine.
+//! * [`quorum`] — majority, fast, grid, flexible-grid, and group quorums.
+//! * [`config`] — cluster deployment description.
+//! * [`traits`] — the [`traits::Replica`] / [`traits::Context`]
+//!   protocol abstraction shared by the simulator and wall-clock runtimes.
+//! * [`time`] — nanosecond virtual time.
+//! * [`metrics`] — latency histograms, CDFs, throughput meters.
+
+#![warn(missing_docs)]
+
+pub mod ballot;
+pub mod command;
+pub mod config;
+pub mod dist;
+pub mod id;
+pub mod metrics;
+pub mod quorum;
+pub mod store;
+pub mod time;
+pub mod traits;
+
+pub use ballot::Ballot;
+pub use command::{ClientRequest, ClientResponse, Command, Key, Op, Value};
+pub use config::ClusterConfig;
+pub use dist::{KeyDist, KeySampler, Rng64};
+pub use id::{ClientId, NodeId, RequestId};
+pub use metrics::{Histogram, LatencySummary, Meter};
+pub use quorum::{
+    fast_quorum_size, majority, CountQuorum, FastQuorum, FlexibleGridQuorum, GridPhase,
+    GridQuorum, GroupQuorum, MajorityQuorum, QuorumTracker,
+};
+pub use store::{MultiVersionStore, Version};
+pub use time::Nanos;
+pub use traits::{Context, Replica, ReplicaFactory};

@@ -1,0 +1,309 @@
+//! Latency histograms and throughput meters.
+//!
+//! The benchmarker stores the latency of every individual request; to keep
+//! that cheap we use an HDR-style log-linear histogram: values are bucketed
+//! by order of magnitude with a fixed number of sub-buckets per octave, which
+//! bounds the relative quantization error while using O(1) memory per
+//! recording. Percentiles, means, and full CDFs (for the paper's Figure 13b)
+//! are derived from the bucket counts.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket precision: 2^7 = 128 sub-buckets per octave, i.e. < 0.8%
+/// relative error on reported quantiles.
+const PRECISION_BITS: u32 = 7;
+const SUB_BUCKETS: u64 = 1 << PRECISION_BITS;
+
+/// Log-linear latency histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    // Octave = position of the highest set bit above the precision range.
+    let octave = 63 - v.leading_zeros() as u64 - PRECISION_BITS as u64;
+    let mantissa = (v >> octave) - SUB_BUCKETS; // 0..SUB_BUCKETS
+    (SUB_BUCKETS + octave * SUB_BUCKETS + mantissa) as usize
+}
+
+fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let octave = (idx - SUB_BUCKETS) / SUB_BUCKETS;
+    let mantissa = (idx - SUB_BUCKETS) % SUB_BUCKETS;
+    (SUB_BUCKETS + mantissa) << octave
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: Vec::new(), total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: Nanos) {
+        let v = v.0;
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample, exact (derived from the running sum, not the buckets).
+    pub fn mean(&self) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        Nanos((self.sum / self.total as u128) as u64)
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos(self.min)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Nanos {
+        Nanos(self.max)
+    }
+
+    /// Quantile `q ∈ [0, 1]`, reported as the lower bound of the bucket that
+    /// contains it (clamped to the recorded min/max).
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Nanos(bucket_low(idx).clamp(self.min, self.max));
+            }
+        }
+        Nanos(self.max)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Nanos {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Nanos {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The empirical CDF as `(latency, cumulative_fraction)` points, one per
+    /// non-empty bucket — what Figure 13b of the paper plots.
+    pub fn cdf(&self) -> Vec<(Nanos, f64)> {
+        let mut pts = Vec::new();
+        if self.total == 0 {
+            return pts;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            pts.push((Nanos(bucket_low(idx)), seen as f64 / self.total as f64));
+        }
+        pts
+    }
+}
+
+/// Summary statistics extracted from a [`Histogram`], convenient for tables.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Nanos,
+    /// Median latency.
+    pub p50: Nanos,
+    /// 99th-percentile latency.
+    pub p99: Nanos,
+    /// Minimum.
+    pub min: Nanos,
+    /// Maximum.
+    pub max: Nanos,
+}
+
+impl From<&Histogram> for LatencySummary {
+    fn from(h: &Histogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.p50(),
+            p99: h.p99(),
+            min: h.min(),
+            max: h.max(),
+        }
+    }
+}
+
+/// Counts events over a known interval to report a rate.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Meter {
+    events: u64,
+}
+
+impl Meter {
+    /// New meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events per second over `window`.
+    pub fn rate(&self, window: Nanos) -> f64 {
+        if window == Nanos::ZERO {
+            return 0.0;
+        }
+        self.events as f64 / window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 127] {
+            h.record(Nanos(v));
+        }
+        assert_eq!(h.min(), Nanos(1));
+        assert_eq!(h.max(), Nanos(127));
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(0.0), Nanos(1));
+        assert_eq!(h.quantile(1.0), Nanos(127));
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(Nanos::micros(v));
+        }
+        let p50 = h.p50().0 as f64;
+        let exact = Nanos::micros(5_000).0 as f64;
+        assert!((p50 - exact).abs() / exact < 0.01, "p50 {} vs {}", p50, exact);
+        let p99 = h.p99().0 as f64;
+        let exact99 = Nanos::micros(9_900).0 as f64;
+        assert!((p99 - exact99).abs() / exact99 < 0.01);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(Nanos(10));
+        h.record(Nanos(20));
+        h.record(Nanos(60));
+        assert_eq!(h.mean(), Nanos(30));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Nanos::millis(1));
+        b.record(Nanos::millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Nanos::millis(2));
+        assert_eq!(a.max(), Nanos::millis(3));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new();
+        for v in [5u64, 50, 500, 5_000, 50_000] {
+            h.record(Nanos::micros(v));
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_rate() {
+        let mut m = Meter::new();
+        m.add(500);
+        assert_eq!(m.rate(Nanos::secs(2)), 250.0);
+        assert_eq!(m.rate(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        // bucket_low(bucket_index(v)) <= v for a wide range of magnitudes,
+        // and the relative error stays under 1%.
+        for shift in 0..50u64 {
+            let v = (1u64 << shift) + (1 << shift) / 3;
+            let low = bucket_low(bucket_index(v));
+            assert!(low <= v);
+            let err = (v - low) as f64 / v as f64;
+            assert!(err < 0.01, "v={} low={} err={}", v, low, err);
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Quorum systems.
+//!
+//! A quorum system is the key abstraction for ensuring consistency in
+//! fault-tolerant distributed computing: a protocol step completes once acks
+//! arrive from a set of nodes forming a quorum, and safety follows from any
+//! two (relevant) quorums intersecting. Paxi ships several quorum systems out
+//! of the box so protocols can probe the design space without changing code:
+//!
+//! * [`MajorityQuorum`] — classic Paxos majority, `⌊N/2⌋+1`.
+//! * [`CountQuorum`] — any fixed number of acks (FPaxos phase-2 quorums,
+//!   thrifty variants).
+//! * [`FastQuorum`] — EPaxos fast path, `f + ⌊(f+1)/2⌋ + 1` nodes (≈ 3/4 N).
+//! * [`GridQuorum`] — rows for phase-1, columns for phase-2.
+//! * [`FlexibleGridQuorum`] — WPaxos quorums parameterized by per-zone fault
+//!   tolerance `f` and zone fault tolerance `fz`.
+//! * [`GroupQuorum`] — majority within an explicit member subset (WanKeeper /
+//!   VPaxos Paxos groups).
+//!
+//! Every system exposes the same two-method interface the paper describes:
+//! `ack()` and `satisfied()`.
+
+use crate::id::NodeId;
+use std::collections::HashSet;
+
+/// Ack-tracking interface shared by all quorum systems.
+pub trait QuorumTracker {
+    /// Records a (positive) acknowledgement from `id`. Returns `true` if the
+    /// ack was newly recorded (not a duplicate).
+    fn ack(&mut self, id: NodeId) -> bool;
+    /// Whether the collected acks form a quorum.
+    fn satisfied(&self) -> bool;
+    /// Forgets all collected acks so the tracker can be reused.
+    fn reset(&mut self);
+    /// Number of distinct acks recorded.
+    fn count(&self) -> usize;
+}
+
+/// Size of a majority quorum for `n` nodes: `⌊n/2⌋ + 1`.
+pub const fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// Size of the EPaxos fast quorum (command leader included) for `n = 2f+1`
+/// nodes: `f + ⌊(f+1)/2⌋ + 1`, roughly three quarters of the cluster.
+pub const fn fast_quorum_size(n: usize) -> usize {
+    let f = n / 2;
+    f + (f + 1) / 2 + 1
+}
+
+/// Classic majority quorum over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct MajorityQuorum {
+    n: usize,
+    acks: HashSet<NodeId>,
+}
+
+impl MajorityQuorum {
+    /// Majority tracker for a cluster of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MajorityQuorum { n, acks: HashSet::new() }
+    }
+
+    /// The number of acks required.
+    pub fn threshold(&self) -> usize {
+        majority(self.n)
+    }
+}
+
+impl QuorumTracker for MajorityQuorum {
+    fn ack(&mut self, id: NodeId) -> bool {
+        self.acks.insert(id)
+    }
+    fn satisfied(&self) -> bool {
+        self.acks.len() >= self.threshold()
+    }
+    fn reset(&mut self) {
+        self.acks.clear();
+    }
+    fn count(&self) -> usize {
+        self.acks.len()
+    }
+}
+
+/// A quorum satisfied by any `size` distinct acks — the building block for
+/// FPaxos's small phase-2 quorums and thrifty messaging.
+#[derive(Debug, Clone)]
+pub struct CountQuorum {
+    size: usize,
+    acks: HashSet<NodeId>,
+}
+
+impl CountQuorum {
+    /// Tracker requiring `size` distinct acks.
+    pub fn new(size: usize) -> Self {
+        CountQuorum { size, acks: HashSet::new() }
+    }
+
+    /// The number of acks required.
+    pub fn threshold(&self) -> usize {
+        self.size
+    }
+}
+
+impl QuorumTracker for CountQuorum {
+    fn ack(&mut self, id: NodeId) -> bool {
+        self.acks.insert(id)
+    }
+    fn satisfied(&self) -> bool {
+        self.acks.len() >= self.size
+    }
+    fn reset(&mut self) {
+        self.acks.clear();
+    }
+    fn count(&self) -> usize {
+        self.acks.len()
+    }
+}
+
+/// EPaxos fast-path quorum: `fast_quorum_size(n)` acks including the command
+/// leader's implicit self-ack.
+#[derive(Debug, Clone)]
+pub struct FastQuorum {
+    inner: CountQuorum,
+}
+
+impl FastQuorum {
+    /// Fast quorum tracker for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FastQuorum { inner: CountQuorum::new(fast_quorum_size(n)) }
+    }
+
+    /// The number of acks required.
+    pub fn threshold(&self) -> usize {
+        self.inner.threshold()
+    }
+}
+
+impl QuorumTracker for FastQuorum {
+    fn ack(&mut self, id: NodeId) -> bool {
+        self.inner.ack(id)
+    }
+    fn satisfied(&self) -> bool {
+        self.inner.satisfied()
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// Which phase a grid-style quorum serves. Phase-1 quorums run across zones
+/// (rows); phase-2 quorums run within zones (columns); any phase-1 quorum
+/// intersects any phase-2 quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridPhase {
+    /// Leader-election / ownership-acquisition phase.
+    One,
+    /// Replication phase.
+    Two,
+}
+
+/// Simple grid quorum over a `zones × per_zone` node grid: a phase-1 quorum
+/// is one full *row* (one node from every zone); a phase-2 quorum is one full
+/// *column* (every node of one zone).
+#[derive(Debug, Clone)]
+pub struct GridQuorum {
+    zones: u8,
+    per_zone: u8,
+    phase: GridPhase,
+    acks: HashSet<NodeId>,
+}
+
+impl GridQuorum {
+    /// Grid tracker for the given phase.
+    pub fn new(zones: u8, per_zone: u8, phase: GridPhase) -> Self {
+        GridQuorum { zones, per_zone, phase, acks: HashSet::new() }
+    }
+
+    fn zones_covered(&self) -> usize {
+        let mut zs: HashSet<u8> = HashSet::new();
+        for a in &self.acks {
+            zs.insert(a.zone);
+        }
+        zs.len()
+    }
+
+    fn full_zone(&self) -> bool {
+        let mut per_zone_count = vec![0usize; self.zones as usize];
+        for a in &self.acks {
+            if (a.zone as usize) < per_zone_count.len() {
+                per_zone_count[a.zone as usize] += 1;
+            }
+        }
+        per_zone_count.iter().any(|&c| c >= self.per_zone as usize)
+    }
+}
+
+impl QuorumTracker for GridQuorum {
+    fn ack(&mut self, id: NodeId) -> bool {
+        self.acks.insert(id)
+    }
+    fn satisfied(&self) -> bool {
+        match self.phase {
+            GridPhase::One => self.zones_covered() >= self.zones as usize,
+            GridPhase::Two => self.full_zone(),
+        }
+    }
+    fn reset(&mut self) {
+        self.acks.clear();
+    }
+    fn count(&self) -> usize {
+        self.acks.len()
+    }
+}
+
+/// WPaxos flexible grid quorum.
+///
+/// For a grid of `zones` zones with `per_zone` nodes each, tolerating `f`
+/// node crashes per zone and `fz` full-zone failures:
+///
+/// * a **phase-1 (q1)** quorum contains `per_zone − f` nodes from each of
+///   `zones − fz` zones;
+/// * a **phase-2 (q2)** quorum contains `f + 1` nodes from each of `fz + 1`
+///   zones.
+///
+/// With `fz = 0`, q2 is satisfied entirely inside the leader's own zone,
+/// which is what lets WPaxos commit local commands with LAN latency in a WAN
+/// deployment. Every q1 intersects every q2 because `(f+1) + (per_zone−f) >
+/// per_zone` within a zone and `(fz+1) + (zones−fz) > zones` across zones.
+#[derive(Debug, Clone)]
+pub struct FlexibleGridQuorum {
+    zones: u8,
+    per_zone: u8,
+    f: u8,
+    fz: u8,
+    phase: GridPhase,
+    acks: HashSet<NodeId>,
+}
+
+impl FlexibleGridQuorum {
+    /// Flexible grid tracker for the given phase.
+    pub fn new(zones: u8, per_zone: u8, f: u8, fz: u8, phase: GridPhase) -> Self {
+        assert!(f < per_zone, "f must be < nodes per zone");
+        assert!(fz < zones, "fz must be < number of zones");
+        FlexibleGridQuorum { zones, per_zone, f, fz, phase, acks: HashSet::new() }
+    }
+
+    /// Nodes required per zone for this phase.
+    pub fn per_zone_threshold(&self) -> usize {
+        match self.phase {
+            GridPhase::One => (self.per_zone - self.f) as usize,
+            GridPhase::Two => (self.f + 1) as usize,
+        }
+    }
+
+    /// Zones required for this phase.
+    pub fn zone_threshold(&self) -> usize {
+        match self.phase {
+            GridPhase::One => (self.zones - self.fz) as usize,
+            GridPhase::Two => (self.fz + 1) as usize,
+        }
+    }
+
+    /// Total acks in the smallest satisfying set: used by the analytic model
+    /// as the quorum size `Q`.
+    pub fn size(&self) -> usize {
+        self.per_zone_threshold() * self.zone_threshold()
+    }
+}
+
+impl QuorumTracker for FlexibleGridQuorum {
+    fn ack(&mut self, id: NodeId) -> bool {
+        self.acks.insert(id)
+    }
+    fn satisfied(&self) -> bool {
+        let mut per_zone_count = vec![0usize; self.zones as usize];
+        for a in &self.acks {
+            if (a.zone as usize) < per_zone_count.len() {
+                per_zone_count[a.zone as usize] += 1;
+            }
+        }
+        let needed = self.per_zone_threshold();
+        let zones_ok = per_zone_count.iter().filter(|&&c| c >= needed).count();
+        zones_ok >= self.zone_threshold()
+    }
+    fn reset(&mut self) {
+        self.acks.clear();
+    }
+    fn count(&self) -> usize {
+        self.acks.len()
+    }
+}
+
+/// Majority quorum within an explicit member set — WanKeeper level-1 groups
+/// and VPaxos per-zone Paxos groups use this. Acks from non-members are
+/// ignored.
+#[derive(Debug, Clone)]
+pub struct GroupQuorum {
+    members: Vec<NodeId>,
+    acks: HashSet<NodeId>,
+}
+
+impl GroupQuorum {
+    /// Majority-of-`members` tracker.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        GroupQuorum { members, acks: HashSet::new() }
+    }
+
+    /// The number of acks required.
+    pub fn threshold(&self) -> usize {
+        majority(self.members.len())
+    }
+
+    /// The group's member list.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+impl QuorumTracker for GroupQuorum {
+    fn ack(&mut self, id: NodeId) -> bool {
+        if self.members.contains(&id) {
+            self.acks.insert(id)
+        } else {
+            false
+        }
+    }
+    fn satisfied(&self) -> bool {
+        self.acks.len() >= self.threshold()
+    }
+    fn reset(&mut self) {
+        self.acks.clear();
+    }
+    fn count(&self) -> usize {
+        self.acks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(z: u8, i: u8) -> NodeId {
+        NodeId::new(z, i)
+    }
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(5), 3);
+        assert_eq!(majority(9), 5);
+        assert_eq!(majority(4), 3);
+    }
+
+    #[test]
+    fn fast_quorum_sizes_are_about_three_quarters() {
+        assert_eq!(fast_quorum_size(5), 4); // f=2 -> 2+1+1
+        assert_eq!(fast_quorum_size(9), 7); // f=4 -> 4+2+1
+        assert_eq!(fast_quorum_size(3), 3); // f=1 -> 1+1+1
+    }
+
+    #[test]
+    fn majority_quorum_tracks_distinct_acks() {
+        let mut q = MajorityQuorum::new(5);
+        assert!(!q.satisfied());
+        assert!(q.ack(n(0, 0)));
+        assert!(!q.ack(n(0, 0)), "duplicate ack ignored");
+        q.ack(n(0, 1));
+        assert!(!q.satisfied());
+        q.ack(n(0, 2));
+        assert!(q.satisfied());
+        q.reset();
+        assert!(!q.satisfied());
+        assert_eq!(q.count(), 0);
+    }
+
+    #[test]
+    fn grid_phase1_needs_every_zone() {
+        let mut q = GridQuorum::new(3, 3, GridPhase::One);
+        q.ack(n(0, 0));
+        q.ack(n(1, 2));
+        assert!(!q.satisfied());
+        q.ack(n(2, 1));
+        assert!(q.satisfied());
+    }
+
+    #[test]
+    fn grid_phase2_needs_a_full_zone() {
+        let mut q = GridQuorum::new(3, 3, GridPhase::Two);
+        q.ack(n(0, 0));
+        q.ack(n(1, 0));
+        q.ack(n(2, 0));
+        assert!(!q.satisfied(), "a row is not a column");
+        q.ack(n(1, 1));
+        q.ack(n(1, 2));
+        assert!(q.satisfied());
+    }
+
+    #[test]
+    fn flexible_grid_fz0_commits_within_one_zone() {
+        // 3 zones x 3 nodes, f=1, fz=0: q2 = 2 nodes in 1 zone.
+        let mut q2 = FlexibleGridQuorum::new(3, 3, 1, 0, GridPhase::Two);
+        assert_eq!(q2.size(), 2);
+        q2.ack(n(1, 0));
+        assert!(!q2.satisfied());
+        q2.ack(n(1, 2));
+        assert!(q2.satisfied());
+    }
+
+    #[test]
+    fn flexible_grid_fz1_needs_two_zones() {
+        let mut q2 = FlexibleGridQuorum::new(3, 3, 1, 1, GridPhase::Two);
+        assert_eq!(q2.size(), 4);
+        q2.ack(n(0, 0));
+        q2.ack(n(0, 1));
+        assert!(!q2.satisfied());
+        q2.ack(n(2, 0));
+        q2.ack(n(2, 1));
+        assert!(q2.satisfied());
+    }
+
+    #[test]
+    fn flexible_grid_q1_q2_intersect() {
+        // Exhaustively verify the intersection property on a 3x3 grid for all
+        // valid (f, fz): every minimal q1 must intersect every minimal q2.
+        // We spot-check by construction: q1 takes zones {0,1} missing fz=1
+        // zone 2, q2 takes zone 2... q2 with fz=1 needs 2 zones so overlap
+        // with q1's zones is guaranteed.
+        let q1 = FlexibleGridQuorum::new(3, 3, 1, 1, GridPhase::One);
+        let q2 = FlexibleGridQuorum::new(3, 3, 1, 1, GridPhase::Two);
+        // zone overlap: (zones - fz) + (fz + 1) = zones + 1 > zones
+        assert!(q1.zone_threshold() + q2.zone_threshold() > 3);
+        // node overlap within the shared zone: (per_zone - f) + (f+1) > per_zone
+        assert!(q1.per_zone_threshold() + q2.per_zone_threshold() > 3);
+    }
+
+    #[test]
+    fn group_quorum_ignores_non_members() {
+        let mut q = GroupQuorum::new(vec![n(0, 0), n(0, 1), n(0, 2)]);
+        assert!(!q.ack(n(1, 0)), "outsider ack rejected");
+        q.ack(n(0, 0));
+        q.ack(n(0, 1));
+        assert!(q.satisfied());
+    }
+
+    #[test]
+    fn count_quorum_exact_threshold() {
+        let mut q = CountQuorum::new(3);
+        for i in 0..2 {
+            q.ack(n(0, i));
+        }
+        assert!(!q.satisfied());
+        q.ack(n(0, 2));
+        assert!(q.satisfied());
+    }
+}

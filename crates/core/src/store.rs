@@ -1,0 +1,144 @@
+//! Multi-version in-memory key-value datastore.
+//!
+//! Paxi ships an in-memory multi-version key-value store private to every
+//! node; it is the deterministic state machine the replication protocols
+//! drive. Every write produces a new [`Version`] that records its parent, so
+//! the full per-key history forms a chain (a degenerate DAG). The consensus
+//! checker collects these histories from every node and verifies that they
+//! share a common prefix, and the linearizability checker uses version values
+//! to validate reads.
+
+use crate::command::{Command, Key, Op, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One committed version of a key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Version {
+    /// Per-key sequence number, starting at 1 for the first write.
+    pub seq: u64,
+    /// Sequence number of the predecessor version (0 = none).
+    pub parent: u64,
+    /// The value installed by this version; `None` is a delete tombstone.
+    pub value: Option<Value>,
+}
+
+/// Multi-version store: the deterministic state machine replicas execute
+/// committed commands against.
+///
+/// The store is deliberately single-threaded — each replica owns its private
+/// instance and executes commands from its protocol handler, which the
+/// runtimes guarantee to be serial.
+#[derive(Debug, Default, Clone)]
+pub struct MultiVersionStore {
+    data: HashMap<Key, Vec<Version>>,
+    executed: u64,
+}
+
+impl MultiVersionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes one committed command, returning the value the client should
+    /// see: the current value for `Get`, the *previous* value for
+    /// `Put`/`Delete`.
+    pub fn execute(&mut self, cmd: &Command) -> Option<Value> {
+        self.executed += 1;
+        match &cmd.op {
+            Op::Get => self.get(cmd.key).cloned(),
+            Op::Put(v) => self.install(cmd.key, Some(v.clone())),
+            Op::Delete => self.install(cmd.key, None),
+        }
+    }
+
+    fn install(&mut self, key: Key, value: Option<Value>) -> Option<Value> {
+        let chain = self.data.entry(key).or_default();
+        let parent = chain.last().map(|v| v.seq).unwrap_or(0);
+        let prev = chain.last().and_then(|v| v.value.clone());
+        chain.push(Version { seq: parent + 1, parent, value });
+        prev
+    }
+
+    /// Current (latest non-tombstone) value of `key`.
+    pub fn get(&self, key: Key) -> Option<&Value> {
+        self.data.get(&key)?.last()?.value.as_ref()
+    }
+
+    /// Full version history of `key`, oldest first. Used by the consensus
+    /// checker's common-prefix validation.
+    pub fn history(&self, key: Key) -> &[Version] {
+        self.data.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Keys with at least one version.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.data.keys().copied()
+    }
+
+    /// Number of commands executed so far (reads included).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of versions across all keys.
+    pub fn version_count(&self) -> usize {
+        self.data.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_on_empty_store_returns_none() {
+        let mut s = MultiVersionStore::new();
+        assert_eq!(s.execute(&Command::get(1)), None);
+        assert_eq!(s.executed(), 1);
+    }
+
+    #[test]
+    fn put_returns_previous_value() {
+        let mut s = MultiVersionStore::new();
+        assert_eq!(s.execute(&Command::put(1, vec![1])), None);
+        assert_eq!(s.execute(&Command::put(1, vec![2])), Some(vec![1]));
+        assert_eq!(s.execute(&Command::get(1)), Some(vec![2]));
+    }
+
+    #[test]
+    fn delete_installs_tombstone() {
+        let mut s = MultiVersionStore::new();
+        s.execute(&Command::put(7, vec![9]));
+        assert_eq!(s.execute(&Command::delete(7)), Some(vec![9]));
+        assert_eq!(s.get(7), None);
+        // History keeps all three versions? (put + delete = 2 versions)
+        assert_eq!(s.history(7).len(), 2);
+        assert_eq!(s.history(7)[1].value, None);
+    }
+
+    #[test]
+    fn history_chains_parents() {
+        let mut s = MultiVersionStore::new();
+        for i in 0..5u8 {
+            s.execute(&Command::put(3, vec![i]));
+        }
+        let h = s.history(3);
+        assert_eq!(h.len(), 5);
+        for (i, v) in h.iter().enumerate() {
+            assert_eq!(v.seq, i as u64 + 1);
+            assert_eq!(v.parent, i as u64);
+        }
+    }
+
+    #[test]
+    fn reads_do_not_create_versions() {
+        let mut s = MultiVersionStore::new();
+        s.execute(&Command::put(1, vec![1]));
+        s.execute(&Command::get(1));
+        s.execute(&Command::get(1));
+        assert_eq!(s.version_count(), 1);
+        assert_eq!(s.executed(), 3);
+    }
+}

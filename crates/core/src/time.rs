@@ -1,0 +1,125 @@
+//! Virtual time.
+//!
+//! Both the discrete-event simulator and the analytic model work in
+//! nanoseconds carried in a plain `u64`, wrapped in a [`Nanos`] newtype for
+//! arithmetic safety. Wall-clock runtimes convert from `std::time::Instant`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (virtual) time, or a duration, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero time.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// From whole seconds.
+    pub const fn secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// From milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// From microseconds.
+    pub const fn micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// From fractional milliseconds (`f64`), rounding to the nearest ns.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Nanos((ms.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Larger of the two times.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::secs(1), Nanos::millis(1000));
+        assert_eq!(Nanos::millis(1), Nanos::micros(1000));
+        assert_eq!(Nanos::from_millis_f64(0.5), Nanos::micros(500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::millis(3) + Nanos::micros(500);
+        assert_eq!(a.as_millis_f64(), 3.5);
+        assert_eq!(a - Nanos::millis(3), Nanos::micros(500));
+        assert_eq!(Nanos::millis(1).saturating_sub(Nanos::millis(2)), Nanos::ZERO);
+        assert_eq!(Nanos::millis(1).max(Nanos::millis(2)), Nanos::millis(2));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos::micros(15).to_string(), "15.0us");
+        assert_eq!(Nanos::millis(2).to_string(), "2.000ms");
+        assert_eq!(Nanos::secs(2).to_string(), "2.000s");
+    }
+}

@@ -1,0 +1,101 @@
+//! The protocol abstraction.
+//!
+//! Paxi's central observation is that strongly-consistent replication
+//! protocols share all their scaffolding — networking, message dispatch,
+//! quorums, the datastore — and differ only in their message types and
+//! replica logic. Mirroring the Go framework, a protocol author implements
+//! exactly two things: a message enum and a [`Replica`] with event handlers.
+//! Everything else (the deterministic simulator in `paxi-sim`, the threaded
+//! and socket runtimes in `paxi-transport`, the benchmarker in `paxi-bench`)
+//! is generic over this trait.
+//!
+//! Handlers receive a [`Context`] through which they send messages, set
+//! timers, and reply to clients. The same replica code runs unchanged under
+//! virtual time and wall-clock time.
+
+use crate::command::{ClientRequest, ClientResponse};
+use crate::id::NodeId;
+use crate::time::Nanos;
+use std::fmt;
+
+/// Capabilities the runtime exposes to a replica while it handles an event.
+///
+/// All side effects of a handler flow through its context; replicas never
+/// touch sockets or clocks directly. This is what makes the simulator
+/// deterministic and the protocols transport-agnostic.
+pub trait Context<M> {
+    /// This replica's id.
+    fn id(&self) -> NodeId;
+    /// Current (virtual or wall-clock) time.
+    fn now(&self) -> Nanos;
+    /// Sends `msg` to one peer. Sending to self is delivered like any other
+    /// message (after processing costs, without network latency in the sim).
+    fn send(&mut self, to: NodeId, msg: M);
+    /// Sends `msg` to every peer except self. The simulator charges the CPU
+    /// serialization cost once for a broadcast, per the paper's model.
+    fn broadcast(&mut self, msg: M);
+    /// Sends `msg` to an explicit set of peers (thrifty messaging).
+    fn multicast(&mut self, to: &[NodeId], msg: M);
+    /// Arms a timer that fires `after` from now, delivering `kind` to
+    /// [`Replica::on_timer`]. Returns a token; a replica that re-arms a
+    /// logical timer can ignore fires whose token is stale.
+    fn set_timer(&mut self, after: Nanos, kind: u64) -> u64;
+    /// Completes a client request previously delivered via
+    /// [`Replica::on_request`].
+    fn reply(&mut self, resp: ClientResponse);
+    /// Forwards a client request to another replica (e.g. a follower
+    /// redirecting to the leader). The target observes it as its own
+    /// [`Replica::on_request`] and replies directly to the client.
+    fn forward(&mut self, to: NodeId, req: ClientRequest);
+    /// Deterministic (in the simulator) source of randomness, e.g. for
+    /// randomized election timeouts.
+    fn rand_u64(&mut self) -> u64;
+}
+
+/// A replication-protocol replica: a deterministic state machine driven by
+/// messages, client requests, and timers.
+pub trait Replica {
+    /// The protocol's wire message type.
+    type Msg: Clone + fmt::Debug + Send + 'static;
+
+    /// Called once when the node starts, before any other event.
+    fn on_start(&mut self, _ctx: &mut dyn Context<Self::Msg>) {}
+
+    /// Handles one protocol message from peer `from`.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Handles one client request delivered to this replica.
+    fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Handles a timer armed with [`Context::set_timer`]. `token` is the
+    /// value returned when the timer was armed.
+    fn on_timer(&mut self, _kind: u64, _token: u64, _ctx: &mut dyn Context<Self::Msg>) {}
+
+    /// Hint for the runtime's accounting: a human-readable protocol name.
+    fn protocol_name(&self) -> &'static str {
+        "unnamed"
+    }
+
+    /// The replica's state machine, if it exposes one. The consensus checker
+    /// collects stores from all replicas and verifies their per-key histories
+    /// share a common prefix.
+    fn store(&self) -> Option<&crate::store::MultiVersionStore> {
+        None
+    }
+}
+
+/// A constructor for a homogeneous cluster of replicas — the runtimes use
+/// this to instantiate one replica per node id.
+pub trait ReplicaFactory {
+    /// The replica type this factory builds.
+    type R: Replica;
+    /// Builds the replica for node `id`.
+    fn make(&self, id: NodeId) -> Self::R;
+}
+
+impl<R: Replica, F: Fn(NodeId) -> R> ReplicaFactory for F {
+    type R = R;
+    fn make(&self, id: NodeId) -> R {
+        self(id)
+    }
+}

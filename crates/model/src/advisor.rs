@@ -1,0 +1,175 @@
+//! Protocol selection advisor (the paper's Figure 14 flowchart).
+//!
+//! Given a handful of yes/no questions about the deployment and workload,
+//! [`recommend`] walks the paper's decision flowchart and returns the
+//! category of protocols to consider, with the rationale quoted from the
+//! flowchart boxes.
+
+use serde::{Deserialize, Serialize};
+
+/// Answers to the flowchart's questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Answers {
+    /// Do you actually need distributed consensus (state-machine
+    /// replication), or just linearizable reads/writes?
+    pub needs_consensus: bool,
+    /// Is the deployment wide-area (multiple datacenters)?
+    pub wan: bool,
+    /// Are there more reads than writes? (Only consulted for LAN.)
+    pub read_heavy: bool,
+    /// Does the workload exhibit access locality? (WAN branch.)
+    pub locality: bool,
+    /// Is that locality dynamic (the hot region moves)? (WAN branch.)
+    pub dynamic_locality: bool,
+    /// Must the system tolerate a full datacenter failure? (WAN branch.)
+    pub datacenter_failure_concern: bool,
+}
+
+/// The advisor's verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Short category label.
+    pub category: &'static str,
+    /// Concrete protocols to consider, most recommended first.
+    pub protocols: Vec<&'static str>,
+    /// The flowchart's rationale.
+    pub rationale: &'static str,
+}
+
+/// Walks the Figure 14 flowchart.
+pub fn recommend(a: Answers) -> Recommendation {
+    if !a.needs_consensus {
+        return Recommendation {
+            category: "no-consensus",
+            protocols: vec!["Atomic Storage", "Chain Replication", "Eventually-consistent replication"],
+            rationale: "Consensus protocols implement SMR for critical coordination tasks; \
+                        consensus is not required to provide read/write linearizability to clients.",
+        };
+    }
+    if !a.wan {
+        if a.read_heavy {
+            return Recommendation {
+                category: "lan-leaderless",
+                protocols: vec!["Generalized Paxos", "EPaxos"],
+                rationale: "More frequent read operations mean fewer interfering commands, \
+                            which benefits a leaderless approach.",
+            };
+        }
+        return Recommendation {
+            category: "lan-single-leader",
+            protocols: vec!["Multi-Paxos", "Raft", "Zab"],
+            rationale: "A small LAN deployment preserves decent performance even with \
+                        single-leader protocols, and benefits from simple implementation.",
+        };
+    }
+    if !a.locality {
+        // WAN without locality: reads still help leaderless; otherwise a
+        // single leader is as good as it gets.
+        if a.read_heavy {
+            return Recommendation {
+                category: "wan-leaderless",
+                protocols: vec!["Generalized Paxos", "EPaxos"],
+                rationale: "More frequent read operations mean fewer interfering commands, \
+                            which benefits a leaderless approach.",
+            };
+        }
+        return Recommendation {
+            category: "lan-single-leader",
+            protocols: vec!["Multi-Paxos", "Raft", "Zab"],
+            rationale: "Without locality to exploit, multi-leader WAN protocols lose their \
+                        advantage; a well-placed single leader is simple and predictable.",
+        };
+    }
+    if !a.dynamic_locality {
+        return Recommendation {
+            category: "static-sharding",
+            protocols: vec!["Paxos Groups (Spanner-style)"],
+            rationale: "Static locality means a sharding technique works in the best-case \
+                        scenario.",
+        };
+    }
+    if !a.datacenter_failure_concern {
+        return Recommendation {
+            category: "hierarchical",
+            protocols: vec!["Vertical Paxos", "WanKeeper"],
+            rationale: "The group of replicas can be deployed in one region and managed by a \
+                        master or hierarchical architecture.",
+        };
+    }
+    Recommendation {
+        category: "adaptive-multi-leader",
+        protocols: vec!["WPaxos", "Vertical Paxos with cross-region Paxos groups"],
+        rationale: "A multi-leader protocol that dynamically adapts to locality and tolerates \
+                    datacenter failures is the best fit.",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Answers {
+        Answers {
+            needs_consensus: true,
+            wan: false,
+            read_heavy: false,
+            locality: false,
+            dynamic_locality: false,
+            datacenter_failure_concern: false,
+        }
+    }
+
+    #[test]
+    fn no_consensus_needed() {
+        let r = recommend(Answers { needs_consensus: false, ..base() });
+        assert_eq!(r.category, "no-consensus");
+        assert!(r.protocols.contains(&"Chain Replication"));
+    }
+
+    #[test]
+    fn lan_write_heavy_gets_single_leader() {
+        let r = recommend(base());
+        assert_eq!(r.category, "lan-single-leader");
+        assert!(r.protocols.contains(&"Multi-Paxos"));
+        assert!(r.protocols.contains(&"Raft"));
+    }
+
+    #[test]
+    fn lan_read_heavy_gets_leaderless() {
+        let r = recommend(Answers { read_heavy: true, ..base() });
+        assert_eq!(r.category, "lan-leaderless");
+        assert!(r.protocols.contains(&"EPaxos"));
+    }
+
+    #[test]
+    fn wan_static_locality_gets_sharding() {
+        let r = recommend(Answers { wan: true, locality: true, ..base() });
+        assert_eq!(r.category, "static-sharding");
+    }
+
+    #[test]
+    fn wan_dynamic_locality_no_dc_failure_gets_hierarchical() {
+        let r = recommend(Answers {
+            wan: true,
+            locality: true,
+            dynamic_locality: true,
+            ..base()
+        });
+        assert_eq!(r.category, "hierarchical");
+        assert!(r.protocols.contains(&"WanKeeper"));
+        assert!(r.protocols.contains(&"Vertical Paxos"));
+    }
+
+    #[test]
+    fn wan_dynamic_locality_with_dc_failure_gets_wpaxos() {
+        let r = recommend(Answers {
+            wan: true,
+            locality: true,
+            dynamic_locality: true,
+            datacenter_failure_concern: true,
+            ..base()
+        });
+        assert_eq!(r.category, "adaptive-multi-leader");
+        assert_eq!(r.protocols[0], "WPaxos");
+    }
+}

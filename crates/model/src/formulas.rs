@@ -1,0 +1,127 @@
+//! The paper's distilled throughput and latency formulas (§6, Formulas 1–7).
+//!
+//! These closed forms unify the protocols over four knobs: the number of
+//! operation leaders `L`, the quorum size `Q`, the conflict probability `c`,
+//! and the locality `l`, plus the deployment distances `DL` (client→leader)
+//! and `DQ` (leader→quorum). They support back-of-the-envelope performance
+//! forecasting without running either the simulator or the full analytic
+//! model.
+
+/// Formula 2/3 — the **load** of a replication protocol: the average number
+/// of operations the *busiest* node performs per request, where one
+/// operation is the work of one round-trip exchange.
+///
+/// ```text
+/// L(S) = (1 + c)(Q + L − 2) / L
+/// ```
+pub fn load(leaders: usize, quorum: usize, conflict: f64) -> f64 {
+    assert!(leaders >= 1 && quorum >= 1);
+    (1.0 + conflict) * (quorum as f64 + leaders as f64 - 2.0) / leaders as f64
+}
+
+/// Formula 1 — **capacity** is the reciprocal of load: the highest request
+/// rate the system sustains, in units of one node's operation throughput.
+pub fn capacity(leaders: usize, quorum: usize, conflict: f64) -> f64 {
+    1.0 / load(leaders, quorum, conflict)
+}
+
+/// Formula 4 — load of single-leader (multi-decree) Paxos on `n` nodes:
+/// `⌊n/2⌋` (conflicts are serialized by the single leader, `c = 0`).
+pub fn load_paxos(n: usize) -> f64 {
+    // L = 1, Q = majority: (Q + 1 - 2) = Q - 1 = floor(n/2).
+    load(1, n / 2 + 1, 0.0)
+}
+
+/// Formula 5 — load of EPaxos on `n` nodes with conflict rate `c`:
+/// `(1 + c)(⌊n/2⌋ + n − 1)/n`.
+pub fn load_epaxos(n: usize, conflict: f64) -> f64 {
+    load(n, n / 2 + 1, conflict)
+}
+
+/// Formula 6 — load of WPaxos with `leaders` leaders over `n` nodes and
+/// per-leader phase-2 quorums of size `n / leaders`:
+/// `(n/L + L − 2)/L`.
+pub fn load_wpaxos(n: usize, leaders: usize) -> f64 {
+    load(leaders, n / leaders, 0.0)
+}
+
+/// Formula 7 — expected WAN latency:
+///
+/// ```text
+/// Latency = (1 + c) · ((1 − l)(DL + DQ) + l·DQ)
+/// ```
+///
+/// Local requests (probability `l`) pay only the quorum access `DQ`;
+/// non-local requests also pay the round trip `DL` to the leader; conflicts
+/// multiply everything by `(1 + c)` for the extra resolution round.
+pub fn latency(conflict: f64, locality: f64, dl: f64, dq: f64) -> f64 {
+    (1.0 + conflict) * ((1.0 - locality) * (dl + dq) + locality * dq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper evaluates the three simplified forms at N = 9.
+
+    #[test]
+    fn paxos_load_is_4_at_n9() {
+        assert_eq!(load_paxos(9), 4.0);
+    }
+
+    #[test]
+    fn epaxos_load_is_4_thirds_times_conflict_factor_at_n9() {
+        // (1+c)(4 + 8)/9 = 4/3 (1+c)
+        assert!((load_epaxos(9, 0.0) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((load_epaxos(9, 1.0) - 8.0 / 3.0).abs() < 1e-12);
+        assert!((load_epaxos(9, 0.25) - 4.0 / 3.0 * 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wpaxos_load_is_4_thirds_on_3x3_grid() {
+        // (9/3 + 3 - 2)/3 = 4/3.
+        assert!((load_wpaxos(9, 3) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wpaxos_has_highest_capacity_of_the_three() {
+        let n = 9;
+        let c_paxos = capacity(1, n / 2 + 1, 0.0);
+        let c_epaxos = 1.0 / load_epaxos(n, 0.3);
+        let c_wpaxos = 1.0 / load_wpaxos(n, 3);
+        assert!(c_wpaxos > c_epaxos, "wpaxos {c_wpaxos} epaxos {c_epaxos}");
+        assert!(c_wpaxos > c_paxos);
+        assert!(c_epaxos > c_paxos, "even with c=0.3 EPaxos beats single-leader");
+    }
+
+    #[test]
+    fn more_leaders_reduce_load_at_fixed_quorum() {
+        for l in 2..=8 {
+            assert!(load(l, 5, 0.0) < load(l - 1, 5, 0.0));
+        }
+    }
+
+    #[test]
+    fn conflicts_scale_load_linearly() {
+        let base = load(5, 5, 0.0);
+        assert!((load(5, 5, 0.5) - base * 1.5).abs() < 1e-12);
+        assert!((load(5, 5, 1.0) - base * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_quorums_reduce_load() {
+        assert!(load(1, 3, 0.0) < load(1, 5, 0.0));
+    }
+
+    #[test]
+    fn latency_formula_limits() {
+        // Perfect locality: only quorum access.
+        assert_eq!(latency(0.0, 1.0, 80.0, 10.0), 10.0);
+        // No locality: leader trip + quorum.
+        assert_eq!(latency(0.0, 0.0, 80.0, 10.0), 90.0);
+        // Full conflict doubles it.
+        assert_eq!(latency(1.0, 0.0, 80.0, 10.0), 180.0);
+        // EPaxos-style: l = 1 but c workload-specific.
+        assert_eq!(latency(0.3, 1.0, 0.0, 100.0), 130.0);
+    }
+}

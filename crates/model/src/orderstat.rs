@@ -1,0 +1,75 @@
+//! k-order statistics for quorum latency.
+//!
+//! A leader that needs `Q−1` follower acks waits for the `(Q−1)`-th fastest
+//! round trip among its `N−1` followers. In a LAN all RTTs are draws from the
+//! same Normal distribution, so the paper uses a Monte Carlo approximation of
+//! the k-th order statistic; in a WAN the per-follower RTTs differ, so the
+//! wait is simply the `(Q−1)`-th smallest mean RTT.
+
+use paxi_core::dist::Rng64;
+
+/// Expected value of the `k`-th smallest (1-indexed) of `n` i.i.d.
+/// `Normal(mean, std)` samples, estimated with `iters` Monte Carlo rounds.
+pub fn kth_of_n_normal(k: usize, n: usize, mean: f64, std: f64, iters: usize, seed: u64) -> f64 {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (k={k}, n={n})");
+    let mut rng = Rng64::seed(seed);
+    let mut acc = 0.0;
+    let mut buf = vec![0.0f64; n];
+    for _ in 0..iters {
+        for b in buf.iter_mut() {
+            *b = rng.normal(mean, std);
+        }
+        buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        acc += buf[k - 1];
+    }
+    acc / iters as f64
+}
+
+/// The `(q−1)`-th smallest RTT (1-indexed) from a leader to its followers,
+/// for WAN quorum waits. `rtts` holds the mean leader→follower RTTs.
+pub fn kth_smallest_rtt(rtts: &[f64], k: usize) -> f64 {
+    assert!(k >= 1 && k <= rtts.len());
+    let mut sorted = rtts.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_normals_is_the_mean() {
+        // The middle order statistic of an odd sample is unbiased for the
+        // median = mean of a Normal.
+        let v = kth_of_n_normal(5, 9, 0.4271, 0.0476, 20_000, 1);
+        assert!((v - 0.4271).abs() < 0.002, "median {v}");
+    }
+
+    #[test]
+    fn extremes_bracket_the_mean() {
+        let lo = kth_of_n_normal(1, 8, 1.0, 0.1, 10_000, 2);
+        let hi = kth_of_n_normal(8, 8, 1.0, 0.1, 10_000, 2);
+        assert!(lo < 1.0 && hi > 1.0);
+        // Known: E[min of 8] ≈ mean - 1.42 sigma.
+        assert!((lo - (1.0 - 1.423 * 0.1)).abs() < 0.01, "min {lo}");
+    }
+
+    #[test]
+    fn order_stats_are_monotone_in_k() {
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..=5 {
+            let v = kth_of_n_normal(k, 5, 10.0, 2.0, 5_000, 3);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn wan_pick_is_sorted_index() {
+        let rtts = [75.0, 11.0, 61.0, 162.0];
+        assert_eq!(kth_smallest_rtt(&rtts, 1), 11.0);
+        assert_eq!(kth_smallest_rtt(&rtts, 2), 61.0);
+        assert_eq!(kth_smallest_rtt(&rtts, 4), 162.0);
+    }
+}

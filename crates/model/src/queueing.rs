@@ -1,0 +1,163 @@
+//! Queueing models (paper Table 1).
+//!
+//! Every node is modeled as a single queue combining CPU and NIC. Given an
+//! arrival rate λ and a service time distribution, these models estimate the
+//! mean time a round spends *waiting* in the queue (`Wq`) before service —
+//! the component that explodes as the node approaches saturation. The paper
+//! compares four approximations and selects M/D/1 (Poisson arrivals,
+//! deterministic service) as the best match for its Paxos implementation
+//! (Figure 4); the others are kept for that comparison.
+//!
+//! | model | arrivals | service    | Wq |
+//! |-------|----------|-----------|----|
+//! | M/M/1 | Poisson  | exponential | ρ²/(λ(1−ρ)) |
+//! | M/D/1 | Poisson  | constant    | ρ/(2µ(1−ρ)) |
+//! | M/G/1 | Poisson  | general     | (λ²σ²+ρ²)/(2λ(1−ρ)) |
+//! | G/G/1 | general  | general     | ≈ ρ²(1+Cs)(Ca+ρ²Cs)/(2λ(1−ρ)(1+ρ²Cs)) |
+//!
+//! `Cs`/`Ca` are squared coefficients of variation of service and
+//! inter-arrival times.
+
+use serde::{Deserialize, Serialize};
+
+/// Which queueing approximation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Poisson arrivals, exponential service.
+    MM1,
+    /// Poisson arrivals, deterministic service (the paper's choice).
+    MD1,
+    /// Poisson arrivals, general service with the given variance.
+    MG1 {
+        /// Variance of the service time (seconds²).
+        service_var: f64,
+    },
+    /// General arrivals and service (squared coefficients of variation).
+    GG1 {
+        /// Squared CV of inter-arrival times.
+        ca2: f64,
+        /// Squared CV of service times.
+        cs2: f64,
+    },
+}
+
+/// Mean queue waiting time `Wq` in seconds for arrival rate `lambda` (per
+/// second) and mean service time `service` (seconds).
+///
+/// Returns `None` when the queue is unstable (utilization ρ ≥ 1).
+pub fn wait_time(kind: QueueKind, lambda: f64, service: f64) -> Option<f64> {
+    if lambda <= 0.0 {
+        return Some(0.0);
+    }
+    let mu = 1.0 / service;
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        return None;
+    }
+    let wq = match kind {
+        QueueKind::MM1 => rho * rho / (lambda * (1.0 - rho)),
+        QueueKind::MD1 => rho / (2.0 * mu * (1.0 - rho)),
+        QueueKind::MG1 { service_var } => {
+            (lambda * lambda * service_var + rho * rho) / (2.0 * lambda * (1.0 - rho))
+        }
+        QueueKind::GG1 { ca2, cs2 } => {
+            rho * rho * (1.0 + cs2) * (ca2 + rho * rho * cs2)
+                / (2.0 * lambda * (1.0 - rho) * (1.0 + rho * rho * cs2))
+        }
+    };
+    Some(wq.max(0.0))
+}
+
+/// Queue utilization ρ = λ/µ for the given arrival rate and mean service
+/// time.
+pub fn utilization(lambda: f64, service: f64) -> f64 {
+    lambda * service
+}
+
+/// Maximum sustainable throughput µ = 1/ts of a node whose per-round service
+/// time is `service` seconds.
+pub fn max_throughput(service: f64) -> f64 {
+    if service <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: f64 = 100e-6; // 100 us service time -> mu = 10_000/s
+
+    #[test]
+    fn zero_load_means_zero_wait() {
+        for kind in [
+            QueueKind::MM1,
+            QueueKind::MD1,
+            QueueKind::MG1 { service_var: 0.0 },
+            QueueKind::GG1 { ca2: 1.0, cs2: 1.0 },
+        ] {
+            assert_eq!(wait_time(kind, 0.0, S), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn saturation_returns_none() {
+        assert_eq!(wait_time(QueueKind::MD1, 10_000.0, S), None);
+        assert_eq!(wait_time(QueueKind::MM1, 20_000.0, S), None);
+    }
+
+    #[test]
+    fn md1_waits_half_of_mm1() {
+        // Classic result: deterministic service halves the M/M/1 queue wait.
+        let lam = 8_000.0;
+        let mm1 = wait_time(QueueKind::MM1, lam, S).unwrap();
+        let md1 = wait_time(QueueKind::MD1, lam, S).unwrap();
+        assert!((md1 / mm1 - 0.5).abs() < 1e-9, "md1/mm1 = {}", md1 / mm1);
+    }
+
+    #[test]
+    fn mg1_with_zero_variance_equals_md1() {
+        let lam = 7_000.0;
+        let md1 = wait_time(QueueKind::MD1, lam, S).unwrap();
+        let mg1 = wait_time(QueueKind::MG1 { service_var: 0.0 }, lam, S).unwrap();
+        assert!((md1 - mg1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_with_exponential_variance_equals_mm1() {
+        // Exponential service: variance = mean², reducing P-K to M/M/1.
+        let lam = 6_000.0;
+        let mm1 = wait_time(QueueKind::MM1, lam, S).unwrap();
+        let mg1 = wait_time(QueueKind::MG1 { service_var: S * S }, lam, S).unwrap();
+        assert!((mm1 - mg1).abs() / mm1 < 1e-9);
+    }
+
+    #[test]
+    fn gg1_with_poisson_exponential_approx_mm1() {
+        // ca2 = cs2 = 1 should be in the ballpark of M/M/1.
+        let lam = 6_000.0;
+        let mm1 = wait_time(QueueKind::MM1, lam, S).unwrap();
+        let gg1 = wait_time(QueueKind::GG1 { ca2: 1.0, cs2: 1.0 }, lam, S).unwrap();
+        assert!((gg1 - mm1).abs() / mm1 < 0.35, "gg1 {gg1} vs mm1 {mm1}");
+    }
+
+    #[test]
+    fn wait_grows_monotonically_with_load() {
+        let mut prev = 0.0;
+        for lam in [1000.0, 3000.0, 5000.0, 7000.0, 9000.0] {
+            let w = wait_time(QueueKind::MD1, lam, S).unwrap();
+            assert!(w >= prev);
+            prev = w;
+        }
+        // Near saturation the wait blows up well past the service time.
+        assert!(prev > S);
+    }
+
+    #[test]
+    fn utilization_and_capacity() {
+        assert!((utilization(5_000.0, S) - 0.5).abs() < 1e-12);
+        assert!((max_throughput(S) - 10_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,817 @@
+//! Egalitarian Paxos (EPaxos).
+//!
+//! EPaxos is the paper's leaderless (opportunistic-leader) representative:
+//! every replica may become the *command leader* for the commands its clients
+//! submit. A command that does not interfere with concurrent commands commits
+//! in one round trip to a **fast quorum** (≈ 3/4 of the cluster); when the
+//! fast-quorum replies disagree about the command's dependencies — i.e. a
+//! conflict was detected — the protocol falls back to a classic Paxos accept
+//! round on the unioned attributes. This is why the paper's EPaxos results
+//! degrade with the conflict ratio `c` (Figures 11 and 12): a `c` fraction of
+//! commands pays a second quorum round plus dependency-resolution work.
+//!
+//! Commands carry `(seq, deps)` attributes; committed commands form a
+//! dependency graph which every replica executes by strongly-connected
+//! components in reverse topological order (ties broken by `seq`), yielding
+//! the same linearizable execution order everywhere without a designated
+//! leader.
+//!
+//! Scope: the commit and execution protocols are complete; explicit failure
+//! recovery of another replica's instances is not implemented (the paper's
+//! experiments never exercise it).
+
+use paxi_core::command::{ClientRequest, ClientResponse, Command};
+use paxi_core::config::ClusterConfig;
+use paxi_core::id::{NodeId, RequestId};
+use paxi_core::quorum::{fast_quorum_size, majority};
+use paxi_core::store::MultiVersionStore;
+use paxi_core::traits::{Context, Replica};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Reference to an instance: the `idx`-th command led by `leader`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IRef {
+    /// The command leader that owns the instance.
+    pub leader: NodeId,
+    /// Per-leader instance index.
+    pub idx: u64,
+}
+
+/// Wire messages of EPaxos.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EpaxosMsg {
+    /// Fast-path round: propose `cmd` with the leader's view of its
+    /// attributes.
+    PreAccept {
+        /// Instance being proposed.
+        iref: IRef,
+        /// The command.
+        cmd: Command,
+        /// Leader-computed sequence number.
+        seq: u64,
+        /// Leader-computed dependencies.
+        deps: Vec<IRef>,
+    },
+    /// Acceptor reply, carrying possibly-augmented attributes.
+    PreAcceptOk {
+        /// Instance.
+        iref: IRef,
+        /// Acceptor's (possibly larger) sequence number.
+        seq: u64,
+        /// Acceptor's (possibly larger) dependency set.
+        deps: Vec<IRef>,
+        /// Whether the acceptor changed the attributes — any change forces
+        /// the slow path.
+        changed: bool,
+    },
+    /// Slow-path Paxos accept on the unioned attributes.
+    Accept {
+        /// Instance.
+        iref: IRef,
+        /// The command.
+        cmd: Command,
+        /// Final sequence number.
+        seq: u64,
+        /// Final dependencies.
+        deps: Vec<IRef>,
+    },
+    /// Slow-path acceptance.
+    AcceptOk {
+        /// Instance.
+        iref: IRef,
+    },
+    /// Commit notification with final attributes.
+    Commit {
+        /// Instance.
+        iref: IRef,
+        /// The command.
+        cmd: Command,
+        /// Final sequence number.
+        seq: u64,
+        /// Final dependencies.
+        deps: Vec<IRef>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    PreAccepted,
+    Accepted,
+    Committed,
+    Executed,
+}
+
+#[derive(Debug)]
+struct Instance {
+    cmd: Command,
+    seq: u64,
+    deps: Vec<IRef>,
+    status: Status,
+    req: Option<RequestId>,
+    // Command-leader bookkeeping.
+    replies: usize,
+    any_changed: bool,
+    accept_oks: usize,
+}
+
+#[derive(Debug, Default)]
+struct KeyInfo {
+    /// Latest interfering instance per command leader.
+    last: HashMap<NodeId, u64>,
+    /// Highest seq among interfering instances.
+    max_seq: u64,
+}
+
+/// An EPaxos replica.
+pub struct EPaxos {
+    id: NodeId,
+    n: usize,
+    fast: usize,
+    slow: usize,
+    next_idx: u64,
+    instances: HashMap<NodeId, BTreeMap<u64, Instance>>,
+    key_info: HashMap<u64, KeyInfo>,
+    pending_exec: HashSet<IRef>,
+    store: MultiVersionStore,
+}
+
+impl EPaxos {
+    /// Creates a replica for node `id` in `cluster`.
+    pub fn new(id: NodeId, cluster: ClusterConfig) -> Self {
+        let n = cluster.n();
+        EPaxos {
+            id,
+            n,
+            fast: fast_quorum_size(n),
+            slow: majority(n),
+            next_idx: 0,
+            instances: HashMap::new(),
+            key_info: HashMap::new(),
+            pending_exec: HashSet::new(),
+            store: MultiVersionStore::new(),
+        }
+    }
+
+    /// Fast-quorum size for this cluster (command leader included).
+    pub fn fast_quorum(&self) -> usize {
+        self.fast
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn get(&self, iref: IRef) -> Option<&Instance> {
+        self.instances.get(&iref.leader)?.get(&iref.idx)
+    }
+
+    fn get_mut(&mut self, iref: IRef) -> Option<&mut Instance> {
+        self.instances.get_mut(&iref.leader)?.get_mut(&iref.idx)
+    }
+
+    /// Computes `(seq, deps)` for `cmd` from local knowledge, excluding
+    /// `iref` itself.
+    fn attributes(&self, cmd: &Command, iref: IRef) -> (u64, Vec<IRef>) {
+        let Some(info) = self.key_info.get(&cmd.key) else {
+            return (1, Vec::new());
+        };
+        let mut deps: Vec<IRef> = info
+            .last
+            .iter()
+            .map(|(&leader, &idx)| IRef { leader, idx })
+            .filter(|d| *d != iref)
+            .filter(|d| {
+                // Reads don't interfere with reads.
+                self.get(*d).map(|i| cmd.interferes(&i.cmd)).unwrap_or(true)
+            })
+            .collect();
+        deps.sort_unstable();
+        (info.max_seq + 1, deps)
+    }
+
+    /// Records `iref` as the latest instance touching its key.
+    fn note_instance(&mut self, iref: IRef, key: u64, seq: u64) {
+        let info = self.key_info.entry(key).or_default();
+        let e = info.last.entry(iref.leader).or_insert(iref.idx);
+        if *e <= iref.idx {
+            *e = iref.idx;
+        }
+        info.max_seq = info.max_seq.max(seq);
+    }
+
+    fn insert_instance(
+        &mut self,
+        iref: IRef,
+        cmd: Command,
+        seq: u64,
+        deps: Vec<IRef>,
+        status: Status,
+        req: Option<RequestId>,
+    ) {
+        let key = cmd.key;
+        let inst = Instance {
+            cmd,
+            seq,
+            deps,
+            status,
+            req,
+            replies: 0,
+            any_changed: false,
+            accept_oks: 0,
+        };
+        self.instances.entry(iref.leader).or_default().insert(iref.idx, inst);
+        self.note_instance(iref, key, seq);
+    }
+
+    fn commit(&mut self, iref: IRef, ctx: &mut dyn Context<EpaxosMsg>) {
+        let inst = self.get_mut(iref).expect("commit of unknown instance");
+        if matches!(inst.status, Status::Committed | Status::Executed) {
+            return;
+        }
+        inst.status = Status::Committed;
+        let (cmd, seq, deps) = (inst.cmd.clone(), inst.seq, inst.deps.clone());
+        self.pending_exec.insert(iref);
+        ctx.broadcast(EpaxosMsg::Commit { iref, cmd, seq, deps });
+        self.execute_ready(ctx);
+    }
+
+    fn record_commit(&mut self, iref: IRef, cmd: Command, seq: u64, deps: Vec<IRef>, ctx: &mut dyn Context<EpaxosMsg>) {
+        match self.get_mut(iref) {
+            Some(inst) => {
+                if inst.status == Status::Executed {
+                    return;
+                }
+                inst.cmd = cmd;
+                inst.seq = seq;
+                inst.deps = deps;
+                inst.status = Status::Committed;
+            }
+            None => {
+                self.insert_instance(iref, cmd, seq, deps, Status::Committed, None);
+            }
+        }
+        let (key, seq) = {
+            let i = self.get(iref).unwrap();
+            (i.cmd.key, i.seq)
+        };
+        self.note_instance(iref, key, seq);
+        self.pending_exec.insert(iref);
+        self.execute_ready(ctx);
+    }
+
+    /// Tries to execute every committed-but-unexecuted instance whose
+    /// transitive dependencies are all committed, in SCC order.
+    fn execute_ready(&mut self, ctx: &mut dyn Context<EpaxosMsg>) {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let roots: Vec<IRef> = self.pending_exec.iter().copied().collect();
+            for root in roots {
+                if !self.pending_exec.contains(&root) {
+                    continue; // executed as part of an earlier SCC pass
+                }
+                if let Some(order) = self.executable_order(root) {
+                    for iref in order {
+                        self.execute_one(iref, ctx);
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterative Tarjan SCC over the committed-unexecuted subgraph reachable
+    /// from `root`. Returns instances in execution order, or `None` if any
+    /// reachable dependency is not yet committed.
+    fn executable_order(&self, root: IRef) -> Option<Vec<IRef>> {
+        #[derive(Default)]
+        struct TState {
+            index: HashMap<IRef, usize>,
+            low: HashMap<IRef, usize>,
+            on_stack: HashSet<IRef>,
+            stack: Vec<IRef>,
+            next_index: usize,
+            order: Vec<Vec<IRef>>,
+        }
+        let mut st = TState::default();
+        // Explicit DFS stack: (node, dep cursor).
+        let mut dfs: Vec<(IRef, usize)> = Vec::new();
+
+        let committed_unexecuted = |s: &Self, v: IRef| -> Option<bool> {
+            // None = uncommitted (abort), Some(true) = traverse, Some(false) = skip (executed)
+            match s.get(v).map(|i| i.status) {
+                Some(Status::Executed) => Some(false),
+                Some(Status::Committed) => Some(true),
+                _ => None,
+            }
+        };
+
+        match committed_unexecuted(self, root)? {
+            false => return Some(Vec::new()),
+            true => {}
+        }
+        st.index.insert(root, 0);
+        st.low.insert(root, 0);
+        st.next_index = 1;
+        st.stack.push(root);
+        st.on_stack.insert(root);
+        dfs.push((root, 0));
+
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            let deps = &self.get(v).unwrap().deps;
+            if *cursor < deps.len() {
+                let w = deps[*cursor];
+                *cursor += 1;
+                match committed_unexecuted(self, w)? {
+                    false => continue, // executed dep: satisfied
+                    true => {}
+                }
+                if let Some(&wi) = st.index.get(&w) {
+                    if st.on_stack.contains(&w) {
+                        let lv = st.low[&v].min(wi);
+                        st.low.insert(v, lv);
+                    }
+                } else {
+                    let i = st.next_index;
+                    st.next_index += 1;
+                    st.index.insert(w, i);
+                    st.low.insert(w, i);
+                    st.stack.push(w);
+                    st.on_stack.insert(w);
+                    dfs.push((w, 0));
+                }
+            } else {
+                // Finished v: pop and propagate lowlink.
+                dfs.pop();
+                if let Some(&(p, _)) = dfs.last() {
+                    let lp = st.low[&p].min(st.low[&v]);
+                    st.low.insert(p, lp);
+                }
+                if st.low[&v] == st.index[&v] {
+                    // v is an SCC root: pop the component.
+                    let mut comp = Vec::new();
+                    while let Some(w) = st.stack.pop() {
+                        st.on_stack.remove(&w);
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    // Deterministic order inside the SCC: by (seq, leader, idx).
+                    comp.sort_by_key(|r| {
+                        let i = self.get(*r).unwrap();
+                        (i.seq, r.leader, r.idx)
+                    });
+                    st.order.push(comp);
+                }
+            }
+        }
+        // Tarjan emits SCCs dependencies-first along dep edges.
+        Some(st.order.into_iter().flatten().collect())
+    }
+
+    fn execute_one(&mut self, iref: IRef, ctx: &mut dyn Context<EpaxosMsg>) {
+        let mine = iref.leader == self.id;
+        let inst = self.get_mut(iref).expect("executing unknown instance");
+        if inst.status == Status::Executed {
+            return;
+        }
+        inst.status = Status::Executed;
+        let cmd = inst.cmd.clone();
+        let req = inst.req;
+        let value = self.store.execute(&cmd);
+        self.pending_exec.remove(&iref);
+        if mine {
+            if let Some(id) = req {
+                ctx.reply(ClientResponse::ok(id, value));
+            }
+        }
+    }
+}
+
+impl Replica for EPaxos {
+    type Msg = EpaxosMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: EpaxosMsg, ctx: &mut dyn Context<EpaxosMsg>) {
+        match msg {
+            EpaxosMsg::PreAccept { iref, cmd, seq, deps } => {
+                // Union the leader's attributes with local knowledge.
+                let (local_seq, local_deps) = self.attributes(&cmd, iref);
+                let new_seq = seq.max(local_seq);
+                let mut new_deps = deps.clone();
+                for d in local_deps {
+                    if !new_deps.contains(&d) {
+                        new_deps.push(d);
+                    }
+                }
+                new_deps.sort_unstable();
+                let changed = new_seq != seq || new_deps != deps;
+                self.insert_instance(iref, cmd, new_seq, new_deps.clone(), Status::PreAccepted, None);
+                ctx.send(from, EpaxosMsg::PreAcceptOk { iref, seq: new_seq, deps: new_deps, changed });
+            }
+            EpaxosMsg::PreAcceptOk { iref, seq, deps, changed } => {
+                let fast = self.fast;
+                let my_id = self.id;
+                let Some(inst) = self.get_mut(iref) else { return };
+                if inst.status != Status::PreAccepted || iref.leader != my_id {
+                    return; // stale reply (already decided)
+                }
+                inst.replies += 1;
+                inst.any_changed |= changed;
+                inst.seq = inst.seq.max(seq);
+                for d in deps {
+                    if !inst.deps.contains(&d) {
+                        inst.deps.push(d);
+                    }
+                }
+                inst.deps.sort_unstable();
+                // Leader's self-vote counts toward the fast quorum.
+                if inst.replies + 1 >= fast {
+                    if inst.any_changed {
+                        // Slow path: Paxos accept on the union.
+                        inst.status = Status::Accepted;
+                        inst.accept_oks = 0;
+                        let (cmd, seq, deps) = (inst.cmd.clone(), inst.seq, inst.deps.clone());
+                        ctx.broadcast(EpaxosMsg::Accept { iref, cmd, seq, deps });
+                    } else {
+                        self.commit(iref, ctx);
+                    }
+                }
+            }
+            EpaxosMsg::Accept { iref, cmd, seq, deps } => {
+                match self.get_mut(iref) {
+                    Some(inst) if inst.status != Status::Executed && inst.status != Status::Committed => {
+                        inst.cmd = cmd;
+                        inst.seq = seq;
+                        inst.deps = deps;
+                        inst.status = Status::Accepted;
+                    }
+                    Some(_) => {}
+                    None => self.insert_instance(iref, cmd, seq, deps, Status::Accepted, None),
+                }
+                let (key, seq) = {
+                    let i = self.get(iref).unwrap();
+                    (i.cmd.key, i.seq)
+                };
+                self.note_instance(iref, key, seq);
+                ctx.send(from, EpaxosMsg::AcceptOk { iref });
+            }
+            EpaxosMsg::AcceptOk { iref } => {
+                let slow = self.slow;
+                let my_id = self.id;
+                let Some(inst) = self.get_mut(iref) else { return };
+                if inst.status != Status::Accepted || iref.leader != my_id {
+                    return;
+                }
+                inst.accept_oks += 1;
+                if inst.accept_oks + 1 >= slow {
+                    self.commit(iref, ctx);
+                }
+            }
+            EpaxosMsg::Commit { iref, cmd, seq, deps } => {
+                self.record_commit(iref, cmd, seq, deps, ctx);
+            }
+        }
+    }
+
+    fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<EpaxosMsg>) {
+        // Every replica is an opportunistic leader for its own clients.
+        let iref = IRef { leader: self.id, idx: self.next_idx };
+        self.next_idx += 1;
+        let (seq, deps) = self.attributes(&req.cmd, iref);
+        self.insert_instance(iref, req.cmd.clone(), seq, deps.clone(), Status::PreAccepted, Some(req.id));
+        if self.fast <= 1 {
+            self.commit(iref, ctx);
+        } else {
+            ctx.broadcast(EpaxosMsg::PreAccept { iref, cmd: req.cmd, seq, deps });
+        }
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "epaxos"
+    }
+
+    fn store(&self) -> Option<&MultiVersionStore> {
+        Some(&self.store)
+    }
+}
+
+/// Convenience factory for a homogeneous EPaxos cluster.
+pub fn epaxos_cluster(cluster: ClusterConfig) -> impl Fn(NodeId) -> EPaxos {
+    move |id| EPaxos::new(id, cluster.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_core::dist::Rng64;
+    use paxi_core::id::ClientId;
+    use paxi_core::time::Nanos;
+    use paxi_sim::{ClientSetup, SimConfig, Simulator, Topology};
+
+    fn lan_sim(n: u8, clients: usize, conflict_key: Option<f64>) -> Simulator<EPaxos> {
+        let cluster = ClusterConfig::lan(n);
+        let setups = ClientSetup::closed_per_zone(&cluster, clients);
+        // conflict_key = Some(p): with probability p write hot key 0, else
+        // write a per-client private key (never conflicts).
+        let workload = move |client: ClientId, _z: u8, seq: u64, _now: paxi_core::Nanos, rng: &mut Rng64| {
+            let hot = conflict_key.map(|p| rng.chance(p)).unwrap_or(false);
+            let key = if hot { 0 } else { 1000 + client.0 as u64 };
+            paxi_core::Command::put(key, paxi_sim::client::unique_value(client, seq))
+        };
+        Simulator::new(
+            SimConfig { record_ops: true, ..SimConfig::default() },
+            cluster.clone(),
+            epaxos_cluster(cluster),
+            workload,
+            setups,
+        )
+    }
+
+    /// Hand-driven context for unit-testing handler logic.
+    struct Probe {
+        id: NodeId,
+        sent: Vec<(Option<NodeId>, EpaxosMsg)>, // None = broadcast
+        replies: Vec<paxi_core::ClientResponse>,
+    }
+
+    impl paxi_core::traits::Context<EpaxosMsg> for Probe {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn now(&self) -> paxi_core::Nanos {
+            paxi_core::Nanos::ZERO
+        }
+        fn send(&mut self, to: NodeId, msg: EpaxosMsg) {
+            self.sent.push((Some(to), msg));
+        }
+        fn broadcast(&mut self, msg: EpaxosMsg) {
+            self.sent.push((None, msg));
+        }
+        fn multicast(&mut self, to: &[NodeId], msg: EpaxosMsg) {
+            for &t in to {
+                self.sent.push((Some(t), msg.clone()));
+            }
+        }
+        fn set_timer(&mut self, _after: paxi_core::Nanos, _kind: u64) -> u64 {
+            0
+        }
+        fn reply(&mut self, resp: paxi_core::ClientResponse) {
+            self.replies.push(resp);
+        }
+        fn forward(&mut self, _to: NodeId, _req: paxi_core::ClientRequest) {}
+        fn rand_u64(&mut self) -> u64 {
+            1
+        }
+    }
+
+    fn probe(id: NodeId) -> Probe {
+        Probe { id, sent: Vec::new(), replies: Vec::new() }
+    }
+
+    fn req(client: u32, seq: u64, cmd: paxi_core::Command) -> paxi_core::ClientRequest {
+        paxi_core::ClientRequest {
+            id: paxi_core::RequestId::new(ClientId(client), seq),
+            cmd,
+        }
+    }
+
+    #[test]
+    fn first_command_gets_empty_deps_and_seq_one() {
+        let mut e = EPaxos::new(NodeId::new(0, 0), ClusterConfig::lan(5));
+        let mut ctx = probe(NodeId::new(0, 0));
+        e.on_request(req(1, 0, paxi_core::Command::put(7, vec![1])), &mut ctx);
+        match &ctx.sent[0] {
+            (None, EpaxosMsg::PreAccept { iref, seq, deps, .. }) => {
+                assert_eq!(iref.leader, NodeId::new(0, 0));
+                assert_eq!(*seq, 1);
+                assert!(deps.is_empty());
+            }
+            other => panic!("expected PreAccept broadcast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interfering_commands_pick_up_dependencies() {
+        let mut e = EPaxos::new(NodeId::new(0, 0), ClusterConfig::lan(5));
+        let mut ctx = probe(NodeId::new(0, 0));
+        e.on_request(req(1, 0, paxi_core::Command::put(7, vec![1])), &mut ctx);
+        e.on_request(req(1, 1, paxi_core::Command::put(7, vec![2])), &mut ctx);
+        match &ctx.sent[1] {
+            (None, EpaxosMsg::PreAccept { seq, deps, .. }) => {
+                assert_eq!(*seq, 2, "seq grows past interfering commands");
+                assert_eq!(deps.len(), 1);
+                assert_eq!(deps[0], IRef { leader: NodeId::new(0, 0), idx: 0 });
+            }
+            other => panic!("expected PreAccept, got {other:?}"),
+        }
+        // Reads of a different key stay independent.
+        e.on_request(req(1, 2, paxi_core::Command::get(8)), &mut ctx);
+        match &ctx.sent[2] {
+            (None, EpaxosMsg::PreAccept { deps, .. }) => assert!(deps.is_empty()),
+            other => panic!("expected PreAccept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acceptor_augments_attributes_and_flags_change() {
+        // An acceptor that already knows an interfering instance must extend
+        // deps and report `changed = true`, forcing the slow path.
+        let mut acceptor = EPaxos::new(NodeId::new(0, 1), ClusterConfig::lan(5));
+        let mut ctx = probe(NodeId::new(0, 1));
+        // Instance A from leader 0.2 on key 7, committed knowledge.
+        acceptor.on_message(
+            NodeId::new(0, 2),
+            EpaxosMsg::Commit {
+                iref: IRef { leader: NodeId::new(0, 2), idx: 0 },
+                cmd: paxi_core::Command::put(7, vec![9]),
+                seq: 1,
+                deps: vec![],
+            },
+            &mut ctx,
+        );
+        // Now a PreAccept for an interfering command that doesn't know A.
+        acceptor.on_message(
+            NodeId::new(0, 0),
+            EpaxosMsg::PreAccept {
+                iref: IRef { leader: NodeId::new(0, 0), idx: 0 },
+                cmd: paxi_core::Command::put(7, vec![1]),
+                seq: 1,
+                deps: vec![],
+            },
+            &mut ctx,
+        );
+        let reply = ctx
+            .sent
+            .iter()
+            .find_map(|(to, m)| match m {
+                EpaxosMsg::PreAcceptOk { seq, deps, changed, .. } => {
+                    Some((*to, *seq, deps.clone(), *changed))
+                }
+                _ => None,
+            })
+            .expect("acceptor must reply");
+        let (to, seq, deps, changed) = reply;
+        assert_eq!(to, Some(NodeId::new(0, 0)));
+        assert!(changed, "conflict must be reported");
+        assert_eq!(seq, 2, "seq bumped past the known instance");
+        assert!(deps.contains(&IRef { leader: NodeId::new(0, 2), idx: 0 }));
+    }
+
+    #[test]
+    fn committed_chain_executes_in_dependency_order() {
+        // Feed commits out of order: B depends on A; B commits first. B must
+        // not execute until A commits, then both execute A-then-B.
+        let mut e = EPaxos::new(NodeId::new(0, 1), ClusterConfig::lan(5));
+        let mut ctx = probe(NodeId::new(0, 1));
+        let a = IRef { leader: NodeId::new(0, 0), idx: 0 };
+        let b = IRef { leader: NodeId::new(0, 2), idx: 0 };
+        e.on_message(
+            NodeId::new(0, 2),
+            EpaxosMsg::Commit {
+                iref: b,
+                cmd: paxi_core::Command::put(7, vec![2]),
+                seq: 2,
+                deps: vec![a],
+            },
+            &mut ctx,
+        );
+        assert!(e.store().unwrap().history(7).is_empty(), "B must wait for A");
+        e.on_message(
+            NodeId::new(0, 0),
+            EpaxosMsg::Commit {
+                iref: a,
+                cmd: paxi_core::Command::put(7, vec![1]),
+                seq: 1,
+                deps: vec![],
+            },
+            &mut ctx,
+        );
+        let hist = e.store().unwrap().history(7);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].value, Some(vec![1]), "A executes first");
+        assert_eq!(hist[1].value, Some(vec![2]));
+    }
+
+    #[test]
+    fn dependency_cycles_execute_by_seq_everywhere() {
+        // A and B mutually depend (committed concurrently): the SCC rule
+        // orders them by seq, identically at every replica.
+        let mk = || EPaxos::new(NodeId::new(0, 1), ClusterConfig::lan(5));
+        let a = IRef { leader: NodeId::new(0, 0), idx: 0 };
+        let b = IRef { leader: NodeId::new(0, 2), idx: 0 };
+        let commit_a = EpaxosMsg::Commit {
+            iref: a,
+            cmd: paxi_core::Command::put(7, vec![1]),
+            seq: 2,
+            deps: vec![b],
+        };
+        let commit_b = EpaxosMsg::Commit {
+            iref: b,
+            cmd: paxi_core::Command::put(7, vec![2]),
+            seq: 1,
+            deps: vec![a],
+        };
+        // Delivery order 1: A then B.
+        let mut e1 = mk();
+        let mut ctx = probe(NodeId::new(0, 1));
+        e1.on_message(NodeId::new(0, 0), commit_a.clone(), &mut ctx);
+        e1.on_message(NodeId::new(0, 2), commit_b.clone(), &mut ctx);
+        // Delivery order 2: B then A.
+        let mut e2 = mk();
+        e2.on_message(NodeId::new(0, 2), commit_b, &mut ctx);
+        e2.on_message(NodeId::new(0, 0), commit_a, &mut ctx);
+        let h1: Vec<_> = e1.store().unwrap().history(7).to_vec();
+        let h2: Vec<_> = e2.store().unwrap().history(7).to_vec();
+        assert_eq!(h1, h2, "SCC execution order must not depend on delivery order");
+        assert_eq!(h1[0].value, Some(vec![2]), "lower seq (B) first");
+    }
+
+    #[test]
+    fn non_conflicting_commands_commit_fast() {
+        let mut sim = lan_sim(5, 3, Some(0.0));
+        let report = sim.run();
+        assert!(report.completed > 1000, "completed {}", report.completed);
+        assert_eq!(report.errors, 0);
+        // Fast path: ~2 RTTs total (client->replica + PreAccept round).
+        let mean = report.latency.mean.as_millis_f64();
+        assert!((0.5..2.0).contains(&mean), "mean {mean} ms");
+    }
+
+    #[test]
+    fn full_conflict_still_completes_and_linearizes() {
+        let mut sim = lan_sim(5, 3, Some(1.0));
+        let report = sim.run();
+        assert!(report.completed > 500, "completed {}", report.completed);
+        // All replicas execute the hot key in the same order.
+        let stores: Vec<_> = sim.replicas().iter().map(|r| r.store().unwrap()).collect();
+        let a = stores[0].history(0);
+        assert!(!a.is_empty());
+        for s in &stores[1..] {
+            let b = s.history(0);
+            let common = a.len().min(b.len());
+            assert!(common > 0);
+            assert_eq!(&a[..common], &b[..common], "hot-key execution order diverged");
+        }
+    }
+
+    #[test]
+    fn conflicts_increase_latency() {
+        let mut low = lan_sim(5, 4, Some(0.0));
+        let mut high = lan_sim(5, 4, Some(1.0));
+        let l = low.run().latency.mean;
+        let h = high.run().latency.mean;
+        assert!(h > l, "conflict latency {h} should exceed no-conflict {l}");
+    }
+
+    #[test]
+    fn all_nodes_share_load() {
+        // No single-leader bottleneck: with clients attached round-robin the
+        // message load spreads across replicas.
+        let mut sim = lan_sim(5, 5, Some(0.0));
+        let report = sim.run();
+        let handled: Vec<u64> = report.node_stats.iter().map(|n| n.handled).collect();
+        let max = *handled.iter().max().unwrap() as f64;
+        let min = *handled.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "unbalanced load: {handled:?}");
+    }
+
+    #[test]
+    fn fast_quorum_size_exposed() {
+        let e = EPaxos::new(NodeId::new(0, 0), ClusterConfig::lan(5));
+        assert_eq!(e.fast_quorum(), 4);
+    }
+
+    #[test]
+    fn wan_conflict_latency_matches_epaxos_story() {
+        // In WAN, conflicts force a second wide-area round.
+        let cluster = ClusterConfig::wan(5, 1, 0, 0);
+        let mk = |p: f64| {
+            let setups = ClientSetup::closed_per_zone(&cluster, 2);
+            let workload = move |client: ClientId, _z: u8, seq: u64, _now: paxi_core::Nanos, rng: &mut Rng64| {
+                let key = if rng.chance(p) { 0 } else { 1000 + client.0 as u64 };
+                paxi_core::Command::put(key, paxi_sim::client::unique_value(client, seq))
+            };
+            Simulator::new(
+                SimConfig {
+                    topology: Topology::aws5(),
+                    warmup: Nanos::secs(1),
+                    measure: Nanos::secs(4),
+                    ..SimConfig::default()
+                },
+                cluster.clone(),
+                epaxos_cluster(cluster.clone()),
+                workload,
+                setups,
+            )
+        };
+        let no_conflict = mk(0.0).run().latency.mean.as_millis_f64();
+        let full_conflict = mk(1.0).run().latency.mean.as_millis_f64();
+        assert!(
+            full_conflict > no_conflict * 1.2,
+            "WAN conflicts should add a round: {no_conflict} vs {full_conflict}"
+        );
+    }
+}

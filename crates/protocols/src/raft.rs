@@ -1,0 +1,803 @@
+//! Raft.
+//!
+//! The paper validates Paxi against etcd's Raft (Figure 7): without
+//! reconfiguration and recovery differences, Raft and MultiPaxos are
+//! essentially the same single-stable-leader protocol and should converge to
+//! the same leader-bottleneck throughput. This is a from-scratch Raft with
+//! terms, randomized election timeouts, log replication via AppendEntries
+//! (with consistency check and conflict truncation), and the
+//! commit-only-current-term rule. Snapshots and membership changes are out of
+//! scope, matching the paper's benchmark configuration (persistent logging
+//! and snapshots disabled in etcd).
+
+use paxi_core::command::{ClientRequest, ClientResponse, Command};
+use paxi_core::config::ClusterConfig;
+use paxi_core::id::{NodeId, RequestId};
+use paxi_core::quorum::majority;
+use paxi_core::store::MultiVersionStore;
+use paxi_core::time::Nanos;
+use paxi_core::traits::{Context, Replica};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+const TIMER_ELECTION: u64 = 1;
+const TIMER_HEARTBEAT: u64 = 2;
+/// Maximum entries per repair AppendEntries.
+const REPAIR_BATCH: usize = 256;
+
+/// Tuning knobs for [`Raft`].
+#[derive(Debug, Clone)]
+pub struct RaftConfig {
+    /// Base election timeout; actual timeouts are randomized ×[1, 2).
+    pub election_timeout: Nanos,
+    /// Leader heartbeat period (empty AppendEntries).
+    pub heartbeat: Nanos,
+    /// Node that may start an election immediately, to converge fast at
+    /// startup (set to `None` for fully symmetric startup).
+    pub preferred_leader: Option<NodeId>,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout: Nanos::millis(300),
+            heartbeat: Nanos::millis(20),
+            preferred_leader: Some(NodeId::new(0, 0)),
+        }
+    }
+}
+
+/// One replicated log entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaftEntry {
+    /// Term the entry was proposed in.
+    pub term: u64,
+    /// The replicated command.
+    pub cmd: Command,
+    /// Client request to answer (meaningful on the proposing leader).
+    pub req: Option<RequestId>,
+}
+
+/// Wire messages of Raft.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RaftMsg {
+    /// Candidate requests a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Index of candidate's last log entry.
+        last_log_index: u64,
+        /// Term of candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Vote reply.
+    Vote {
+        /// Voter's current term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Log replication / heartbeat.
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Index of the entry immediately preceding `entries`.
+        prev_index: u64,
+        /// Term of the `prev_index` entry.
+        prev_term: u64,
+        /// New entries (empty for heartbeat).
+        entries: Vec<RaftEntry>,
+        /// Leader's commit index.
+        commit: u64,
+    },
+    /// AppendEntries reply.
+    AppendAck {
+        /// Follower's term.
+        term: u64,
+        /// Whether the consistency check passed and entries were appended.
+        success: bool,
+        /// On success: index of the follower's last matching entry. On
+        /// failure: the follower's last log index, as a fast-backoff hint —
+        /// network jitter reorders pipelined appends, and without the hint
+        /// the leader would walk `next_index` back one entry at a time,
+        /// resending ever-larger suffixes.
+        match_index: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// A Raft replica.
+pub struct Raft {
+    id: NodeId,
+    cluster: ClusterConfig,
+    cfg: RaftConfig,
+    peers: Vec<NodeId>,
+    role: Role,
+    term: u64,
+    voted_for: Option<NodeId>,
+    votes: usize,
+    // Log is 1-indexed: log[0] is a sentinel.
+    log: Vec<RaftEntry>,
+    commit: u64,
+    applied: u64,
+    next_index: HashMap<NodeId, u64>,
+    match_index: HashMap<NodeId, u64>,
+    leader_hint: Option<NodeId>,
+    last_contact: Nanos,
+    election_token: u64,
+    store: MultiVersionStore,
+    pending: Vec<ClientRequest>,
+    /// Out-of-order appends buffered until their gap fills. Real Raft rides
+    /// on TCP's ordering; our network model can reorder messages, and
+    /// rejecting every early append degenerates into repair storms.
+    stash: BTreeMap<u64, (u64, Vec<RaftEntry>, u64)>,
+}
+
+impl Raft {
+    /// Creates a replica for node `id` in `cluster`.
+    pub fn new(id: NodeId, cluster: ClusterConfig, cfg: RaftConfig) -> Self {
+        let peers = cluster.all_nodes().into_iter().filter(|&p| p != id).collect();
+        Raft {
+            id,
+            cluster,
+            cfg,
+            peers,
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            votes: 0,
+            log: vec![RaftEntry { term: 0, cmd: Command::get(0), req: None }],
+            commit: 0,
+            applied: 0,
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            leader_hint: None,
+            last_contact: Nanos::ZERO,
+            election_token: 0,
+            store: MultiVersionStore::new(),
+            pending: Vec::new(),
+            stash: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this node is the current leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    fn last_index(&self) -> u64 {
+        (self.log.len() - 1) as u64
+    }
+
+    fn last_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(0)
+    }
+
+    fn arm_election_timer(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        let jitter = ctx.rand_u64() % self.cfg.election_timeout.0.max(1);
+        self.election_token = ctx.set_timer(self.cfg.election_timeout + Nanos(jitter), TIMER_ELECTION);
+    }
+
+    fn step_down(&mut self, term: u64, ctx: &mut dyn Context<RaftMsg>) {
+        let was_leader = self.role == Role::Leader;
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.votes = 0;
+        self.last_contact = ctx.now();
+        if was_leader {
+            self.arm_election_timer(ctx);
+        }
+    }
+
+    fn start_election(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.votes = 1;
+        if self.votes >= majority(self.cluster.n()) {
+            self.become_leader(ctx);
+            return;
+        }
+        ctx.broadcast(RaftMsg::RequestVote {
+            term: self.term,
+            last_log_index: self.last_index(),
+            last_log_term: self.last_term(),
+        });
+    }
+
+    fn become_leader(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        // Append a no-op for the new term: Raft only commits entries from
+        // the current term via counting (§5.4.2), so without this a quiet
+        // leader could never commit inherited entries — wedging the clients
+        // waiting on them.
+        self.log.push(RaftEntry { term: self.term, cmd: Command::get(0), req: None });
+        let next = self.last_index() + 1;
+        for &p in &self.peers {
+            self.next_index.insert(p, next.saturating_sub(1).max(1));
+            self.match_index.insert(p, 0);
+        }
+        // Establish authority immediately.
+        self.broadcast_append(ctx);
+        ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+        for req in std::mem::take(&mut self.pending) {
+            self.append_request(req, ctx);
+        }
+    }
+
+    fn append_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<RaftMsg>) {
+        // Optimistic pipelining: ship only the new entry, assuming followers
+        // are caught up; the AppendAck failure path repairs any gap. This
+        // keeps the steady state at one small message per round instead of
+        // re-broadcasting the in-flight suffix.
+        let prev_index = self.last_index();
+        let prev_term = self.last_term();
+        let entry = RaftEntry { term: self.term, cmd: req.cmd, req: Some(req.id) };
+        self.log.push(entry.clone());
+        ctx.broadcast(RaftMsg::AppendEntries {
+            term: self.term,
+            prev_index,
+            prev_term,
+            entries: vec![entry],
+            commit: self.commit,
+        });
+        self.advance_commit(ctx); // single-node cluster
+    }
+
+    /// Forwards requests buffered while no leader was known.
+    fn drain_pending(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        if self.pending.is_empty() || self.role == Role::Leader {
+            return;
+        }
+        if let Some(leader) = self.leader_hint {
+            if leader != self.id {
+                for req in std::mem::take(&mut self.pending) {
+                    ctx.forward(leader, req);
+                }
+            }
+        }
+    }
+
+    /// Appends `entries` after `prev_index`, truncating on conflict; returns
+    /// the new match index.
+    fn splice(&mut self, prev_index: u64, entries: Vec<RaftEntry>) -> u64 {
+        let mut idx = prev_index as usize + 1;
+        for e in entries {
+            if idx < self.log.len() {
+                if self.log[idx].term != e.term {
+                    self.log.truncate(idx);
+                    self.log.push(e);
+                }
+            } else {
+                self.log.push(e);
+            }
+            idx += 1;
+        }
+        (idx - 1) as u64
+    }
+
+    /// Sends a bounded catch-up batch to one straggler.
+    fn send_repair(&mut self, to: NodeId, ctx: &mut dyn Context<RaftMsg>) {
+        let ni = *self.next_index.get(&to).unwrap_or(&1);
+        let prev_index = ni - 1;
+        let prev_term = self.log[prev_index as usize].term;
+        let start = ni as usize;
+        let end = (start + REPAIR_BATCH).min(self.log.len());
+        let entries = self.log[start.min(self.log.len())..end].to_vec();
+        ctx.send(
+            to,
+            RaftMsg::AppendEntries {
+                term: self.term,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            },
+        );
+    }
+
+    fn broadcast_append(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        // Uniform next_index in the steady state lets us broadcast one
+        // serialization; stragglers get individually tailored messages.
+        let groups: HashMap<u64, Vec<NodeId>> =
+            self.peers.iter().fold(HashMap::new(), |mut acc, &p| {
+                let ni = *self.next_index.get(&p).unwrap_or(&1);
+                acc.entry(ni).or_default().push(p);
+                acc
+            });
+        for (ni, peers) in groups {
+            let prev_index = ni - 1;
+            let prev_term = self.log.get(prev_index as usize).map(|e| e.term).unwrap_or(0);
+            let start = (ni as usize).min(self.log.len());
+            let end = (start + REPAIR_BATCH).min(self.log.len());
+            let entries: Vec<RaftEntry> = self.log[start..end].to_vec();
+            let msg = RaftMsg::AppendEntries {
+                term: self.term,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            };
+            if peers.len() == self.peers.len() {
+                ctx.broadcast(msg);
+            } else {
+                ctx.multicast(&peers, msg);
+            }
+        }
+    }
+
+    fn advance_commit(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let mut matches: Vec<u64> = self.peers.iter().map(|p| self.match_index[p]).collect();
+        matches.push(self.last_index());
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum_match = matches[majority(self.cluster.n()) - 1];
+        // Only commit entries from the current term (Raft §5.4.2).
+        if quorum_match > self.commit
+            && self.log.get(quorum_match as usize).map(|e| e.term) == Some(self.term)
+        {
+            self.commit = quorum_match;
+        }
+        self.apply(ctx);
+    }
+
+    fn apply(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        while self.applied < self.commit {
+            self.applied += 1;
+            let e = &self.log[self.applied as usize];
+            let value = self.store.execute(&e.cmd);
+            if self.role == Role::Leader {
+                if let Some(id) = e.req {
+                    ctx.reply(ClientResponse::ok(id, value));
+                }
+            }
+        }
+    }
+}
+
+impl Replica for Raft {
+    type Msg = RaftMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        self.last_contact = ctx.now();
+        // Requests arriving before the first election resolves are forwarded
+        // toward the expected leader rather than buffered indefinitely.
+        self.leader_hint = self.cfg.preferred_leader;
+        if self.cfg.preferred_leader == Some(self.id) {
+            self.start_election(ctx);
+        }
+        self.arm_election_timer(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RaftMsg, ctx: &mut dyn Context<RaftMsg>) {
+        match msg {
+            RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
+                if term > self.term {
+                    self.step_down(term, ctx);
+                }
+                let up_to_date = (last_log_term, last_log_index) >= (self.last_term(), self.last_index());
+                let grant = term == self.term
+                    && up_to_date
+                    && (self.voted_for.is_none() || self.voted_for == Some(from));
+                if grant {
+                    self.voted_for = Some(from);
+                    self.last_contact = ctx.now();
+                }
+                ctx.send(from, RaftMsg::Vote { term: self.term, granted: grant });
+            }
+            RaftMsg::Vote { term, granted } => {
+                if term > self.term {
+                    self.step_down(term, ctx);
+                    return;
+                }
+                if self.role == Role::Candidate && term == self.term && granted {
+                    self.votes += 1;
+                    if self.votes >= majority(self.cluster.n()) {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+            RaftMsg::AppendEntries { term, prev_index, prev_term, entries, commit } => {
+                if term > self.term || (term == self.term && self.role == Role::Candidate) {
+                    self.step_down(term, ctx);
+                }
+                if term < self.term {
+                    ctx.send(from, RaftMsg::AppendAck { term: self.term, success: false, match_index: 0 });
+                    return;
+                }
+                self.last_contact = ctx.now();
+                self.leader_hint = Some(from);
+                self.drain_pending(ctx);
+                // Consistency check.
+                let ok = self
+                    .log
+                    .get(prev_index as usize)
+                    .map(|e| e.term == prev_term)
+                    .unwrap_or(false);
+                if !ok {
+                    if prev_index > self.last_index() && self.stash.len() < 1024 {
+                        // The append outran its predecessors (network
+                        // reordering): hold it until the gap fills instead
+                        // of making the leader back off.
+                        self.stash.insert(prev_index, (prev_term, entries, commit));
+                        return;
+                    }
+                    let hint = self.last_index().min(prev_index.saturating_sub(1));
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendAck { term: self.term, success: false, match_index: hint },
+                    );
+                    return;
+                }
+                let match_index = self.splice(prev_index, entries);
+                // Drain any stashed appends that now fit.
+                let mut match_index = match_index;
+                let mut commit_hint = commit;
+                loop {
+                    let last = self.last_index();
+                    let Some((p_term, _, _)) = self.stash.get(&last) else { break };
+                    if self.log[last as usize].term != *p_term {
+                        break;
+                    }
+                    let (_, stashed, c) = self.stash.remove(&last).unwrap();
+                    match_index = self.splice(last, stashed);
+                    commit_hint = commit_hint.max(c);
+                }
+                let last = self.last_index();
+                self.stash.retain(|&p, _| p > last);
+                self.commit = self.commit.max(commit_hint.min(match_index));
+                self.apply(ctx);
+                ctx.send(from, RaftMsg::AppendAck { term: self.term, success: true, match_index });
+            }
+            RaftMsg::AppendAck { term, success, match_index } => {
+                if term > self.term {
+                    self.step_down(term, ctx);
+                    return;
+                }
+                if self.role != Role::Leader || term != self.term {
+                    return;
+                }
+                if success {
+                    let best = match_index.max(self.match_index[&from]);
+                    self.match_index.insert(from, best);
+                    self.next_index.insert(from, best + 1);
+                    self.advance_commit(ctx);
+                    // Keep repairing if the follower is still behind a
+                    // previous bounded batch.
+                    if best + (REPAIR_BATCH as u64) < self.last_index() {
+                        self.send_repair(from, ctx);
+                    }
+                } else {
+                    // Back off using the follower's hint and retry with a
+                    // bounded batch (an unbounded suffix here turns jitter-
+                    // induced reorders into O(log²) repair traffic).
+                    let ni = self.next_index.get_mut(&from).unwrap();
+                    *ni = (match_index + 1).min((*ni).saturating_sub(1)).max(1);
+                    self.send_repair(from, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<RaftMsg>) {
+        match self.role {
+            Role::Leader => self.append_request(req, ctx),
+            _ => match self.leader_hint {
+                Some(l) if l != self.id => ctx.forward(l, req),
+                _ => self.pending.push(req),
+            },
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, token: u64, ctx: &mut dyn Context<RaftMsg>) {
+        match kind {
+            TIMER_ELECTION => {
+                if token != self.election_token {
+                    return;
+                }
+                if self.role != Role::Leader
+                    && ctx.now().saturating_sub(self.last_contact) >= self.cfg.election_timeout
+                {
+                    self.start_election(ctx);
+                }
+                self.arm_election_timer(ctx);
+            }
+            TIMER_HEARTBEAT => {
+                if self.role == Role::Leader {
+                    ctx.broadcast(RaftMsg::AppendEntries {
+                        term: self.term,
+                        prev_index: self.last_index(),
+                        prev_term: self.last_term(),
+                        entries: Vec::new(),
+                        commit: self.commit,
+                    });
+                    ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "raft"
+    }
+
+    fn store(&self) -> Option<&MultiVersionStore> {
+        Some(&self.store)
+    }
+}
+
+/// Convenience factory for a homogeneous Raft cluster.
+pub fn raft_cluster(cluster: ClusterConfig, cfg: RaftConfig) -> impl Fn(NodeId) -> Raft {
+    move |id| Raft::new(id, cluster.clone(), cfg.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_sim::{ClientSetup, SimConfig, Simulator};
+
+    fn lan_sim(n: u8, cfg: RaftConfig, clients: usize) -> Simulator<Raft> {
+        let cluster = ClusterConfig::lan(n);
+        let setups = ClientSetup::closed_per_zone(&cluster, clients);
+        Simulator::new(
+            SimConfig { record_ops: true, ..SimConfig::default() },
+            cluster.clone(),
+            raft_cluster(cluster, cfg),
+            paxi_sim::client::uniform_workload(100),
+            setups,
+        )
+    }
+
+    #[test]
+    fn raft_serves_requests() {
+        let mut sim = lan_sim(3, RaftConfig::default(), 4);
+        let report = sim.run();
+        assert!(report.completed > 1000, "completed {}", report.completed);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn heartbeats_keep_a_single_leader() {
+        let mut sim = lan_sim(5, RaftConfig::default(), 2);
+        let _ = sim.run();
+        let leaders: Vec<_> = sim.replicas().iter().filter(|r| r.is_leader()).collect();
+        assert_eq!(leaders.len(), 1, "exactly one leader at steady state");
+        // All nodes share the leader's term.
+        let term = leaders[0].term();
+        assert!(sim.replicas().iter().all(|r| r.term() == term));
+    }
+
+    #[test]
+    fn logs_share_common_prefix() {
+        let mut sim = lan_sim(3, RaftConfig::default(), 4);
+        let _ = sim.run();
+        let stores: Vec<_> = sim.replicas().iter().map(|r| r.store().unwrap()).collect();
+        for s in &stores[1..] {
+            for key in stores[0].keys() {
+                let a = stores[0].history(key);
+                let b = s.history(key);
+                let common = a.len().min(b.len());
+                assert_eq!(&a[..common], &b[..common]);
+            }
+        }
+    }
+
+    #[test]
+    fn leader_crash_elects_new_leader_and_resumes() {
+        let cluster = ClusterConfig::lan(5);
+        let setups = ClientSetup::closed_per_zone(&cluster, 3);
+        let cfg = SimConfig {
+            warmup: Nanos::millis(100),
+            measure: Nanos::secs(4),
+            client_retry: Some(Nanos::millis(700)),
+            timeline_bucket: Some(Nanos::millis(100)),
+            record_ops: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(
+            cfg,
+            cluster.clone(),
+            raft_cluster(cluster, RaftConfig::default()),
+            paxi_sim::client::uniform_workload(100),
+            setups,
+        );
+        sim.faults_mut().crash(NodeId::new(0, 0), Nanos::secs(1), Nanos::secs(30));
+        let report = sim.run();
+        let late: u64 = report
+            .timeline
+            .iter()
+            .filter(|(t, _)| *t > Nanos::secs(2))
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(late > 100, "no post-failover progress: {late}");
+        let leaders = sim.replicas().iter().filter(|r| r.is_leader()).count();
+        assert!(leaders >= 1);
+    }
+
+    /// A minimal hand-driven context for unit-testing handler logic without
+    /// the simulator.
+    struct Probe {
+        id: NodeId,
+        sent: Vec<(NodeId, RaftMsg)>,
+        replies: Vec<paxi_core::ClientResponse>,
+    }
+
+    impl paxi_core::traits::Context<RaftMsg> for Probe {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn now(&self) -> Nanos {
+            Nanos::ZERO
+        }
+        fn send(&mut self, to: NodeId, msg: RaftMsg) {
+            self.sent.push((to, msg));
+        }
+        fn broadcast(&mut self, msg: RaftMsg) {
+            self.sent.push((NodeId::new(255, 255), msg));
+        }
+        fn multicast(&mut self, to: &[NodeId], msg: RaftMsg) {
+            for &t in to {
+                self.sent.push((t, msg.clone()));
+            }
+        }
+        fn set_timer(&mut self, _after: Nanos, _kind: u64) -> u64 {
+            0
+        }
+        fn reply(&mut self, resp: paxi_core::ClientResponse) {
+            self.replies.push(resp);
+        }
+        fn forward(&mut self, _to: NodeId, _req: paxi_core::ClientRequest) {}
+        fn rand_u64(&mut self) -> u64 {
+            7
+        }
+    }
+
+    fn probe(id: NodeId) -> Probe {
+        Probe { id, sent: Vec::new(), replies: Vec::new() }
+    }
+
+    #[test]
+    fn votes_are_denied_to_stale_logs() {
+        let cluster = ClusterConfig::lan(3);
+        let mut r = Raft::new(NodeId::new(0, 1), cluster, RaftConfig::default());
+        // Give the voter a log entry at term 2.
+        r.term = 2;
+        r.log.push(RaftEntry { term: 2, cmd: Command::get(1), req: None });
+        let mut ctx = probe(NodeId::new(0, 1));
+        // Candidate with an older last-log term must be rejected.
+        r.on_message(
+            NodeId::new(0, 2),
+            RaftMsg::RequestVote { term: 3, last_log_index: 5, last_log_term: 1 },
+            &mut ctx,
+        );
+        match &ctx.sent[0].1 {
+            RaftMsg::Vote { granted, .. } => assert!(!granted, "stale log must not win votes"),
+            other => panic!("expected a vote, got {other:?}"),
+        }
+        // Candidate with an up-to-date log gets the vote.
+        r.on_message(
+            NodeId::new(0, 2),
+            RaftMsg::RequestVote { term: 3, last_log_index: 5, last_log_term: 2 },
+            &mut ctx,
+        );
+        match &ctx.sent[1].1 {
+            RaftMsg::Vote { granted, .. } => assert!(granted),
+            other => panic!("expected a vote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_most_one_vote_per_term() {
+        let cluster = ClusterConfig::lan(3);
+        let mut r = Raft::new(NodeId::new(0, 1), cluster, RaftConfig::default());
+        let mut ctx = probe(NodeId::new(0, 1));
+        r.on_message(
+            NodeId::new(0, 0),
+            RaftMsg::RequestVote { term: 1, last_log_index: 0, last_log_term: 0 },
+            &mut ctx,
+        );
+        r.on_message(
+            NodeId::new(0, 2),
+            RaftMsg::RequestVote { term: 1, last_log_index: 0, last_log_term: 0 },
+            &mut ctx,
+        );
+        let grants: Vec<bool> = ctx
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                RaftMsg::Vote { granted, .. } => Some(*granted),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![true, false], "second candidate in same term denied");
+    }
+
+    #[test]
+    fn out_of_order_appends_are_stashed_and_drained() {
+        let cluster = ClusterConfig::lan(3);
+        let mut r = Raft::new(NodeId::new(0, 1), cluster, RaftConfig::default());
+        let mut ctx = probe(NodeId::new(0, 1));
+        let e = |i: u8| RaftEntry { term: 1, cmd: Command::put(i as u64, vec![i]), req: None };
+        // Entry for slot 2 arrives before slot 1: stashed, no nack.
+        r.on_message(
+            NodeId::new(0, 0),
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 1,
+                prev_term: 1,
+                entries: vec![e(2)],
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        assert!(ctx.sent.is_empty(), "early append must be buffered silently");
+        assert_eq!(r.last_index(), 0);
+        // The gap filler arrives: both entries apply, one ack for the pair.
+        r.on_message(
+            NodeId::new(0, 0),
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![e(1)],
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.last_index(), 2, "stash drained");
+        match &ctx.sent[0].1 {
+            RaftMsg::AppendAck { success, match_index, .. } => {
+                assert!(success);
+                assert_eq!(*match_index, 2);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_leader_appends_a_noop_to_unlock_old_entries() {
+        let cluster = ClusterConfig::lan(1); // single node: elects itself
+        let mut r = Raft::new(NodeId::new(0, 0), cluster, RaftConfig::default());
+        let mut ctx = probe(NodeId::new(0, 0));
+        r.on_start(&mut ctx);
+        assert!(r.is_leader());
+        // Log: sentinel + the term-1 no-op.
+        assert_eq!(r.last_index(), 1);
+        assert_eq!(r.term(), 1);
+    }
+
+    #[test]
+    fn raft_throughput_is_in_the_same_class_as_paxos() {
+        // Fig 7's claim: Raft and Paxos converge to similar max throughput.
+        let mut raft_sim = lan_sim(9, RaftConfig::default(), 40);
+        let raft_tput = raft_sim.run().throughput;
+        let cluster = ClusterConfig::lan(9);
+        let setups = ClientSetup::closed_per_zone(&cluster, 40);
+        let mut paxos_sim = Simulator::new(
+            SimConfig::default(),
+            cluster.clone(),
+            crate::paxos::paxos_cluster(cluster, crate::paxos::PaxosConfig::default()),
+            paxi_sim::client::uniform_workload(100),
+            setups,
+        );
+        let paxos_tput = paxos_sim.run().throughput;
+        let ratio = raft_tput / paxos_tput;
+        assert!((0.6..1.6).contains(&ratio), "raft {raft_tput} vs paxos {paxos_tput}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Simulated clients and the workload interface.
+//!
+//! Clients attach to one replica (normally in their own zone, like Paxi's
+//! RESTful clients attaching to the nearest node) and drive load in one of
+//! two modes:
+//!
+//! * **Closed loop** — a client keeps exactly one request outstanding,
+//!   issuing the next one `think` after the previous response. Sweeping the
+//!   number of closed-loop clients is how the paper pushes systems to
+//!   saturation.
+//! * **Open loop** — requests arrive as a Poisson process of the given rate
+//!   regardless of outstanding responses; this matches the arrival
+//!   assumption of the queueing models and is used to cross-validate them.
+
+use paxi_core::command::Command;
+use paxi_core::config::ClusterConfig;
+use paxi_core::dist::Rng64;
+use paxi_core::id::{ClientId, NodeId};
+use paxi_core::time::Nanos;
+
+/// How a client issues requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// One outstanding request; next issued `think` after each response.
+    Closed {
+        /// Think time between response and next request.
+        think: Nanos,
+    },
+    /// Poisson arrivals at `rate` requests/second, independent of responses.
+    Open {
+        /// Mean request rate in requests per second.
+        rate: f64,
+    },
+}
+
+/// Static description of one simulated client.
+#[derive(Debug, Clone)]
+pub struct ClientSetup {
+    /// The zone the client lives in (determines its network latency).
+    pub zone: u8,
+    /// The replica it sends requests to.
+    pub attach: NodeId,
+    /// Its load mode.
+    pub mode: LoadMode,
+}
+
+impl ClientSetup {
+    /// `count` closed-loop clients in every zone, attached round-robin to
+    /// the replicas of their zone, with zero think time.
+    pub fn closed_per_zone(cluster: &ClusterConfig, count: usize) -> Vec<ClientSetup> {
+        let mut v = Vec::new();
+        for z in 0..cluster.zones {
+            for i in 0..count {
+                v.push(ClientSetup {
+                    zone: z,
+                    attach: NodeId::new(z, (i % cluster.per_zone as usize) as u8),
+                    mode: LoadMode::Closed { think: Nanos::ZERO },
+                });
+            }
+        }
+        v
+    }
+
+    /// `count` closed-loop clients in a single zone.
+    pub fn closed_in_zone(cluster: &ClusterConfig, zone: u8, count: usize) -> Vec<ClientSetup> {
+        (0..count)
+            .map(|i| ClientSetup {
+                zone,
+                attach: NodeId::new(zone, (i % cluster.per_zone as usize) as u8),
+                mode: LoadMode::Closed { think: Nanos::ZERO },
+            })
+            .collect()
+    }
+
+    /// Open-loop clients, one per zone, each at `rate_per_zone` req/s.
+    pub fn open_per_zone(cluster: &ClusterConfig, rate_per_zone: f64) -> Vec<ClientSetup> {
+        (0..cluster.zones)
+            .map(|z| ClientSetup {
+                zone: z,
+                attach: NodeId::new(z, 0),
+                mode: LoadMode::Open { rate: rate_per_zone },
+            })
+            .collect()
+    }
+
+    /// A single open-loop client in zone 0 at `rate` req/s — the setup used
+    /// to validate the queueing models (Figure 4).
+    pub fn open_single(rate: f64) -> Vec<ClientSetup> {
+        vec![ClientSetup { zone: 0, attach: NodeId::new(0, 0), mode: LoadMode::Open { rate } }]
+    }
+}
+
+/// A workload generates the next command for a client. Implemented by the
+/// generators in `paxi-bench`; closures work too.
+pub trait Workload {
+    /// Produces the command for the `seq`-th request of `client` in `zone`,
+    /// issued at (virtual or wall-clock) time `now` — the timestamp lets
+    /// workloads implement time-varying patterns like a moving hotspot.
+    fn next(&mut self, client: ClientId, zone: u8, seq: u64, now: Nanos, rng: &mut Rng64)
+        -> Command;
+}
+
+impl<F: FnMut(ClientId, u8, u64, Nanos, &mut Rng64) -> Command> Workload for F {
+    fn next(
+        &mut self,
+        client: ClientId,
+        zone: u8,
+        seq: u64,
+        now: Nanos,
+        rng: &mut Rng64,
+    ) -> Command {
+        self(client, zone, seq, now, rng)
+    }
+}
+
+/// A trivial workload: 50/50 read/write over `k` uniformly random keys, with
+/// unique write payloads (client id + sequence encoded as 12 bytes) so the
+/// linearizability checker can identify every write.
+pub fn uniform_workload(k: u64) -> impl Workload {
+    move |client: ClientId, _zone: u8, seq: u64, _now: Nanos, rng: &mut Rng64| {
+        let key = rng.below(k);
+        if rng.chance(0.5) {
+            Command::get(key)
+        } else {
+            Command::put(key, unique_value(client, seq))
+        }
+    }
+}
+
+/// Encodes `(client, seq)` into a 12-byte unique value.
+pub fn unique_value(client: ClientId, seq: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12);
+    v.extend_from_slice(&client.0.to_be_bytes());
+    v.extend_from_slice(&seq.to_be_bytes());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_per_zone_spreads_over_zone_replicas() {
+        let c = ClusterConfig::wan(3, 3, 1, 0);
+        let clients = ClientSetup::closed_per_zone(&c, 5);
+        assert_eq!(clients.len(), 15);
+        for cl in &clients {
+            assert_eq!(cl.attach.zone, cl.zone);
+        }
+        // Round-robin: 5 clients over 3 replicas covers all of them.
+        let zone0: Vec<u8> = clients.iter().filter(|c| c.zone == 0).map(|c| c.attach.node).collect();
+        assert_eq!(zone0, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn unique_values_are_unique() {
+        let a = unique_value(ClientId(1), 1);
+        let b = unique_value(ClientId(1), 2);
+        let c = unique_value(ClientId(2), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn closure_workload_is_a_workload() {
+        let mut w = uniform_workload(10);
+        let mut rng = Rng64::seed(1);
+        let mut writes = 0;
+        for seq in 0..1000 {
+            let cmd = w.next(ClientId(0), 0, seq, Nanos::ZERO, &mut rng);
+            assert!(cmd.key < 10);
+            if cmd.is_write() {
+                writes += 1;
+            }
+        }
+        assert!((350..650).contains(&writes), "write ratio ~50%: {}", writes);
+    }
+}

@@ -1,0 +1,37 @@
+//! # paxi-sim
+//!
+//! A deterministic discrete-event simulator for the Paxi protocol framework.
+//!
+//! The paper evaluates its protocols on AWS EC2; this crate substitutes a
+//! simulator whose semantics mirror the paper's own analytic model (§3):
+//! every node is a single-server FIFO queue combining CPU and NIC, message
+//! delays are drawn from per-zone-pair Normal distributions, and client load
+//! is generated open-loop (Poisson, as the queueing models assume) or
+//! closed-loop (as the Paxi benchmarker does). Because the same replica code
+//! (`paxi_core::traits::Replica`) also runs on the wall-clock runtimes in
+//! `paxi-transport`, the simulator provides a controlled, reproducible
+//! environment for the protocol comparisons of §5.
+//!
+//! * [`topology`] — LAN/WAN latency models (AWS-calibrated presets).
+//! * [`cost`] — per-message CPU/NIC service costs (the leader bottleneck).
+//! * [`faults`] — Crash / Drop / Slow / Flaky / partition injection.
+//! * [`client`] — open- and closed-loop clients, the [`client::Workload`] trait.
+//! * [`sim`] — the simulator itself.
+//! * [`report`] — run results: latency histograms, per-zone summaries,
+//!   per-node utilization, operation logs for the checkers.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cost;
+pub mod faults;
+pub mod report;
+pub mod sim;
+pub mod topology;
+
+pub use client::{ClientSetup, LoadMode, Workload};
+pub use cost::CostModel;
+pub use faults::{FaultPlan, MsgFate};
+pub use report::{NodeStats, OpRecord, SimReport};
+pub use sim::{SimConfig, Simulator};
+pub use topology::Topology;

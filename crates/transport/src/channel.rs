@@ -1,0 +1,236 @@
+//! In-process cluster over crossbeam channels.
+//!
+//! This is Paxi's "cluster simulation" transport: all nodes run concurrently
+//! in one process, connected by Go-channel-like queues, which simplifies
+//! debugging and gives wall-clock (non-virtual-time) measurements without
+//! deploying sockets. The same replica code that runs under the simulator
+//! runs here unchanged.
+
+use crate::envelope::Envelope;
+use crate::runtime::{run_node, NodeEvent, Outbound};
+use crate::timer::TimerService;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use paxi_core::command::{ClientResponse, Command};
+use paxi_core::config::ClusterConfig;
+use paxi_core::id::{ClientId, NodeId, RequestId};
+use paxi_core::traits::{Replica, ReplicaFactory};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Registry<M> {
+    nodes: HashMap<NodeId, Sender<NodeEvent<M>>>,
+    clients: Mutex<HashMap<ClientId, Sender<ClientResponse>>>,
+}
+
+/// Channel-backed outbound half.
+struct ChannelOut<M> {
+    reg: Arc<Registry<M>>,
+}
+
+impl<M> Clone for ChannelOut<M> {
+    fn clone(&self) -> Self {
+        ChannelOut { reg: Arc::clone(&self.reg) }
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static> Outbound<M> for ChannelOut<M> {
+    fn to_node(&self, to: NodeId, env: Envelope<M>) {
+        if let Some(tx) = self.reg.nodes.get(&to) {
+            let _ = tx.send(NodeEvent::Wire(env));
+        }
+    }
+    fn to_client(&self, client: ClientId, resp: ClientResponse) {
+        if let Some(tx) = self.reg.clients.lock().get(&client) {
+            let _ = tx.send(resp);
+        }
+    }
+}
+
+/// A running in-process cluster.
+pub struct InProcCluster<R: Replica> {
+    reg: Arc<Registry<R::Msg>>,
+    cluster: ClusterConfig,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_client: AtomicU32,
+    _timers: Arc<TimerService>,
+}
+
+impl<R: Replica + Send + 'static> InProcCluster<R> {
+    /// Spawns one thread per replica and wires them together.
+    pub fn launch<F>(cluster: ClusterConfig, factory: F) -> Self
+    where
+        F: ReplicaFactory<R = R>,
+    {
+        let all = cluster.all_nodes();
+        let timers = Arc::new(TimerService::new());
+        let epoch = Instant::now();
+        let mut inboxes = HashMap::new();
+        let mut receivers: Vec<(NodeId, Receiver<NodeEvent<R::Msg>>, Sender<NodeEvent<R::Msg>>)> =
+            Vec::new();
+        for &id in &all {
+            let (tx, rx) = unbounded();
+            inboxes.insert(id, tx.clone());
+            receivers.push((id, rx, tx));
+        }
+        let reg = Arc::new(Registry { nodes: inboxes, clients: Mutex::new(HashMap::new()) });
+        let mut handles = Vec::new();
+        for (i, (id, rx, tx)) in receivers.into_iter().enumerate() {
+            let replica = factory.make(id);
+            let peers = all.clone();
+            let out = ChannelOut { reg: Arc::clone(&reg) };
+            let timers = Arc::clone(&timers);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("paxi-node-{id}"))
+                    .spawn(move || {
+                        run_node(id, replica, peers, rx, tx, out, timers, epoch, 0xC0FFEE + i as u64)
+                    })
+                    .expect("spawn node thread"),
+            );
+        }
+        InProcCluster { reg, cluster, handles, next_client: AtomicU32::new(0), _timers: timers }
+    }
+
+    /// The cluster configuration.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Creates a synchronous client attached to `attach`.
+    pub fn client(&self, attach: NodeId) -> SyncClient<R::Msg> {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(128);
+        self.reg.clients.lock().insert(id, tx);
+        SyncClient {
+            id,
+            seq: 0,
+            node: self.reg.nodes[&attach].clone(),
+            rx,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Shuts down all node threads and waits for them.
+    pub fn shutdown(mut self) {
+        for tx in self.reg.nodes.values() {
+            let _ = tx.send(NodeEvent::Wire(Envelope::Shutdown));
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Blocking client for in-process clusters.
+pub struct SyncClient<M> {
+    id: ClientId,
+    seq: u64,
+    node: Sender<NodeEvent<M>>,
+    rx: Receiver<ClientResponse>,
+    timeout: Duration,
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static> SyncClient<M> {
+    /// The client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Overrides the per-request timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Executes one command, blocking for the response.
+    pub fn execute(&mut self, cmd: Command) -> Option<ClientResponse> {
+        let req_id = RequestId::new(self.id, self.seq);
+        self.seq += 1;
+        self.node
+            .send(NodeEvent::Wire(Envelope::Request(paxi_core::ClientRequest {
+                id: req_id,
+                cmd,
+            })))
+            .ok()?;
+        // Skip stale responses (from timed-out predecessors).
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(resp) if resp.id == req_id => return Some(resp),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Convenience: `PUT key value`.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> Option<ClientResponse> {
+        self.execute(Command::put(key, value))
+    }
+
+    /// Convenience: `GET key`.
+    pub fn get(&mut self, key: u64) -> Option<ClientResponse> {
+        self.execute(Command::get(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_protocols::paxos::{paxos_cluster, PaxosConfig};
+
+    #[test]
+    fn paxos_over_channels_serves_clients() {
+        let cluster = ClusterConfig::lan(3);
+        let run = InProcCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        );
+        let mut client = run.client(NodeId::new(0, 1)); // follower: forwards
+        let w = client.put(7, vec![1, 2, 3]).expect("put response");
+        assert!(w.ok);
+        let r = client.get(7).expect("get response");
+        assert_eq!(r.value, Some(vec![1, 2, 3]));
+        run.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_interleave() {
+        let cluster = ClusterConfig::lan(3);
+        let run = InProcCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        );
+        let mut clients: Vec<_> = (0..4).map(|i| run.client(NodeId::new(0, i % 3))).collect();
+        for round in 0..25u8 {
+            for (i, c) in clients.iter_mut().enumerate() {
+                let resp = c.put(i as u64, vec![round]).expect("response");
+                assert!(resp.ok);
+            }
+        }
+        // Final reads observe the last round.
+        for (i, c) in clients.iter_mut().enumerate() {
+            let r = c.get(i as u64).expect("read");
+            assert_eq!(r.value, Some(vec![24]));
+        }
+        run.shutdown();
+    }
+
+    #[test]
+    fn epaxos_over_channels() {
+        let cluster = ClusterConfig::lan(5);
+        let run = InProcCluster::launch(cluster.clone(), move |id: NodeId| {
+            paxi_protocols::epaxos::EPaxos::new(id, cluster.clone())
+        });
+        let mut c0 = run.client(NodeId::new(0, 0));
+        let mut c1 = run.client(NodeId::new(0, 3));
+        assert!(c0.put(1, vec![10]).expect("resp").ok);
+        assert!(c1.put(1, vec![11]).expect("resp").ok);
+        let r = c0.get(1).expect("read");
+        assert!(r.value == Some(vec![10]) || r.value == Some(vec![11]));
+        run.shutdown();
+    }
+}

@@ -1,0 +1,23 @@
+//! Wire envelope shared by all wall-clock transports.
+
+use paxi_core::command::{ClientRequest, ClientResponse};
+use paxi_core::id::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Everything that can arrive at a node or client over a transport.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Envelope<M> {
+    /// Protocol message between replicas.
+    Msg {
+        /// Sender.
+        from: NodeId,
+        /// Protocol payload.
+        msg: M,
+    },
+    /// A client request (from a client or forwarded by a replica).
+    Request(ClientRequest),
+    /// A response heading back to a client.
+    Response(ClientResponse),
+    /// Orderly shutdown of a node's event loop.
+    Shutdown,
+}

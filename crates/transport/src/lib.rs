@@ -1,0 +1,29 @@
+//! # paxi-transport
+//!
+//! Wall-clock runtimes for Paxi protocols — the empirical counterpart to the
+//! virtual-time simulator in `paxi-sim`. The same
+//! [`paxi_core::traits::Replica`] implementations run here on real threads
+//! and real sockets:
+//!
+//! * [`channel`] — all nodes in one process over crossbeam channels (Paxi's
+//!   "cluster simulation" mode, which simplifies debugging).
+//! * [`tcp`] — one TCP listener per node, length-prefixed `paxi-codec`
+//!   frames, blocking clients, reply relaying across forwards.
+//! * [`udp`] — one datagram socket per node; best-effort delivery with
+//!   client retries (for protocols that gain nothing from ordered delivery).
+//! * [`timer`] — the shared timer wheel behind `Context::set_timer`.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod envelope;
+pub mod runtime;
+pub mod tcp;
+pub mod timer;
+pub mod udp;
+
+pub use channel::{InProcCluster, SyncClient};
+pub use envelope::Envelope;
+pub use tcp::{TcpClient, TcpCluster};
+pub use timer::TimerService;
+pub use udp::{UdpClient, UdpCluster};

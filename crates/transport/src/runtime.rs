@@ -1,0 +1,161 @@
+//! The shared node event loop for wall-clock runtimes.
+//!
+//! Every transport (in-process channels, TCP, UDP) funnels inbound traffic
+//! into a per-node inbox; [`run_node`] drains the inbox on the node's own
+//! thread, invoking the replica's handlers with a [`paxi_core::traits::Context`]
+//! backed by the transport's [`Outbound`] half and the shared
+//! [`crate::timer::TimerService`]. Handlers are strictly serial per node, the
+//! same execution model as the simulator, so replica code runs unchanged.
+
+use crate::envelope::Envelope;
+use crate::timer::TimerService;
+use crossbeam::channel::{Receiver, Sender};
+use paxi_core::command::{ClientRequest, ClientResponse};
+use paxi_core::dist::Rng64;
+use paxi_core::id::{ClientId, NodeId};
+use paxi_core::time::Nanos;
+use paxi_core::traits::{Context, Replica};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timer event injected back into a node inbox.
+#[derive(Debug, Clone)]
+pub enum NodeEvent<M> {
+    /// Wire traffic.
+    Wire(Envelope<M>),
+    /// A timer armed by the replica fired.
+    Timer {
+        /// Timer kind as passed to `set_timer`.
+        kind: u64,
+        /// Token returned by `set_timer`.
+        token: u64,
+    },
+}
+
+/// The transport-specific outbound half: how a node reaches peers and
+/// clients.
+pub trait Outbound<M>: Send + 'static {
+    /// Delivers an envelope to a peer node (best effort).
+    fn to_node(&self, to: NodeId, env: Envelope<M>);
+    /// Delivers a response to a client (best effort).
+    fn to_client(&self, client: ClientId, resp: ClientResponse);
+}
+
+struct ThreadCtx<'a, M, O: Outbound<M>> {
+    id: NodeId,
+    peers: &'a [NodeId],
+    out: &'a O,
+    inbox_tx: &'a Sender<NodeEvent<M>>,
+    timers: &'a TimerService,
+    epoch: Instant,
+    token_counter: &'a AtomicU64,
+    rng: &'a mut Rng64,
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M>> Context<M>
+    for ThreadCtx<'_, M, O>
+{
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn now(&self) -> Nanos {
+        Nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.id {
+            let _ = self.inbox_tx.send(NodeEvent::Wire(Envelope::Msg { from: self.id, msg }));
+        } else {
+            self.out.to_node(to, Envelope::Msg { from: self.id, msg });
+        }
+    }
+    fn broadcast(&mut self, msg: M) {
+        for &p in self.peers {
+            if p != self.id {
+                self.out.to_node(p, Envelope::Msg { from: self.id, msg: msg.clone() });
+            }
+        }
+    }
+    fn multicast(&mut self, to: &[NodeId], msg: M) {
+        for &p in to {
+            if p == self.id {
+                let _ = self
+                    .inbox_tx
+                    .send(NodeEvent::Wire(Envelope::Msg { from: self.id, msg: msg.clone() }));
+            } else {
+                self.out.to_node(p, Envelope::Msg { from: self.id, msg: msg.clone() });
+            }
+        }
+    }
+    fn set_timer(&mut self, after: Nanos, kind: u64) -> u64 {
+        let token = self.token_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let tx = self.inbox_tx.clone();
+        self.timers.schedule(Duration::from_nanos(after.0), move || {
+            let _ = tx.send(NodeEvent::Timer { kind, token });
+        });
+        token
+    }
+    fn reply(&mut self, resp: ClientResponse) {
+        self.out.to_client(resp.id.client, resp);
+    }
+    fn forward(&mut self, to: NodeId, req: ClientRequest) {
+        if to == self.id {
+            let _ = self.inbox_tx.send(NodeEvent::Wire(Envelope::Request(req)));
+        } else {
+            self.out.to_node(to, Envelope::Request(req));
+        }
+    }
+    fn rand_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Drives one replica until a [`Envelope::Shutdown`] arrives. Call on a
+/// dedicated thread.
+#[allow(clippy::too_many_arguments)]
+pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
+    id: NodeId,
+    mut replica: R,
+    peers: Vec<NodeId>,
+    inbox: Receiver<NodeEvent<R::Msg>>,
+    inbox_tx: Sender<NodeEvent<R::Msg>>,
+    out: O,
+    timers: Arc<TimerService>,
+    epoch: Instant,
+    seed: u64,
+) {
+    let token_counter = AtomicU64::new(0);
+    let mut rng = Rng64::seed(seed);
+    {
+        let mut ctx = ThreadCtx {
+            id,
+            peers: &peers,
+            out: &out,
+            inbox_tx: &inbox_tx,
+            timers: &timers,
+            epoch,
+            token_counter: &token_counter,
+            rng: &mut rng,
+        };
+        replica.on_start(&mut ctx);
+    }
+    while let Ok(ev) = inbox.recv() {
+        let mut ctx = ThreadCtx {
+            id,
+            peers: &peers,
+            out: &out,
+            inbox_tx: &inbox_tx,
+            timers: &timers,
+            epoch,
+            token_counter: &token_counter,
+            rng: &mut rng,
+        };
+        match ev {
+            NodeEvent::Wire(Envelope::Msg { from, msg }) => replica.on_message(from, msg, &mut ctx),
+            NodeEvent::Wire(Envelope::Request(req)) => replica.on_request(req, &mut ctx),
+            NodeEvent::Wire(Envelope::Response(_)) => {}
+            NodeEvent::Wire(Envelope::Shutdown) => break,
+            NodeEvent::Timer { kind, token } => replica.on_timer(kind, token, &mut ctx),
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! TCP socket transport.
+//!
+//! Every node binds a listener; peers and clients connect with a one-frame
+//! handshake declaring who they are. Frames are length-prefixed
+//! `paxi-codec` bytes (see [`paxi_codec::frame`]).
+//!
+//! **Reply routing.** A client holds one connection, to its attach node.
+//! Protocols may forward a request to another replica (e.g. a follower
+//! redirecting to the leader), and the eventual `reply` happens *there* — so
+//! each node keeps a route table: a request arriving on a client connection
+//! records a local route; a request arriving from a peer records `via that
+//! peer`. Responses hop back along the recorded routes until they reach the
+//! node holding the client's connection. This mirrors how Paxi's RESTful
+//! clients interact with any system node.
+
+use crate::envelope::Envelope;
+use crate::runtime::{run_node, NodeEvent, Outbound};
+use crate::timer::TimerService;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use paxi_core::command::{ClientResponse, Command};
+use paxi_core::config::ClusterConfig;
+use paxi_core::id::{ClientId, NodeId, RequestId};
+use paxi_core::traits::{Replica, ReplicaFactory};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Connection handshake: the first frame on every connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Hello {
+    Peer(NodeId),
+    Client(ClientId),
+}
+
+#[derive(Clone)]
+enum Route {
+    /// The client is connected to this node on the given writer.
+    Local(Sender<Vec<u8>>),
+    /// The request came through this peer; send responses back that way.
+    Via(NodeId),
+}
+
+struct NodeNet<M> {
+    me: NodeId,
+    addrs: Arc<HashMap<NodeId, SocketAddr>>,
+    peer_conns: Mutex<HashMap<NodeId, Sender<Vec<u8>>>>,
+    routes: Mutex<HashMap<ClientId, Route>>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+fn spawn_writer(stream: TcpStream) -> Sender<Vec<u8>> {
+    let (tx, rx) = unbounded::<Vec<u8>>();
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        while let Ok(bytes) = rx.recv() {
+            if stream.write_all(&bytes).is_err() {
+                break;
+            }
+        }
+    });
+    tx
+}
+
+impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static> NodeNet<M> {
+    fn encode(env: &Envelope<M>) -> Vec<u8> {
+        let body = paxi_codec::to_bytes(env).expect("encode envelope");
+        paxi_codec::encode_frame(&body)
+    }
+
+    fn peer_sender(&self, to: NodeId) -> Option<Sender<Vec<u8>>> {
+        if let Some(tx) = self.peer_conns.lock().get(&to) {
+            return Some(tx.clone());
+        }
+        let addr = *self.addrs.get(&to)?;
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nodelay(true).ok();
+        let tx = spawn_writer(stream.try_clone().ok()?);
+        // Handshake.
+        let hello = paxi_codec::encode_frame(&paxi_codec::to_bytes(&Hello::Peer(self.me)).unwrap());
+        let _ = tx.send(hello);
+        // We never read from outbound peer connections; the remote side
+        // reads. (Peers push to us over their own outbound connections.)
+        drop(stream);
+        self.peer_conns.lock().insert(to, tx.clone());
+        Some(tx)
+    }
+
+    fn deliver_response(&self, client: ClientId, resp: &ClientResponse) {
+        let route = self.routes.lock().get(&client).cloned();
+        match route {
+            Some(Route::Local(tx)) => {
+                let _ = tx.send(Self::encode(&Envelope::Response(resp.clone())));
+            }
+            Some(Route::Via(peer)) => {
+                if let Some(tx) = self.peer_sender(peer) {
+                    let _ = tx.send(Self::encode(&Envelope::Response(resp.clone())));
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+struct TcpOut<M> {
+    net: Arc<NodeNet<M>>,
+}
+
+impl<M> Clone for TcpOut<M> {
+    fn clone(&self) -> Self {
+        TcpOut { net: Arc::clone(&self.net) }
+    }
+}
+
+impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static> Outbound<M>
+    for TcpOut<M>
+{
+    fn to_node(&self, to: NodeId, env: Envelope<M>) {
+        // Requests we forward should route replies back through us only if
+        // the client is ours; if we got it from elsewhere the route already
+        // points there and the next node will record `via us`, chaining back.
+        if let Some(tx) = self.net.peer_sender(to) {
+            let _ = tx.send(NodeNet::encode(&env));
+        }
+    }
+    fn to_client(&self, client: ClientId, resp: ClientResponse) {
+        self.net.deliver_response(client, &resp);
+    }
+}
+
+/// A running TCP cluster on localhost (each node a real listener + thread).
+pub struct TcpCluster<R: Replica> {
+    addrs: Arc<HashMap<NodeId, SocketAddr>>,
+    inboxes: HashMap<NodeId, Sender<NodeEvent<R::Msg>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_client: AtomicU32,
+    _timers: Arc<TimerService>,
+}
+
+impl<R> TcpCluster<R>
+where
+    R: Replica + Send + 'static,
+    R::Msg: Serialize + DeserializeOwned,
+{
+    /// Binds one listener per node on 127.0.0.1 and starts all replicas.
+    pub fn launch<F>(cluster: ClusterConfig, factory: F) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R>,
+    {
+        let all = cluster.all_nodes();
+        let mut listeners = Vec::new();
+        let mut addrs = HashMap::new();
+        for &id in &all {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.insert(id, l.local_addr()?);
+            listeners.push((id, l));
+        }
+        let addrs = Arc::new(addrs);
+        let timers = Arc::new(TimerService::new());
+        let epoch = Instant::now();
+        let mut inboxes = HashMap::new();
+        let mut handles = Vec::new();
+
+        for (i, (id, listener)) in listeners.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<NodeEvent<R::Msg>>();
+            inboxes.insert(id, tx.clone());
+            let net = Arc::new(NodeNet::<R::Msg> {
+                me: id,
+                addrs: Arc::clone(&addrs),
+                peer_conns: Mutex::new(HashMap::new()),
+                routes: Mutex::new(HashMap::new()),
+                _marker: std::marker::PhantomData,
+            });
+            // Acceptor: one reader thread per inbound connection.
+            {
+                let net = Arc::clone(&net);
+                let inbox = tx.clone();
+                std::thread::spawn(move || {
+                    for stream in listener.incoming() {
+                        let Ok(stream) = stream else { break };
+                        stream.set_nodelay(true).ok();
+                        let net = Arc::clone(&net);
+                        let inbox = inbox.clone();
+                        std::thread::spawn(move || reader_loop::<R::Msg>(stream, net, inbox));
+                    }
+                });
+            }
+            let replica = factory.make(id);
+            let peers = all.clone();
+            let out = TcpOut { net };
+            let timers2 = Arc::clone(&timers);
+            handles.push(std::thread::spawn(move || {
+                run_node(id, replica, peers, rx, tx, out, timers2, epoch, 0xBEEF + i as u64)
+            }));
+        }
+        Ok(TcpCluster { addrs, inboxes, handles, next_client: AtomicU32::new(0), _timers: timers })
+    }
+
+    /// The address of a node's listener.
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.addrs[&node]
+    }
+
+    /// Connects a blocking TCP client to `attach`.
+    pub fn client(&self, attach: NodeId) -> std::io::Result<TcpClient> {
+        let id = ClientId(1_000_000 + self.next_client.fetch_add(1, Ordering::Relaxed));
+        TcpClient::connect(self.addr(attach), id)
+    }
+
+    /// Stops all node threads.
+    pub fn shutdown(mut self) {
+        for tx in self.inboxes.values() {
+            let _ = tx.send(NodeEvent::Wire(Envelope::Shutdown));
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_loop<M>(
+    mut stream: TcpStream,
+    net: Arc<NodeNet<M>>,
+    inbox: Sender<NodeEvent<M>>,
+) where
+    M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static,
+{
+    let mut decoder = paxi_codec::FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut identity: Option<Hello> = None;
+    let mut writer: Option<Sender<Vec<u8>>> = None;
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            let frame = match decoder.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => return,
+            };
+            if identity.is_none() {
+                let Ok(hello) = paxi_codec::from_bytes::<Hello>(&frame) else { return };
+                if matches!(hello, Hello::Client(_)) {
+                    let Ok(clone) = stream.try_clone() else { return };
+                    writer = Some(spawn_writer(clone));
+                }
+                identity = Some(hello);
+                continue;
+            }
+            let Ok(env) = paxi_codec::from_bytes::<Envelope<M>>(&frame) else { return };
+            match (&identity, env) {
+                (Some(Hello::Client(cid)), Envelope::Request(req)) => {
+                    if let Some(w) = &writer {
+                        net.routes.lock().insert(*cid, Route::Local(w.clone()));
+                    }
+                    let _ = inbox.send(NodeEvent::Wire(Envelope::Request(req)));
+                }
+                (Some(Hello::Peer(pid)), Envelope::Request(req)) => {
+                    // Forwarded request: remember the way back, unless we
+                    // already hold the client locally.
+                    let mut routes = net.routes.lock();
+                    match routes.get(&req.id.client) {
+                        Some(Route::Local(_)) => {}
+                        _ => {
+                            routes.insert(req.id.client, Route::Via(*pid));
+                        }
+                    }
+                    drop(routes);
+                    let _ = inbox.send(NodeEvent::Wire(Envelope::Request(req)));
+                }
+                (_, Envelope::Response(resp)) => {
+                    // A relayed response passing through us toward the client.
+                    net.deliver_response(resp.id.client, &resp);
+                }
+                (_, Envelope::Msg { from, msg }) => {
+                    let _ = inbox.send(NodeEvent::Wire(Envelope::Msg { from, msg }));
+                }
+                (_, Envelope::Shutdown) => return,
+                (None, _) => return,
+            }
+        }
+    }
+}
+
+/// A blocking TCP client speaking the framed envelope protocol.
+pub struct TcpClient {
+    id: ClientId,
+    seq: u64,
+    stream: TcpStream,
+    decoder: paxi_codec::FrameDecoder,
+    timeout: Duration,
+}
+
+impl TcpClient {
+    /// Connects and handshakes.
+    pub fn connect(addr: SocketAddr, id: ClientId) -> std::io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let hello = paxi_codec::encode_frame(&paxi_codec::to_bytes(&Hello::Client(id)).unwrap());
+        stream.write_all(&hello)?;
+        Ok(TcpClient {
+            id,
+            seq: 0,
+            stream,
+            decoder: paxi_codec::FrameDecoder::new(),
+            timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Executes one command, blocking for the matching response.
+    pub fn execute(&mut self, cmd: Command) -> Option<ClientResponse> {
+        let req_id = RequestId::new(self.id, self.seq);
+        self.seq += 1;
+        // Clients never parameterize over a protocol's message type; unit
+        // stands in because Request/Response variants carry no M.
+        let env: Envelope<()> = Envelope::Request(paxi_core::ClientRequest {
+            id: req_id,
+            cmd,
+        });
+        let frame = paxi_codec::encode_frame(&paxi_codec::to_bytes(&env).ok()?);
+        self.stream.write_all(&frame).ok()?;
+        let deadline = Instant::now() + self.timeout;
+        let mut buf = [0u8; 8192];
+        loop {
+            if let Ok(Some(frame)) = self.decoder.next_frame() {
+                if let Ok(Envelope::<()>::Response(resp)) = paxi_codec::from_bytes(&frame) {
+                    if resp.id == req_id {
+                        return Some(resp);
+                    }
+                    continue;
+                }
+                continue;
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return None,
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return None;
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Convenience: `PUT key value`.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> Option<ClientResponse> {
+        self.execute(Command::put(key, value))
+    }
+
+    /// Convenience: `GET key`.
+    pub fn get(&mut self, key: u64) -> Option<ClientResponse> {
+        self.execute(Command::get(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_protocols::paxos::{paxos_cluster, PaxosConfig};
+
+    #[test]
+    fn paxos_over_tcp_localhost() {
+        let cluster = ClusterConfig::lan(3);
+        let run = TcpCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        )
+        .expect("launch");
+        // Attach to the leader directly.
+        let mut client = run.client(NodeId::new(0, 0)).expect("connect");
+        let w = client.put(1, b"tcp".to_vec()).expect("put");
+        assert!(w.ok);
+        let r = client.get(1).expect("get");
+        assert_eq!(r.value, Some(b"tcp".to_vec()));
+        run.shutdown();
+    }
+
+    #[test]
+    fn follower_forwarding_relays_replies() {
+        let cluster = ClusterConfig::lan(3);
+        let run = TcpCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        )
+        .expect("launch");
+        // Attach to a follower: the request is forwarded to the leader and
+        // the response relayed back through the follower's connection.
+        let mut client = run.client(NodeId::new(0, 2)).expect("connect");
+        for i in 0..10u64 {
+            let w = client.put(i, vec![i as u8]).expect("put via follower");
+            assert!(w.ok);
+        }
+        let r = client.get(5).expect("get");
+        assert_eq!(r.value, Some(vec![5]));
+        run.shutdown();
+    }
+}

@@ -1,0 +1,308 @@
+//! UDP socket transport.
+//!
+//! Paxi supports UDP alongside TCP so protocols whose small, conflict-free
+//! messages gain nothing from ordered delivery can skip TCP's congestion
+//! control. Each node (and each client) owns one datagram socket; an
+//! envelope is one `paxi-codec` datagram, no framing needed. Delivery is
+//! best-effort: protocols built on quorums tolerate loss natively, and
+//! clients retry on timeout.
+//!
+//! Reply routing works like the TCP transport: a node records the source
+//! address of requests arriving straight from clients, and `via peer` for
+//! forwarded ones, relaying responses back hop by hop.
+
+use crate::envelope::Envelope;
+use crate::runtime::{run_node, NodeEvent, Outbound};
+use crate::timer::TimerService;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use paxi_core::command::{ClientResponse, Command};
+use paxi_core::config::ClusterConfig;
+use paxi_core::id::{ClientId, NodeId, RequestId};
+use paxi_core::traits::{Replica, ReplicaFactory};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_DGRAM: usize = 60 * 1024;
+
+#[derive(Clone, Copy)]
+enum Route {
+    Local(SocketAddr),
+    Via(NodeId),
+}
+
+struct UdpNet {
+    socket: UdpSocket,
+    addrs: Arc<HashMap<NodeId, SocketAddr>>,
+    routes: Mutex<HashMap<ClientId, Route>>,
+}
+
+impl UdpNet {
+    fn send_to_node<M: Serialize>(&self, to: NodeId, env: &Envelope<M>) {
+        if let Some(addr) = self.addrs.get(&to) {
+            if let Ok(bytes) = paxi_codec::to_bytes(env) {
+                debug_assert!(bytes.len() <= MAX_DGRAM);
+                let _ = self.socket.send_to(&bytes, addr);
+            }
+        }
+    }
+
+    fn deliver_response<M: Serialize>(&self, resp: &ClientResponse) {
+        let route = self.routes.lock().get(&resp.id.client).copied();
+        match route {
+            Some(Route::Local(addr)) => {
+                if let Ok(bytes) = paxi_codec::to_bytes(&Envelope::<()>::Response(resp.clone())) {
+                    let _ = self.socket.send_to(&bytes, addr);
+                }
+            }
+            Some(Route::Via(peer)) => {
+                self.send_to_node::<M>(peer, &Envelope::Response(resp.clone()));
+            }
+            None => {}
+        }
+    }
+}
+
+struct UdpOut<M> {
+    net: Arc<UdpNet>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> Clone for UdpOut<M> {
+    fn clone(&self) -> Self {
+        UdpOut { net: Arc::clone(&self.net), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static> Outbound<M>
+    for UdpOut<M>
+{
+    fn to_node(&self, to: NodeId, env: Envelope<M>) {
+        self.net.send_to_node(to, &env);
+    }
+    fn to_client(&self, _client: ClientId, resp: ClientResponse) {
+        self.net.deliver_response::<M>(&resp);
+    }
+}
+
+/// A running UDP cluster on localhost.
+pub struct UdpCluster<R: Replica> {
+    addrs: Arc<HashMap<NodeId, SocketAddr>>,
+    inboxes: HashMap<NodeId, Sender<NodeEvent<R::Msg>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_client: AtomicU32,
+    _timers: Arc<TimerService>,
+}
+
+impl<R> UdpCluster<R>
+where
+    R: Replica + Send + 'static,
+    R::Msg: Serialize + DeserializeOwned,
+{
+    /// Binds one UDP socket per node and starts all replicas.
+    pub fn launch<F>(cluster: ClusterConfig, factory: F) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R>,
+    {
+        let all = cluster.all_nodes();
+        let mut sockets = Vec::new();
+        let mut addrs = HashMap::new();
+        for &id in &all {
+            let s = UdpSocket::bind("127.0.0.1:0")?;
+            addrs.insert(id, s.local_addr()?);
+            sockets.push((id, s));
+        }
+        let addrs = Arc::new(addrs);
+        // Reverse map for identifying peer datagrams.
+        let peer_by_addr: Arc<HashMap<SocketAddr, NodeId>> =
+            Arc::new(addrs.iter().map(|(&n, &a)| (a, n)).collect());
+        let timers = Arc::new(TimerService::new());
+        let epoch = Instant::now();
+        let mut inboxes = HashMap::new();
+        let mut handles = Vec::new();
+
+        for (i, (id, socket)) in sockets.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<NodeEvent<R::Msg>>();
+            inboxes.insert(id, tx.clone());
+            let net = Arc::new(UdpNet {
+                socket: socket.try_clone()?,
+                addrs: Arc::clone(&addrs),
+                routes: Mutex::new(HashMap::new()),
+            });
+            // Receiver thread.
+            {
+                let net = Arc::clone(&net);
+                let inbox = tx.clone();
+                let peer_by_addr = Arc::clone(&peer_by_addr);
+                std::thread::spawn(move || {
+                    let mut buf = vec![0u8; MAX_DGRAM];
+                    loop {
+                        let Ok((n, src)) = socket.recv_from(&mut buf) else { return };
+                        let Ok(env) = paxi_codec::from_bytes::<Envelope<R::Msg>>(&buf[..n]) else {
+                            continue;
+                        };
+                        match env {
+                            Envelope::Request(req) => {
+                                let route = match peer_by_addr.get(&src) {
+                                    Some(&peer) => Route::Via(peer),
+                                    None => Route::Local(src),
+                                };
+                                let mut routes = net.routes.lock();
+                                match (routes.get(&req.id.client), &route) {
+                                    (Some(Route::Local(_)), Route::Via(_)) => {}
+                                    _ => {
+                                        routes.insert(req.id.client, route);
+                                    }
+                                }
+                                drop(routes);
+                                let _ = inbox.send(NodeEvent::Wire(Envelope::Request(req)));
+                            }
+                            Envelope::Response(resp) => net.deliver_response::<R::Msg>(&resp),
+                            Envelope::Msg { from, msg } => {
+                                let _ = inbox.send(NodeEvent::Wire(Envelope::Msg { from, msg }));
+                            }
+                            Envelope::Shutdown => return,
+                        }
+                    }
+                });
+            }
+            let replica = factory.make(id);
+            let peers = all.clone();
+            let out = UdpOut::<R::Msg> { net, _marker: std::marker::PhantomData };
+            let timers2 = Arc::clone(&timers);
+            handles.push(std::thread::spawn(move || {
+                run_node(id, replica, peers, rx, tx, out, timers2, epoch, 0xD06 + i as u64)
+            }));
+        }
+        Ok(UdpCluster { addrs, inboxes, handles, next_client: AtomicU32::new(0), _timers: timers })
+    }
+
+    /// The address of a node's socket.
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.addrs[&node]
+    }
+
+    /// Creates a UDP client attached to `attach`.
+    pub fn client(&self, attach: NodeId) -> std::io::Result<UdpClient> {
+        let id = ClientId(2_000_000 + self.next_client.fetch_add(1, Ordering::Relaxed));
+        UdpClient::connect(self.addr(attach), id)
+    }
+
+    /// Stops all node threads (receiver threads die with the process).
+    pub fn shutdown(mut self) {
+        for tx in self.inboxes.values() {
+            let _ = tx.send(NodeEvent::Wire(Envelope::Shutdown));
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A blocking UDP client with timeout + retry (datagrams may drop).
+pub struct UdpClient {
+    id: ClientId,
+    seq: u64,
+    socket: UdpSocket,
+    server: SocketAddr,
+    timeout: Duration,
+    retries: u32,
+}
+
+impl UdpClient {
+    /// Binds a client socket targeting `server`.
+    pub fn connect(server: SocketAddr, id: ClientId) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(500)))?;
+        Ok(UdpClient { id, seq: 0, socket, server, timeout: Duration::from_millis(500), retries: 6 })
+    }
+
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Executes one command; retransmits on timeout (idempotent at the
+    /// protocol layer only for reads — production systems add request
+    /// deduplication, which the in-scope experiments don't need).
+    pub fn execute(&mut self, cmd: Command) -> Option<ClientResponse> {
+        let req_id = RequestId::new(self.id, self.seq);
+        self.seq += 1;
+        let env: Envelope<()> =
+            Envelope::Request(paxi_core::ClientRequest { id: req_id, cmd });
+        let bytes = paxi_codec::to_bytes(&env).ok()?;
+        let mut buf = vec![0u8; MAX_DGRAM];
+        for _ in 0..self.retries {
+            let _ = self.socket.send_to(&bytes, self.server);
+            let deadline = Instant::now() + self.timeout;
+            while Instant::now() < deadline {
+                match self.socket.recv_from(&mut buf) {
+                    Ok((n, _)) => {
+                        if let Ok(Envelope::<()>::Response(resp)) =
+                            paxi_codec::from_bytes(&buf[..n])
+                        {
+                            if resp.id == req_id {
+                                return Some(resp);
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Convenience: `PUT key value`.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> Option<ClientResponse> {
+        self.execute(Command::put(key, value))
+    }
+
+    /// Convenience: `GET key`.
+    pub fn get(&mut self, key: u64) -> Option<ClientResponse> {
+        self.execute(Command::get(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_protocols::paxos::{paxos_cluster, PaxosConfig};
+
+    #[test]
+    fn paxos_over_udp_localhost() {
+        let cluster = ClusterConfig::lan(3);
+        let run = UdpCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        )
+        .expect("launch");
+        let mut client = run.client(NodeId::new(0, 0)).expect("client");
+        let w = client.put(9, b"udp".to_vec()).expect("put");
+        assert!(w.ok);
+        let r = client.get(9).expect("get");
+        assert_eq!(r.value, Some(b"udp".to_vec()));
+        run.shutdown();
+    }
+
+    #[test]
+    fn udp_forwarding_via_follower() {
+        let cluster = ClusterConfig::lan(3);
+        let run = UdpCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        )
+        .expect("launch");
+        let mut client = run.client(NodeId::new(0, 1)).expect("client");
+        for i in 0..5u64 {
+            assert!(client.put(i, vec![i as u8]).expect("put").ok);
+        }
+        assert_eq!(client.get(3).expect("get").value, Some(vec![3]));
+        run.shutdown();
+    }
+}

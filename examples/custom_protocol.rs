@@ -1,0 +1,131 @@
+//! Prototyping a new protocol in the framework — the Paxi pitch.
+//!
+//! Run with `cargo run --example custom_protocol`.
+//!
+//! The paper's framework claim: a developer only writes two modules — the
+//! message types and the replica logic — and gets networking, quorums, the
+//! datastore, clients, benchmarking, and fault injection for free. This
+//! example implements **primary-backup replication** (unsafe against
+//! primary failure, but a fine demo) in ~80 lines, then runs it under the
+//! deterministic simulator *and* the wall-clock channel runtime without
+//! changing a line of protocol code.
+
+use paxi::core::{
+    ClientRequest, ClientResponse, ClusterConfig, Context, MultiVersionStore, Nanos, NodeId,
+    Replica,
+};
+use paxi::sim::{ClientSetup, SimConfig, Simulator};
+use paxi::transport::InProcCluster;
+use serde::{Deserialize, Serialize};
+
+/// Module 1: the wire messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum PbMsg {
+    /// Primary -> backups: apply this command.
+    Replicate { seq: u64, req: ClientRequest },
+    /// Backup -> primary: applied up to `seq`.
+    Ack { seq: u64, from_backup: bool },
+}
+
+/// Module 2: the replica logic.
+struct PrimaryBackup {
+    id: NodeId,
+    n: usize,
+    primary: NodeId,
+    store: MultiVersionStore,
+    // Primary bookkeeping: next sequence number and ack counts.
+    next_seq: u64,
+    pending: Vec<(u64, ClientRequest, usize)>,
+}
+
+impl PrimaryBackup {
+    fn new(id: NodeId, cluster: ClusterConfig) -> Self {
+        PrimaryBackup {
+            id,
+            n: cluster.n(),
+            primary: cluster.initial_leader(),
+            store: MultiVersionStore::new(),
+            next_seq: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn is_primary(&self) -> bool {
+        self.id == self.primary
+    }
+}
+
+impl Replica for PrimaryBackup {
+    type Msg = PbMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: PbMsg, ctx: &mut dyn Context<PbMsg>) {
+        match msg {
+            PbMsg::Replicate { seq, req } => {
+                // Backups apply immediately and ack.
+                self.store.execute(&req.cmd);
+                ctx.send(from, PbMsg::Ack { seq, from_backup: true });
+            }
+            PbMsg::Ack { seq, .. } => {
+                if let Some(pos) = self.pending.iter().position(|(s, _, _)| *s == seq) {
+                    self.pending[pos].2 += 1;
+                    // All backups acked: execute at the primary and reply.
+                    if self.pending[pos].2 == self.n - 1 {
+                        let (_, req, _) = self.pending.remove(pos);
+                        let value = self.store.execute(&req.cmd);
+                        ctx.reply(ClientResponse::ok(req.id, value));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<PbMsg>) {
+        if !self.is_primary() {
+            ctx.forward(self.primary, req);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((seq, req.clone(), 0));
+        ctx.broadcast(PbMsg::Replicate { seq, req });
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "primary-backup"
+    }
+
+    fn store(&self) -> Option<&MultiVersionStore> {
+        Some(&self.store)
+    }
+}
+
+fn main() {
+    // Under the simulator: measure latency/throughput deterministically.
+    let cluster = ClusterConfig::lan(3);
+    let c2 = cluster.clone();
+    let mut sim = Simulator::new(
+        SimConfig { measure: Nanos::secs(2), ..SimConfig::default() },
+        cluster.clone(),
+        move |id: NodeId| PrimaryBackup::new(id, c2.clone()),
+        paxi::sim::client::uniform_workload(100),
+        ClientSetup::closed_per_zone(&cluster, 4),
+    );
+    let report = sim.run();
+    println!(
+        "simulator: {} ops at {:.0} ops/s, mean latency {:.2} ms",
+        report.completed,
+        report.throughput,
+        report.latency.mean.as_millis_f64()
+    );
+
+    // Under the wall-clock channel runtime: same replica code, real threads.
+    let cluster = ClusterConfig::lan(3);
+    let c2 = cluster.clone();
+    let run = InProcCluster::launch(cluster, move |id: NodeId| PrimaryBackup::new(id, c2.clone()));
+    let mut client = run.client(NodeId::new(0, 2));
+    client.put(7, b"hello".to_vec()).expect("put");
+    let got = client.get(7).expect("get");
+    println!("wall-clock: GET 7 -> {:?}", got.value.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    run.shutdown();
+    println!("the same ~80-line replica ran under both runtimes unchanged");
+}

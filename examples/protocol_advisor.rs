@@ -1,0 +1,88 @@
+//! The paper's Figure 14 flowchart as a command-line advisor.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example protocol_advisor -- --wan --locality --dynamic --dc-failure
+//! ```
+//!
+//! Flags: `--no-consensus`, `--wan`, `--read-heavy`, `--locality`,
+//! `--dynamic`, `--dc-failure`. Omitted flags default to "no". With no
+//! arguments, prints the recommendation for every path plus the
+//! back-of-the-envelope load/latency numbers from the §6 formulas.
+
+use paxi::model::advisor::{recommend, Answers};
+use paxi::model::formulas;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        all_paths();
+        return;
+    }
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let answers = Answers {
+        needs_consensus: !has("--no-consensus"),
+        wan: has("--wan"),
+        read_heavy: has("--read-heavy"),
+        locality: has("--locality"),
+        dynamic_locality: has("--dynamic"),
+        datacenter_failure_concern: has("--dc-failure"),
+    };
+    let r = recommend(answers);
+    println!("deployment: {answers:?}\n");
+    println!("recommended category : {}", r.category);
+    println!("protocols to consider: {}", r.protocols.join(", "));
+    println!("rationale            : {}", r.rationale);
+}
+
+fn all_paths() {
+    println!("No flags given — walking every path of the paper's Figure 14:\n");
+    let base = Answers {
+        needs_consensus: true,
+        wan: false,
+        read_heavy: false,
+        locality: false,
+        dynamic_locality: false,
+        datacenter_failure_concern: false,
+    };
+    let cases = [
+        ("no consensus needed", Answers { needs_consensus: false, ..base }),
+        ("LAN, write-heavy", base),
+        ("LAN, read-heavy", Answers { read_heavy: true, ..base }),
+        ("WAN, no locality", Answers { wan: true, ..base }),
+        ("WAN, static locality", Answers { wan: true, locality: true, ..base }),
+        (
+            "WAN, dynamic locality, region failures tolerable",
+            Answers { wan: true, locality: true, dynamic_locality: true, ..base },
+        ),
+        (
+            "WAN, dynamic locality, must survive region failure",
+            Answers {
+                wan: true,
+                locality: true,
+                dynamic_locality: true,
+                datacenter_failure_concern: true,
+                ..base
+            },
+        ),
+    ];
+    for (label, a) in cases {
+        let r = recommend(a);
+        println!("  {label:<50} -> {}", r.protocols.join(" / "));
+    }
+
+    println!("\nBack-of-the-envelope load at N = 9 (Formulas 3-6, lower is better):");
+    println!("  Paxos          : {:.2}", formulas::load_paxos(9));
+    println!("  EPaxos (c=0)   : {:.2}", formulas::load_epaxos(9, 0.0));
+    println!("  EPaxos (c=0.5) : {:.2}", formulas::load_epaxos(9, 0.5));
+    println!("  WPaxos (3x3)   : {:.2}", formulas::load_wpaxos(9, 3));
+
+    println!("\nExpected WAN latency with DL=80ms, DQ=10ms (Formula 7):");
+    for (c, l) in [(0.0, 0.0), (0.0, 0.9), (0.3, 0.9)] {
+        println!(
+            "  conflict={c:.1} locality={l:.1} -> {:.1} ms",
+            formulas::latency(c, l, 80.0, 10.0)
+        );
+    }
+}

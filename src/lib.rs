@@ -1,0 +1,16 @@
+//! # paxi
+//!
+//! Umbrella crate re-exporting the whole Paxi workspace: the framework
+//! building blocks, the deterministic simulator, the protocol
+//! implementations, the analytic models, the benchmark harness, and the
+//! wall-clock transports.
+
+#![warn(missing_docs)]
+
+pub use paxi_bench as bench;
+pub use paxi_codec as codec;
+pub use paxi_core as core;
+pub use paxi_model as model;
+pub use paxi_protocols as protocols;
+pub use paxi_sim as sim;
+pub use paxi_transport as transport;

@@ -1,0 +1,240 @@
+//! Property-based tests over the core data structures and invariants.
+
+use paxi::codec;
+use paxi::core::dist::{KeyDist, KeySampler, Rng64};
+use paxi::core::metrics::Histogram;
+use paxi::core::quorum::{FlexibleGridQuorum, GridPhase, QuorumTracker};
+use paxi::core::store::MultiVersionStore;
+use paxi::core::{Ballot, Command, Nanos, NodeId};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+// proptest_derive is not in the offline set; build an arbitrary-by-hand
+// strategy instead.
+mod arb {
+    use super::*;
+
+    pub fn wire_blob() -> impl Strategy<Value = super::Blob> {
+        (
+            any::<u8>(),
+            any::<i64>(),
+            ".{0,32}",
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::option::of((any::<u32>(), ".{0,8}")),
+            proptest::collection::vec(proptest::option::of(any::<bool>()), 0..8),
+        )
+            .prop_map(|(a, b, c, d, e, f)| super::Blob { a, b, c, d, e, f })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Blob {
+    a: u8,
+    b: i64,
+    c: String,
+    d: Vec<u8>,
+    e: Option<(u32, String)>,
+    f: Vec<Option<bool>>,
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_arbitrary_structures(blob in arb::wire_blob()) {
+        let bytes = codec::to_bytes(&blob).unwrap();
+        let back: Blob = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(blob, back);
+    }
+
+    #[test]
+    fn codec_rejects_truncation(blob in arb::wire_blob()) {
+        let bytes = codec::to_bytes(&blob).unwrap();
+        if bytes.len() > 1 {
+            // Truncating the payload must never decode into a full value
+            // plus zero remaining bytes (i.e. from_bytes must error).
+            let r: codec::Result<Blob> = codec::from_bytes(&bytes[..bytes.len() - 1]);
+            prop_assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded(
+        mut samples in proptest::collection::vec(1u64..10_000_000_000, 1..200)
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Nanos(s));
+        }
+        samples.sort_unstable();
+        let (min, max) = (samples[0], *samples.last().unwrap());
+        prop_assert_eq!(h.min().0, min);
+        prop_assert_eq!(h.max().0, max);
+        let p50 = h.p50().0;
+        let p99 = h.p99().0;
+        prop_assert!(p50 <= p99);
+        prop_assert!(p50 >= min && p99 <= max);
+        // Quantile error is bounded by the bucket width (<1% relative).
+        let exact50 = samples[(samples.len() - 1) / 2] as f64;
+        prop_assert!((p50 as f64) <= exact50 * 1.01 + 1.0);
+    }
+
+    #[test]
+    fn flexible_grid_quorums_always_intersect(
+        zones in 1u8..6,
+        per_zone in 1u8..6,
+        f_raw in 0u8..5,
+        fz_raw in 0u8..5,
+        pick in any::<u64>(),
+    ) {
+        let f = f_raw % per_zone;
+        let fz = fz_raw % zones;
+        // Build one minimal q1 and one minimal q2 from a pseudo-random pick
+        // and verify they share a node.
+        let mut rng = Rng64::seed(pick);
+        let minimal = |phase: GridPhase, rng: &mut Rng64| -> Vec<NodeId> {
+            let q = FlexibleGridQuorum::new(zones, per_zone, f, fz, phase);
+            // choose zone subset
+            let mut zs: Vec<u8> = (0..zones).collect();
+            for i in (1..zs.len()).rev() {
+                let j = (rng.below((i + 1) as u64)) as usize;
+                zs.swap(i, j);
+            }
+            let zs = &zs[..q.zone_threshold()];
+            let mut members = Vec::new();
+            for &z in zs {
+                let mut ns: Vec<u8> = (0..per_zone).collect();
+                for i in (1..ns.len()).rev() {
+                    let j = (rng.below((i + 1) as u64)) as usize;
+                    ns.swap(i, j);
+                }
+                for &n in &ns[..q.per_zone_threshold()] {
+                    members.push(NodeId::new(z, n));
+                }
+            }
+            members
+        };
+        let q1 = minimal(GridPhase::One, &mut rng);
+        let q2 = minimal(GridPhase::Two, &mut rng);
+        prop_assert!(
+            q1.iter().any(|n| q2.contains(n)),
+            "q1 {:?} and q2 {:?} must intersect (z={} n={} f={} fz={})",
+            q1, q2, zones, per_zone, f, fz
+        );
+        // And each satisfies its own tracker.
+        let mut t1 = FlexibleGridQuorum::new(zones, per_zone, f, fz, GridPhase::One);
+        for &n in &q1 { t1.ack(n); }
+        prop_assert!(t1.satisfied());
+        let mut t2 = FlexibleGridQuorum::new(zones, per_zone, f, fz, GridPhase::Two);
+        for &n in &q2 { t2.ack(n); }
+        prop_assert!(t2.satisfied());
+    }
+
+    #[test]
+    fn store_history_is_append_only_and_parent_linked(
+        ops in proptest::collection::vec((0u64..5, any::<bool>(), any::<u8>()), 1..100)
+    ) {
+        let mut store = MultiVersionStore::new();
+        let mut lengths = std::collections::HashMap::new();
+        for (key, is_put, val) in ops {
+            if is_put {
+                store.execute(&Command::put(key, vec![val]));
+            } else {
+                store.execute(&Command::get(key));
+            }
+            let h = store.history(key);
+            let prev = lengths.insert(key, h.len()).unwrap_or(0);
+            prop_assert!(h.len() >= prev, "history shrank");
+            for (i, v) in h.iter().enumerate() {
+                prop_assert_eq!(v.seq, i as u64 + 1);
+                prop_assert_eq!(v.parent, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn ballots_are_totally_ordered_and_next_increases(
+        c1 in 0u32..1000, z1 in 0u8..4, n1 in 0u8..4,
+        c2 in 0u32..1000, z2 in 0u8..4, n2 in 0u8..4,
+    ) {
+        let a = Ballot { counter: c1, id: NodeId::new(z1, n1) };
+        let b = Ballot { counter: c2, id: NodeId::new(z2, n2) };
+        // next() always outbids both operands.
+        let na = b.next(a.id);
+        prop_assert!(na > b);
+        // Total order is antisymmetric.
+        if a != b {
+            prop_assert!((a < b) != (b < a));
+        }
+    }
+
+    #[test]
+    fn key_samplers_stay_in_range(
+        k in 1u64..5000,
+        seed in any::<u64>(),
+        skew in 1u32..40,
+    ) {
+        let mut rng = Rng64::seed(seed);
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Normal { mu: (k / 2) as f64, sigma: k as f64 / skew as f64 },
+            KeyDist::Zipfian { s: 1.0 + skew as f64 / 20.0, v: 1.0 },
+            KeyDist::Exponential { rate: skew as f64 / k as f64 },
+        ] {
+            let sampler = KeySampler::new(k, dist);
+            for _ in 0..50 {
+                prop_assert!(sampler.sample(&mut rng) < k);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_histories_never_trigger_the_checker(
+        vals in proptest::collection::vec(any::<u8>(), 1..40)
+    ) {
+        // A strictly sequential single-client history (write then read, no
+        // overlap) is trivially linearizable.
+        use paxi::sim::OpRecord;
+        use paxi_core::id::ClientId;
+        let mut ops = Vec::new();
+        let mut t = 0u64;
+        let mut last: Option<Vec<u8>>;
+        for (i, v) in vals.iter().enumerate() {
+            let value = vec![*v, i as u8]; // unique per write
+            ops.push(OpRecord {
+                client: ClientId(0),
+                key: 1,
+                write: Some(value.clone()),
+                read: None,
+                invoke: Nanos(t),
+                ret: Nanos(t + 5),
+                ok: true,
+            });
+            t += 10;
+            last = Some(value);
+            ops.push(OpRecord {
+                client: ClientId(0),
+                key: 1,
+                write: None,
+                read: Some(last.clone()),
+                invoke: Nanos(t),
+                ret: Nanos(t + 5),
+                ok: true,
+            });
+            t += 10;
+        }
+        prop_assert!(paxi::bench::check_linearizability(&ops).is_empty());
+    }
+
+    #[test]
+    fn rng_fork_streams_do_not_correlate(seed in any::<u64>()) {
+        let mut root = Rng64::seed(seed);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let mut equal = 0;
+        for _ in 0..64 {
+            if a.next_u64() == b.next_u64() {
+                equal += 1;
+            }
+        }
+        prop_assert!(equal < 4, "forked streams look correlated");
+    }
+}
