@@ -9,6 +9,7 @@
 //! * [`checker`] — the offline TAO-style linearizability checker.
 //! * [`consensus`] — the common-prefix consensus checker over replica stores.
 //! * [`runner`] — protocol dispatch and saturation sweeps.
+//! * [`nemesis`] — seeded random fault schedules + linearizability verdicts.
 //! * [`table`] — result tables with console + CSV output.
 //! * [`figures`] — one module per reproduced table/figure; the `repro`
 //!   binary drives them.
@@ -19,6 +20,7 @@ pub mod checker;
 pub mod config;
 pub mod consensus;
 pub mod figures;
+pub mod nemesis;
 pub mod runner;
 pub mod table;
 pub mod workload;
@@ -26,6 +28,7 @@ pub mod workload;
 pub use checker::{check_linearizability, Anomaly, AnomalyKind};
 pub use config::{BenchmarkConfig, Distribution};
 pub use consensus::{check_consensus, Divergence};
-pub use runner::{run, sweep, Proto, SweepPoint};
+pub use nemesis::{generate_schedule, run_nemesis, NemesisConfig, NemesisOutcome, NemesisSchedule};
+pub use runner::{run, run_with_faults, sweep, Proto, SweepPoint};
 pub use table::Table;
 pub use workload::{GeneralWorkload, HotKeyWorkload};

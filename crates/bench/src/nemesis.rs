@@ -1,0 +1,292 @@
+//! Seeded nemesis: randomized fault schedules checked for linearizability.
+//!
+//! Jepsen-style robustness testing for the simulated protocols: a nemesis
+//! derives a randomized — but fully seed-determined — [`FaultPlan`] for a
+//! cluster (crashes of a minority, single-node partitions, flaky and slow
+//! links), runs a protocol under it with every operation recorded, and feeds
+//! the completed history through [`check_linearizability`]. Strongly
+//! consistent protocols must come out anomaly-free under *every* schedule;
+//! progress is guaranteed by construction because every schedule heals at
+//! 75% of the run and leaves the tail fault-free for re-election and client
+//! retries.
+//!
+//! Determinism is the point: the schedule is a pure function of
+//! `(seed, cluster, horizon, episodes)`, and the simulator itself is
+//! deterministic, so a failing seed can be replayed bit-for-bit (see the
+//! "Chaos & nemesis runs" section of `EXPERIMENTS.md`). The
+//! [`NemesisSchedule::digest`] fingerprint makes "same schedule" checkable
+//! at a glance.
+
+use crate::checker::{check_linearizability, Anomaly};
+use crate::runner::{run_with_faults, Proto};
+use paxi_core::config::ClusterConfig;
+use paxi_core::dist::Rng64;
+use paxi_core::faults::FaultPlan;
+use paxi_core::id::NodeId;
+use paxi_core::time::Nanos;
+use paxi_sim::client::uniform_workload;
+use paxi_sim::{ClientSetup, SimConfig};
+
+/// Tunables of one nemesis run.
+#[derive(Debug, Clone)]
+pub struct NemesisConfig {
+    /// Seed for the schedule *and* the simulation (all randomness).
+    pub seed: u64,
+    /// Number of fault episodes to place.
+    pub episodes: usize,
+    /// Keys in the workload's space (smaller = more contention).
+    pub keys: u64,
+    /// Closed-loop clients per zone.
+    pub clients_per_zone: usize,
+}
+
+impl Default for NemesisConfig {
+    fn default() -> Self {
+        NemesisConfig { seed: 1, episodes: 5, keys: 8, clients_per_zone: 2 }
+    }
+}
+
+/// A generated fault schedule: the plan plus its human-readable steps.
+#[derive(Debug, Clone)]
+pub struct NemesisSchedule {
+    /// The machine-consumable plan.
+    pub plan: FaultPlan,
+    /// One line per episode (plus the closing heal), for logs and replay.
+    pub steps: Vec<String>,
+}
+
+impl NemesisSchedule {
+    /// FNV-1a fingerprint of the step list — equal digests mean the same
+    /// schedule was generated (the determinism tests assert this).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in &self.steps {
+            for b in s.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0x0a;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Derives a randomized fault schedule over `[0, horizon)` from `seed`.
+///
+/// Placement rules keep every schedule *survivable*:
+///
+/// * episodes start in `[horizon/20, horizon·7/10)` and last between
+///   `horizon/20` and `horizon/4`;
+/// * at most a minority of nodes is ever subject to crashing;
+/// * everything heals at `horizon·3/4`, leaving the tail clean.
+pub fn generate_schedule(
+    seed: u64,
+    cluster: &ClusterConfig,
+    horizon: Nanos,
+    episodes: usize,
+) -> NemesisSchedule {
+    let nodes = cluster.all_nodes();
+    let n = nodes.len();
+    let mut rng = Rng64::seed(seed ^ 0x4E4D_4553_4953); // "NEMESIS"
+    let mut plan = FaultPlan::new();
+    let mut steps = Vec::new();
+
+    let earliest = Nanos(horizon.0 / 20);
+    let latest_start = Nanos(horizon.0 * 7 / 10);
+    let heal_at = Nanos(horizon.0 * 3 / 4);
+    let max_crashes = (n.saturating_sub(1)) / 2;
+    let mut crashes_used = 0usize;
+
+    for _ in 0..episodes {
+        let at = Nanos(earliest.0 + rng.below((latest_start.0 - earliest.0).max(1)));
+        let dur = Nanos(horizon.0 / 20 + rng.below((horizon.0 / 5).max(1)));
+        let mut kind = rng.below(4);
+        if kind == 0 && crashes_used >= max_crashes {
+            kind = 3; // crash quota exhausted: degrade to a slow link
+        }
+        match kind {
+            0 => {
+                let victim = nodes[rng.below(n as u64) as usize];
+                crashes_used += 1;
+                plan.crash(victim, at, dur);
+                steps.push(format!("crash node={victim} at={} dur={}", at.0, dur.0));
+            }
+            1 => {
+                let victim = nodes[rng.below(n as u64) as usize];
+                let rest: Vec<NodeId> = nodes.iter().copied().filter(|&x| x != victim).collect();
+                plan.partition(&[victim], &rest, at, dur);
+                steps.push(format!("isolate node={victim} at={} dur={}", at.0, dur.0));
+            }
+            2 => {
+                let (src, dst) = distinct_pair(&nodes, &mut rng);
+                let p = 0.1 + 0.4 * rng.next_f64();
+                plan.flaky_link(src, dst, p, at, dur);
+                steps.push(format!(
+                    "flaky src={src} dst={dst} p={:.3} at={} dur={}",
+                    p, at.0, dur.0
+                ));
+            }
+            _ => {
+                let (src, dst) = distinct_pair(&nodes, &mut rng);
+                let delay = Nanos::millis(1 + rng.below(4));
+                plan.slow_link(src, dst, delay, at, dur);
+                steps.push(format!(
+                    "slow src={src} dst={dst} delay={} at={} dur={}",
+                    delay.0, at.0, dur.0
+                ));
+            }
+        }
+    }
+    plan.heal(heal_at);
+    steps.push(format!("heal at={}", heal_at.0));
+    NemesisSchedule { plan, steps }
+}
+
+fn distinct_pair(nodes: &[NodeId], rng: &mut Rng64) -> (NodeId, NodeId) {
+    let a = rng.below(nodes.len() as u64) as usize;
+    let mut b = rng.below(nodes.len() as u64 - 1) as usize;
+    if b >= a {
+        b += 1;
+    }
+    (nodes[a], nodes[b])
+}
+
+/// The verdict of one nemesis run.
+#[derive(Debug)]
+pub struct NemesisOutcome {
+    /// Protocol display name.
+    pub proto: String,
+    /// Seed the schedule and simulation ran under.
+    pub seed: u64,
+    /// The schedule that was applied.
+    pub schedule: NemesisSchedule,
+    /// Operations completed inside the measurement window.
+    pub completed: u64,
+    /// Completions in the fault-free tail (after the heal point) — nonzero
+    /// means the system recovered.
+    pub tail_completed: u64,
+    /// Anomalous reads found by the linearizability checker (empty = pass).
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl NemesisOutcome {
+    /// Whether the run is anomaly-free and made progress after healing.
+    pub fn passed(&self) -> bool {
+        self.anomalies.is_empty() && self.tail_completed > 0
+    }
+}
+
+/// Runs `proto` under a seeded random fault schedule and checks the history.
+///
+/// `sim` supplies the topology and timing template (its `topology` must match
+/// `cluster`, as with [`crate::runner::run`]); the nemesis overrides the
+/// seed, enables op recording, and arms client retries so abandoned requests
+/// are re-issued rather than wedging closed-loop clients.
+pub fn run_nemesis(
+    proto: &Proto,
+    mut sim: SimConfig,
+    cluster: ClusterConfig,
+    cfg: &NemesisConfig,
+) -> NemesisOutcome {
+    let horizon = sim.warmup + sim.measure;
+    let schedule = generate_schedule(cfg.seed, &cluster, horizon, cfg.episodes);
+    sim.seed = cfg.seed;
+    sim.record_ops = true;
+    if sim.client_retry.is_none() {
+        sim.client_retry = Some(Nanos::millis(500));
+    }
+    let clients = ClientSetup::closed_per_zone(&cluster, cfg.clients_per_zone);
+    let heal_at = Nanos(horizon.0 * 3 / 4);
+    let report = run_with_faults(
+        proto,
+        sim,
+        cluster,
+        uniform_workload(cfg.keys),
+        clients,
+        schedule.plan.clone(),
+    );
+    let anomalies = check_linearizability(&report.ops);
+    let tail_completed =
+        report.ops.iter().filter(|o| o.ok && o.ret >= heal_at).count() as u64;
+    NemesisOutcome {
+        proto: proto.name(),
+        seed: cfg.seed,
+        schedule,
+        completed: report.completed,
+        tail_completed,
+        anomalies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cluster = ClusterConfig::lan(5);
+        let a = generate_schedule(7, &cluster, Nanos::secs(6), 5);
+        let b = generate_schedule(7, &cluster, Nanos::secs(6), 5);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.digest(), b.digest());
+        let c = generate_schedule(8, &cluster, Nanos::secs(6), 5);
+        assert_ne!(a.digest(), c.digest(), "different seed, different schedule");
+    }
+
+    #[test]
+    fn schedules_never_crash_a_majority() {
+        let cluster = ClusterConfig::lan(5);
+        for seed in 0..50 {
+            let s = generate_schedule(seed, &cluster, Nanos::secs(6), 12);
+            let crashes = s.steps.iter().filter(|l| l.starts_with("crash")).count();
+            assert!(crashes <= 2, "seed {seed}: {crashes} crash episodes");
+        }
+    }
+
+    #[test]
+    fn schedules_heal_before_the_tail() {
+        let cluster = ClusterConfig::lan(5);
+        let horizon = Nanos::secs(6);
+        let s = generate_schedule(3, &cluster, horizon, 8);
+        let heal = Nanos(horizon.0 * 3 / 4);
+        // After the heal point no crash window is active and every message
+        // fate is a plain delivery.
+        let mut rng = Rng64::seed(9);
+        let nodes = cluster.all_nodes();
+        for &node in &nodes {
+            assert!(!s.plan.is_crashed(node, heal));
+            assert!(!s.plan.is_crashed(node, horizon));
+        }
+        for &a in &nodes {
+            for &b in &nodes {
+                if a == b {
+                    continue;
+                }
+                match s.plan.message_fate(a, b, heal, &mut rng) {
+                    paxi_core::faults::MsgFate::Deliver { extra_delay } => {
+                        assert_eq!(extra_delay, Nanos::ZERO)
+                    }
+                    other => panic!("fault active after heal: {a}->{b} {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nemesis_run_on_paxos_passes() {
+        let sim = SimConfig {
+            warmup: Nanos::millis(100),
+            measure: Nanos::millis(3_900),
+            ..SimConfig::default()
+        };
+        let out = run_nemesis(
+            &Proto::paxos(),
+            sim,
+            ClusterConfig::lan(5),
+            &NemesisConfig { seed: 11, ..Default::default() },
+        );
+        assert!(out.anomalies.is_empty(), "anomalies: {:?}", out.anomalies);
+        assert!(out.tail_completed > 0, "no post-heal progress");
+    }
+}

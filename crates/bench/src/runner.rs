@@ -13,7 +13,7 @@ use paxi_protocols::raft::{raft_cluster, RaftConfig};
 use paxi_protocols::vpaxos::{vpaxos_cluster, VPaxosConfig};
 use paxi_protocols::wankeeper::{wankeeper_cluster, WanKeeperConfig};
 use paxi_protocols::wpaxos::{wpaxos_cluster, WPaxosConfig};
-use paxi_sim::{ClientSetup, SimConfig, SimReport, Simulator, Workload};
+use paxi_sim::{ClientSetup, FaultPlan, SimConfig, SimReport, Simulator, Workload};
 use serde::Serialize;
 
 /// A protocol under test.
@@ -84,48 +84,65 @@ impl Proto {
 /// Runs one simulation of `proto` and returns its report.
 pub fn run(
     proto: &Proto,
-    mut sim: SimConfig,
+    sim: SimConfig,
     cluster: ClusterConfig,
     workload: impl Workload + 'static,
     clients: Vec<ClientSetup>,
 ) -> SimReport {
+    run_with_faults(proto, sim, cluster, workload, clients, FaultPlan::new())
+}
+
+/// Like [`run`], but installs a [`FaultPlan`] before the simulation starts —
+/// the entry point for availability experiments and the nemesis harness.
+pub fn run_with_faults(
+    proto: &Proto,
+    mut sim: SimConfig,
+    cluster: ClusterConfig,
+    workload: impl Workload + 'static,
+    clients: Vec<ClientSetup>,
+    faults: FaultPlan,
+) -> SimReport {
+    fn go<R, F>(
+        sim: SimConfig,
+        cluster: ClusterConfig,
+        factory: F,
+        workload: impl Workload + 'static,
+        clients: Vec<ClientSetup>,
+        faults: FaultPlan,
+    ) -> SimReport
+    where
+        R: paxi_core::traits::Replica,
+        F: paxi_core::traits::ReplicaFactory<R = R>,
+    {
+        let mut s = Simulator::new(sim, cluster, factory, workload, clients);
+        *s.faults_mut() = faults;
+        s.run()
+    }
     match proto {
         Proto::Paxos(cfg) => {
-            Simulator::new(sim, cluster.clone(), paxos_cluster(cluster, cfg.clone()), workload, clients)
-                .run()
+            go(sim, cluster.clone(), paxos_cluster(cluster, cfg.clone()), workload, clients, faults)
         }
         Proto::EPaxos { cpu_penalty } => {
             sim.cost.cpu_penalty = *cpu_penalty;
-            Simulator::new(sim, cluster.clone(), epaxos_cluster(cluster), workload, clients).run()
+            go(sim, cluster.clone(), epaxos_cluster(cluster), workload, clients, faults)
         }
-        Proto::WPaxos(cfg) => Simulator::new(
-            sim,
-            cluster.clone(),
-            wpaxos_cluster(cluster, cfg.clone()),
-            workload,
-            clients,
-        )
-        .run(),
-        Proto::WanKeeper(cfg) => Simulator::new(
+        Proto::WPaxos(cfg) => {
+            go(sim, cluster.clone(), wpaxos_cluster(cluster, cfg.clone()), workload, clients, faults)
+        }
+        Proto::WanKeeper(cfg) => go(
             sim,
             cluster.clone(),
             wankeeper_cluster(cluster, cfg.clone()),
             workload,
             clients,
-        )
-        .run(),
-        Proto::VPaxos(cfg) => Simulator::new(
-            sim,
-            cluster.clone(),
-            vpaxos_cluster(cluster, cfg.clone()),
-            workload,
-            clients,
-        )
-        .run(),
+            faults,
+        ),
+        Proto::VPaxos(cfg) => {
+            go(sim, cluster.clone(), vpaxos_cluster(cluster, cfg.clone()), workload, clients, faults)
+        }
         Proto::Raft { cfg, cpu_penalty } => {
             sim.cost.cpu_penalty = *cpu_penalty;
-            Simulator::new(sim, cluster.clone(), raft_cluster(cluster, cfg.clone()), workload, clients)
-                .run()
+            go(sim, cluster.clone(), raft_cluster(cluster, cfg.clone()), workload, clients, faults)
         }
     }
 }

@@ -1,0 +1,419 @@
+//! Fault injection primitives shared by the simulator and the live
+//! transports.
+//!
+//! Paxi exposes four fault-injection commands realized inside the networking
+//! module — `Crash(t)`, `Drop(i, j, t)`, `Slow(i, j, t)`, and `Flaky(i, j,
+//! t)` — so availability experiments don't need OS-level tooling like Jepsen
+//! or Chaos Monkey. One [`FaultPlan`] describes a schedule of such faults;
+//! the discrete-event simulator (`paxi-sim`) queries it under virtual time
+//! and the wall-clock transports (`paxi-transport`) query it under real
+//! time, so the exact same plan drives both worlds.
+//!
+//! Semantics:
+//! * **Crash** freezes a node for an interval: events addressed to it
+//!   (messages, requests, timers) are silently discarded while frozen. When
+//!   the window ends the node *recovers*: the runtime delivers a restart
+//!   event ([`crate::traits::Replica::on_restart`]) so it can re-arm timers
+//!   and rejoin the protocol from its retained state.
+//! * **Drop** discards every message from `i` to `j` during the interval.
+//! * **Slow** adds a random extra delay (uniform in `[0, max_delay)`) to
+//!   messages from `i` to `j`.
+//! * **Flaky** drops each message from `i` to `j` independently with
+//!   probability `p` (clamped into `[0, 1]`).
+
+use crate::dist::Rng64;
+use crate::id::NodeId;
+use crate::time::Nanos;
+
+/// A half-open time interval `[from, until)` during which a fault is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    from: Nanos,
+    until: Nanos,
+}
+
+impl FaultWindow {
+    /// A window starting at `at` and lasting `duration` (saturating).
+    pub fn new(at: Nanos, duration: Nanos) -> Self {
+        FaultWindow { from: at, until: Nanos(at.0.saturating_add(duration.0)) }
+    }
+
+    /// An open-ended window: active from `at` until the end of the run (or
+    /// until a later [`FaultPlan::heal`] truncates it).
+    pub fn until_end(at: Nanos) -> Self {
+        FaultWindow { from: at, until: Nanos(u64::MAX) }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Nanos) -> bool {
+        t >= self.from && t < self.until
+    }
+
+    /// Start of the window.
+    pub fn start(&self) -> Nanos {
+        self.from
+    }
+
+    /// Exclusive end of the window (`u64::MAX` when open-ended).
+    pub fn end(&self) -> Nanos {
+        self.until
+    }
+
+    /// Whether the window runs to the end of time.
+    pub fn is_open_ended(&self) -> bool {
+        self.until.0 == u64::MAX
+    }
+
+    fn truncate(&mut self, at: Nanos) {
+        if self.contains(at) {
+            self.until = at;
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LinkRule {
+    src: NodeId,
+    dst: NodeId,
+    window: FaultWindow,
+    kind: LinkFault,
+}
+
+#[derive(Debug, Clone)]
+enum LinkFault {
+    Drop,
+    Flaky { p: f64 },
+    Slow { max_delay: Nanos },
+}
+
+/// What the fault plan decided about one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFate {
+    /// Deliver, possibly with extra delay.
+    Deliver {
+        /// Extra delay injected by a `Slow` rule.
+        extra_delay: Nanos,
+    },
+    /// Discard the message.
+    Dropped,
+}
+
+/// A schedule of injected faults, queried at message-delivery time by the
+/// simulator and by the transport-level
+/// fault injector.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crashes: Vec<(NodeId, FaultWindow)>,
+    links: Vec<LinkRule>,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes `node` from `at` for `duration`.
+    pub fn crash(&mut self, node: NodeId, at: Nanos, duration: Nanos) -> &mut Self {
+        self.crash_in(node, FaultWindow::new(at, duration))
+    }
+
+    /// Freezes `node` for an explicit window (use
+    /// [`FaultWindow::until_end`] for an open-ended crash).
+    pub fn crash_in(&mut self, node: NodeId, window: FaultWindow) -> &mut Self {
+        self.crashes.push((node, window));
+        self
+    }
+
+    /// Drops all messages `src → dst` in the window.
+    pub fn drop_link(&mut self, src: NodeId, dst: NodeId, at: Nanos, duration: Nanos) -> &mut Self {
+        self.drop_link_in(src, dst, FaultWindow::new(at, duration))
+    }
+
+    /// Drops all messages `src → dst` for an explicit window.
+    pub fn drop_link_in(&mut self, src: NodeId, dst: NodeId, window: FaultWindow) -> &mut Self {
+        self.links.push(LinkRule { src, dst, window, kind: LinkFault::Drop });
+        self
+    }
+
+    /// Drops each message `src → dst` with probability `p` in the window.
+    /// `p` is clamped into `[0, 1]` (NaN becomes 0).
+    pub fn flaky_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        p: f64,
+        at: Nanos,
+        duration: Nanos,
+    ) -> &mut Self {
+        self.flaky_link_in(src, dst, p, FaultWindow::new(at, duration))
+    }
+
+    /// Drops each message `src → dst` with probability `p` (clamped into
+    /// `[0, 1]`) for an explicit window.
+    pub fn flaky_link_in(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        p: f64,
+        window: FaultWindow,
+    ) -> &mut Self {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        self.links.push(LinkRule { src, dst, window, kind: LinkFault::Flaky { p } });
+        self
+    }
+
+    /// Adds up to `max_delay` of random extra latency on `src → dst`.
+    pub fn slow_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        max_delay: Nanos,
+        at: Nanos,
+        duration: Nanos,
+    ) -> &mut Self {
+        self.slow_link_in(src, dst, max_delay, FaultWindow::new(at, duration))
+    }
+
+    /// Adds up to `max_delay` of random extra latency on `src → dst` for an
+    /// explicit window.
+    pub fn slow_link_in(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        max_delay: Nanos,
+        window: FaultWindow,
+    ) -> &mut Self {
+        self.links.push(LinkRule { src, dst, window, kind: LinkFault::Slow { max_delay } });
+        self
+    }
+
+    /// Symmetric partition: drops all traffic between every node of `a` and
+    /// every node of `b`, both directions, in the window.
+    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId], at: Nanos, duration: Nanos) -> &mut Self {
+        self.partition_in(a, b, FaultWindow::new(at, duration))
+    }
+
+    /// Symmetric partition for an explicit window.
+    pub fn partition_in(&mut self, a: &[NodeId], b: &[NodeId], window: FaultWindow) -> &mut Self {
+        for &x in a {
+            for &y in b {
+                self.drop_link_in(x, y, window);
+                self.drop_link_in(y, x, window);
+            }
+        }
+        self
+    }
+
+    /// Ends every window still active at `at` — crashed nodes recover and
+    /// all link faults lift. Windows that already ended, or that only start
+    /// after `at`, are untouched.
+    pub fn heal(&mut self, at: Nanos) -> &mut Self {
+        for (_, w) in self.crashes.iter_mut() {
+            w.truncate(at);
+        }
+        for rule in self.links.iter_mut() {
+            rule.window.truncate(at);
+        }
+        self
+    }
+
+    /// Whether `node` is frozen at time `t`.
+    pub fn is_crashed(&self, node: NodeId, t: Nanos) -> bool {
+        self.crashes.iter().any(|(n, w)| *n == node && w.contains(t))
+    }
+
+    /// Every `(node, recovery_time)` pair at which a crashed node thaws.
+    /// Open-ended crashes never recover and are not reported. Runtimes use
+    /// this to schedule restart events
+    /// ([`crate::traits::Replica::on_restart`]).
+    pub fn recoveries(&self) -> impl Iterator<Item = (NodeId, Nanos)> + '_ {
+        self.crashes.iter().filter(|(_, w)| !w.is_open_ended()).map(|(n, w)| (*n, w.end()))
+    }
+
+    /// Decides the fate of a message sent `src → dst` at time `t`.
+    pub fn message_fate(&self, src: NodeId, dst: NodeId, t: Nanos, rng: &mut Rng64) -> MsgFate {
+        let mut extra = Nanos::ZERO;
+        for rule in &self.links {
+            if rule.src != src || rule.dst != dst || !rule.window.contains(t) {
+                continue;
+            }
+            match rule.kind {
+                LinkFault::Drop => return MsgFate::Dropped,
+                LinkFault::Flaky { p } => {
+                    if rng.chance(p) {
+                        return MsgFate::Dropped;
+                    }
+                }
+                LinkFault::Slow { max_delay } => {
+                    extra += Nanos(rng.below(max_delay.0.max(1)));
+                }
+            }
+        }
+        MsgFate::Deliver { extra_delay: extra }
+    }
+
+    /// Whether the plan contains any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(z: u8, i: u8) -> NodeId {
+        NodeId::new(z, i)
+    }
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let mut p = FaultPlan::new();
+        p.crash(n(0, 0), Nanos::secs(1), Nanos::secs(2));
+        assert!(!p.is_crashed(n(0, 0), Nanos::millis(999)));
+        assert!(p.is_crashed(n(0, 0), Nanos::secs(1)));
+        assert!(p.is_crashed(n(0, 0), Nanos::millis(2_999)));
+        assert!(!p.is_crashed(n(0, 0), Nanos::secs(3)));
+        assert!(!p.is_crashed(n(0, 1), Nanos::secs(2)), "other nodes unaffected");
+    }
+
+    #[test]
+    fn drop_is_directional() {
+        let mut p = FaultPlan::new();
+        p.drop_link(n(0, 0), n(0, 1), Nanos::ZERO, Nanos::secs(10));
+        let mut rng = Rng64::seed(1);
+        assert_eq!(p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng), MsgFate::Dropped);
+        assert_eq!(
+            p.message_fate(n(0, 1), n(0, 0), Nanos::secs(1), &mut rng),
+            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+        );
+    }
+
+    #[test]
+    fn flaky_drops_roughly_p_fraction() {
+        let mut p = FaultPlan::new();
+        p.flaky_link(n(0, 0), n(0, 1), 0.3, Nanos::ZERO, Nanos::secs(100));
+        let mut rng = Rng64::seed(9);
+        let mut dropped = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng) == MsgFate::Dropped {
+                dropped += 1;
+            }
+        }
+        let frac = dropped as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.02, "drop fraction {}", frac);
+    }
+
+    #[test]
+    fn flaky_probability_is_clamped() {
+        let mut p = FaultPlan::new();
+        p.flaky_link(n(0, 0), n(0, 1), 7.5, Nanos::ZERO, Nanos::secs(10));
+        p.flaky_link(n(0, 1), n(0, 0), -3.0, Nanos::ZERO, Nanos::secs(10));
+        p.flaky_link(n(0, 0), n(0, 2), f64::NAN, Nanos::ZERO, Nanos::secs(10));
+        let mut rng = Rng64::seed(4);
+        // p > 1 clamps to certain drop.
+        for _ in 0..100 {
+            assert_eq!(
+                p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng),
+                MsgFate::Dropped
+            );
+        }
+        // p < 0 and NaN clamp to never-drop.
+        for _ in 0..100 {
+            assert_eq!(
+                p.message_fate(n(0, 1), n(0, 0), Nanos::secs(1), &mut rng),
+                MsgFate::Deliver { extra_delay: Nanos::ZERO }
+            );
+            assert_eq!(
+                p.message_fate(n(0, 0), n(0, 2), Nanos::secs(1), &mut rng),
+                MsgFate::Deliver { extra_delay: Nanos::ZERO }
+            );
+        }
+    }
+
+    #[test]
+    fn slow_adds_bounded_delay() {
+        let mut p = FaultPlan::new();
+        p.slow_link(n(0, 0), n(0, 1), Nanos::millis(5), Nanos::ZERO, Nanos::secs(100));
+        let mut rng = Rng64::seed(2);
+        for _ in 0..1000 {
+            match p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng) {
+                MsgFate::Deliver { extra_delay } => assert!(extra_delay < Nanos::millis(5)),
+                MsgFate::Dropped => panic!("slow must not drop"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut p = FaultPlan::new();
+        p.partition(&[n(0, 0)], &[n(1, 0), n(1, 1)], Nanos::ZERO, Nanos::secs(5));
+        let mut rng = Rng64::seed(3);
+        for (a, b) in [(n(0, 0), n(1, 0)), (n(1, 0), n(0, 0)), (n(0, 0), n(1, 1))] {
+            assert_eq!(p.message_fate(a, b, Nanos::secs(1), &mut rng), MsgFate::Dropped);
+        }
+        // Unrelated pair unaffected.
+        assert_eq!(
+            p.message_fate(n(1, 0), n(1, 1), Nanos::secs(1), &mut rng),
+            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+        );
+        // After the window traffic flows again.
+        assert_eq!(
+            p.message_fate(n(0, 0), n(1, 0), Nanos::secs(6), &mut rng),
+            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+        );
+    }
+
+    #[test]
+    fn until_end_windows_never_expire_without_heal() {
+        let mut p = FaultPlan::new();
+        p.crash_in(n(0, 0), FaultWindow::until_end(Nanos::secs(1)));
+        p.drop_link_in(n(0, 1), n(0, 2), FaultWindow::until_end(Nanos::ZERO));
+        assert!(p.is_crashed(n(0, 0), Nanos::secs(1_000_000)));
+        let mut rng = Rng64::seed(5);
+        assert_eq!(
+            p.message_fate(n(0, 1), n(0, 2), Nanos::secs(1_000_000), &mut rng),
+            MsgFate::Dropped
+        );
+        // Open-ended crashes report no recovery point.
+        assert_eq!(p.recoveries().count(), 0);
+    }
+
+    #[test]
+    fn heal_ends_active_windows_only() {
+        let mut p = FaultPlan::new();
+        // Active at heal time.
+        p.crash_in(n(0, 0), FaultWindow::until_end(Nanos::secs(1)));
+        p.drop_link(n(0, 1), n(0, 2), Nanos::ZERO, Nanos::secs(100));
+        // Already over at heal time.
+        p.crash(n(0, 1), Nanos::ZERO, Nanos::secs(1));
+        // Starts after heal time: untouched.
+        p.drop_link(n(0, 2), n(0, 1), Nanos::secs(10), Nanos::secs(10));
+        p.heal(Nanos::secs(5));
+        assert!(!p.is_crashed(n(0, 0), Nanos::secs(5)));
+        assert!(p.is_crashed(n(0, 0), Nanos::millis(4_999)));
+        let mut rng = Rng64::seed(6);
+        assert_eq!(
+            p.message_fate(n(0, 1), n(0, 2), Nanos::secs(6), &mut rng),
+            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+        );
+        // The future window still applies.
+        assert_eq!(
+            p.message_fate(n(0, 2), n(0, 1), Nanos::secs(11), &mut rng),
+            MsgFate::Dropped
+        );
+        // Healed crash now has a recovery point at the heal instant.
+        assert!(p.recoveries().any(|(node, at)| node == n(0, 0) && at == Nanos::secs(5)));
+    }
+
+    #[test]
+    fn recoveries_report_crash_window_ends() {
+        let mut p = FaultPlan::new();
+        p.crash(n(0, 0), Nanos::secs(1), Nanos::secs(2));
+        p.crash(n(0, 1), Nanos::secs(4), Nanos::secs(1));
+        let rec: Vec<_> = p.recoveries().collect();
+        assert_eq!(rec, vec![(n(0, 0), Nanos::secs(3)), (n(0, 1), Nanos::secs(5))]);
+    }
+}

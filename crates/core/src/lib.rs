@@ -20,6 +20,8 @@
 //!   protocol abstraction shared by the simulator and wall-clock runtimes.
 //! * [`time`] — nanosecond virtual time.
 //! * [`metrics`] — latency histograms, CDFs, throughput meters.
+//! * [`faults`] — the Crash / Drop / Slow / Flaky fault plan shared by the
+//!   simulator and the live transports.
 
 #![warn(missing_docs)]
 
@@ -27,6 +29,7 @@ pub mod ballot;
 pub mod command;
 pub mod config;
 pub mod dist;
+pub mod faults;
 pub mod id;
 pub mod metrics;
 pub mod quorum;
@@ -38,6 +41,7 @@ pub use ballot::Ballot;
 pub use command::{ClientRequest, ClientResponse, Command, Key, Op, Value};
 pub use config::ClusterConfig;
 pub use dist::{KeyDist, KeySampler, Rng64};
+pub use faults::{FaultPlan, FaultWindow, MsgFate};
 pub use id::{ClientId, NodeId, RequestId};
 pub use metrics::{Histogram, LatencySummary, Meter};
 pub use quorum::{

@@ -61,6 +61,19 @@ pub trait Replica {
     /// Called once when the node starts, before any other event.
     fn on_start(&mut self, _ctx: &mut dyn Context<Self::Msg>) {}
 
+    /// Called when the node recovers after a crash window (fault
+    /// injection). While crashed, every event addressed to the node —
+    /// messages, client requests, timers — was silently discarded, so any
+    /// timer the replica had armed is gone; this hook lets it re-arm timers
+    /// and rejoin the protocol from its retained state (the recovered-state
+    /// model: state survives, volatile schedules don't). The default re-runs
+    /// [`Replica::on_start`], which is correct for protocols whose start
+    /// logic is idempotent modulo ballots (a restarted leader re-runs
+    /// phase-1 with a higher ballot, a follower re-arms its election timer).
+    fn on_restart(&mut self, ctx: &mut dyn Context<Self::Msg>) {
+        self.on_start(ctx);
+    }
+
     /// Handles one protocol message from peer `from`.
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>);
 

@@ -157,6 +157,10 @@ pub struct MultiPaxos {
     p1_tails: Vec<Vec<(u64, Ballot, Command, Option<RequestId>)>>,
     last_leader_contact: Nanos,
     election_token: u64,
+    /// `commit_upto` observed at the previous heartbeat tick: if the head of
+    /// the log hasn't advanced for a full heartbeat, phase-2 messages were
+    /// lost and the stuck window is retransmitted.
+    heartbeat_head: u64,
 }
 
 impl MultiPaxos {
@@ -182,6 +186,7 @@ impl MultiPaxos {
             p1_tails: Vec::new(),
             last_leader_contact: Nanos::ZERO,
             election_token: 0,
+            heartbeat_head: 0,
         }
     }
 
@@ -462,6 +467,33 @@ impl Replica for MultiPaxos {
         match kind {
             TIMER_HEARTBEAT => {
                 if self.active {
+                    // Nothing retries phase-2, so a P2a (or its P2b) lost to
+                    // a fault would block the commit index forever. If the
+                    // head hasn't moved since the last tick, retransmit the
+                    // stuck window — duplicates are harmless (acceptors
+                    // re-ack, quorums are sets), and a healthy run never
+                    // stalls a full heartbeat, so this costs nothing.
+                    if self.commit_upto == self.heartbeat_head {
+                        let stuck: Vec<(u64, Command, Option<RequestId>)> = self
+                            .log
+                            .range(self.commit_upto..)
+                            .filter(|(_, e)| {
+                                !e.committed && !e.quorum.satisfied() && e.ballot == self.ballot
+                            })
+                            .take(32)
+                            .map(|(s, e)| (*s, e.cmd.clone(), e.req))
+                            .collect();
+                        for (slot, cmd, req) in stuck {
+                            ctx.broadcast(PaxosMsg::P2a {
+                                ballot: self.ballot,
+                                slot,
+                                cmd,
+                                req,
+                                commit_upto: self.commit_upto,
+                            });
+                        }
+                    }
+                    self.heartbeat_head = self.commit_upto;
                     ctx.broadcast(PaxosMsg::Commit { upto: self.commit_upto });
                     ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
                 }

@@ -1,251 +1,15 @@
-//! Fault injection.
+//! Fault injection (re-exported from `paxi_core::faults`).
 //!
-//! Paxi exposes four fault-injection commands realized inside the networking
-//! module — `Crash(t)`, `Drop(i, j, t)`, `Slow(i, j, t)`, and `Flaky(i, j,
-//! t)` — so availability experiments don't need OS-level tooling like Jepsen
-//! or Chaos Monkey. The simulator implements the same four primitives plus a
-//! convenience bidirectional [`FaultPlan::partition`].
+//! The Crash / Drop / Slow / Flaky primitives and the [`FaultPlan`] schedule
+//! live in `paxi-core` so the exact same plan type drives both this
+//! simulator (under virtual time) and the live transports in
+//! `paxi-transport` (under wall-clock time, via
+//! `paxi_transport::FaultInjector`). This module re-exports them under
+//! their historical `paxi_sim` paths.
 //!
-//! Semantics:
-//! * **Crash** freezes a node for an interval: events addressed to it
-//!   (messages, requests, timers) are silently discarded while frozen.
-//! * **Drop** discards every message from `i` to `j` during the interval.
-//! * **Slow** adds a random extra delay (uniform in `[0, max_delay)`) to
-//!   messages from `i` to `j`.
-//! * **Flaky** drops each message from `i` to `j` independently with
-//!   probability `p`.
+//! The simulator queries [`FaultPlan::is_crashed`] before dispatching any
+//! event to a node, [`FaultPlan::message_fate`] for every emitted message,
+//! and schedules a restart event ([`paxi_core::traits::Replica::on_restart`])
+//! at each crash window's end so recovered nodes rejoin the protocol.
 
-use paxi_core::dist::Rng64;
-use paxi_core::id::NodeId;
-use paxi_core::time::Nanos;
-
-#[derive(Debug, Clone)]
-struct Window {
-    from: Nanos,
-    until: Nanos,
-}
-
-impl Window {
-    fn contains(&self, t: Nanos) -> bool {
-        t >= self.from && t < self.until
-    }
-}
-
-#[derive(Debug, Clone)]
-struct LinkRule {
-    src: NodeId,
-    dst: NodeId,
-    window: Window,
-    kind: LinkFault,
-}
-
-#[derive(Debug, Clone)]
-enum LinkFault {
-    Drop,
-    Flaky { p: f64 },
-    Slow { max_delay: Nanos },
-}
-
-/// What the fault plan decided about one message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MsgFate {
-    /// Deliver, possibly with extra delay.
-    Deliver {
-        /// Extra delay injected by a `Slow` rule.
-        extra_delay: Nanos,
-    },
-    /// Discard the message.
-    Dropped,
-}
-
-/// A schedule of injected faults, queried by the simulator at delivery time.
-#[derive(Debug, Clone, Default)]
-pub struct FaultPlan {
-    crashes: Vec<(NodeId, Window)>,
-    links: Vec<LinkRule>,
-}
-
-impl FaultPlan {
-    /// Empty plan (no faults).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Freezes `node` from `at` for `duration`.
-    pub fn crash(&mut self, node: NodeId, at: Nanos, duration: Nanos) -> &mut Self {
-        self.crashes.push((node, Window { from: at, until: at + duration }));
-        self
-    }
-
-    /// Drops all messages `src → dst` in the window.
-    pub fn drop_link(&mut self, src: NodeId, dst: NodeId, at: Nanos, duration: Nanos) -> &mut Self {
-        self.links.push(LinkRule {
-            src,
-            dst,
-            window: Window { from: at, until: at + duration },
-            kind: LinkFault::Drop,
-        });
-        self
-    }
-
-    /// Drops each message `src → dst` with probability `p` in the window.
-    pub fn flaky_link(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        p: f64,
-        at: Nanos,
-        duration: Nanos,
-    ) -> &mut Self {
-        self.links.push(LinkRule {
-            src,
-            dst,
-            window: Window { from: at, until: at + duration },
-            kind: LinkFault::Flaky { p },
-        });
-        self
-    }
-
-    /// Adds up to `max_delay` of random extra latency on `src → dst`.
-    pub fn slow_link(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        max_delay: Nanos,
-        at: Nanos,
-        duration: Nanos,
-    ) -> &mut Self {
-        self.links.push(LinkRule {
-            src,
-            dst,
-            window: Window { from: at, until: at + duration },
-            kind: LinkFault::Slow { max_delay },
-        });
-        self
-    }
-
-    /// Symmetric partition: drops all traffic between every node of `a` and
-    /// every node of `b`, both directions, in the window.
-    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId], at: Nanos, duration: Nanos) -> &mut Self {
-        for &x in a {
-            for &y in b {
-                self.drop_link(x, y, at, duration);
-                self.drop_link(y, x, at, duration);
-            }
-        }
-        self
-    }
-
-    /// Whether `node` is frozen at time `t`.
-    pub fn is_crashed(&self, node: NodeId, t: Nanos) -> bool {
-        self.crashes.iter().any(|(n, w)| *n == node && w.contains(t))
-    }
-
-    /// Decides the fate of a message sent `src → dst` at time `t`.
-    pub fn message_fate(&self, src: NodeId, dst: NodeId, t: Nanos, rng: &mut Rng64) -> MsgFate {
-        let mut extra = Nanos::ZERO;
-        for rule in &self.links {
-            if rule.src != src || rule.dst != dst || !rule.window.contains(t) {
-                continue;
-            }
-            match rule.kind {
-                LinkFault::Drop => return MsgFate::Dropped,
-                LinkFault::Flaky { p } => {
-                    if rng.chance(p) {
-                        return MsgFate::Dropped;
-                    }
-                }
-                LinkFault::Slow { max_delay } => {
-                    extra += Nanos(rng.below(max_delay.0.max(1)));
-                }
-            }
-        }
-        MsgFate::Deliver { extra_delay: extra }
-    }
-
-    /// Whether the plan contains any fault at all.
-    pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.links.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn n(z: u8, i: u8) -> NodeId {
-        NodeId::new(z, i)
-    }
-
-    #[test]
-    fn crash_window_is_half_open() {
-        let mut p = FaultPlan::new();
-        p.crash(n(0, 0), Nanos::secs(1), Nanos::secs(2));
-        assert!(!p.is_crashed(n(0, 0), Nanos::millis(999)));
-        assert!(p.is_crashed(n(0, 0), Nanos::secs(1)));
-        assert!(p.is_crashed(n(0, 0), Nanos::millis(2_999)));
-        assert!(!p.is_crashed(n(0, 0), Nanos::secs(3)));
-        assert!(!p.is_crashed(n(0, 1), Nanos::secs(2)), "other nodes unaffected");
-    }
-
-    #[test]
-    fn drop_is_directional() {
-        let mut p = FaultPlan::new();
-        p.drop_link(n(0, 0), n(0, 1), Nanos::ZERO, Nanos::secs(10));
-        let mut rng = Rng64::seed(1);
-        assert_eq!(p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng), MsgFate::Dropped);
-        assert_eq!(
-            p.message_fate(n(0, 1), n(0, 0), Nanos::secs(1), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
-        );
-    }
-
-    #[test]
-    fn flaky_drops_roughly_p_fraction() {
-        let mut p = FaultPlan::new();
-        p.flaky_link(n(0, 0), n(0, 1), 0.3, Nanos::ZERO, Nanos::secs(100));
-        let mut rng = Rng64::seed(9);
-        let mut dropped = 0;
-        let trials = 20_000;
-        for _ in 0..trials {
-            if p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng) == MsgFate::Dropped {
-                dropped += 1;
-            }
-        }
-        let frac = dropped as f64 / trials as f64;
-        assert!((frac - 0.3).abs() < 0.02, "drop fraction {}", frac);
-    }
-
-    #[test]
-    fn slow_adds_bounded_delay() {
-        let mut p = FaultPlan::new();
-        p.slow_link(n(0, 0), n(0, 1), Nanos::millis(5), Nanos::ZERO, Nanos::secs(100));
-        let mut rng = Rng64::seed(2);
-        for _ in 0..1000 {
-            match p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng) {
-                MsgFate::Deliver { extra_delay } => assert!(extra_delay < Nanos::millis(5)),
-                MsgFate::Dropped => panic!("slow must not drop"),
-            }
-        }
-    }
-
-    #[test]
-    fn partition_blocks_both_directions() {
-        let mut p = FaultPlan::new();
-        p.partition(&[n(0, 0)], &[n(1, 0), n(1, 1)], Nanos::ZERO, Nanos::secs(5));
-        let mut rng = Rng64::seed(3);
-        for (a, b) in [(n(0, 0), n(1, 0)), (n(1, 0), n(0, 0)), (n(0, 0), n(1, 1))] {
-            assert_eq!(p.message_fate(a, b, Nanos::secs(1), &mut rng), MsgFate::Dropped);
-        }
-        // Unrelated pair unaffected.
-        assert_eq!(
-            p.message_fate(n(1, 0), n(1, 1), Nanos::secs(1), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
-        );
-        // After the window traffic flows again.
-        assert_eq!(
-            p.message_fate(n(0, 0), n(1, 0), Nanos::secs(6), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
-        );
-    }
-}
+pub use paxi_core::faults::{FaultPlan, FaultWindow, MsgFate};

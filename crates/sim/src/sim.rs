@@ -65,6 +65,7 @@ impl Default for SimConfig {
 
 enum Input<M> {
     Start,
+    Restart,
     Msg { from: NodeId, msg: M },
     Request(ClientRequest),
     Timer { kind: u64, token: u64 },
@@ -281,6 +282,13 @@ impl<R: Replica> Simulator<R> {
         for id in self.all_nodes.clone() {
             self.dispatch(id, Input::Start);
         }
+        // Schedule a restart event at the end of every crash window so
+        // recovered nodes re-arm their timers and rejoin the protocol
+        // (their own timers were discarded while frozen).
+        let recoveries: Vec<_> = self.faults.recoveries().collect();
+        for (node, at) in recoveries {
+            self.push(at, EventKind::Node { to: node, input: Input::Restart });
+        }
         // Kick off every client with a small deterministic stagger so
         // closed-loop clients don't move in lockstep.
         for ci in 0..self.clients.len() {
@@ -331,6 +339,7 @@ impl<R: Replica> Simulator<R> {
             let replica = &mut self.replicas[idx];
             match input {
                 Input::Start => replica.on_start(&mut ctx),
+                Input::Restart => replica.on_restart(&mut ctx),
                 Input::Msg { from, msg } => replica.on_message(from, msg, &mut ctx),
                 Input::Request(req) => replica.on_request(req, &mut ctx),
                 Input::Timer { kind, token } => replica.on_timer(kind, token, &mut ctx),

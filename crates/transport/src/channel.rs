@@ -7,6 +7,7 @@
 //! runs here unchanged.
 
 use crate::envelope::Envelope;
+use crate::faults::{ChaosOut, FaultInjector};
 use crate::runtime::{run_node, NodeEvent, Outbound};
 use crate::timer::TimerService;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -64,6 +65,32 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
     where
         F: ReplicaFactory<R = R>,
     {
+        Self::launch_inner(cluster, factory, None)
+    }
+
+    /// Like [`InProcCluster::launch`], but with fault injection: the
+    /// injector's plan gates every node→node message (Drop / Flaky / Slow)
+    /// and freezes crashed nodes until their windows end, measured from the
+    /// moment this call pins the injector's clock.
+    pub fn launch_chaotic<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        injector: Arc<FaultInjector>,
+    ) -> Self
+    where
+        F: ReplicaFactory<R = R>,
+    {
+        Self::launch_inner(cluster, factory, Some(injector))
+    }
+
+    fn launch_inner<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self
+    where
+        F: ReplicaFactory<R = R>,
+    {
         let all = cluster.all_nodes();
         let timers = Arc::new(TimerService::new());
         let epoch = Instant::now();
@@ -75,6 +102,10 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
             inboxes.insert(id, tx.clone());
             receivers.push((id, rx, tx));
         }
+        if let Some(inj) = &faults {
+            inj.start(epoch);
+            inj.schedule_recoveries(&timers, &inboxes);
+        }
         let reg = Arc::new(Registry { nodes: inboxes, clients: Mutex::new(HashMap::new()) });
         let mut handles = Vec::new();
         for (i, (id, rx, tx)) in receivers.into_iter().enumerate() {
@@ -82,14 +113,26 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
             let peers = all.clone();
             let out = ChannelOut { reg: Arc::clone(&reg) };
             let timers = Arc::clone(&timers);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("paxi-node-{id}"))
+            let faults = faults.clone();
+            let seed = 0xC0FFEE + i as u64;
+            let builder = std::thread::Builder::new().name(format!("paxi-node-{id}"));
+            let handle = match &faults {
+                Some(inj) => {
+                    let out =
+                        ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
+                    builder
+                        .spawn(move || {
+                            run_node(id, replica, peers, rx, tx, out, timers, epoch, seed, faults)
+                        })
+                        .expect("spawn node thread")
+                }
+                None => builder
                     .spawn(move || {
-                        run_node(id, replica, peers, rx, tx, out, timers, epoch, 0xC0FFEE + i as u64)
+                        run_node(id, replica, peers, rx, tx, out, timers, epoch, seed, None)
                     })
                     .expect("spawn node thread"),
-            );
+            };
+            handles.push(handle);
         }
         InProcCluster { reg, cluster, handles, next_client: AtomicU32::new(0), _timers: timers }
     }

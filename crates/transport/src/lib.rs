@@ -12,11 +12,16 @@
 //! * [`udp`] — one datagram socket per node; best-effort delivery with
 //!   client retries (for protocols that gain nothing from ordered delivery).
 //! * [`timer`] — the shared timer wheel behind `Context::set_timer`.
+//! * [`faults`] — live fault injection: every transport has a
+//!   `launch_chaotic` constructor that applies a
+//!   [`paxi_core::faults::FaultPlan`] (Crash / Drop / Slow / Flaky) against
+//!   wall-clock time, mirroring the simulator's semantics.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod envelope;
+pub mod faults;
 pub mod runtime;
 pub mod tcp;
 pub mod timer;
@@ -24,6 +29,7 @@ pub mod udp;
 
 pub use channel::{InProcCluster, SyncClient};
 pub use envelope::Envelope;
+pub use faults::{ChaosOut, FaultInjector, LinkDecision};
 pub use tcp::{TcpClient, TcpCluster};
 pub use timer::TimerService;
 pub use udp::{UdpClient, UdpCluster};

@@ -8,6 +8,7 @@
 //! same execution model as the simulator, so replica code runs unchanged.
 
 use crate::envelope::Envelope;
+use crate::faults::FaultInjector;
 use crate::timer::TimerService;
 use crossbeam::channel::{Receiver, Sender};
 use paxi_core::command::{ClientRequest, ClientResponse};
@@ -31,6 +32,10 @@ pub enum NodeEvent<M> {
         /// Token returned by `set_timer`.
         token: u64,
     },
+    /// Wake-up injected at a crash-recovery instant (fault injection): it
+    /// carries no payload — its arrival gives a thawed node a chance to run
+    /// its restart hook even if no peer ever contacts it.
+    Restart,
 }
 
 /// The transport-specific outbound half: how a node reaches peers and
@@ -112,6 +117,13 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M>> Context<M>
 
 /// Drives one replica until a [`Envelope::Shutdown`] arrives. Call on a
 /// dedicated thread.
+///
+/// When a [`FaultInjector`] is supplied, the loop enforces crash semantics
+/// exactly like the simulator: while the node's crash window is active every
+/// event addressed to it (messages, requests, timers) is silently discarded;
+/// on the first event after thawing, the replica's
+/// [`Replica::on_restart`] hook runs before normal dispatch resumes.
+/// [`Envelope::Shutdown`] is always honored, crashed or not.
 #[allow(clippy::too_many_arguments)]
 pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
     id: NodeId,
@@ -123,6 +135,7 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
     timers: Arc<TimerService>,
     epoch: Instant,
     seed: u64,
+    faults: Option<Arc<FaultInjector>>,
 ) {
     let token_counter = AtomicU64::new(0);
     let mut rng = Rng64::seed(seed);
@@ -139,7 +152,17 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
         };
         replica.on_start(&mut ctx);
     }
+    let mut frozen = false;
     while let Ok(ev) = inbox.recv() {
+        if let Some(inj) = &faults {
+            if inj.is_crashed(id) {
+                if matches!(ev, NodeEvent::Wire(Envelope::Shutdown)) {
+                    break;
+                }
+                frozen = true;
+                continue;
+            }
+        }
         let mut ctx = ThreadCtx {
             id,
             peers: &peers,
@@ -150,12 +173,16 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
             token_counter: &token_counter,
             rng: &mut rng,
         };
+        if std::mem::take(&mut frozen) {
+            replica.on_restart(&mut ctx);
+        }
         match ev {
             NodeEvent::Wire(Envelope::Msg { from, msg }) => replica.on_message(from, msg, &mut ctx),
             NodeEvent::Wire(Envelope::Request(req)) => replica.on_request(req, &mut ctx),
             NodeEvent::Wire(Envelope::Response(_)) => {}
             NodeEvent::Wire(Envelope::Shutdown) => break,
             NodeEvent::Timer { kind, token } => replica.on_timer(kind, token, &mut ctx),
+            NodeEvent::Restart => {}
         }
     }
 }

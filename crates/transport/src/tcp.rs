@@ -12,14 +12,25 @@
 //! peer`. Responses hop back along the recorded routes until they reach the
 //! node holding the client's connection. This mirrors how Paxi's RESTful
 //! clients interact with any system node.
+//!
+//! **Hardened peer links.** Outbound peer connections are maintained by a
+//! dedicated writer thread behind a *bounded* queue: when a peer stalls or
+//! dies, excess frames are shed instead of accumulating without bound
+//! (quorum protocols tolerate loss natively). A writer whose socket breaks
+//! exits immediately; the next send notices the dead channel, forgets the
+//! connection, and redials under exponential backoff with jitter, so a
+//! restarted peer is rejoined automatically and a dead one is not hammered.
+//! Encoding failures are dropped (best-effort transport), never panicked on.
 
 use crate::envelope::Envelope;
+use crate::faults::{ChaosOut, FaultInjector};
 use crate::runtime::{run_node, NodeEvent, Outbound};
 use crate::timer::TimerService;
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use paxi_core::command::{ClientResponse, Command};
 use paxi_core::config::ClusterConfig;
+use paxi_core::dist::Rng64;
 use paxi_core::id::{ClientId, NodeId, RequestId};
 use paxi_core::traits::{Replica, ReplicaFactory};
 use serde::de::DeserializeOwned;
@@ -30,6 +41,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Frames queued per peer connection before load shedding kicks in.
+const WRITE_QUEUE_DEPTH: usize = 4096;
+/// First reconnect delay; doubles per consecutive failure.
+const RECONNECT_BASE: Duration = Duration::from_millis(10);
+/// Reconnect delay ceiling.
+const RECONNECT_MAX: Duration = Duration::from_secs(2);
 
 /// Connection handshake: the first frame on every connection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,21 +64,34 @@ enum Route {
     Via(NodeId),
 }
 
+/// Reconnect throttling state for one peer.
+struct Backoff {
+    next_attempt: Instant,
+    delay: Duration,
+}
+
 struct NodeNet<M> {
     me: NodeId,
     addrs: Arc<HashMap<NodeId, SocketAddr>>,
     peer_conns: Mutex<HashMap<NodeId, Sender<Vec<u8>>>>,
+    backoff: Mutex<HashMap<NodeId, Backoff>>,
+    jitter: Mutex<Rng64>,
     routes: Mutex<HashMap<ClientId, Route>>,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
+/// Starts a writer thread owning `stream` behind a bounded queue. The thread
+/// exits when the socket breaks or every sender clone is dropped — it never
+/// leaks past its connection's lifetime.
 fn spawn_writer(stream: TcpStream) -> Sender<Vec<u8>> {
-    let (tx, rx) = unbounded::<Vec<u8>>();
-    std::thread::spawn(move || {
+    let (tx, rx) = bounded::<Vec<u8>>(WRITE_QUEUE_DEPTH);
+    // If the spawn itself fails, the closure (and `rx`) is dropped and every
+    // send on `tx` reports a dead channel — same signal as a broken socket.
+    let _ = std::thread::Builder::new().name("paxi-tcp-writer".into()).spawn(move || {
         let mut stream = stream;
         while let Ok(bytes) = rx.recv() {
             if stream.write_all(&bytes).is_err() {
-                break;
+                return;
             }
         }
     });
@@ -68,26 +99,76 @@ fn spawn_writer(stream: TcpStream) -> Sender<Vec<u8>> {
 }
 
 impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static> NodeNet<M> {
-    fn encode(env: &Envelope<M>) -> Vec<u8> {
-        let body = paxi_codec::to_bytes(env).expect("encode envelope");
-        paxi_codec::encode_frame(&body)
+    fn encode(env: &Envelope<M>) -> Option<Vec<u8>> {
+        let body = paxi_codec::to_bytes(env).ok()?;
+        Some(paxi_codec::encode_frame(&body))
     }
 
-    fn peer_sender(&self, to: NodeId) -> Option<Sender<Vec<u8>>> {
-        if let Some(tx) = self.peer_conns.lock().get(&to) {
-            return Some(tx.clone());
+    /// Best-effort framed send to a peer: reuses the live connection, sheds
+    /// the frame if the peer's queue is full, and redials (under backoff)
+    /// if the connection has died.
+    fn send_to_peer(&self, to: NodeId, bytes: Vec<u8>) {
+        let cached = self.peer_conns.lock().get(&to).cloned();
+        let bytes = match cached {
+            Some(tx) => match tx.try_send(bytes) {
+                Ok(()) => return,
+                // Queue full: the peer is alive but slow — shed the frame.
+                Err(TrySendError::Full(_)) => return,
+                // Writer exited (socket broke): forget the connection,
+                // unless another thread already replaced it.
+                Err(TrySendError::Disconnected(bytes)) => {
+                    let mut conns = self.peer_conns.lock();
+                    if conns.get(&to).is_some_and(|cur| cur.same_channel(&tx)) {
+                        conns.remove(&to);
+                    }
+                    bytes
+                }
+            },
+            None => bytes,
+        };
+        if let Some(tx) = self.connect_peer(to) {
+            let _ = tx.try_send(bytes);
+        }
+    }
+
+    /// Dials `to` unless its backoff window is still closed. On success the
+    /// connection is cached and the backoff cleared; on failure the next
+    /// attempt is pushed out exponentially (with jitter, so a whole cluster
+    /// redialing one recovered node doesn't stampede in lockstep).
+    fn connect_peer(&self, to: NodeId) -> Option<Sender<Vec<u8>>> {
+        if let Some(b) = self.backoff.lock().get(&to) {
+            if Instant::now() < b.next_attempt {
+                return None;
+            }
         }
         let addr = *self.addrs.get(&to)?;
+        match self.try_dial(addr) {
+            Some(tx) => {
+                self.backoff.lock().remove(&to);
+                self.peer_conns.lock().insert(to, tx.clone());
+                Some(tx)
+            }
+            None => {
+                let mut backoff = self.backoff.lock();
+                let entry = backoff
+                    .entry(to)
+                    .or_insert(Backoff { next_attempt: Instant::now(), delay: RECONNECT_BASE });
+                let jitter = 0.5 + self.jitter.lock().next_f64(); // factor in [0.5, 1.5)
+                entry.next_attempt = Instant::now() + entry.delay.mul_f64(jitter);
+                entry.delay = (entry.delay * 2).min(RECONNECT_MAX);
+                None
+            }
+        }
+    }
+
+    fn try_dial(&self, addr: SocketAddr) -> Option<Sender<Vec<u8>>> {
         let stream = TcpStream::connect(addr).ok()?;
         stream.set_nodelay(true).ok();
-        let tx = spawn_writer(stream.try_clone().ok()?);
-        // Handshake.
-        let hello = paxi_codec::encode_frame(&paxi_codec::to_bytes(&Hello::Peer(self.me)).unwrap());
-        let _ = tx.send(hello);
+        let hello = paxi_codec::to_bytes(&Hello::Peer(self.me)).ok()?;
         // We never read from outbound peer connections; the remote side
         // reads. (Peers push to us over their own outbound connections.)
-        drop(stream);
-        self.peer_conns.lock().insert(to, tx.clone());
+        let tx = spawn_writer(stream);
+        let _ = tx.try_send(paxi_codec::encode_frame(&hello));
         Some(tx)
     }
 
@@ -95,11 +176,13 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
         let route = self.routes.lock().get(&client).cloned();
         match route {
             Some(Route::Local(tx)) => {
-                let _ = tx.send(Self::encode(&Envelope::Response(resp.clone())));
+                if let Some(bytes) = Self::encode(&Envelope::Response(resp.clone())) {
+                    let _ = tx.try_send(bytes);
+                }
             }
             Some(Route::Via(peer)) => {
-                if let Some(tx) = self.peer_sender(peer) {
-                    let _ = tx.send(Self::encode(&Envelope::Response(resp.clone())));
+                if let Some(bytes) = Self::encode(&Envelope::Response(resp.clone())) {
+                    self.send_to_peer(peer, bytes);
                 }
             }
             None => {}
@@ -124,8 +207,8 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
         // Requests we forward should route replies back through us only if
         // the client is ours; if we got it from elsewhere the route already
         // points there and the next node will record `via us`, chaining back.
-        if let Some(tx) = self.net.peer_sender(to) {
-            let _ = tx.send(NodeNet::encode(&env));
+        if let Some(bytes) = NodeNet::encode(&env) {
+            self.net.send_to_peer(to, bytes);
         }
     }
     fn to_client(&self, client: ClientId, resp: ClientResponse) {
@@ -152,6 +235,32 @@ where
     where
         F: ReplicaFactory<R = R>,
     {
+        Self::launch_inner(cluster, factory, None)
+    }
+
+    /// Like [`TcpCluster::launch`], but with fault injection applied inside
+    /// the transport: node→node frames pass through the injector's plan
+    /// (Drop / Flaky / Slow) and crashed nodes freeze until their windows
+    /// end, measured from this call.
+    pub fn launch_chaotic<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        injector: Arc<FaultInjector>,
+    ) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R>,
+    {
+        Self::launch_inner(cluster, factory, Some(injector))
+    }
+
+    fn launch_inner<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R>,
+    {
         let all = cluster.all_nodes();
         let mut listeners = Vec::new();
         let mut addrs = HashMap::new();
@@ -167,12 +276,14 @@ where
         let mut handles = Vec::new();
 
         for (i, (id, listener)) in listeners.into_iter().enumerate() {
-            let (tx, rx) = unbounded::<NodeEvent<R::Msg>>();
+            let (tx, rx) = crossbeam::channel::unbounded::<NodeEvent<R::Msg>>();
             inboxes.insert(id, tx.clone());
             let net = Arc::new(NodeNet::<R::Msg> {
                 me: id,
                 addrs: Arc::clone(&addrs),
                 peer_conns: Mutex::new(HashMap::new()),
+                backoff: Mutex::new(HashMap::new()),
+                jitter: Mutex::new(Rng64::seed(0x7C9 ^ id.pack() as u64)),
                 routes: Mutex::new(HashMap::new()),
                 _marker: std::marker::PhantomData,
             });
@@ -194,9 +305,24 @@ where
             let peers = all.clone();
             let out = TcpOut { net };
             let timers2 = Arc::clone(&timers);
-            handles.push(std::thread::spawn(move || {
-                run_node(id, replica, peers, rx, tx, out, timers2, epoch, 0xBEEF + i as u64)
-            }));
+            let faults2 = faults.clone();
+            let seed = 0xBEEF + i as u64;
+            let handle = match &faults {
+                Some(inj) => {
+                    let out = ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
+                    std::thread::spawn(move || {
+                        run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, faults2)
+                    })
+                }
+                None => std::thread::spawn(move || {
+                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None)
+                }),
+            };
+            handles.push(handle);
+        }
+        if let Some(inj) = &faults {
+            inj.start(epoch);
+            inj.schedule_recoveries(&timers, &inboxes);
         }
         Ok(TcpCluster { addrs, inboxes, handles, next_client: AtomicU32::new(0), _timers: timers })
     }
@@ -223,17 +349,32 @@ where
     }
 }
 
-fn reader_loop<M>(
+fn reader_loop<M>(stream: TcpStream, net: Arc<NodeNet<M>>, inbox: Sender<NodeEvent<M>>)
+where
+    M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static,
+{
+    let mut writer: Option<Sender<Vec<u8>>> = None;
+    read_frames(stream, &net, &inbox, &mut writer);
+    // Connection gone: drop every route into its writer so the writer
+    // thread's queue disconnects and the thread exits instead of leaking.
+    if let Some(w) = writer {
+        net.routes
+            .lock()
+            .retain(|_, r| !matches!(r, Route::Local(tx) if tx.same_channel(&w)));
+    }
+}
+
+fn read_frames<M>(
     mut stream: TcpStream,
-    net: Arc<NodeNet<M>>,
-    inbox: Sender<NodeEvent<M>>,
+    net: &Arc<NodeNet<M>>,
+    inbox: &Sender<NodeEvent<M>>,
+    writer: &mut Option<Sender<Vec<u8>>>,
 ) where
     M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static,
 {
     let mut decoder = paxi_codec::FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     let mut identity: Option<Hello> = None;
-    let mut writer: Option<Sender<Vec<u8>>> = None;
     loop {
         let n = match stream.read(&mut buf) {
             Ok(0) | Err(_) => return,
@@ -250,7 +391,7 @@ fn reader_loop<M>(
                 let Ok(hello) = paxi_codec::from_bytes::<Hello>(&frame) else { return };
                 if matches!(hello, Hello::Client(_)) {
                     let Ok(clone) = stream.try_clone() else { return };
-                    writer = Some(spawn_writer(clone));
+                    *writer = Some(spawn_writer(clone));
                 }
                 identity = Some(hello);
                 continue;
@@ -258,7 +399,7 @@ fn reader_loop<M>(
             let Ok(env) = paxi_codec::from_bytes::<Envelope<M>>(&frame) else { return };
             match (&identity, env) {
                 (Some(Hello::Client(cid)), Envelope::Request(req)) => {
-                    if let Some(w) = &writer {
+                    if let Some(w) = &*writer {
                         net.routes.lock().insert(*cid, Route::Local(w.clone()));
                     }
                     let _ = inbox.send(NodeEvent::Wire(Envelope::Request(req)));
@@ -305,8 +446,9 @@ impl TcpClient {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        let hello = paxi_codec::encode_frame(&paxi_codec::to_bytes(&Hello::Client(id)).unwrap());
-        stream.write_all(&hello)?;
+        let hello = paxi_codec::to_bytes(&Hello::Client(id))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        stream.write_all(&paxi_codec::encode_frame(&hello))?;
         Ok(TcpClient {
             id,
             seq: 0,
@@ -319,6 +461,12 @@ impl TcpClient {
     /// The client id.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    /// Overrides the per-request timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+        let _ = self.stream.set_read_timeout(Some(timeout));
     }
 
     /// Executes one command, blocking for the matching response.
@@ -413,5 +561,30 @@ mod tests {
         let r = client.get(5).expect("get");
         assert_eq!(r.value, Some(vec![5]));
         run.shutdown();
+    }
+
+    #[test]
+    fn dead_peer_send_does_not_wedge_or_panic() {
+        // A NodeNet pointed at an address nobody listens on: every send must
+        // fail quietly (backoff engaged), never panic or block.
+        let mut addrs = HashMap::new();
+        let target = NodeId::new(0, 1);
+        addrs.insert(target, "127.0.0.1:1".parse().unwrap());
+        let net = NodeNet::<()> {
+            me: NodeId::new(0, 0),
+            addrs: Arc::new(addrs),
+            peer_conns: Mutex::new(HashMap::new()),
+            backoff: Mutex::new(HashMap::new()),
+            jitter: Mutex::new(Rng64::seed(1)),
+            routes: Mutex::new(HashMap::new()),
+            _marker: std::marker::PhantomData,
+        };
+        for _ in 0..50 {
+            net.send_to_peer(target, vec![0u8; 8]);
+        }
+        // Backoff must be armed and growing after repeated failures.
+        let backoff = net.backoff.lock();
+        let state = backoff.get(&target).expect("backoff entry");
+        assert!(state.delay > RECONNECT_BASE);
     }
 }

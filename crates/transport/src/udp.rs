@@ -12,6 +12,7 @@
 //! forwarded ones, relaying responses back hop by hop.
 
 use crate::envelope::Envelope;
+use crate::faults::{ChaosOut, FaultInjector};
 use crate::runtime::{run_node, NodeEvent, Outbound};
 use crate::timer::TimerService;
 use crossbeam::channel::{unbounded, Sender};
@@ -109,6 +110,32 @@ where
     where
         F: ReplicaFactory<R = R>,
     {
+        Self::launch_inner(cluster, factory, None)
+    }
+
+    /// Like [`UdpCluster::launch`], but with fault injection applied inside
+    /// the transport: node→node datagrams pass through the injector's plan
+    /// (Drop / Flaky / Slow) and crashed nodes freeze until their windows
+    /// end, measured from this call.
+    pub fn launch_chaotic<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        injector: Arc<FaultInjector>,
+    ) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R>,
+    {
+        Self::launch_inner(cluster, factory, Some(injector))
+    }
+
+    fn launch_inner<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R>,
+    {
         let all = cluster.all_nodes();
         let mut sockets = Vec::new();
         let mut addrs = HashMap::new();
@@ -175,9 +202,24 @@ where
             let peers = all.clone();
             let out = UdpOut::<R::Msg> { net, _marker: std::marker::PhantomData };
             let timers2 = Arc::clone(&timers);
-            handles.push(std::thread::spawn(move || {
-                run_node(id, replica, peers, rx, tx, out, timers2, epoch, 0xD06 + i as u64)
-            }));
+            let faults2 = faults.clone();
+            let seed = 0xD06 + i as u64;
+            let handle = match &faults {
+                Some(inj) => {
+                    let out = ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
+                    std::thread::spawn(move || {
+                        run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, faults2)
+                    })
+                }
+                None => std::thread::spawn(move || {
+                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None)
+                }),
+            };
+            handles.push(handle);
+        }
+        if let Some(inj) = &faults {
+            inj.start(epoch);
+            inj.schedule_recoveries(&timers, &inboxes);
         }
         Ok(UdpCluster { addrs, inboxes, handles, next_client: AtomicU32::new(0), _timers: timers })
     }

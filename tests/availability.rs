@@ -5,7 +5,7 @@
 //! do not experience any disruption, because the failed leader is not on
 //! their critical path.
 
-use paxi::core::{ClusterConfig, Nanos, NodeId};
+use paxi::core::{ClusterConfig, FaultWindow, Nanos, NodeId};
 use paxi::protocols::wpaxos::WPaxosConfig;
 use paxi::sim::{ClientSetup, FaultPlan, SimConfig, Simulator, Topology};
 use paxi_core::dist::Rng64;
@@ -158,6 +158,35 @@ fn raft_survives_partition_heal() {
     let report = sim.run();
     let late = completions_between(&report.timeline, Nanos::secs(5), Nanos::secs(7));
     assert!(late > 200, "post-heal completions {late}");
+}
+
+#[test]
+fn epaxos_isolated_replica_rejoins_after_heal() {
+    // Isolate one of five EPaxos replicas with an open-ended partition and
+    // close it later via `heal` — the two APIs a nemesis uses when it does
+    // not know the outage duration up front. The remaining four replicas
+    // still form the fast quorum (4 of 5), so commits continue through the
+    // outage, and the isolated node serves again after the heal.
+    use paxi::protocols::epaxos::epaxos_cluster;
+    let cluster = ClusterConfig::lan(5);
+    let clients = ClientSetup::closed_per_zone(&cluster, 3);
+    let cfg = SimConfig {
+        warmup: Nanos::millis(100),
+        measure: Nanos::secs(5),
+        client_retry: Some(Nanos::millis(500)),
+        timeline_bucket: Some(Nanos::millis(100)),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(cfg, cluster.clone(), epaxos_cluster(cluster), writes(20), clients);
+    let isolated = NodeId::new(0, 4);
+    let rest: Vec<NodeId> = (0..4).map(|i| NodeId::new(0, i)).collect();
+    sim.faults_mut().partition_in(&[isolated], &rest, FaultWindow::until_end(Nanos::secs(1)));
+    sim.faults_mut().heal(Nanos::secs(3));
+    let report = sim.run();
+    let during = completions_between(&report.timeline, Nanos::millis(1_500), Nanos::secs(3));
+    let after = completions_between(&report.timeline, Nanos::millis(3_500), Nanos::secs(5));
+    assert!(during > 300, "commits must continue through the partition: {during}");
+    assert!(after > 300, "post-heal completions: {after}");
 }
 
 #[test]
