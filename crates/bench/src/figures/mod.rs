@@ -13,6 +13,7 @@ use paxi_sim::SimConfig;
 pub mod ablation;
 pub mod availability;
 pub mod crossval;
+pub mod durability;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -61,6 +62,7 @@ pub fn all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("ablation", ablation::run(quick)),
         ("crossval", crossval::run(quick)),
         ("availability", availability::run(quick)),
+        ("durability", durability::run(quick)),
     ]
 }
 
@@ -83,6 +85,7 @@ pub fn by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
         "ablation" => Some(ablation::run(quick)),
         "crossval" => Some(crossval::run(quick)),
         "availability" => Some(availability::run(quick)),
+        "durability" => Some(durability::run(quick)),
         _ => None,
     }
 }

@@ -28,7 +28,10 @@ pub mod workload;
 pub use checker::{check_linearizability, Anomaly, AnomalyKind};
 pub use config::{BenchmarkConfig, Distribution};
 pub use consensus::{check_consensus, Divergence};
-pub use nemesis::{generate_schedule, run_nemesis, NemesisConfig, NemesisOutcome, NemesisSchedule};
-pub use runner::{run, run_with_faults, sweep, Proto, SweepPoint};
+pub use nemesis::{
+    generate_schedule, generate_schedule_with_mode, run_nemesis, NemesisConfig, NemesisOutcome,
+    NemesisSchedule,
+};
+pub use runner::{run, run_with_faults, run_with_faults_durable, sweep, Proto, SweepPoint};
 pub use table::Table;
 pub use workload::{GeneralWorkload, HotKeyWorkload};

@@ -18,14 +18,15 @@
 //! at a glance.
 
 use crate::checker::{check_linearizability, Anomaly};
-use crate::runner::{run_with_faults, Proto};
+use crate::runner::{run_with_faults, run_with_faults_durable, Proto};
 use paxi_core::config::ClusterConfig;
 use paxi_core::dist::Rng64;
-use paxi_core::faults::FaultPlan;
+use paxi_core::faults::{CrashMode, FaultPlan, FaultWindow};
 use paxi_core::id::NodeId;
 use paxi_core::time::Nanos;
 use paxi_sim::client::uniform_workload;
 use paxi_sim::{ClientSetup, SimConfig};
+use paxi_storage::FsyncPolicy;
 
 /// Tunables of one nemesis run.
 #[derive(Debug, Clone)]
@@ -38,11 +39,27 @@ pub struct NemesisConfig {
     pub keys: u64,
     /// Closed-loop clients per zone.
     pub clients_per_zone: usize,
+    /// What a crash episode does to its victim: [`CrashMode::Freeze`]
+    /// retains memory across the outage; [`CrashMode::Amnesia`] wipes it, so
+    /// replicas run with durable storage attached and recover by replaying
+    /// their WAL.
+    pub crash_mode: CrashMode,
+    /// Fsync policy for the replicas' WALs. Only consulted under
+    /// [`CrashMode::Amnesia`] (freeze runs keep replicas volatile, matching
+    /// the original chaos layer).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for NemesisConfig {
     fn default() -> Self {
-        NemesisConfig { seed: 1, episodes: 5, keys: 8, clients_per_zone: 2 }
+        NemesisConfig {
+            seed: 1,
+            episodes: 5,
+            keys: 8,
+            clients_per_zone: 2,
+            crash_mode: CrashMode::Freeze,
+            fsync: FsyncPolicy::Always,
+        }
     }
 }
 
@@ -53,20 +70,31 @@ pub struct NemesisSchedule {
     pub plan: FaultPlan,
     /// One line per episode (plus the closing heal), for logs and replay.
     pub steps: Vec<String>,
+    /// Crash semantics the schedule's crash episodes carry.
+    pub mode: CrashMode,
 }
 
 impl NemesisSchedule {
-    /// FNV-1a fingerprint of the step list — equal digests mean the same
-    /// schedule was generated (the determinism tests assert this).
+    /// FNV-1a fingerprint of the crash mode and the step list — equal
+    /// digests mean the same schedule *with the same crash semantics* was
+    /// generated (the determinism tests assert this). The mode is folded in
+    /// first and each crash step also carries its mode label, so a freeze
+    /// schedule and its amnesia twin never collide; link fates (drop
+    /// probability, slow delay) are part of the step strings and thus of the
+    /// digest too.
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for s in &self.steps {
-            for b in s.as_bytes() {
+        let mut fold = |bytes: &[u8]| {
+            for b in bytes {
                 h ^= *b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
             h ^= 0x0a;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        fold(self.mode.label().as_bytes());
+        for s in &self.steps {
+            fold(s.as_bytes());
         }
         h
     }
@@ -85,6 +113,21 @@ pub fn generate_schedule(
     cluster: &ClusterConfig,
     horizon: Nanos,
     episodes: usize,
+) -> NemesisSchedule {
+    generate_schedule_with_mode(seed, cluster, horizon, episodes, CrashMode::Freeze)
+}
+
+/// [`generate_schedule`] with explicit crash semantics: episode placement is
+/// identical for both modes under the same seed (the mode is not consumed
+/// from the randomness stream), so a freeze schedule and its amnesia twin
+/// differ *only* in what a crash does to its victim — the cleanest A/B for
+/// durability experiments.
+pub fn generate_schedule_with_mode(
+    seed: u64,
+    cluster: &ClusterConfig,
+    horizon: Nanos,
+    episodes: usize,
+    mode: CrashMode,
 ) -> NemesisSchedule {
     let nodes = cluster.all_nodes();
     let n = nodes.len();
@@ -109,8 +152,13 @@ pub fn generate_schedule(
             0 => {
                 let victim = nodes[rng.below(n as u64) as usize];
                 crashes_used += 1;
-                plan.crash(victim, at, dur);
-                steps.push(format!("crash node={victim} at={} dur={}", at.0, dur.0));
+                plan.crash_mode_in(victim, FaultWindow::new(at, dur), mode);
+                steps.push(format!(
+                    "crash mode={} node={victim} at={} dur={}",
+                    mode.label(),
+                    at.0,
+                    dur.0
+                ));
             }
             1 => {
                 let victim = nodes[rng.below(n as u64) as usize];
@@ -140,7 +188,7 @@ pub fn generate_schedule(
     }
     plan.heal(heal_at);
     steps.push(format!("heal at={}", heal_at.0));
-    NemesisSchedule { plan, steps }
+    NemesisSchedule { plan, steps, mode }
 }
 
 fn distinct_pair(nodes: &[NodeId], rng: &mut Rng64) -> (NodeId, NodeId) {
@@ -190,7 +238,8 @@ pub fn run_nemesis(
     cfg: &NemesisConfig,
 ) -> NemesisOutcome {
     let horizon = sim.warmup + sim.measure;
-    let schedule = generate_schedule(cfg.seed, &cluster, horizon, cfg.episodes);
+    let schedule =
+        generate_schedule_with_mode(cfg.seed, &cluster, horizon, cfg.episodes, cfg.crash_mode);
     sim.seed = cfg.seed;
     sim.record_ops = true;
     if sim.client_retry.is_none() {
@@ -198,14 +247,27 @@ pub fn run_nemesis(
     }
     let clients = ClientSetup::closed_per_zone(&cluster, cfg.clients_per_zone);
     let heal_at = Nanos(horizon.0 * 3 / 4);
-    let report = run_with_faults(
-        proto,
-        sim,
-        cluster,
-        uniform_workload(cfg.keys),
-        clients,
-        schedule.plan.clone(),
-    );
+    let report = match cfg.crash_mode {
+        CrashMode::Freeze => run_with_faults(
+            proto,
+            sim,
+            cluster,
+            uniform_workload(cfg.keys),
+            clients,
+            schedule.plan.clone(),
+        ),
+        // Amnesia without durable state cannot be linearizable; the durable
+        // runner attaches per-node WALs and rebuilds victims from them.
+        CrashMode::Amnesia => run_with_faults_durable(
+            proto,
+            sim,
+            cluster,
+            uniform_workload(cfg.keys),
+            clients,
+            schedule.plan.clone(),
+            cfg.fsync,
+        ),
+    };
     let anomalies = check_linearizability(&report.ops);
     let tail_completed =
         report.ops.iter().filter(|o| o.ok && o.ret >= heal_at).count() as u64;
@@ -232,6 +294,54 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         let c = generate_schedule(8, &cluster, Nanos::secs(6), 5);
         assert_ne!(a.digest(), c.digest(), "different seed, different schedule");
+    }
+
+    #[test]
+    fn digest_distinguishes_crash_semantics() {
+        // Regression: the fingerprint once hashed only the step list, so a
+        // freeze schedule and its amnesia twin (identical placement, same
+        // seed) collided. Mode is now folded into the digest directly and
+        // via the crash step labels.
+        let cluster = ClusterConfig::lan(5);
+        let horizon = Nanos::secs(6);
+        // Seed 7 places at least one crash episode (asserted below).
+        let freeze = generate_schedule_with_mode(7, &cluster, horizon, 5, CrashMode::Freeze);
+        let amnesia = generate_schedule_with_mode(7, &cluster, horizon, 5, CrashMode::Amnesia);
+        assert!(
+            freeze.steps.iter().any(|s| s.starts_with("crash")),
+            "seed must exercise a crash: {:?}",
+            freeze.steps
+        );
+        assert_ne!(freeze.digest(), amnesia.digest(), "crash semantics must not collide");
+        // Same mode stays deterministic.
+        let again = generate_schedule_with_mode(7, &cluster, horizon, 5, CrashMode::Amnesia);
+        assert_eq!(amnesia.digest(), again.digest());
+        // Placement is mode-independent: only the crash lines differ.
+        assert_eq!(freeze.steps.len(), amnesia.steps.len());
+        for (f, a) in freeze.steps.iter().zip(&amnesia.steps) {
+            if f.starts_with("crash") {
+                assert!(a.starts_with("crash mode=amnesia"));
+            } else {
+                assert_eq!(f, a);
+            }
+        }
+    }
+
+    #[test]
+    fn amnesia_nemesis_on_paxos_passes() {
+        let sim = SimConfig {
+            warmup: Nanos::millis(100),
+            measure: Nanos::millis(3_900),
+            ..SimConfig::default()
+        };
+        let out = run_nemesis(
+            &Proto::paxos(),
+            sim,
+            ClusterConfig::lan(5),
+            &NemesisConfig { seed: 11, crash_mode: CrashMode::Amnesia, ..Default::default() },
+        );
+        assert!(out.anomalies.is_empty(), "anomalies: {:?}", out.anomalies);
+        assert!(out.tail_completed > 0, "no post-heal progress");
     }
 
     #[test]

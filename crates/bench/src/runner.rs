@@ -7,6 +7,7 @@
 //! latency-vs-throughput series the paper plots in Figures 7 and 9.
 
 use paxi_core::config::ClusterConfig;
+use paxi_core::id::NodeId;
 use paxi_protocols::epaxos::epaxos_cluster;
 use paxi_protocols::paxos::{paxos_cluster, PaxosConfig};
 use paxi_protocols::raft::{raft_cluster, RaftConfig};
@@ -14,6 +15,7 @@ use paxi_protocols::vpaxos::{vpaxos_cluster, VPaxosConfig};
 use paxi_protocols::wankeeper::{wankeeper_cluster, WanKeeperConfig};
 use paxi_protocols::wpaxos::{wpaxos_cluster, WPaxosConfig};
 use paxi_sim::{ClientSetup, FaultPlan, SimConfig, SimReport, Simulator, Workload};
+use paxi_storage::{FsyncPolicy, MemHub};
 use serde::Serialize;
 
 /// A protocol under test.
@@ -143,6 +145,102 @@ pub fn run_with_faults(
         Proto::Raft { cfg, cpu_penalty } => {
             sim.cost.cpu_penalty = *cpu_penalty;
             go(sim, cluster.clone(), raft_cluster(cluster, cfg.clone()), workload, clients, faults)
+        }
+    }
+}
+
+/// Like [`run_with_faults`], but with durable replica state: every node
+/// writes its WAL to an in-memory disk array under `policy`, replicas are
+/// rebuilt from it after [`paxi_core::faults::CrashMode::Amnesia`] crashes,
+/// and every fsync is charged [`paxi_sim::CostModel::t_fsync`] of service
+/// time — the entry point for the amnesia nemesis and the durability-tax
+/// sweep.
+pub fn run_with_faults_durable(
+    proto: &Proto,
+    mut sim: SimConfig,
+    cluster: ClusterConfig,
+    workload: impl Workload + 'static,
+    clients: Vec<ClientSetup>,
+    faults: FaultPlan,
+    policy: FsyncPolicy,
+) -> SimReport {
+    fn go<R, F>(
+        sim: SimConfig,
+        cluster: ClusterConfig,
+        factory: F,
+        workload: impl Workload + 'static,
+        clients: Vec<ClientSetup>,
+        faults: FaultPlan,
+        policy: FsyncPolicy,
+    ) -> SimReport
+    where
+        R: paxi_core::traits::Replica,
+        F: paxi_core::traits::ReplicaFactory<R = R> + 'static,
+    {
+        let hub: MemHub<NodeId> = MemHub::new(policy);
+        let disks = hub.clone();
+        let durable_factory = move |id: NodeId| {
+            let mut r = factory.make(id);
+            r.attach_storage(Box::new(disks.open(id)));
+            r
+        };
+        let mut s = Simulator::new(sim, cluster, durable_factory, workload, clients);
+        s.set_storage(hub);
+        *s.faults_mut() = faults;
+        s.run()
+    }
+    match proto {
+        Proto::Paxos(cfg) => go(
+            sim,
+            cluster.clone(),
+            paxos_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+            policy,
+        ),
+        Proto::EPaxos { cpu_penalty } => {
+            sim.cost.cpu_penalty = *cpu_penalty;
+            go(sim, cluster.clone(), epaxos_cluster(cluster), workload, clients, faults, policy)
+        }
+        Proto::WPaxos(cfg) => go(
+            sim,
+            cluster.clone(),
+            wpaxos_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+            policy,
+        ),
+        Proto::WanKeeper(cfg) => go(
+            sim,
+            cluster.clone(),
+            wankeeper_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+            policy,
+        ),
+        Proto::VPaxos(cfg) => go(
+            sim,
+            cluster.clone(),
+            vpaxos_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+            policy,
+        ),
+        Proto::Raft { cfg, cpu_penalty } => {
+            sim.cost.cpu_penalty = *cpu_penalty;
+            go(
+                sim,
+                cluster.clone(),
+                raft_cluster(cluster, cfg.clone()),
+                workload,
+                clients,
+                faults,
+                policy,
+            )
         }
     }
 }

@@ -10,11 +10,15 @@
 //! time, so the exact same plan drives both worlds.
 //!
 //! Semantics:
-//! * **Crash** freezes a node for an interval: events addressed to it
-//!   (messages, requests, timers) are silently discarded while frozen. When
-//!   the window ends the node *recovers*: the runtime delivers a restart
-//!   event ([`crate::traits::Replica::on_restart`]) so it can re-arm timers
-//!   and rejoin the protocol from its retained state.
+//! * **Crash** takes a node down for an interval: events addressed to it
+//!   (messages, requests, timers) are silently discarded while down. What
+//!   happens at recovery depends on the [`CrashMode`]:
+//!   [`CrashMode::Freeze`] retains in-memory state and delivers a restart
+//!   event ([`crate::traits::Replica::on_restart`]) so the node re-arms
+//!   timers and rejoins; [`CrashMode::Amnesia`] discards *all* volatile
+//!   state — the runtime rebuilds the replica from its factory, which must
+//!   recover from durable storage (`paxi-storage`), and then delivers
+//!   [`crate::traits::Replica::on_recover`].
 //! * **Drop** discards every message from `i` to `j` during the interval.
 //! * **Slow** adds a random extra delay (uniform in `[0, max_delay)`) to
 //!   messages from `i` to `j`.
@@ -71,6 +75,29 @@ impl FaultWindow {
     }
 }
 
+/// What a crashed node loses while it is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// The process stalls but keeps its memory: recovery resumes from the
+    /// retained in-memory state (PR 1's original crash semantics).
+    #[default]
+    Freeze,
+    /// The machine dies: every byte of volatile state is lost. Recovery
+    /// rebuilds the replica from its factory and replays durable storage —
+    /// anything not persisted before the crash is gone.
+    Amnesia,
+}
+
+impl CrashMode {
+    /// Short label for schedules and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashMode::Freeze => "freeze",
+            CrashMode::Amnesia => "amnesia",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct LinkRule {
     src: NodeId,
@@ -103,7 +130,7 @@ pub enum MsgFate {
 /// fault injector.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    crashes: Vec<(NodeId, FaultWindow)>,
+    crashes: Vec<(NodeId, FaultWindow, CrashMode)>,
     links: Vec<LinkRule>,
 }
 
@@ -113,7 +140,7 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Freezes `node` from `at` for `duration`.
+    /// Freezes `node` from `at` for `duration` ([`CrashMode::Freeze`]).
     pub fn crash(&mut self, node: NodeId, at: Nanos, duration: Nanos) -> &mut Self {
         self.crash_in(node, FaultWindow::new(at, duration))
     }
@@ -121,7 +148,23 @@ impl FaultPlan {
     /// Freezes `node` for an explicit window (use
     /// [`FaultWindow::until_end`] for an open-ended crash).
     pub fn crash_in(&mut self, node: NodeId, window: FaultWindow) -> &mut Self {
-        self.crashes.push((node, window));
+        self.crash_mode_in(node, window, CrashMode::Freeze)
+    }
+
+    /// Amnesia-crashes `node` from `at` for `duration`: at recovery the
+    /// replica is rebuilt from scratch and must replay durable storage.
+    pub fn crash_amnesia(&mut self, node: NodeId, at: Nanos, duration: Nanos) -> &mut Self {
+        self.crash_mode_in(node, FaultWindow::new(at, duration), CrashMode::Amnesia)
+    }
+
+    /// Crashes `node` for an explicit window with an explicit mode.
+    pub fn crash_mode_in(
+        &mut self,
+        node: NodeId,
+        window: FaultWindow,
+        mode: CrashMode,
+    ) -> &mut Self {
+        self.crashes.push((node, window, mode));
         self
     }
 
@@ -209,7 +252,7 @@ impl FaultPlan {
     /// all link faults lift. Windows that already ended, or that only start
     /// after `at`, are untouched.
     pub fn heal(&mut self, at: Nanos) -> &mut Self {
-        for (_, w) in self.crashes.iter_mut() {
+        for (_, w, _) in self.crashes.iter_mut() {
             w.truncate(at);
         }
         for rule in self.links.iter_mut() {
@@ -218,17 +261,30 @@ impl FaultPlan {
         self
     }
 
-    /// Whether `node` is frozen at time `t`.
+    /// Whether `node` is down at time `t`.
     pub fn is_crashed(&self, node: NodeId, t: Nanos) -> bool {
-        self.crashes.iter().any(|(n, w)| *n == node && w.contains(t))
+        self.crashes.iter().any(|(n, w, _)| *n == node && w.contains(t))
     }
 
-    /// Every `(node, recovery_time)` pair at which a crashed node thaws.
-    /// Open-ended crashes never recover and are not reported. Runtimes use
-    /// this to schedule restart events
-    /// ([`crate::traits::Replica::on_restart`]).
-    pub fn recoveries(&self) -> impl Iterator<Item = (NodeId, Nanos)> + '_ {
-        self.crashes.iter().filter(|(_, w)| !w.is_open_ended()).map(|(n, w)| (*n, w.end()))
+    /// The mode of the crash window covering `node` at `t`, if any.
+    pub fn crash_mode_at(&self, node: NodeId, t: Nanos) -> Option<CrashMode> {
+        self.crashes
+            .iter()
+            .find(|(n, w, _)| *n == node && w.contains(t))
+            .map(|(_, _, mode)| *mode)
+    }
+
+    /// Every `(node, recovery_time, mode)` triple at which a crashed node
+    /// comes back. Open-ended crashes never recover and are not reported.
+    /// Runtimes use this to schedule restart events
+    /// ([`crate::traits::Replica::on_restart`] for [`CrashMode::Freeze`],
+    /// the rebuild-plus-[`crate::traits::Replica::on_recover`] path for
+    /// [`CrashMode::Amnesia`]).
+    pub fn recoveries(&self) -> impl Iterator<Item = (NodeId, Nanos, CrashMode)> + '_ {
+        self.crashes
+            .iter()
+            .filter(|(_, w, _)| !w.is_open_ended())
+            .map(|(n, w, mode)| (*n, w.end(), *mode))
     }
 
     /// Decides the fate of a message sent `src → dst` at time `t`.
@@ -405,7 +461,7 @@ mod tests {
             MsgFate::Dropped
         );
         // Healed crash now has a recovery point at the heal instant.
-        assert!(p.recoveries().any(|(node, at)| node == n(0, 0) && at == Nanos::secs(5)));
+        assert!(p.recoveries().any(|(node, at, _)| node == n(0, 0) && at == Nanos::secs(5)));
     }
 
     #[test]
@@ -414,6 +470,26 @@ mod tests {
         p.crash(n(0, 0), Nanos::secs(1), Nanos::secs(2));
         p.crash(n(0, 1), Nanos::secs(4), Nanos::secs(1));
         let rec: Vec<_> = p.recoveries().collect();
-        assert_eq!(rec, vec![(n(0, 0), Nanos::secs(3)), (n(0, 1), Nanos::secs(5))]);
+        assert_eq!(
+            rec,
+            vec![
+                (n(0, 0), Nanos::secs(3), CrashMode::Freeze),
+                (n(0, 1), Nanos::secs(5), CrashMode::Freeze)
+            ]
+        );
+    }
+
+    #[test]
+    fn amnesia_crashes_carry_their_mode() {
+        let mut p = FaultPlan::new();
+        p.crash(n(0, 0), Nanos::secs(1), Nanos::secs(1));
+        p.crash_amnesia(n(0, 1), Nanos::secs(2), Nanos::secs(2));
+        assert_eq!(p.crash_mode_at(n(0, 0), Nanos::millis(1_500)), Some(CrashMode::Freeze));
+        assert_eq!(p.crash_mode_at(n(0, 1), Nanos::secs(3)), Some(CrashMode::Amnesia));
+        assert_eq!(p.crash_mode_at(n(0, 1), Nanos::secs(5)), None, "after the window");
+        let rec: Vec<_> = p.recoveries().collect();
+        assert!(rec.contains(&(n(0, 1), Nanos::secs(4), CrashMode::Amnesia)));
+        // Both modes freeze delivery identically while down.
+        assert!(p.is_crashed(n(0, 1), Nanos::secs(3)));
     }
 }

@@ -41,13 +41,13 @@ pub use ballot::Ballot;
 pub use command::{ClientRequest, ClientResponse, Command, Key, Op, Value};
 pub use config::ClusterConfig;
 pub use dist::{KeyDist, KeySampler, Rng64};
-pub use faults::{FaultPlan, FaultWindow, MsgFate};
+pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use id::{ClientId, NodeId, RequestId};
 pub use metrics::{Histogram, LatencySummary, Meter};
 pub use quorum::{
     fast_quorum_size, majority, CountQuorum, FastQuorum, FlexibleGridQuorum, GridPhase,
     GridQuorum, GroupQuorum, MajorityQuorum, QuorumTracker,
 };
-pub use store::{MultiVersionStore, Version};
+pub use store::{MultiVersionStore, StoreDump, Version};
 pub use time::Nanos;
 pub use traits::{Context, Replica, ReplicaFactory};

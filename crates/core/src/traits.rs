@@ -16,6 +16,7 @@
 use crate::command::{ClientRequest, ClientResponse};
 use crate::id::NodeId;
 use crate::time::Nanos;
+use paxi_storage::Storage;
 use std::fmt;
 
 /// Capabilities the runtime exposes to a replica while it handles an event.
@@ -72,6 +73,30 @@ pub trait Replica {
     /// phase-1 with a higher ballot, a follower re-arms its election timer).
     fn on_restart(&mut self, ctx: &mut dyn Context<Self::Msg>) {
         self.on_start(ctx);
+    }
+
+    /// Gives the replica a durable store for its acceptor-critical state.
+    ///
+    /// Protocols that support crash-recovery keep the handle, append WAL
+    /// records at their persist-before-ack points, and — right here, before
+    /// returning — replay whatever the store already holds (snapshot + WAL)
+    /// into their in-memory state. Attaching therefore doubles as the pure
+    /// state-rebuild step of recovery: factories call it while constructing
+    /// a replica, so a rebuilt-after-amnesia replica comes up already
+    /// recovered. The default drops the handle (protocol keeps no durable
+    /// state).
+    fn attach_storage(&mut self, storage: Box<dyn Storage>) {
+        let _ = storage;
+    }
+
+    /// Called after an amnesia crash, on the *rebuilt* replica (fresh from
+    /// the factory, state already restored via [`Replica::attach_storage`]).
+    /// Unlike `attach_storage` this hook has a [`Context`], so it is the
+    /// place for effects: re-arming timers, re-executing recovered commands,
+    /// re-joining the protocol. The default defers to
+    /// [`Replica::on_restart`].
+    fn on_recover(&mut self, ctx: &mut dyn Context<Self::Msg>) {
+        self.on_restart(ctx);
     }
 
     /// Handles one protocol message from peer `from`.

@@ -26,6 +26,7 @@ use paxi_core::id::{NodeId, RequestId};
 use paxi_core::quorum::{fast_quorum_size, majority};
 use paxi_core::store::MultiVersionStore;
 use paxi_core::traits::{Context, Replica};
+use paxi_storage::Storage;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -102,6 +103,37 @@ enum Status {
     Executed,
 }
 
+/// Replication stage an [`EpaxosWal`] record witnesses. `Executed` is
+/// deliberately absent: execution is volatile (it is a deterministic
+/// function of the committed dependency graph) and re-runs after recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalStatus {
+    /// Pre-accepted with (possibly augmented) attributes.
+    PreAccepted,
+    /// Slow-path accepted attributes.
+    Accepted,
+    /// Final committed attributes.
+    Committed,
+}
+
+/// One durable WAL record of EPaxos acceptor state: the full attribute set
+/// of one instance at one replication stage. Appended before the message
+/// (PreAcceptOk / AcceptOk / Commit) that acknowledges the stage; replaying
+/// records in append order converges to the pre-crash instance space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpaxosWal {
+    /// The instance.
+    pub iref: IRef,
+    /// The command.
+    pub cmd: Command,
+    /// Sequence number at this stage.
+    pub seq: u64,
+    /// Dependencies at this stage.
+    pub deps: Vec<IRef>,
+    /// The stage witnessed.
+    pub status: WalStatus,
+}
+
 #[derive(Debug)]
 struct Instance {
     cmd: Command,
@@ -134,6 +166,7 @@ pub struct EPaxos {
     key_info: HashMap<u64, KeyInfo>,
     pending_exec: HashSet<IRef>,
     store: MultiVersionStore,
+    wal: Option<Box<dyn Storage>>,
 }
 
 impl EPaxos {
@@ -150,6 +183,7 @@ impl EPaxos {
             key_info: HashMap::new(),
             pending_exec: HashSet::new(),
             store: MultiVersionStore::new(),
+            wal: None,
         }
     }
 
@@ -165,6 +199,26 @@ impl EPaxos {
 
     fn get(&self, iref: IRef) -> Option<&Instance> {
         self.instances.get(&iref.leader)?.get(&iref.idx)
+    }
+
+    /// Appends the current attributes of `iref` to the WAL at `status` and
+    /// syncs per policy. Must run before the message acknowledging that
+    /// stage leaves this node. A storage failure is crash-stop.
+    fn persist(&mut self, iref: IRef, status: WalStatus) {
+        if self.wal.is_none() {
+            return;
+        }
+        let Some(inst) = self.get(iref) else { return };
+        let rec = EpaxosWal {
+            iref,
+            cmd: inst.cmd.clone(),
+            seq: inst.seq,
+            deps: inst.deps.clone(),
+            status,
+        };
+        let bytes = paxi_codec::to_bytes(&rec).expect("epaxos wal record must encode");
+        let wal = self.wal.as_mut().unwrap();
+        wal.append(&bytes).expect("epaxos replica lost its durable store");
     }
 
     fn get_mut(&mut self, iref: IRef) -> Option<&mut Instance> {
@@ -233,6 +287,7 @@ impl EPaxos {
         inst.status = Status::Committed;
         let (cmd, seq, deps) = (inst.cmd.clone(), inst.seq, inst.deps.clone());
         self.pending_exec.insert(iref);
+        self.persist(iref, WalStatus::Committed);
         ctx.broadcast(EpaxosMsg::Commit { iref, cmd, seq, deps });
         self.execute_ready(ctx);
     }
@@ -258,6 +313,7 @@ impl EPaxos {
         };
         self.note_instance(iref, key, seq);
         self.pending_exec.insert(iref);
+        self.persist(iref, WalStatus::Committed);
         self.execute_ready(ctx);
     }
 
@@ -409,6 +465,7 @@ impl Replica for EPaxos {
                 new_deps.sort_unstable();
                 let changed = new_seq != seq || new_deps != deps;
                 self.insert_instance(iref, cmd, new_seq, new_deps.clone(), Status::PreAccepted, None);
+                self.persist(iref, WalStatus::PreAccepted);
                 ctx.send(from, EpaxosMsg::PreAcceptOk { iref, seq: new_seq, deps: new_deps, changed });
             }
             EpaxosMsg::PreAcceptOk { iref, seq, deps, changed } => {
@@ -434,6 +491,9 @@ impl Replica for EPaxos {
                         inst.status = Status::Accepted;
                         inst.accept_oks = 0;
                         let (cmd, seq, deps) = (inst.cmd.clone(), inst.seq, inst.deps.clone());
+                        // The leader's own accept counts toward the slow
+                        // quorum, so it must be durable before peers vote.
+                        self.persist(iref, WalStatus::Accepted);
                         ctx.broadcast(EpaxosMsg::Accept { iref, cmd, seq, deps });
                     } else {
                         self.commit(iref, ctx);
@@ -441,21 +501,30 @@ impl Replica for EPaxos {
                 }
             }
             EpaxosMsg::Accept { iref, cmd, seq, deps } => {
-                match self.get_mut(iref) {
+                let advanced = match self.get_mut(iref) {
                     Some(inst) if inst.status != Status::Executed && inst.status != Status::Committed => {
                         inst.cmd = cmd;
                         inst.seq = seq;
                         inst.deps = deps;
                         inst.status = Status::Accepted;
+                        true
                     }
-                    Some(_) => {}
-                    None => self.insert_instance(iref, cmd, seq, deps, Status::Accepted, None),
-                }
+                    Some(_) => false,
+                    None => {
+                        self.insert_instance(iref, cmd, seq, deps, Status::Accepted, None);
+                        true
+                    }
+                };
                 let (key, seq) = {
                     let i = self.get(iref).unwrap();
                     (i.cmd.key, i.seq)
                 };
                 self.note_instance(iref, key, seq);
+                // Already-committed instances still get an AcceptOk but must
+                // not log a status downgrade.
+                if advanced {
+                    self.persist(iref, WalStatus::Accepted);
+                }
                 ctx.send(from, EpaxosMsg::AcceptOk { iref });
             }
             EpaxosMsg::AcceptOk { iref } => {
@@ -482,6 +551,9 @@ impl Replica for EPaxos {
         self.next_idx += 1;
         let (seq, deps) = self.attributes(&req.cmd, iref);
         self.insert_instance(iref, req.cmd.clone(), seq, deps.clone(), Status::PreAccepted, Some(req.id));
+        // The leader's own pre-accept is a fast-quorum vote: make it durable
+        // before soliciting the others.
+        self.persist(iref, WalStatus::PreAccepted);
         if self.fast <= 1 {
             self.commit(iref, ctx);
         } else {
@@ -491,6 +563,54 @@ impl Replica for EPaxos {
 
     fn protocol_name(&self) -> &'static str {
         "epaxos"
+    }
+
+    /// Recovers acceptor state from `storage` and keeps the handle for
+    /// future appends. Records replay in append order, so the last record
+    /// for an instance carries its final pre-crash attributes — except that
+    /// `Committed` is sticky (a stale `Accepted` from a concurrent handler
+    /// never downgrades it). `req` is not persisted: a recovered replica
+    /// never re-sends client replies, the retry path covers those.
+    fn attach_storage(&mut self, mut storage: Box<dyn Storage>) {
+        let rec = storage.recover().expect("epaxos storage must recover");
+        for bytes in &rec.records {
+            let w: EpaxosWal = paxi_codec::from_bytes(bytes).expect("epaxos wal record must decode");
+            let status = match w.status {
+                WalStatus::PreAccepted => Status::PreAccepted,
+                WalStatus::Accepted => Status::Accepted,
+                WalStatus::Committed => Status::Committed,
+            };
+            match self.get_mut(w.iref) {
+                Some(inst) => {
+                    if inst.status != Status::Committed || status == Status::Committed {
+                        inst.cmd = w.cmd;
+                        inst.seq = w.seq;
+                        inst.deps = w.deps;
+                        inst.status = status;
+                    }
+                }
+                None => self.insert_instance(w.iref, w.cmd, w.seq, w.deps, status, None),
+            }
+            let (key, seq) = {
+                let i = self.get(w.iref).unwrap();
+                (i.cmd.key, i.seq)
+            };
+            self.note_instance(w.iref, key, seq);
+            if status == Status::Committed {
+                self.pending_exec.insert(w.iref);
+            }
+            if w.iref.leader == self.id {
+                self.next_idx = self.next_idx.max(w.iref.idx + 1);
+            }
+        }
+        self.wal = Some(storage);
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Context<EpaxosMsg>) {
+        // The state machine is volatile; re-run the recovered commit graph.
+        // Execution order is a deterministic function of that graph, so the
+        // rebuilt store converges with what survivors hold.
+        self.execute_ready(ctx);
     }
 
     fn store(&self) -> Option<&MultiVersionStore> {
@@ -813,5 +933,105 @@ mod tests {
             full_conflict > no_conflict * 1.2,
             "WAN conflicts should add a round: {no_conflict} vs {full_conflict}"
         );
+    }
+
+    fn durable_acceptor(hub: &paxi_storage::MemHub<u32>) -> EPaxos {
+        let mut e = EPaxos::new(NodeId::new(0, 1), ClusterConfig::lan(5));
+        e.attach_storage(Box::new(hub.open(1)));
+        e
+    }
+
+    #[test]
+    fn preaccepted_attributes_survive_amnesia() {
+        let hub = paxi_storage::MemHub::new(paxi_storage::FsyncPolicy::Always);
+        let mut e = durable_acceptor(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        let known = IRef { leader: NodeId::new(0, 2), idx: 0 };
+        let probed = IRef { leader: NodeId::new(0, 0), idx: 0 };
+        e.on_message(
+            NodeId::new(0, 2),
+            EpaxosMsg::Commit {
+                iref: known,
+                cmd: paxi_core::Command::put(7, vec![9]),
+                seq: 1,
+                deps: vec![],
+            },
+            &mut ctx,
+        );
+        e.on_message(
+            NodeId::new(0, 0),
+            EpaxosMsg::PreAccept {
+                iref: probed,
+                cmd: paxi_core::Command::put(7, vec![1]),
+                seq: 1,
+                deps: vec![],
+            },
+            &mut ctx,
+        );
+        drop(e);
+        hub.crash(&1);
+        let e2 = durable_acceptor(&hub);
+        // The acceptor promised (seq=2, deps=[known]) in its PreAcceptOk;
+        // after amnesia it must still know those attributes, or the leader's
+        // fast-path commit could order against a forgotten conflict.
+        let inst = e2.get(probed).expect("pre-accepted instance survives");
+        assert_eq!(inst.seq, 2);
+        assert_eq!(inst.deps, vec![known]);
+        assert_eq!(inst.status, Status::PreAccepted);
+        // And the committed instance it conflicted with is back too.
+        assert_eq!(e2.get(known).map(|i| i.status), Some(Status::Committed));
+    }
+
+    #[test]
+    fn recovery_replays_commits_and_reexecutes_the_graph() {
+        let hub = paxi_storage::MemHub::new(paxi_storage::FsyncPolicy::Always);
+        let mut e = durable_acceptor(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        let a = IRef { leader: NodeId::new(0, 0), idx: 0 };
+        let b = IRef { leader: NodeId::new(0, 2), idx: 0 };
+        e.on_message(
+            NodeId::new(0, 0),
+            EpaxosMsg::Commit { iref: a, cmd: paxi_core::Command::put(7, vec![1]), seq: 1, deps: vec![] },
+            &mut ctx,
+        );
+        e.on_message(
+            NodeId::new(0, 2),
+            EpaxosMsg::Commit { iref: b, cmd: paxi_core::Command::put(7, vec![2]), seq: 2, deps: vec![a] },
+            &mut ctx,
+        );
+        let before: Vec<_> = e.store().unwrap().history(7).to_vec();
+        assert_eq!(before.len(), 2);
+        drop(e);
+        hub.crash(&1);
+        let mut e2 = durable_acceptor(&hub);
+        assert!(
+            e2.store().unwrap().history(7).is_empty(),
+            "the state machine is volatile until on_recover"
+        );
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        e2.on_recover(&mut ctx2);
+        assert_eq!(e2.store().unwrap().history(7), before, "re-execution converges");
+        assert!(ctx2.replies.is_empty(), "no client replies are re-sent");
+    }
+
+    #[test]
+    fn own_instance_numbering_resumes_past_persisted_instances() {
+        let hub = paxi_storage::MemHub::new(paxi_storage::FsyncPolicy::Always);
+        let mut e = EPaxos::new(NodeId::new(0, 0), ClusterConfig::lan(5));
+        e.attach_storage(Box::new(hub.open(0)));
+        let mut ctx = probe(NodeId::new(0, 0));
+        e.on_request(req(1, 0, paxi_core::Command::put(7, vec![1])), &mut ctx);
+        e.on_request(req(1, 1, paxi_core::Command::put(8, vec![2])), &mut ctx);
+        drop(e);
+        hub.crash(&0);
+        let mut e2 = EPaxos::new(NodeId::new(0, 0), ClusterConfig::lan(5));
+        e2.attach_storage(Box::new(hub.open(0)));
+        // Reusing instance slots 0 or 1 would let the recovered leader
+        // overwrite its own in-flight proposals.
+        e2.on_request(req(1, 2, paxi_core::Command::put(9, vec![3])), &mut ctx);
+        match ctx.sent.last() {
+            Some((None, EpaxosMsg::PreAccept { iref, .. })) => assert_eq!(iref.idx, 2),
+            other => panic!("expected PreAccept, got {other:?}"),
+        }
     }
 }

@@ -21,9 +21,10 @@ use paxi_core::command::{ClientRequest, ClientResponse, Command};
 use paxi_core::config::ClusterConfig;
 use paxi_core::id::{NodeId, RequestId};
 use paxi_core::quorum::{majority, CountQuorum, QuorumTracker};
-use paxi_core::store::MultiVersionStore;
+use paxi_core::store::{MultiVersionStore, StoreDump};
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica};
+use paxi_storage::Storage;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -135,6 +136,47 @@ struct Entry {
     committed: bool,
 }
 
+/// One durable WAL record of MultiPaxos acceptor state. A record is appended
+/// (and, depending on the fsync policy, synced) *before* the acceptance it
+/// witnesses is acknowledged, so a recovered replica can never have promised
+/// or accepted something its disk does not know about.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaxosWal {
+    /// The replica promised (or adopted) this ballot.
+    Ballot(
+        /// The promised ballot.
+        Ballot,
+    ),
+    /// The replica accepted a command in a slot under a ballot.
+    Accept {
+        /// Log slot.
+        slot: u64,
+        /// Ballot the acceptance happened under.
+        ballot: Ballot,
+        /// The accepted command.
+        cmd: Command,
+        /// Client request to answer once executed (leader bookkeeping).
+        req: Option<RequestId>,
+    },
+}
+
+/// The snapshot MultiPaxos installs when it compacts its WAL: everything
+/// below `base` has been executed into `store`, so only accepted entries at
+/// `base` and above still need individual WAL records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaxosSnapshot {
+    /// Highest ballot the replica had promised at snapshot time.
+    pub ballot: Ballot,
+    /// All slots `< base` are executed into the embedded store image.
+    pub base: u64,
+    /// The state machine at `base`.
+    pub store: StoreDump,
+}
+
+/// Snapshot-and-truncate the WAL once this many slots have been executed
+/// since the last snapshot.
+const COMPACT_EVERY: u64 = 512;
+
 /// A MultiPaxos / FPaxos replica.
 pub struct MultiPaxos {
     id: NodeId,
@@ -161,6 +203,10 @@ pub struct MultiPaxos {
     /// the log hasn't advanced for a full heartbeat, phase-2 messages were
     /// lost and the stuck window is retransmitted.
     heartbeat_head: u64,
+    /// Durable store for acceptor-critical state, if attached.
+    wal: Option<Box<dyn Storage>>,
+    /// All slots below this are covered by the installed snapshot.
+    snapshot_base: u64,
 }
 
 impl MultiPaxos {
@@ -187,6 +233,8 @@ impl MultiPaxos {
             last_leader_contact: Nanos::ZERO,
             election_token: 0,
             heartbeat_head: 0,
+            wal: None,
+            snapshot_base: 0,
         }
     }
 
@@ -216,8 +264,57 @@ impl MultiPaxos {
         self.ballot
     }
 
+    /// Appends one WAL record, honoring the persist-before-ack contract: the
+    /// caller invokes this before emitting the message that acknowledges the
+    /// state change. A replica that cannot write its WAL must stop (crash-
+    /// stop model) — continuing would acknowledge state it may later forget.
+    fn persist(&mut self, rec: &PaxosWal) {
+        if let Some(wal) = &mut self.wal {
+            let bytes = paxi_codec::to_bytes(rec).expect("paxos wal record must encode");
+            wal.append(&bytes).expect("paxos replica lost its durable store");
+        }
+    }
+
+    /// Snapshot-plus-truncate compaction: once enough slots are executed,
+    /// install a snapshot of the state machine and re-log only the live
+    /// tail (accepted entries at or above the new base).
+    fn maybe_compact(&mut self) {
+        if self.wal.is_none() || self.execute_upto.saturating_sub(self.snapshot_base) < COMPACT_EVERY
+        {
+            return;
+        }
+        let snap = PaxosSnapshot {
+            ballot: self.ballot,
+            base: self.execute_upto,
+            store: self.store.dump(),
+        };
+        let bytes = paxi_codec::to_bytes(&snap).expect("paxos snapshot must encode");
+        self.wal
+            .as_mut()
+            .unwrap()
+            .install_snapshot(&bytes)
+            .expect("paxos replica lost its durable store");
+        self.snapshot_base = self.execute_upto;
+        let tail: Vec<PaxosWal> = self
+            .log
+            .range(self.execute_upto..)
+            .map(|(s, e)| PaxosWal::Accept {
+                slot: *s,
+                ballot: e.ballot,
+                cmd: e.cmd.clone(),
+                req: e.req,
+            })
+            .collect();
+        for rec in &tail {
+            self.persist(rec);
+        }
+        // The log below the snapshot base is dead weight now; drop it.
+        self.log = self.log.split_off(&self.snapshot_base);
+    }
+
     fn start_phase1(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
         self.ballot = self.ballot.next(self.id);
+        self.persist(&PaxosWal::Ballot(self.ballot));
         self.active = false;
         let mut q = CountQuorum::new(self.q1_size());
         q.ack(self.id);
@@ -288,6 +385,9 @@ impl MultiPaxos {
     ) {
         let mut quorum = CountQuorum::new(self.q2_size());
         quorum.ack(self.id); // self-vote
+        // The leader is an acceptor of its own proposal: persist before the
+        // self-vote counts toward the quorum.
+        self.persist(&PaxosWal::Accept { slot, ballot: self.ballot, cmd: cmd.clone(), req });
         self.log.insert(slot, Entry { ballot: self.ballot, cmd: cmd.clone(), req, quorum, committed: false });
         let msg = PaxosMsg::P2a {
             ballot: self.ballot,
@@ -354,11 +454,51 @@ impl MultiPaxos {
             }
             self.execute_upto += 1;
         }
+        self.maybe_compact();
     }
 }
 
 impl Replica for MultiPaxos {
     type Msg = PaxosMsg;
+
+    /// Rebuilds acceptor state from the store: snapshot first (ballot,
+    /// executed state machine, base index), then the WAL records in append
+    /// order. Commit/execute indices above the snapshot base are volatile by
+    /// design — the leader's piggybacked `commit_upto` re-teaches them, and
+    /// re-execution is safe because the restored store is exactly at `base`.
+    fn attach_storage(&mut self, mut storage: Box<dyn Storage>) {
+        let rec = storage.recover().expect("paxos storage must recover");
+        if let Some(snap) = &rec.snapshot {
+            let snap: PaxosSnapshot =
+                paxi_codec::from_bytes(snap).expect("paxos snapshot must decode");
+            self.ballot = snap.ballot;
+            self.store = MultiVersionStore::restore(snap.store);
+            self.snapshot_base = snap.base;
+            self.commit_upto = snap.base;
+            self.execute_upto = snap.base;
+            self.marked_upto = snap.base;
+            self.next_slot = snap.base;
+            self.heartbeat_head = snap.base;
+        }
+        for bytes in &rec.records {
+            match paxi_codec::from_bytes::<PaxosWal>(bytes).expect("paxos wal must decode") {
+                PaxosWal::Ballot(b) => self.ballot = self.ballot.max(b),
+                PaxosWal::Accept { slot, ballot, cmd, req } => {
+                    if slot < self.snapshot_base {
+                        continue;
+                    }
+                    self.ballot = self.ballot.max(ballot);
+                    let mut quorum = CountQuorum::new(self.q2_size());
+                    quorum.ack(ballot.id);
+                    quorum.ack(self.id);
+                    self.log.insert(slot, Entry { ballot, cmd, req, quorum, committed: false });
+                    self.next_slot = self.next_slot.max(slot + 1);
+                }
+            }
+        }
+        self.active = false;
+        self.wal = Some(storage);
+    }
 
     fn on_start(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
         self.last_leader_contact = ctx.now();
@@ -379,6 +519,9 @@ impl Replica for MultiPaxos {
             PaxosMsg::P1a { ballot } => {
                 if ballot > self.ballot {
                     self.ballot = ballot;
+                    // Persist the promise before sending it: a promise the
+                    // disk doesn't know about could be broken after amnesia.
+                    self.persist(&PaxosWal::Ballot(ballot));
                     self.active = false;
                     self.leader_hint = Some(ballot.id);
                     self.last_leader_contact = ctx.now();
@@ -401,10 +544,17 @@ impl Replica for MultiPaxos {
             }
             PaxosMsg::P2a { ballot, slot, cmd, req, commit_upto } => {
                 if ballot >= self.ballot {
-                    self.ballot = ballot;
+                    if ballot > self.ballot {
+                        self.ballot = ballot;
+                        self.persist(&PaxosWal::Ballot(ballot));
+                    }
                     self.active = false;
                     self.leader_hint = Some(ballot.id);
                     self.last_leader_contact = ctx.now();
+                    // Persist the acceptance before the P2b below: once the
+                    // leader counts this vote toward a commit, the accepted
+                    // value must survive any crash here.
+                    self.persist(&PaxosWal::Accept { slot, ballot, cmd: cmd.clone(), req });
                     let mut quorum = CountQuorum::new(self.q2_size());
                     quorum.ack(ballot.id);
                     quorum.ack(self.id);
@@ -434,6 +584,7 @@ impl Replica for MultiPaxos {
             PaxosMsg::Nack { ballot } => {
                 if ballot > self.ballot {
                     self.ballot = ballot;
+                    self.persist(&PaxosWal::Ballot(ballot));
                     self.active = false;
                     self.p1_quorum = None;
                     self.leader_hint = Some(ballot.id);
@@ -699,5 +850,127 @@ mod tests {
         let clients: std::collections::HashSet<ClientId> =
             report.ops.iter().map(|o| o.client).collect();
         assert_eq!(clients.len(), 3);
+    }
+
+    /// Minimal probe context for driving handlers directly.
+    struct Probe {
+        id: NodeId,
+        sent: Vec<(Option<NodeId>, PaxosMsg)>, // None = broadcast
+    }
+
+    impl Context<PaxosMsg> for Probe {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn now(&self) -> Nanos {
+            Nanos::ZERO
+        }
+        fn send(&mut self, to: NodeId, msg: PaxosMsg) {
+            self.sent.push((Some(to), msg));
+        }
+        fn broadcast(&mut self, msg: PaxosMsg) {
+            self.sent.push((None, msg));
+        }
+        fn multicast(&mut self, to: &[NodeId], msg: PaxosMsg) {
+            for &t in to {
+                self.sent.push((Some(t), msg.clone()));
+            }
+        }
+        fn set_timer(&mut self, _after: Nanos, _kind: u64) -> u64 {
+            0
+        }
+        fn reply(&mut self, _resp: ClientResponse) {}
+        fn forward(&mut self, _to: NodeId, _req: ClientRequest) {}
+        fn rand_u64(&mut self) -> u64 {
+            1
+        }
+    }
+
+    fn probe(id: NodeId) -> Probe {
+        Probe { id, sent: Vec::new() }
+    }
+
+    fn durable_follower(hub: &paxi_storage::MemHub<u32>) -> MultiPaxos {
+        let mut r =
+            MultiPaxos::new(NodeId::new(0, 1), ClusterConfig::lan(3), PaxosConfig::default());
+        r.attach_storage(Box::new(hub.open(1)));
+        r
+    }
+
+    #[test]
+    fn acceptor_state_survives_amnesia() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        r.on_message(
+            leader,
+            PaxosMsg::P2a {
+                ballot,
+                slot: 0,
+                cmd: Command::put(7, vec![9]),
+                req: None,
+                commit_upto: 0,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.current_ballot(), ballot);
+        // The node forgets everything (amnesia) and is rebuilt from disk.
+        drop(r);
+        hub.crash(&1);
+        let r2 = durable_follower(&hub);
+        assert_eq!(r2.current_ballot(), ballot, "the promise must survive");
+        let tail = r2.uncommitted_tail();
+        assert_eq!(tail.len(), 1, "the accepted entry must survive");
+        assert_eq!(tail[0].0, 0);
+        assert_eq!(tail[0].2, Command::put(7, vec![9]));
+    }
+
+    #[test]
+    fn compaction_snapshots_the_store_and_recovery_resumes_from_it() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        for slot in 0..600u64 {
+            r.on_message(
+                leader,
+                PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    cmd: Command::put(slot % 8, vec![slot as u8]),
+                    req: None,
+                    commit_upto: slot,
+                },
+                &mut ctx,
+            );
+        }
+        r.on_message(leader, PaxosMsg::Commit { upto: 600 }, &mut ctx);
+        assert_eq!(r.store().unwrap().executed(), 600);
+        // Crash and rebuild: the snapshot covers the compacted prefix (one
+        // compaction fired at 512 executed slots), the WAL the rest.
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        assert_eq!(
+            r2.store().unwrap().executed(),
+            512,
+            "snapshot restores exactly the compacted prefix"
+        );
+        // The leader's next commit flush re-teaches the volatile indices and
+        // re-executes the WAL tail on top of the snapshot.
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        r2.on_message(leader, PaxosMsg::Commit { upto: 600 }, &mut ctx2);
+        assert_eq!(r2.store().unwrap().executed(), 600);
+        for key in 0..8u64 {
+            assert_eq!(
+                r2.store().unwrap().history(key),
+                r.store().unwrap().history(key),
+                "recovered history diverges on key {key}"
+            );
+        }
     }
 }

@@ -17,6 +17,7 @@ use paxi_core::quorum::majority;
 use paxi_core::store::MultiVersionStore;
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica};
+use paxi_storage::Storage;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -24,6 +25,8 @@ const TIMER_ELECTION: u64 = 1;
 const TIMER_HEARTBEAT: u64 = 2;
 /// Maximum entries per repair AppendEntries.
 const REPAIR_BATCH: usize = 256;
+/// Checkpoint (snapshot-and-truncate the WAL) after this many WAL records.
+const CHECKPOINT_EVERY: u64 = 512;
 
 /// Tuning knobs for [`Raft`].
 #[derive(Debug, Clone)]
@@ -48,7 +51,7 @@ impl Default for RaftConfig {
 }
 
 /// One replicated log entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RaftEntry {
     /// Term the entry was proposed in.
     pub term: u64,
@@ -112,6 +115,45 @@ enum Role {
     Leader,
 }
 
+/// One durable WAL record of Raft's persistent state (Figure 2 of the Raft
+/// paper: `currentTerm`, `votedFor`, `log[]`). Appended before the message
+/// that acknowledges the change, so a recovered replica can never deny a
+/// vote it granted or drop an entry it acked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaftWal {
+    /// The term advanced and/or the vote was cast.
+    Term {
+        /// Current term.
+        term: u64,
+        /// Who this replica voted for in `term` (if anyone yet).
+        voted_for: Option<NodeId>,
+    },
+    /// A log mutation: `entries` spliced in after `prev_index`, truncating
+    /// any conflicting suffix — replaying the record re-runs the exact same
+    /// truncate-on-conflict logic the live path used.
+    Splice {
+        /// Index of the entry immediately preceding `entries`.
+        prev_index: u64,
+        /// The spliced entries.
+        entries: Vec<RaftEntry>,
+    },
+}
+
+/// The checkpoint Raft installs when compacting its WAL. The whole log is
+/// embedded (this implementation never discards its prefix — matching the
+/// paper's benchmark configuration with snapshots disabled), so the state
+/// machine is deliberately *not* persisted: commit/applied are volatile and
+/// the leader's next commit index re-drives execution from the log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaftCheckpoint {
+    /// Current term at checkpoint time.
+    pub term: u64,
+    /// Vote cast in that term.
+    pub voted_for: Option<NodeId>,
+    /// The full log, sentinel included.
+    pub log: Vec<RaftEntry>,
+}
+
 /// A Raft replica.
 pub struct Raft {
     id: NodeId,
@@ -137,6 +179,10 @@ pub struct Raft {
     /// on TCP's ordering; our network model can reorder messages, and
     /// rejecting every early append degenerates into repair storms.
     stash: BTreeMap<u64, (u64, Vec<RaftEntry>, u64)>,
+    /// Durable store for term/vote/log, if attached.
+    wal: Option<Box<dyn Storage>>,
+    /// WAL records since the last checkpoint.
+    wal_records: u64,
 }
 
 impl Raft {
@@ -163,7 +209,46 @@ impl Raft {
             store: MultiVersionStore::new(),
             pending: Vec::new(),
             stash: BTreeMap::new(),
+            wal: None,
+            wal_records: 0,
         }
+    }
+
+    /// Appends one WAL record before the caller acknowledges the change it
+    /// witnesses, checkpointing once enough records accumulate. A replica
+    /// that cannot write its WAL must stop (crash-stop model).
+    fn persist(&mut self, rec: &RaftWal) {
+        if self.wal.is_none() {
+            return;
+        }
+        let bytes = paxi_codec::to_bytes(rec).expect("raft wal record must encode");
+        self.wal
+            .as_mut()
+            .unwrap()
+            .append(&bytes)
+            .expect("raft replica lost its durable store");
+        self.wal_records += 1;
+        if self.wal_records >= CHECKPOINT_EVERY {
+            self.checkpoint();
+        }
+    }
+
+    /// Snapshot-plus-truncate: replaces the WAL with one checkpoint record.
+    fn checkpoint(&mut self) {
+        let snap =
+            RaftCheckpoint { term: self.term, voted_for: self.voted_for, log: self.log.clone() };
+        let bytes = paxi_codec::to_bytes(&snap).expect("raft checkpoint must encode");
+        self.wal
+            .as_mut()
+            .unwrap()
+            .install_snapshot(&bytes)
+            .expect("raft replica lost its durable store");
+        self.wal_records = 0;
+    }
+
+    /// Persists and records the durable term/vote pair.
+    fn persist_term(&mut self) {
+        self.persist(&RaftWal::Term { term: self.term, voted_for: self.voted_for });
     }
 
     /// Whether this node is the current leader.
@@ -194,6 +279,7 @@ impl Raft {
         self.term = term;
         self.role = Role::Follower;
         self.voted_for = None;
+        self.persist_term();
         self.votes = 0;
         self.last_contact = ctx.now();
         if was_leader {
@@ -205,6 +291,9 @@ impl Raft {
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);
+        // The self-vote counts toward the majority the moment the candidacy
+        // is announced, so it must hit the disk first.
+        self.persist_term();
         self.votes = 1;
         if self.votes >= majority(self.cluster.n()) {
             self.become_leader(ctx);
@@ -224,7 +313,9 @@ impl Raft {
         // the current term via counting (§5.4.2), so without this a quiet
         // leader could never commit inherited entries — wedging the clients
         // waiting on them.
-        self.log.push(RaftEntry { term: self.term, cmd: Command::get(0), req: None });
+        let noop = RaftEntry { term: self.term, cmd: Command::get(0), req: None };
+        self.persist(&RaftWal::Splice { prev_index: self.last_index(), entries: vec![noop.clone()] });
+        self.log.push(noop);
         let next = self.last_index() + 1;
         for &p in &self.peers {
             self.next_index.insert(p, next.saturating_sub(1).max(1));
@@ -246,6 +337,7 @@ impl Raft {
         let prev_index = self.last_index();
         let prev_term = self.last_term();
         let entry = RaftEntry { term: self.term, cmd: req.cmd, req: Some(req.id) };
+        self.persist(&RaftWal::Splice { prev_index, entries: vec![entry.clone()] });
         self.log.push(entry.clone());
         ctx.broadcast(RaftMsg::AppendEntries {
             term: self.term,
@@ -272,8 +364,17 @@ impl Raft {
     }
 
     /// Appends `entries` after `prev_index`, truncating on conflict; returns
-    /// the new match index.
+    /// the new match index. Persists the mutation first — the ack the caller
+    /// sends makes the leader count these entries as replicated here.
     fn splice(&mut self, prev_index: u64, entries: Vec<RaftEntry>) -> u64 {
+        if !entries.is_empty() {
+            self.persist(&RaftWal::Splice { prev_index, entries: entries.clone() });
+        }
+        self.apply_splice(prev_index, entries)
+    }
+
+    /// The pure splice body, shared by the live path and WAL replay.
+    fn apply_splice(&mut self, prev_index: u64, entries: Vec<RaftEntry>) -> u64 {
         let mut idx = prev_index as usize + 1;
         for e in entries {
             if idx < self.log.len() {
@@ -373,6 +474,33 @@ impl Raft {
 impl Replica for Raft {
     type Msg = RaftMsg;
 
+    /// Rebuilds Figure-2 persistent state: checkpoint first (term, vote,
+    /// full log), then WAL records in append order. `commit`/`applied` and
+    /// the state machine are volatile — the next leader commit index
+    /// re-drives execution from the recovered log.
+    fn attach_storage(&mut self, mut storage: Box<dyn Storage>) {
+        let rec = storage.recover().expect("raft storage must recover");
+        if let Some(snap) = &rec.snapshot {
+            let snap: RaftCheckpoint =
+                paxi_codec::from_bytes(snap).expect("raft checkpoint must decode");
+            self.term = snap.term;
+            self.voted_for = snap.voted_for;
+            self.log = snap.log;
+        }
+        for bytes in &rec.records {
+            match paxi_codec::from_bytes::<RaftWal>(bytes).expect("raft wal must decode") {
+                RaftWal::Term { term, voted_for } => {
+                    self.term = term;
+                    self.voted_for = voted_for;
+                }
+                RaftWal::Splice { prev_index, entries } => {
+                    self.apply_splice(prev_index, entries);
+                }
+            }
+        }
+        self.wal = Some(storage);
+    }
+
     fn on_start(&mut self, ctx: &mut dyn Context<RaftMsg>) {
         self.last_contact = ctx.now();
         // Requests arriving before the first election resolves are forwarded
@@ -396,6 +524,10 @@ impl Replica for Raft {
                     && (self.voted_for.is_none() || self.voted_for == Some(from));
                 if grant {
                     self.voted_for = Some(from);
+                    // A granted vote the disk doesn't know about could be
+                    // re-cast for a different candidate after amnesia —
+                    // persist before the Vote leaves.
+                    self.persist_term();
                     self.last_contact = ctx.now();
                 }
                 ctx.send(from, RaftMsg::Vote { term: self.term, granted: grant });
@@ -780,6 +912,124 @@ mod tests {
         // Log: sentinel + the term-1 no-op.
         assert_eq!(r.last_index(), 1);
         assert_eq!(r.term(), 1);
+    }
+
+    fn durable_follower(hub: &paxi_storage::MemHub<u32>) -> Raft {
+        let mut r = Raft::new(NodeId::new(0, 1), ClusterConfig::lan(3), RaftConfig::default());
+        r.attach_storage(Box::new(hub.open(1)));
+        r
+    }
+
+    #[test]
+    fn term_vote_and_log_survive_amnesia() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        r.on_message(
+            leader,
+            RaftMsg::RequestVote { term: 3, last_log_index: 0, last_log_term: 0 },
+            &mut ctx,
+        );
+        let e = |i: u8| RaftEntry { term: 3, cmd: Command::put(i as u64, vec![i]), req: None };
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 3,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![e(1), e(2)],
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.term(), 3);
+        assert_eq!(r.last_index(), 2);
+        // Amnesia: rebuild from disk alone.
+        drop(r);
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        assert_eq!(r2.term(), 3, "current term must survive");
+        assert_eq!(r2.last_index(), 2, "acked log entries must survive");
+        // The vote is sticky: a different candidate in the same term is
+        // denied even after the crash.
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        r2.on_message(
+            NodeId::new(0, 2),
+            RaftMsg::RequestVote { term: 3, last_log_index: 9, last_log_term: 3 },
+            &mut ctx2,
+        );
+        match &ctx2.sent[0].1 {
+            RaftMsg::Vote { granted, .. } => {
+                assert!(!granted, "recovered replica must not double-vote in a term");
+            }
+            other => panic!("expected a vote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal_and_commit_redrives_the_state_machine() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        let e = |i: u64| RaftEntry { term: 1, cmd: Command::put(i % 8, vec![i as u8]), req: None };
+        for i in 1..=600u64 {
+            r.on_message(
+                leader,
+                RaftMsg::AppendEntries {
+                    term: 1,
+                    prev_index: i - 1,
+                    prev_term: if i == 1 { 0 } else { 1 },
+                    entries: vec![e(i)],
+                    commit: i - 1,
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(r.last_index(), 600);
+        // Flush the commit index so the pre-crash store reflects all 600.
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 600,
+                prev_term: 1,
+                entries: Vec::new(),
+                commit: 600,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.store().unwrap().executed(), 600);
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        assert_eq!(r2.last_index(), 600, "checkpoint + WAL must rebuild the whole log");
+        assert_eq!(r2.term(), 1);
+        assert_eq!(
+            r2.store().unwrap().executed(),
+            0,
+            "state machine is volatile; nothing executes until commit is re-learned"
+        );
+        // The next heartbeat re-teaches the commit index and execution
+        // catches up from the recovered log.
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        r2.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 600,
+                prev_term: 1,
+                entries: Vec::new(),
+                commit: 600,
+            },
+            &mut ctx2,
+        );
+        assert_eq!(r2.store().unwrap().executed(), 600);
+        for key in 0..8u64 {
+            assert_eq!(r2.store().unwrap().history(key), r.store().unwrap().history(key));
+        }
     }
 
     #[test]

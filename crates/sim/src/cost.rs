@@ -31,6 +31,11 @@ pub struct CostModel {
     /// heavier transport stack (the paper attributes etcd's latency gap in
     /// Figure 7 to HTTP inter-node communication; this reproduces it).
     pub wire_overhead: Nanos,
+    /// Time one `fsync` holds the node's pipeline, charged per sync the
+    /// node's durable store performed while handling an event (the
+    /// durability tax). SSD-class by default; only incurred when a replica
+    /// actually has storage attached, so purely-volatile runs are unchanged.
+    pub t_fsync: Nanos,
 }
 
 impl Default for CostModel {
@@ -44,6 +49,7 @@ impl Default for CostModel {
             bandwidth_bps: 1_000_000_000,
             cpu_penalty: 1.0,
             wire_overhead: Nanos::ZERO,
+            t_fsync: Nanos::micros(100),
         }
     }
 }

@@ -12,4 +12,4 @@
 //! and schedules a restart event ([`paxi_core::traits::Replica::on_restart`])
 //! at each crash window's end so recovered nodes rejoin the protocol.
 
-pub use paxi_core::faults::{FaultPlan, FaultWindow, MsgFate};
+pub use paxi_core::faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};

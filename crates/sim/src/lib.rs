@@ -31,7 +31,7 @@ pub mod topology;
 
 pub use client::{ClientSetup, LoadMode, Workload};
 pub use cost::CostModel;
-pub use faults::{FaultPlan, FaultWindow, MsgFate};
+pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use report::{NodeStats, OpRecord, SimReport};
 pub use sim::{SimConfig, Simulator};
 pub use topology::Topology;

@@ -14,7 +14,7 @@
 
 use crate::client::{ClientSetup, LoadMode, Workload};
 use crate::cost::CostModel;
-use crate::faults::{FaultPlan, MsgFate};
+use crate::faults::{CrashMode, FaultPlan, MsgFate};
 use crate::report::{NodeStats, OpRecord, SimReport};
 use crate::topology::Topology;
 use paxi_core::command::{ClientRequest, ClientResponse, Command, Op};
@@ -24,6 +24,7 @@ use paxi_core::id::{ClientId, NodeId, RequestId};
 use paxi_core::metrics::Histogram;
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica, ReplicaFactory};
+use paxi_storage::MemHub;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Simulation parameters.
@@ -66,6 +67,9 @@ impl Default for SimConfig {
 enum Input<M> {
     Start,
     Restart,
+    /// Recovery from an amnesia crash: the simulator rebuilds the replica
+    /// from the factory (volatile state is gone) before delivering this.
+    Recover,
     Msg { from: NodeId, msg: M },
     Request(ClientRequest),
     Timer { kind: u64, token: u64 },
@@ -177,6 +181,12 @@ pub struct Simulator<R: Replica> {
     cfg: SimConfig,
     cluster: ClusterConfig,
     replicas: Vec<R>,
+    /// Retained so amnesia recovery can rebuild a replica from scratch.
+    factory: Box<dyn ReplicaFactory<R = R>>,
+    /// The cluster's simulated disk array, if the run is durable. The
+    /// simulator crashes disks on amnesia recovery and converts each disk's
+    /// fsync count into service time.
+    hub: Option<MemHub<NodeId>>,
     nodes: Vec<NodeState>,
     all_nodes: Vec<NodeId>,
     queue: BinaryHeap<Event<R::Msg>>,
@@ -211,7 +221,7 @@ impl<R: Replica> Simulator<R> {
         clients: Vec<ClientSetup>,
     ) -> Self
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + 'static,
     {
         assert_eq!(
             cluster.zones as usize,
@@ -229,6 +239,8 @@ impl<R: Replica> Simulator<R> {
             cfg,
             cluster,
             replicas,
+            factory: Box::new(factory),
+            hub: None,
             nodes,
             all_nodes,
             queue: BinaryHeap::new(),
@@ -258,6 +270,17 @@ impl<R: Replica> Simulator<R> {
         &mut self.faults
     }
 
+    /// Registers the cluster's simulated disk array. The factory passed to
+    /// [`Simulator::new`] is expected to open a handle on the same hub and
+    /// attach it to each replica it builds; handing the hub to the simulator
+    /// additionally (a) loses each amnesia-crashed node's unsynced suffix
+    /// and applies armed storage faults before the node is rebuilt, and
+    /// (b) charges [`CostModel::t_fsync`] for every fsync a node's disk
+    /// performs while handling an event.
+    pub fn set_storage(&mut self, hub: MemHub<NodeId>) {
+        self.hub = Some(hub);
+    }
+
     /// The replicas, for post-run state inspection (consensus checking).
     pub fn replicas(&self) -> &[R] {
         &self.replicas
@@ -282,12 +305,18 @@ impl<R: Replica> Simulator<R> {
         for id in self.all_nodes.clone() {
             self.dispatch(id, Input::Start);
         }
-        // Schedule a restart event at the end of every crash window so
+        // Schedule a recovery event at the end of every crash window so
         // recovered nodes re-arm their timers and rejoin the protocol
-        // (their own timers were discarded while frozen).
+        // (their own timers were discarded while down). Freeze crashes
+        // restart the retained replica; amnesia crashes rebuild it from the
+        // factory, so only durable state survives.
         let recoveries: Vec<_> = self.faults.recoveries().collect();
-        for (node, at) in recoveries {
-            self.push(at, EventKind::Node { to: node, input: Input::Restart });
+        for (node, at, mode) in recoveries {
+            let input = match mode {
+                CrashMode::Freeze => Input::Restart,
+                CrashMode::Amnesia => Input::Recover,
+            };
+            self.push(at, EventKind::Node { to: node, input });
         }
         // Kick off every client with a small deterministic stagger so
         // closed-loop clients don't move in lockstep.
@@ -324,6 +353,18 @@ impl<R: Replica> Simulator<R> {
             return;
         }
         let idx = self.cluster.index_of(node);
+        if matches!(input, Input::Recover) {
+            // Amnesia: the node lost everything volatile. Crash its disk
+            // first (the unsynced suffix dies with the process, and armed
+            // storage faults fire — while crashed the node processed
+            // nothing, so applying the loss now is equivalent to applying
+            // it at crash time), then rebuild the replica from the factory,
+            // which re-attaches storage and replays snapshot + WAL.
+            if let Some(hub) = &self.hub {
+                hub.crash(&node);
+            }
+            self.replicas[idx] = self.factory.make(node);
+        }
         let start = self.now.max(self.nodes[idx].busy_until);
         let mut effects = std::mem::take(&mut self.scratch);
         effects.clear();
@@ -340,6 +381,7 @@ impl<R: Replica> Simulator<R> {
             match input {
                 Input::Start => replica.on_start(&mut ctx),
                 Input::Restart => replica.on_restart(&mut ctx),
+                Input::Recover => replica.on_recover(&mut ctx),
                 Input::Msg { from, msg } => replica.on_message(from, msg, &mut ctx),
                 Input::Request(req) => replica.on_request(req, &mut ctx),
                 Input::Timer { kind, token } => replica.on_timer(kind, token, &mut ctx),
@@ -369,7 +411,11 @@ impl<R: Replica> Simulator<R> {
         }
         let cpu = (if charge_input { cost.t_in.0 } else { 0 }) + cost.t_out.0 * serializations;
         let cpu = (cpu as f64 * cost.cpu_penalty) as u64;
-        let service = Nanos(cpu + cost.nic().0 * transmissions);
+        // Disk time: every fsync the handler triggered stalls the pipeline
+        // for t_fsync (the durability tax). Not scaled by cpu_penalty — it
+        // models the device, not the protocol's compute.
+        let syncs = self.hub.as_ref().map(|h| h.drain_syncs(&node)).unwrap_or(0);
+        let service = Nanos(cpu + cost.nic().0 * transmissions + cost.t_fsync.0 * syncs);
         let departure = start + service;
         self.nodes[idx].busy_until = departure;
         self.nodes[idx].busy_total += service;
@@ -728,6 +774,128 @@ mod tests {
         assert!(handled > 0);
         assert!(report.max_utilization() > 0.0);
         assert!(report.max_utilization() <= 1.0);
+    }
+
+    /// A LocalKv that logs every write to durable storage and replays the
+    /// log when (re)attached — the smallest possible durable replica, used
+    /// to exercise the simulator's amnesia/fsync plumbing without dragging
+    /// in a real protocol.
+    struct DurableKv {
+        store: MultiVersionStore,
+        wal: Option<Box<dyn paxi_storage::Storage>>,
+    }
+
+    impl Replica for DurableKv {
+        type Msg = ();
+        fn on_message(&mut self, _f: NodeId, _m: (), _ctx: &mut dyn Context<()>) {}
+        fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<()>) {
+            if let Some(wal) = &mut self.wal {
+                if matches!(req.cmd.op, Op::Put(_) | Op::Delete) {
+                    let bytes = paxi_codec::to_bytes(&req.cmd).unwrap();
+                    wal.append(&bytes).unwrap();
+                }
+            }
+            let v = self.store.execute(&req.cmd);
+            ctx.reply(ClientResponse::ok(req.id, v));
+        }
+        fn attach_storage(&mut self, mut storage: Box<dyn paxi_storage::Storage>) {
+            let rec = storage.recover().unwrap();
+            for bytes in &rec.records {
+                let cmd: Command = paxi_codec::from_bytes(bytes).unwrap();
+                self.store.execute(&cmd);
+            }
+            self.wal = Some(storage);
+        }
+        fn protocol_name(&self) -> &'static str {
+            "durable-kv"
+        }
+        fn store(&self) -> Option<&MultiVersionStore> {
+            Some(&self.store)
+        }
+    }
+
+    /// Runs the two-node DurableKv cluster, optionally crashing node 0 from
+    /// t=1s for 500ms with the given mode. Returns the report and node 0's
+    /// post-run version count (its visible write history).
+    fn durable_run(
+        mode: Option<crate::faults::CrashMode>,
+        hub: Option<paxi_storage::MemHub<NodeId>>,
+    ) -> (SimReport, usize) {
+        let cfg = SimConfig { measure: Nanos::secs(3), ..SimConfig::default() };
+        let cluster = ClusterConfig::lan(2);
+        let clients = vec![
+            ClientSetup {
+                zone: 0,
+                attach: NodeId::new(0, 0),
+                mode: LoadMode::Closed { think: Nanos::ZERO },
+            },
+            ClientSetup {
+                zone: 0,
+                attach: NodeId::new(0, 1),
+                mode: LoadMode::Closed { think: Nanos::ZERO },
+            },
+        ];
+        let mk_hub = hub.clone();
+        let factory = move |id: NodeId| {
+            let mut r = DurableKv { store: MultiVersionStore::new(), wal: None };
+            if let Some(h) = &mk_hub {
+                r.attach_storage(Box::new(h.open(id)));
+            }
+            r
+        };
+        let mut sim =
+            Simulator::new(cfg, cluster, factory, crate::client::uniform_workload(8), clients);
+        if let Some(h) = hub {
+            sim.set_storage(h);
+        }
+        if let Some(mode) = mode {
+            sim.faults_mut().crash_mode_in(
+                NodeId::new(0, 0),
+                crate::faults::FaultWindow::new(Nanos::secs(1), Nanos::millis(500)),
+                mode,
+            );
+        }
+        let report = sim.run();
+        let vc = sim.replicas()[0].store().unwrap().version_count();
+        (report, vc)
+    }
+
+    #[test]
+    fn amnesia_loses_volatile_state_but_wal_replay_rebuilds_it() {
+        use crate::faults::CrashMode;
+        use paxi_storage::{FsyncPolicy, MemHub};
+        // Identical seed and schedule across the three runs; only the crash
+        // semantics and the presence of a durable store differ. Node 0's
+        // client stalls once its in-flight request dies with the crash
+        // (closed loop, no retry), so everything in node 0's store was
+        // written pre-crash.
+        let (_, freeze_vc) =
+            durable_run(Some(CrashMode::Freeze), Some(MemHub::new(FsyncPolicy::Always)));
+        let (_, amnesia_vc) =
+            durable_run(Some(CrashMode::Amnesia), Some(MemHub::new(FsyncPolicy::Always)));
+        let (_, naked_vc) = durable_run(Some(CrashMode::Amnesia), None);
+        assert!(freeze_vc > 0, "node 0 must have written before the crash");
+        assert_eq!(
+            amnesia_vc, freeze_vc,
+            "WAL replay must rebuild exactly the durable write history"
+        );
+        assert_eq!(naked_vc, 0, "without storage an amnesia crash loses everything");
+    }
+
+    #[test]
+    fn fsync_always_costs_latency_over_no_storage() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let (volatile, _) = durable_run(None, None);
+        let (durable, _) = durable_run(None, Some(MemHub::new(FsyncPolicy::Always)));
+        // Every Put now stalls its node for t_fsync (100 us by default), so
+        // mean latency must rise measurably.
+        assert!(
+            durable.latency.mean > volatile.latency.mean,
+            "durable {} <= volatile {}",
+            durable.latency.mean,
+            volatile.latency.mean
+        );
+        assert!(durable.completed > 0 && volatile.completed > 0);
     }
 
     #[test]

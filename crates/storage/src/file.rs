@@ -1,0 +1,372 @@
+//! File-backed storage for the wall-clock runtimes.
+//!
+//! Layout under the replica's directory:
+//!
+//! ```text
+//! <dir>/snapshot.bin      # last installed snapshot (tmp + rename)
+//! <dir>/wal-000001.log    # WAL segments, rotated at ~1 MiB
+//! <dir>/wal-000002.log
+//! ```
+//!
+//! Appends are buffered in memory until a sync is due per the
+//! [`FsyncPolicy`]; only a sync writes them to the active segment and
+//! `fsync`s it. There is deliberately **no** flush-on-drop: a handle that
+//! dies (process crash, amnesia fault) loses exactly its unsynced suffix,
+//! which is the durability model the recovery tests exercise.
+
+use crate::record::{encode_record, scan_records, Damage};
+use crate::{FsyncPolicy, Recovery, Storage, StorageError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Rotate the active segment once its synced size passes this.
+const SEGMENT_LIMIT: u64 = 1 << 20;
+
+/// Durable log + snapshot store in one directory.
+#[derive(Debug)]
+pub struct FileStorage {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    segment_limit: u64,
+    active_seq: u64,
+    active: Option<File>,
+    active_len: u64,
+    unsynced: Vec<u8>,
+    unsynced_appends: usize,
+    oldest_unsynced: Option<Instant>,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) the store under `dir`.
+    pub fn open(dir: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Self, StorageError> {
+        Self::open_with_segment_limit(dir, policy, SEGMENT_LIMIT)
+    }
+
+    /// Like [`FileStorage::open`] with an explicit rotation threshold
+    /// (small limits make rotation testable).
+    pub fn open_with_segment_limit(
+        dir: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        segment_limit: u64,
+    ) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let last = Self::segments(&dir)?
+            .last()
+            .map(|&(seq, _)| seq)
+            .unwrap_or(0);
+        Ok(FileStorage {
+            dir,
+            policy,
+            segment_limit: segment_limit.max(1),
+            // Never reopen an old segment for writing: recovery may have
+            // truncated it, and a fresh file keeps the append path simple.
+            active_seq: last + 1,
+            active: None,
+            active_len: 0,
+            unsynced: Vec::new(),
+            unsynced_appends: 0,
+            oldest_unsynced: None,
+        })
+    }
+
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("snapshot.bin")
+    }
+
+    fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+        dir.join(format!("wal-{seq:06}.log"))
+    }
+
+    /// WAL segments under `dir`, in ascending sequence order.
+    fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                out.push((seq, entry.path()));
+            }
+        }
+        out.sort_unstable_by_key(|&(seq, _)| seq);
+        Ok(out)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        if self.unsynced.is_empty() {
+            return Ok(());
+        }
+        if self.active.is_none() {
+            let path = Self::segment_path(&self.dir, self.active_seq);
+            let f = OpenOptions::new().create(true).append(true).open(&path)?;
+            self.active_len = f.metadata()?.len();
+            self.active = Some(f);
+        }
+        let f = self.active.as_mut().expect("active segment just ensured");
+        f.write_all(&self.unsynced)?;
+        f.sync_data()?;
+        self.active_len += self.unsynced.len() as u64;
+        self.unsynced.clear();
+        self.unsynced_appends = 0;
+        self.oldest_unsynced = None;
+        if self.active_len >= self.segment_limit {
+            self.active = None;
+            self.active_seq += 1;
+            self.active_len = 0;
+        }
+        Ok(())
+    }
+
+    fn sync_due(&self) -> bool {
+        match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch {
+                appends,
+                interval_micros,
+            } => {
+                self.unsynced_appends >= appends.max(1)
+                    || self
+                        .oldest_unsynced
+                        .is_some_and(|t| t.elapsed().as_micros() as u64 >= interval_micros)
+            }
+            FsyncPolicy::Never => false,
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        if payload.len() + 4 > paxi_codec::MAX_FRAME {
+            return Err(StorageError::RecordTooLarge(payload.len()));
+        }
+        self.unsynced.extend_from_slice(&encode_record(payload));
+        self.unsynced_appends += 1;
+        self.oldest_unsynced.get_or_insert_with(Instant::now);
+        if self.sync_due() {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.flush()
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError> {
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(snapshot)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, Self::snapshot_path(&self.dir))?;
+        // The log is now redundant up to this snapshot: truncate it all.
+        // The caller re-appends whatever tail it still needs.
+        self.active = None;
+        self.unsynced.clear();
+        self.unsynced_appends = 0;
+        self.oldest_unsynced = None;
+        self.active_len = 0;
+        for (_, path) in Self::segments(&self.dir)? {
+            fs::remove_file(path)?;
+        }
+        self.active_seq += 1;
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<Recovery, StorageError> {
+        let mut out = Recovery::default();
+        let snap_path = Self::snapshot_path(&self.dir);
+        if snap_path.exists() {
+            let mut buf = Vec::new();
+            File::open(&snap_path)?.read_to_end(&mut buf)?;
+            out.snapshot = Some(buf);
+        }
+        let segments = Self::segments(&self.dir)?;
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let mut buf = Vec::new();
+            File::open(path)?.read_to_end(&mut buf)?;
+            let scan = scan_records(&buf);
+            out.records.extend(scan.records);
+            if scan.damage != Damage::Clean {
+                out.damage = scan.damage;
+                // Repair in place: truncate this segment to its valid
+                // prefix and drop every later segment — nothing after the
+                // damage point can be trusted.
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(scan.valid_len as u64)?;
+                f.sync_data()?;
+                for (_, later) in &segments[i + 1..] {
+                    fs::remove_file(later)?;
+                }
+                break;
+            }
+        }
+        // Append after the surviving segments, never into them.
+        let last = Self::segments(&self.dir)?
+            .last()
+            .map(|&(seq, _)| seq)
+            .unwrap_or(0);
+        self.active = None;
+        self.active_len = 0;
+        self.active_seq = last + 1;
+        Ok(out)
+    }
+
+    fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("paxi-storage-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn payloads(r: &Recovery) -> Vec<&[u8]> {
+        r.records.iter().map(|v| v.as_slice()).collect()
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+            s.append(b"one").unwrap();
+            s.append(b"two").unwrap();
+        }
+        let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.damage, Damage::Clean);
+        assert_eq!(payloads(&r), vec![b"one".as_slice(), b"two"]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropping_an_unsynced_handle_loses_exactly_the_suffix() {
+        let dir = temp_dir("never");
+        {
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Never).unwrap();
+            s.append(b"durable").unwrap();
+            s.sync().unwrap();
+            s.append(b"doomed").unwrap();
+            // Dropped without sync: "doomed" must not reach the disk.
+        }
+        let r = FileStorage::open(&dir, FsyncPolicy::Never)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(r.damage, Damage::Clean);
+        assert_eq!(payloads(&r), vec![b"durable".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_write_is_detected_and_truncated() {
+        let dir = temp_dir("torn");
+        {
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+            s.append(b"keep").unwrap();
+            s.append(b"torn-away").unwrap();
+        }
+        // Tear the tail: chop the last few bytes off the only segment.
+        let seg = FileStorage::segments(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.damage, Damage::TornTail);
+        assert_eq!(payloads(&r), vec![b"keep".as_slice()]);
+        // The damaged suffix was truncated on disk too.
+        let r2 = FileStorage::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(r2.damage, Damage::Clean);
+        assert_eq!(payloads(&r2), vec![b"keep".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_record_is_detected_and_truncated() {
+        let dir = temp_dir("corrupt");
+        {
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+            s.append(b"keep").unwrap();
+            s.append(b"rot-me").unwrap();
+        }
+        let seg = FileStorage::segments(&dir).unwrap().pop().unwrap().1;
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 2; // inside the final record's payload
+        bytes[last] ^= 0x80;
+        fs::write(&seg, &bytes).unwrap();
+        let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.damage, Damage::Corrupt);
+        assert_eq!(payloads(&r), vec![b"keep".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_rotate_and_recover_in_order() {
+        let dir = temp_dir("rotate");
+        {
+            let mut s =
+                FileStorage::open_with_segment_limit(&dir, FsyncPolicy::Always, 64).unwrap();
+            for i in 0..20u8 {
+                s.append(&[i; 16]).unwrap();
+            }
+        }
+        assert!(
+            FileStorage::segments(&dir).unwrap().len() > 1,
+            "a 64-byte limit must rotate segments"
+        );
+        let r = FileStorage::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(r.damage, Damage::Clean);
+        assert_eq!(r.records.len(), 20);
+        for (i, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec, &vec![i as u8; 16]);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_replaces_the_log() {
+        let dir = temp_dir("snapshot");
+        {
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+            s.append(b"old-1").unwrap();
+            s.append(b"old-2").unwrap();
+            s.install_snapshot(b"SNAP").unwrap();
+            s.append(b"new-1").unwrap();
+        }
+        let r = FileStorage::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"SNAP".as_slice()));
+        assert_eq!(payloads(&r), vec![b"new-1".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

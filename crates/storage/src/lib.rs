@@ -1,0 +1,136 @@
+//! # paxi-storage
+//!
+//! Durable replica state for the Paxi framework: an append-only write-ahead
+//! log of CRC32-checked, length-prefixed records (the same framing the
+//! socket transports use), with segment rotation, snapshot-plus-truncate
+//! compaction, and configurable fsync policies — behind a [`Storage`] trait
+//! with two backends:
+//!
+//! * [`FileStorage`] — real files, for the wall-clock runtimes in
+//!   `paxi-transport`.
+//! * [`MemStorage`] / [`MemHub`] — a deterministic in-memory "disk", for
+//!   `paxi-sim`, so simulated crash-recovery runs stay bit-for-bit
+//!   replayable and storage faults (torn tail writes, corrupted records,
+//!   lost unsynced suffixes) can be injected on purpose.
+//!
+//! The durability model is deliberately pessimistic: bytes appended but not
+//! yet synced are *lost* on a crash (as under power failure), which is what
+//! makes `FsyncPolicy::Never` vs `FsyncPolicy::Always` an interesting
+//! experiment rather than a no-op.
+
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod mem;
+pub mod record;
+
+pub use file::FileStorage;
+pub use mem::{MemHub, MemStorage, StorageFault};
+pub use record::{crc32, encode_record, scan_records, Damage};
+
+use std::fmt;
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Every append is synced before it returns — nothing acknowledged is
+    /// ever lost, at one sync per append.
+    Always,
+    /// Sync after `appends` buffered records, or when `interval_micros` has
+    /// elapsed since the oldest unsynced append (wall-clock backends only;
+    /// the deterministic in-memory backend counts appends alone).
+    Batch {
+        /// Unsynced appends that trigger a sync.
+        appends: usize,
+        /// Microseconds after which a sync is forced regardless of count.
+        interval_micros: u64,
+    },
+    /// Never sync implicitly; a crash loses every append since the last
+    /// explicit [`Storage::sync`] (or snapshot install).
+    Never,
+}
+
+impl FsyncPolicy {
+    /// A middle-of-the-road group-commit policy: sync every 8 appends or
+    /// every millisecond, whichever comes first.
+    pub fn batch8() -> Self {
+        FsyncPolicy::Batch {
+            appends: 8,
+            interval_micros: 1_000,
+        }
+    }
+
+    /// Short label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::Batch { appends, .. } => format!("batch({appends})"),
+            FsyncPolicy::Never => "never".into(),
+        }
+    }
+}
+
+/// Errors surfaced by a storage backend.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed (file backend only).
+    Io(std::io::Error),
+    /// A record larger than the framing layer allows was appended.
+    RecordTooLarge(usize),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds MAX_FRAME"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Everything a recovering replica gets back from its storage.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// The most recent snapshot installed, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Payloads of every intact WAL record appended after that snapshot,
+    /// in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Whether the log tail was damaged (and repaired by truncation).
+    pub damage: Damage,
+}
+
+/// A durable log + snapshot store for one replica.
+///
+/// Protocols append opaque payloads (their own serialized WAL records) at
+/// persist-before-ack points; the backend batches and syncs them per its
+/// [`FsyncPolicy`]. [`Storage::install_snapshot`] atomically replaces the
+/// snapshot *and truncates the log* — compaction is the caller re-appending
+/// whatever tail records it still needs afterwards.
+pub trait Storage: Send {
+    /// Appends one record. Depending on the fsync policy this may or may
+    /// not be durable when it returns; see [`Storage::sync`].
+    fn append(&mut self, payload: &[u8]) -> Result<(), StorageError>;
+
+    /// Forces every buffered append to stable storage.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Atomically installs `snapshot` and truncates the WAL. Durable on
+    /// return regardless of policy (a snapshot that can vanish is useless).
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads back the snapshot and the intact log suffix, truncating any
+    /// torn or corrupt tail it finds.
+    fn recover(&mut self) -> Result<Recovery, StorageError>;
+
+    /// The backend's sync policy.
+    fn policy(&self) -> FsyncPolicy;
+}

@@ -1,0 +1,338 @@
+//! Deterministic in-memory storage backend for the simulator.
+//!
+//! A [`MemHub`] is the "disk array" of a simulated cluster: one in-memory
+//! disk per key (the simulator uses `NodeId`). Handles are cheap clones
+//! sharing the hub, so the simulator can crash a node's disk — dropping the
+//! unsynced suffix and applying any injected [`StorageFault`]s — while the
+//! replica holds its own [`MemStorage`] handle. Everything is synchronous
+//! and allocation-only, so simulation runs stay bit-for-bit deterministic.
+
+use crate::record::{encode_record, record_spans, scan_records};
+use crate::{FsyncPolicy, Recovery, Storage, StorageError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A storage fault applied to a disk at crash time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The final synced record is cut in half, as if the machine died
+    /// mid-write: recovery must detect and truncate it.
+    TornTail,
+    /// One byte of the final synced record is flipped in place, as if the
+    /// medium rotted: recovery must fail its CRC and truncate.
+    CorruptRecord,
+}
+
+#[derive(Debug, Default)]
+struct MemDisk {
+    snapshot: Option<Vec<u8>>,
+    /// Bytes that survived the last sync (or snapshot install).
+    synced: Vec<u8>,
+    /// Appends since the last sync — lost if the node crashes.
+    unsynced: Vec<u8>,
+    unsynced_appends: usize,
+    /// Syncs since last drained (the simulator charges these).
+    syncs: u64,
+    /// Faults armed for the next crash.
+    faults: Vec<StorageFault>,
+}
+
+impl MemDisk {
+    fn flush(&mut self) {
+        if self.unsynced.is_empty() {
+            return;
+        }
+        self.synced.extend_from_slice(&self.unsynced);
+        self.unsynced.clear();
+        self.unsynced_appends = 0;
+        self.syncs += 1;
+    }
+
+    fn crash(&mut self) {
+        self.unsynced.clear();
+        self.unsynced_appends = 0;
+        for fault in std::mem::take(&mut self.faults) {
+            let Some(&(start, end)) = record_spans(&self.synced).last() else {
+                continue;
+            };
+            match fault {
+                StorageFault::TornTail => {
+                    // Leave a strict prefix of the record: torn, not gone.
+                    self.synced.truncate(start + (end - start) / 2);
+                }
+                StorageFault::CorruptRecord => {
+                    // Flip a payload byte (or a CRC byte for empty payloads).
+                    let idx = if end > start + 8 {
+                        start + 8
+                    } else {
+                        start + 4
+                    };
+                    self.synced[idx] ^= 0x01;
+                }
+            }
+        }
+    }
+}
+
+/// The shared in-memory "disk array": one durable store per key.
+#[derive(Debug)]
+pub struct MemHub<K: Eq + Hash> {
+    disks: Arc<Mutex<HashMap<K, MemDisk>>>,
+    policy: FsyncPolicy,
+}
+
+impl<K: Eq + Hash> Clone for MemHub<K> {
+    fn clone(&self) -> Self {
+        MemHub {
+            disks: Arc::clone(&self.disks),
+            policy: self.policy,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static> MemHub<K> {
+    /// An empty hub whose handles all use `policy`.
+    pub fn new(policy: FsyncPolicy) -> Self {
+        MemHub {
+            disks: Arc::new(Mutex::new(HashMap::new())),
+            policy,
+        }
+    }
+
+    /// Opens (creating if needed) the disk for `key` and returns a handle.
+    /// Re-opening after a crash sees whatever survived.
+    pub fn open(&self, key: K) -> MemStorage<K> {
+        self.disks.lock().entry(key.clone()).or_default();
+        MemStorage {
+            disks: Arc::clone(&self.disks),
+            key,
+            policy: self.policy,
+        }
+    }
+
+    /// Arms `fault` to be applied to `key`'s disk at its next crash.
+    pub fn inject(&self, key: K, fault: StorageFault) {
+        self.disks.lock().entry(key).or_default().faults.push(fault);
+    }
+
+    /// Crashes `key`'s disk: the unsynced suffix is lost and any armed
+    /// faults are applied to the synced bytes.
+    pub fn crash(&self, key: &K) {
+        if let Some(d) = self.disks.lock().get_mut(key) {
+            d.crash();
+        }
+    }
+
+    /// Returns and resets the number of syncs `key`'s disk performed since
+    /// the last drain — the simulator turns these into service time.
+    pub fn drain_syncs(&self, key: &K) -> u64 {
+        self.disks
+            .lock()
+            .get_mut(key)
+            .map(|d| std::mem::take(&mut d.syncs))
+            .unwrap_or(0)
+    }
+
+    /// Bytes currently synced for `key` (diagnostics and tests).
+    pub fn synced_len(&self, key: &K) -> usize {
+        self.disks
+            .lock()
+            .get(key)
+            .map(|d| d.synced.len())
+            .unwrap_or(0)
+    }
+
+    /// Bytes currently buffered but unsynced for `key` (tests).
+    pub fn unsynced_len(&self, key: &K) -> usize {
+        self.disks
+            .lock()
+            .get(key)
+            .map(|d| d.unsynced.len())
+            .unwrap_or(0)
+    }
+}
+
+/// One replica's handle onto its [`MemHub`] disk.
+#[derive(Debug)]
+pub struct MemStorage<K: Eq + Hash> {
+    disks: Arc<Mutex<HashMap<K, MemDisk>>>,
+    key: K,
+    policy: FsyncPolicy,
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static> Storage for MemStorage<K> {
+    fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        if payload.len() + 4 > paxi_codec::MAX_FRAME {
+            return Err(StorageError::RecordTooLarge(payload.len()));
+        }
+        let mut disks = self.disks.lock();
+        let d = disks.entry(self.key.clone()).or_default();
+        d.unsynced.extend_from_slice(&encode_record(payload));
+        d.unsynced_appends += 1;
+        match self.policy {
+            FsyncPolicy::Always => d.flush(),
+            FsyncPolicy::Batch { appends, .. } => {
+                // Deterministic backend: the count threshold alone triggers
+                // the group commit (no wall clock to honor the interval).
+                if d.unsynced_appends >= appends.max(1) {
+                    d.flush();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        let mut disks = self.disks.lock();
+        disks.entry(self.key.clone()).or_default().flush();
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError> {
+        let mut disks = self.disks.lock();
+        let d = disks.entry(self.key.clone()).or_default();
+        d.snapshot = Some(snapshot.to_vec());
+        d.synced.clear();
+        d.unsynced.clear();
+        d.unsynced_appends = 0;
+        d.syncs += 1;
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<Recovery, StorageError> {
+        let mut disks = self.disks.lock();
+        let d = disks.entry(self.key.clone()).or_default();
+        // Anything still buffered is visible to a live handle; a crash will
+        // already have emptied the unsynced buffer before recovery runs.
+        let mut raw = d.synced.clone();
+        raw.extend_from_slice(&d.unsynced);
+        let scan = scan_records(&raw);
+        // Repair: drop the damaged tail so the next append starts clean.
+        d.synced.truncate(scan.valid_len.min(d.synced.len()));
+        d.unsynced.clear();
+        d.unsynced_appends = 0;
+        Ok(Recovery {
+            snapshot: d.snapshot.clone(),
+            records: scan.records,
+            damage: scan.damage,
+        })
+    }
+
+    fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Damage;
+
+    fn payloads(r: &Recovery) -> Vec<&[u8]> {
+        r.records.iter().map(|v| v.as_slice()).collect()
+    }
+
+    #[test]
+    fn appends_recover_in_order() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let mut s = hub.open(7);
+        s.append(b"a").unwrap();
+        s.append(b"bb").unwrap();
+        s.append(b"ccc").unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.damage, Damage::Clean);
+        assert_eq!(payloads(&r), vec![b"a".as_slice(), b"bb", b"ccc"]);
+        assert!(r.snapshot.is_none());
+    }
+
+    #[test]
+    fn crash_under_never_loses_exactly_the_unsynced_suffix() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Never);
+        let mut s = hub.open(1);
+        s.append(b"synced-1").unwrap();
+        s.append(b"synced-2").unwrap();
+        s.sync().unwrap();
+        s.append(b"doomed-1").unwrap();
+        s.append(b"doomed-2").unwrap();
+        hub.crash(&1);
+        let r = hub.open(1).recover().unwrap();
+        assert_eq!(r.damage, Damage::Clean);
+        assert_eq!(payloads(&r), vec![b"synced-1".as_slice(), b"synced-2"]);
+    }
+
+    #[test]
+    fn batch_policy_flushes_on_the_count_threshold() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Batch {
+            appends: 3,
+            interval_micros: 0,
+        });
+        let mut s = hub.open(1);
+        s.append(b"one").unwrap();
+        s.append(b"two").unwrap();
+        assert_eq!(hub.synced_len(&1), 0, "below threshold: still buffered");
+        s.append(b"three").unwrap();
+        assert!(
+            hub.synced_len(&1) > 0,
+            "third append triggers the group commit"
+        );
+        assert_eq!(hub.unsynced_len(&1), 0);
+        assert_eq!(hub.drain_syncs(&1), 1);
+        assert_eq!(hub.drain_syncs(&1), 0, "drain resets the counter");
+    }
+
+    #[test]
+    fn snapshot_install_truncates_the_log() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let mut s = hub.open(1);
+        s.append(b"pre-snapshot").unwrap();
+        s.install_snapshot(b"STATE").unwrap();
+        s.append(b"post-snapshot").unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"STATE".as_slice()));
+        assert_eq!(payloads(&r), vec![b"post-snapshot".as_slice()]);
+    }
+
+    #[test]
+    fn torn_tail_injection_is_detected_and_truncated() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let mut s = hub.open(1);
+        s.append(b"keep").unwrap();
+        s.append(b"torn").unwrap();
+        hub.inject(1, StorageFault::TornTail);
+        hub.crash(&1);
+        let r = hub.open(1).recover().unwrap();
+        assert_eq!(r.damage, Damage::TornTail);
+        assert_eq!(payloads(&r), vec![b"keep".as_slice()]);
+        // Recovery repaired the log: a fresh append then recovers cleanly.
+        let mut s = hub.open(1);
+        s.append(b"after").unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.damage, Damage::Clean);
+        assert_eq!(payloads(&r), vec![b"keep".as_slice(), b"after"]);
+    }
+
+    #[test]
+    fn corrupt_record_injection_is_detected_and_truncated() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let mut s = hub.open(1);
+        s.append(b"keep").unwrap();
+        s.append(b"rots").unwrap();
+        hub.inject(1, StorageFault::CorruptRecord);
+        hub.crash(&1);
+        let r = hub.open(1).recover().unwrap();
+        assert_eq!(r.damage, Damage::Corrupt);
+        assert_eq!(payloads(&r), vec![b"keep".as_slice()]);
+    }
+
+    #[test]
+    fn handles_share_one_disk_per_key() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        hub.open(1).append(b"from-a").unwrap();
+        let r = hub.open(1).recover().unwrap();
+        assert_eq!(payloads(&r), vec![b"from-a".as_slice()]);
+        assert!(hub.open(2).recover().unwrap().records.is_empty());
+    }
+}

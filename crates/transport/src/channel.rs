@@ -8,7 +8,7 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
-use crate::runtime::{run_node, NodeEvent, Outbound};
+use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -63,7 +63,7 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
     /// Spawns one thread per replica and wires them together.
     pub fn launch<F>(cluster: ClusterConfig, factory: F) -> Self
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         Self::launch_inner(cluster, factory, None)
     }
@@ -78,7 +78,7 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
         injector: Arc<FaultInjector>,
     ) -> Self
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         Self::launch_inner(cluster, factory, Some(injector))
     }
@@ -89,8 +89,9 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
         faults: Option<Arc<FaultInjector>>,
     ) -> Self
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
+        let factory = Arc::new(factory);
         let all = cluster.all_nodes();
         let timers = Arc::new(TimerService::new());
         let epoch = Instant::now();
@@ -110,6 +111,10 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
         let mut handles = Vec::new();
         for (i, (id, rx, tx)) in receivers.into_iter().enumerate() {
             let replica = factory.make(id);
+            let remake: Remake<R> = {
+                let f = Arc::clone(&factory);
+                Arc::new(move |id| f.make(id))
+            };
             let peers = all.clone();
             let out = ChannelOut { reg: Arc::clone(&reg) };
             let timers = Arc::clone(&timers);
@@ -122,13 +127,25 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
                         ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
                     builder
                         .spawn(move || {
-                            run_node(id, replica, peers, rx, tx, out, timers, epoch, seed, faults)
+                            run_node(
+                                id,
+                                replica,
+                                peers,
+                                rx,
+                                tx,
+                                out,
+                                timers,
+                                epoch,
+                                seed,
+                                faults,
+                                Some(remake),
+                            )
                         })
                         .expect("spawn node thread")
                 }
                 None => builder
                     .spawn(move || {
-                        run_node(id, replica, peers, rx, tx, out, timers, epoch, seed, None)
+                        run_node(id, replica, peers, rx, tx, out, timers, epoch, seed, None, None)
                     })
                     .expect("spawn node thread"),
             };

@@ -31,7 +31,7 @@ use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use paxi_core::command::ClientResponse;
 use paxi_core::dist::Rng64;
-use paxi_core::faults::{FaultPlan, MsgFate};
+use paxi_core::faults::{CrashMode, FaultPlan, MsgFate};
 use paxi_core::id::{ClientId, NodeId};
 use paxi_core::time::Nanos;
 use std::collections::HashMap;
@@ -107,6 +107,13 @@ impl FaultInjector {
         self.plan.is_crashed(node, self.now())
     }
 
+    /// The [`CrashMode`] of the window covering `node` right now, if any.
+    /// Node event loops record this while frozen so the thaw path knows
+    /// whether to restart in place or rebuild from durable storage.
+    pub fn crash_mode(&self, node: NodeId) -> Option<CrashMode> {
+        self.plan.crash_mode_at(node, self.now())
+    }
+
     /// Decides the fate of one `src → dst` envelope at explicit plan time
     /// `t`. Deterministic given the construction seed and the query
     /// sequence — this is the entry point the sim/transport parity tests
@@ -128,7 +135,9 @@ impl FaultInjector {
         timers: &TimerService,
         inboxes: &HashMap<NodeId, Sender<NodeEvent<M>>>,
     ) {
-        for (node, at) in self.plan.recoveries() {
+        for (node, at, _mode) in self.plan.recoveries() {
+            // The wake event is mode-agnostic: the node's event loop already
+            // recorded the window's mode and picks the right thaw path.
             let Some(tx) = inboxes.get(&node).cloned() else { continue };
             timers.schedule(Duration::from_nanos(at.0), move || {
                 let _ = tx.send(NodeEvent::Restart);

@@ -30,6 +30,7 @@ pub mod udp;
 pub use channel::{InProcCluster, SyncClient};
 pub use envelope::Envelope;
 pub use faults::{ChaosOut, FaultInjector, LinkDecision};
+pub use runtime::Remake;
 pub use tcp::{TcpClient, TcpCluster};
 pub use timer::TimerService;
-pub use udp::{UdpClient, UdpCluster};
+pub use udp::{OversizeDatagram, UdpClient, UdpCluster, MAX_DGRAM};

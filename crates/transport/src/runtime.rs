@@ -13,12 +13,18 @@ use crate::timer::TimerService;
 use crossbeam::channel::{Receiver, Sender};
 use paxi_core::command::{ClientRequest, ClientResponse};
 use paxi_core::dist::Rng64;
+use paxi_core::faults::CrashMode;
 use paxi_core::id::{ClientId, NodeId};
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared replica rebuilder used for [`CrashMode::Amnesia`] recovery: builds
+/// a fresh replica for a node id, attaching durable storage so construction
+/// replays the WAL. Cluster constructors derive one from the launch factory.
+pub type Remake<R> = Arc<dyn Fn(NodeId) -> R + Send + Sync>;
 
 /// Timer event injected back into a node inbox.
 #[derive(Debug, Clone)]
@@ -121,8 +127,13 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M>> Context<M>
 /// When a [`FaultInjector`] is supplied, the loop enforces crash semantics
 /// exactly like the simulator: while the node's crash window is active every
 /// event addressed to it (messages, requests, timers) is silently discarded;
-/// on the first event after thawing, the replica's
-/// [`Replica::on_restart`] hook runs before normal dispatch resumes.
+/// on the first event after thawing, the window's [`CrashMode`] decides what
+/// happens before normal dispatch resumes. [`CrashMode::Freeze`] runs
+/// [`Replica::on_restart`] on the retained replica. [`CrashMode::Amnesia`]
+/// discards the replica, rebuilds it via `remake` (whose storage attachment
+/// replays the WAL) and runs [`Replica::on_recover`]; without a `remake`
+/// closure amnesia degenerates to freeze semantics — the runtime cannot
+/// pretend volatile state was lost while still holding it.
 /// [`Envelope::Shutdown`] is always honored, crashed or not.
 #[allow(clippy::too_many_arguments)]
 pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
@@ -136,6 +147,7 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
     epoch: Instant,
     seed: u64,
     faults: Option<Arc<FaultInjector>>,
+    remake: Option<Remake<R>>,
 ) {
     let token_counter = AtomicU64::new(0);
     let mut rng = Rng64::seed(seed);
@@ -152,14 +164,18 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
         };
         replica.on_start(&mut ctx);
     }
-    let mut frozen = false;
+    let mut frozen: Option<CrashMode> = None;
     while let Ok(ev) = inbox.recv() {
         if let Some(inj) = &faults {
             if inj.is_crashed(id) {
                 if matches!(ev, NodeEvent::Wire(Envelope::Shutdown)) {
                     break;
                 }
-                frozen = true;
+                // Record the window's mode while it is still queryable: by
+                // thaw time the window no longer covers the clock.
+                if frozen.is_none() {
+                    frozen = Some(inj.crash_mode(id).unwrap_or_default());
+                }
                 continue;
             }
         }
@@ -173,8 +189,15 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
             token_counter: &token_counter,
             rng: &mut rng,
         };
-        if std::mem::take(&mut frozen) {
-            replica.on_restart(&mut ctx);
+        match frozen.take() {
+            Some(CrashMode::Freeze) => replica.on_restart(&mut ctx),
+            Some(CrashMode::Amnesia) => {
+                if let Some(mk) = &remake {
+                    replica = mk(id);
+                }
+                replica.on_recover(&mut ctx);
+            }
+            None => {}
         }
         match ev {
             NodeEvent::Wire(Envelope::Msg { from, msg }) => replica.on_message(from, msg, &mut ctx),

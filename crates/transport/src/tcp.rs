@@ -24,7 +24,7 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
-use crate::runtime::{run_node, NodeEvent, Outbound};
+use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -233,7 +233,7 @@ where
     /// Binds one listener per node on 127.0.0.1 and starts all replicas.
     pub fn launch<F>(cluster: ClusterConfig, factory: F) -> std::io::Result<Self>
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         Self::launch_inner(cluster, factory, None)
     }
@@ -248,7 +248,7 @@ where
         injector: Arc<FaultInjector>,
     ) -> std::io::Result<Self>
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         Self::launch_inner(cluster, factory, Some(injector))
     }
@@ -259,8 +259,9 @@ where
         faults: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<Self>
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
+        let factory = Arc::new(factory);
         let all = cluster.all_nodes();
         let mut listeners = Vec::new();
         let mut addrs = HashMap::new();
@@ -302,6 +303,10 @@ where
                 });
             }
             let replica = factory.make(id);
+            let remake: Remake<R> = {
+                let f = Arc::clone(&factory);
+                Arc::new(move |id| f.make(id))
+            };
             let peers = all.clone();
             let out = TcpOut { net };
             let timers2 = Arc::clone(&timers);
@@ -311,11 +316,23 @@ where
                 Some(inj) => {
                     let out = ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
                     std::thread::spawn(move || {
-                        run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, faults2)
+                        run_node(
+                            id,
+                            replica,
+                            peers,
+                            rx,
+                            tx,
+                            out,
+                            timers2,
+                            epoch,
+                            seed,
+                            faults2,
+                            Some(remake),
+                        )
                     })
                 }
                 None => std::thread::spawn(move || {
-                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None)
+                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None, None)
                 }),
             };
             handles.push(handle);

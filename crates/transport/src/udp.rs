@@ -13,7 +13,7 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
-use crate::runtime::{run_node, NodeEvent, Outbound};
+use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
@@ -25,11 +25,34 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const MAX_DGRAM: usize = 60 * 1024;
+/// Largest encoded envelope one datagram may carry. Bigger payloads cannot
+/// be sent over this transport at all — they are counted and reported via
+/// [`UdpCluster::dropped_oversize`], never silently truncated.
+pub const MAX_DGRAM: usize = 60 * 1024;
+
+/// Error for an envelope whose encoding exceeds [`MAX_DGRAM`]: the datagram
+/// was *not* sent. Quorum protocols survive individual losses, but a
+/// persistently oversized message class means the workload needs the TCP
+/// transport instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizeDatagram {
+    /// Encoded envelope size in bytes.
+    pub len: usize,
+    /// The transport's budget ([`MAX_DGRAM`]).
+    pub max: usize,
+}
+
+impl std::fmt::Display for OversizeDatagram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "envelope of {} bytes exceeds the {} byte datagram budget", self.len, self.max)
+    }
+}
+
+impl std::error::Error for OversizeDatagram {}
 
 #[derive(Clone, Copy)]
 enum Route {
@@ -41,16 +64,23 @@ struct UdpNet {
     socket: UdpSocket,
     addrs: Arc<HashMap<NodeId, SocketAddr>>,
     routes: Mutex<HashMap<ClientId, Route>>,
+    dropped_oversize: Arc<AtomicU64>,
 }
 
 impl UdpNet {
-    fn send_to_node<M: Serialize>(&self, to: NodeId, env: &Envelope<M>) {
-        if let Some(addr) = self.addrs.get(&to) {
-            if let Ok(bytes) = paxi_codec::to_bytes(env) {
-                debug_assert!(bytes.len() <= MAX_DGRAM);
-                let _ = self.socket.send_to(&bytes, addr);
-            }
+    fn send_to_node<M: Serialize>(
+        &self,
+        to: NodeId,
+        env: &Envelope<M>,
+    ) -> Result<(), OversizeDatagram> {
+        let Some(addr) = self.addrs.get(&to) else { return Ok(()) };
+        let Ok(bytes) = paxi_codec::to_bytes(env) else { return Ok(()) };
+        if bytes.len() > MAX_DGRAM {
+            self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+            return Err(OversizeDatagram { len: bytes.len(), max: MAX_DGRAM });
         }
+        let _ = self.socket.send_to(&bytes, addr);
+        Ok(())
     }
 
     fn deliver_response<M: Serialize>(&self, resp: &ClientResponse) {
@@ -58,11 +88,17 @@ impl UdpNet {
         match route {
             Some(Route::Local(addr)) => {
                 if let Ok(bytes) = paxi_codec::to_bytes(&Envelope::<()>::Response(resp.clone())) {
+                    if bytes.len() > MAX_DGRAM {
+                        self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
                     let _ = self.socket.send_to(&bytes, addr);
                 }
             }
             Some(Route::Via(peer)) => {
-                self.send_to_node::<M>(peer, &Envelope::Response(resp.clone()));
+                // The counter already recorded an oversize drop; the client
+                // will time out and retry like any other datagram loss.
+                let _ = self.send_to_node::<M>(peer, &Envelope::Response(resp.clone()));
             }
             None => {}
         }
@@ -84,7 +120,9 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
     for UdpOut<M>
 {
     fn to_node(&self, to: NodeId, env: Envelope<M>) {
-        self.net.send_to_node(to, &env);
+        // Outbound is fire-and-forget; the oversize counter keeps the error
+        // observable ([`UdpCluster::dropped_oversize`]).
+        let _ = self.net.send_to_node(to, &env);
     }
     fn to_client(&self, _client: ClientId, resp: ClientResponse) {
         self.net.deliver_response::<M>(&resp);
@@ -97,6 +135,7 @@ pub struct UdpCluster<R: Replica> {
     inboxes: HashMap<NodeId, Sender<NodeEvent<R::Msg>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     next_client: AtomicU32,
+    dropped_oversize: Arc<AtomicU64>,
     _timers: Arc<TimerService>,
 }
 
@@ -108,7 +147,7 @@ where
     /// Binds one UDP socket per node and starts all replicas.
     pub fn launch<F>(cluster: ClusterConfig, factory: F) -> std::io::Result<Self>
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         Self::launch_inner(cluster, factory, None)
     }
@@ -123,7 +162,7 @@ where
         injector: Arc<FaultInjector>,
     ) -> std::io::Result<Self>
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         Self::launch_inner(cluster, factory, Some(injector))
     }
@@ -134,8 +173,10 @@ where
         faults: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<Self>
     where
-        F: ReplicaFactory<R = R>,
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
+        let factory = Arc::new(factory);
+        let dropped_oversize = Arc::new(AtomicU64::new(0));
         let all = cluster.all_nodes();
         let mut sockets = Vec::new();
         let mut addrs = HashMap::new();
@@ -160,6 +201,7 @@ where
                 socket: socket.try_clone()?,
                 addrs: Arc::clone(&addrs),
                 routes: Mutex::new(HashMap::new()),
+                dropped_oversize: Arc::clone(&dropped_oversize),
             });
             // Receiver thread.
             {
@@ -199,6 +241,10 @@ where
                 });
             }
             let replica = factory.make(id);
+            let remake: Remake<R> = {
+                let f = Arc::clone(&factory);
+                Arc::new(move |id| f.make(id))
+            };
             let peers = all.clone();
             let out = UdpOut::<R::Msg> { net, _marker: std::marker::PhantomData };
             let timers2 = Arc::clone(&timers);
@@ -208,11 +254,23 @@ where
                 Some(inj) => {
                     let out = ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
                     std::thread::spawn(move || {
-                        run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, faults2)
+                        run_node(
+                            id,
+                            replica,
+                            peers,
+                            rx,
+                            tx,
+                            out,
+                            timers2,
+                            epoch,
+                            seed,
+                            faults2,
+                            Some(remake),
+                        )
                     })
                 }
                 None => std::thread::spawn(move || {
-                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None)
+                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None, None)
                 }),
             };
             handles.push(handle);
@@ -221,7 +279,21 @@ where
             inj.start(epoch);
             inj.schedule_recoveries(&timers, &inboxes);
         }
-        Ok(UdpCluster { addrs, inboxes, handles, next_client: AtomicU32::new(0), _timers: timers })
+        Ok(UdpCluster {
+            addrs,
+            inboxes,
+            handles,
+            next_client: AtomicU32::new(0),
+            dropped_oversize,
+            _timers: timers,
+        })
+    }
+
+    /// Number of envelopes this cluster refused to send because their
+    /// encoding exceeded [`MAX_DGRAM`]. Nonzero means the workload's message
+    /// class does not fit UDP — switch to the TCP transport.
+    pub fn dropped_oversize(&self) -> u64 {
+        self.dropped_oversize.load(Ordering::Relaxed)
     }
 
     /// The address of a node's socket.
@@ -330,6 +402,33 @@ mod tests {
         let r = client.get(9).expect("get");
         assert_eq!(r.value, Some(b"udp".to_vec()));
         run.shutdown();
+    }
+
+    #[test]
+    fn oversize_datagrams_error_and_count_instead_of_silently_dropping() {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let peer = NodeId::new(0, 1);
+        let counter = Arc::new(AtomicU64::new(0));
+        let net = UdpNet {
+            socket: a,
+            addrs: Arc::new([(peer, b.local_addr().unwrap())].into_iter().collect()),
+            routes: Mutex::new(HashMap::new()),
+            dropped_oversize: Arc::clone(&counter),
+        };
+        let small: Envelope<()> = Envelope::Request(paxi_core::ClientRequest {
+            id: RequestId::new(ClientId(0), 0),
+            cmd: Command::put(1, vec![0; 64]),
+        });
+        assert_eq!(net.send_to_node(peer, &small), Ok(()));
+        let big: Envelope<()> = Envelope::Request(paxi_core::ClientRequest {
+            id: RequestId::new(ClientId(0), 1),
+            cmd: Command::put(1, vec![0; MAX_DGRAM + 1]),
+        });
+        let err = net.send_to_node(peer, &big).expect_err("oversize must error");
+        assert!(err.len > MAX_DGRAM);
+        assert_eq!(err.max, MAX_DGRAM);
+        assert_eq!(counter.load(Ordering::Relaxed), 1, "the drop is counted");
     }
 
     #[test]

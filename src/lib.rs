@@ -13,4 +13,5 @@ pub use paxi_core as core;
 pub use paxi_model as model;
 pub use paxi_protocols as protocols;
 pub use paxi_sim as sim;
+pub use paxi_storage as storage;
 pub use paxi_transport as transport;

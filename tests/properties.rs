@@ -237,4 +237,171 @@ proptest! {
         }
         prop_assert!(equal < 4, "forked streams look correlated");
     }
+
+    // --- codec robustness: the WAL's foundation ---
+    //
+    // A recovering replica feeds whatever bytes survived the crash straight
+    // into the codec, so deserialization must *fail*, never panic, on
+    // garbage: random bytes, truncations, and single-bit flips of valid
+    // encodings.
+
+    #[test]
+    fn from_bytes_never_panics_on_random_input(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        // Ok (a coincidentally valid encoding) and Err are both fine; only
+        // a panic fails the test.
+        let _ = codec::from_bytes::<Blob>(&bytes);
+        let _ = codec::from_bytes::<paxi::protocols::paxos::PaxosWal>(&bytes);
+        let _ = codec::from_bytes::<paxi::protocols::raft::RaftWal>(&bytes);
+        let _ = codec::from_bytes::<paxi::protocols::epaxos::EpaxosWal>(&bytes);
+    }
+
+    #[test]
+    fn from_bytes_never_panics_on_bit_flips(
+        blob in arb::wire_blob(),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = codec::to_bytes(&blob).unwrap();
+        let i = idx % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let _ = codec::from_bytes::<Blob>(&bytes);
+    }
+
+    #[test]
+    fn from_bytes_never_panics_on_truncation(
+        blob in arb::wire_blob(),
+        cut in any::<usize>(),
+    ) {
+        let bytes = codec::to_bytes(&blob).unwrap();
+        let keep = cut % (bytes.len() + 1);
+        let _ = codec::from_bytes::<Blob>(&bytes[..keep]);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_arbitrary_chunks(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 0..8
+        )
+    ) {
+        let mut d = codec::FrameDecoder::new();
+        for chunk in &chunks {
+            d.feed(chunk);
+            // Drain until the decoder wants more bytes or rejects the
+            // stream (e.g. a length prefix beyond MAX_FRAME) — never panic.
+            loop {
+                match d.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_corrupted_frames(
+        blob in arb::wire_blob(),
+        idx in any::<usize>(),
+        split in any::<usize>(),
+    ) {
+        let mut frame = codec::encode_frame(&codec::to_bytes(&blob).unwrap());
+        let i = idx % frame.len();
+        frame[i] ^= 0x40;
+        let mut d = codec::FrameDecoder::new();
+        let at = split % (frame.len() + 1);
+        for chunk in [&frame[..at], &frame[at..]] {
+            d.feed(chunk);
+            loop {
+                match d.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+
+    // --- WAL record round-trips: what the protocols actually persist ---
+
+    #[test]
+    fn paxos_wal_records_round_trip(
+        slot in any::<u64>(),
+        counter in 1u32..10_000,
+        zone in 0u8..4, node in 0u8..4,
+        key in any::<u64>(),
+        val in proptest::collection::vec(any::<u8>(), 0..32),
+        client in any::<u32>(), seq in any::<u64>(),
+        has_req in any::<bool>(),
+    ) {
+        use paxi::core::{ClientId, RequestId};
+        use paxi::protocols::paxos::PaxosWal;
+        let ballot = Ballot { counter, id: NodeId::new(zone, node) };
+        let req = has_req.then(|| RequestId::new(ClientId(client), seq));
+        for rec in [
+            PaxosWal::Ballot(ballot),
+            PaxosWal::Accept { slot, ballot, cmd: Command::put(key, val), req },
+        ] {
+            let bytes = codec::to_bytes(&rec).unwrap();
+            let back: PaxosWal = codec::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, &rec);
+            if bytes.len() > 1 {
+                let r: codec::Result<PaxosWal> = codec::from_bytes(&bytes[..bytes.len() - 1]);
+                prop_assert!(r.is_err(), "truncated WAL record must not decode");
+            }
+        }
+    }
+
+    #[test]
+    fn raft_wal_records_round_trip(
+        term in any::<u64>(),
+        prev_index in any::<u64>(),
+        voted in proptest::option::of((0u8..4, 0u8..4)),
+        entries in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..16)), 0..8
+        ),
+    ) {
+        use paxi::protocols::raft::{RaftEntry, RaftWal};
+        let entries: Vec<RaftEntry> = entries
+            .into_iter()
+            .map(|(t, k, v)| RaftEntry { term: t, cmd: Command::put(k, v), req: None })
+            .collect();
+        for rec in [
+            RaftWal::Term { term, voted_for: voted.map(|(z, n)| NodeId::new(z, n)) },
+            RaftWal::Splice { prev_index, entries },
+        ] {
+            let bytes = codec::to_bytes(&rec).unwrap();
+            let back: RaftWal = codec::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, &rec);
+        }
+    }
+
+    #[test]
+    fn epaxos_wal_records_round_trip(
+        zone in 0u8..4, node in 0u8..4,
+        idx in any::<u64>(),
+        key in any::<u64>(),
+        seq in any::<u64>(),
+        deps in proptest::collection::vec((0u8..4, 0u8..4, any::<u64>()), 0..8),
+        status_pick in 0u8..3,
+    ) {
+        use paxi::protocols::epaxos::{EpaxosWal, IRef, WalStatus};
+        let status = match status_pick {
+            0 => WalStatus::PreAccepted,
+            1 => WalStatus::Accepted,
+            _ => WalStatus::Committed,
+        };
+        let rec = EpaxosWal {
+            iref: IRef { leader: NodeId::new(zone, node), idx },
+            cmd: Command::get(key),
+            seq,
+            deps: deps
+                .into_iter()
+                .map(|(z, n, i)| IRef { leader: NodeId::new(z, n), idx: i })
+                .collect(),
+            status,
+        };
+        let bytes = codec::to_bytes(&rec).unwrap();
+        let back: EpaxosWal = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, rec);
+    }
 }
