@@ -99,6 +99,13 @@ pub trait Replica {
         self.on_restart(ctx);
     }
 
+    /// Periodic storage-maintenance tick, driven by wall-clock runtimes
+    /// between events: replicas holding a WAL forward it to
+    /// [`Storage::tick`], so a batch fsync policy's time bound is honored
+    /// even when no append arrives to piggyback the check on. The default
+    /// does nothing (no durable state, or a backend without a wall clock).
+    fn sync_storage(&mut self) {}
+
     /// Handles one protocol message from peer `from`.
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>);
 

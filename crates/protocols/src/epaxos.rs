@@ -606,6 +606,12 @@ impl Replica for EPaxos {
         self.wal = Some(storage);
     }
 
+    fn sync_storage(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.tick().expect("epaxos replica lost its durable store");
+        }
+    }
+
     fn on_recover(&mut self, ctx: &mut dyn Context<EpaxosMsg>) {
         // The state machine is volatile; re-run the recovered commit graph.
         // Execution order is a deterministic function of that graph, so the

@@ -161,8 +161,12 @@ pub enum PaxosWal {
 }
 
 /// The snapshot MultiPaxos installs when it compacts its WAL: everything
-/// below `base` has been executed into `store`, so only accepted entries at
-/// `base` and above still need individual WAL records.
+/// below `base` has been executed into `store`, and the accepted-but-not-
+/// yet-executed entries at `base` and above ride along in `tail`. Carrying
+/// the tail *inside* the snapshot makes compaction atomic from the
+/// protocol's view — `install_snapshot` replaces snapshot and log in one
+/// step, so no crash point can separate the truncation from the tail's
+/// re-logging and lose accepts the leader may already have counted.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PaxosSnapshot {
     /// Highest ballot the replica had promised at snapshot time.
@@ -171,6 +175,9 @@ pub struct PaxosSnapshot {
     pub base: u64,
     /// The state machine at `base`.
     pub store: StoreDump,
+    /// `(slot, ballot, command, request)` of every accepted entry at `base`
+    /// and above — the live tail that would otherwise need WAL records.
+    pub tail: Vec<(u64, Ballot, Command, Option<RequestId>)>,
 }
 
 /// Snapshot-and-truncate the WAL once this many slots have been executed
@@ -276,8 +283,11 @@ impl MultiPaxos {
     }
 
     /// Snapshot-plus-truncate compaction: once enough slots are executed,
-    /// install a snapshot of the state machine and re-log only the live
-    /// tail (accepted entries at or above the new base).
+    /// install a snapshot of the state machine with the live tail (accepted
+    /// entries at or above the new base) embedded. One `install_snapshot`
+    /// call replaces snapshot and log together, so a crash at any point
+    /// leaves either the old WAL or the complete new snapshot — never a
+    /// truncated log whose tail was still waiting to be re-appended.
     fn maybe_compact(&mut self) {
         if self.wal.is_none() || self.execute_upto.saturating_sub(self.snapshot_base) < COMPACT_EVERY
         {
@@ -287,6 +297,11 @@ impl MultiPaxos {
             ballot: self.ballot,
             base: self.execute_upto,
             store: self.store.dump(),
+            tail: self
+                .log
+                .range(self.execute_upto..)
+                .map(|(s, e)| (*s, e.ballot, e.cmd.clone(), e.req))
+                .collect(),
         };
         let bytes = paxi_codec::to_bytes(&snap).expect("paxos snapshot must encode");
         self.wal
@@ -295,19 +310,6 @@ impl MultiPaxos {
             .install_snapshot(&bytes)
             .expect("paxos replica lost its durable store");
         self.snapshot_base = self.execute_upto;
-        let tail: Vec<PaxosWal> = self
-            .log
-            .range(self.execute_upto..)
-            .map(|(s, e)| PaxosWal::Accept {
-                slot: *s,
-                ballot: e.ballot,
-                cmd: e.cmd.clone(),
-                req: e.req,
-            })
-            .collect();
-        for rec in &tail {
-            self.persist(rec);
-        }
         // The log below the snapshot base is dead weight now; drop it.
         self.log = self.log.split_off(&self.snapshot_base);
     }
@@ -479,6 +481,19 @@ impl Replica for MultiPaxos {
             self.marked_upto = snap.base;
             self.next_slot = snap.base;
             self.heartbeat_head = snap.base;
+            // The live tail rides inside the snapshot (atomic compaction):
+            // restore it exactly as replaying its Accept records would.
+            for (slot, ballot, cmd, req) in snap.tail {
+                if slot < self.snapshot_base {
+                    continue;
+                }
+                self.ballot = self.ballot.max(ballot);
+                let mut quorum = CountQuorum::new(self.q2_size());
+                quorum.ack(ballot.id);
+                quorum.ack(self.id);
+                self.log.insert(slot, Entry { ballot, cmd, req, quorum, committed: false });
+                self.next_slot = self.next_slot.max(slot + 1);
+            }
         }
         for bytes in &rec.records {
             match paxi_codec::from_bytes::<PaxosWal>(bytes).expect("paxos wal must decode") {
@@ -498,6 +513,12 @@ impl Replica for MultiPaxos {
         }
         self.active = false;
         self.wal = Some(storage);
+    }
+
+    fn sync_storage(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.tick().expect("paxos replica lost its durable store");
+        }
     }
 
     fn on_start(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
@@ -926,6 +947,50 @@ mod tests {
         assert_eq!(tail.len(), 1, "the accepted entry must survive");
         assert_eq!(tail[0].0, 0);
         assert_eq!(tail[0].2, Command::put(7, vec![9]));
+    }
+
+    #[test]
+    fn snapshot_alone_carries_the_accepted_tail() {
+        // The disk state compaction leaves if the process dies the instant
+        // install_snapshot returns: a snapshot and zero WAL records. Every
+        // accepted-but-unexecuted slot must live inside the snapshot itself
+        // — a truncate-then-reappend scheme loses those accepts (whose P2bs
+        // the leader may already have counted) at exactly this crash point.
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        // Slot 512's P2a commits (and executes) 0..512, which crosses the
+        // compaction threshold inside the handler; slot 512 itself stays
+        // accepted-but-unexecuted.
+        for slot in 0..=COMPACT_EVERY {
+            r.on_message(
+                leader,
+                PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    cmd: Command::put(slot % 8, vec![slot as u8]),
+                    req: None,
+                    commit_upto: slot,
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(
+            hub.synced_len(&1),
+            0,
+            "compaction must leave no post-snapshot WAL records behind"
+        );
+        hub.crash(&1);
+        let r2 = durable_follower(&hub);
+        assert_eq!(r2.current_ballot(), ballot);
+        assert_eq!(r2.store().unwrap().executed(), COMPACT_EVERY);
+        let tail = r2.uncommitted_tail();
+        assert_eq!(tail.len(), 1, "the accepted tail must survive the compaction crash");
+        assert_eq!(tail[0].0, COMPACT_EVERY);
+        assert_eq!(tail[0].2, Command::put(COMPACT_EVERY % 8, vec![COMPACT_EVERY as u8]));
     }
 
     #[test]

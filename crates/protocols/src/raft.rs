@@ -215,8 +215,8 @@ impl Raft {
     }
 
     /// Appends one WAL record before the caller acknowledges the change it
-    /// witnesses, checkpointing once enough records accumulate. A replica
-    /// that cannot write its WAL must stop (crash-stop model).
+    /// witnesses. A replica that cannot write its WAL must stop (crash-stop
+    /// model).
     fn persist(&mut self, rec: &RaftWal) {
         if self.wal.is_none() {
             return;
@@ -228,7 +228,16 @@ impl Raft {
             .append(&bytes)
             .expect("raft replica lost its durable store");
         self.wal_records += 1;
-        if self.wal_records >= CHECKPOINT_EVERY {
+    }
+
+    /// Checkpoints once enough WAL records accumulate. Callers invoke this
+    /// only after the in-memory state reflects every record persisted so
+    /// far: splice records are written *before* the log mutation they
+    /// describe, so checkpointing inside [`Raft::persist`] would snapshot a
+    /// log missing the just-persisted entries and then destroy the WAL
+    /// record carrying them — losing acked entries on recovery.
+    fn maybe_checkpoint(&mut self) {
+        if self.wal.is_some() && self.wal_records >= CHECKPOINT_EVERY {
             self.checkpoint();
         }
     }
@@ -246,9 +255,12 @@ impl Raft {
         self.wal_records = 0;
     }
 
-    /// Persists and records the durable term/vote pair.
+    /// Persists and records the durable term/vote pair. Every caller
+    /// updates `term`/`voted_for` before calling, so the in-memory state
+    /// already reflects the record and checkpointing here is safe.
     fn persist_term(&mut self) {
         self.persist(&RaftWal::Term { term: self.term, voted_for: self.voted_for });
+        self.maybe_checkpoint();
     }
 
     /// Whether this node is the current leader.
@@ -314,8 +326,7 @@ impl Raft {
         // leader could never commit inherited entries — wedging the clients
         // waiting on them.
         let noop = RaftEntry { term: self.term, cmd: Command::get(0), req: None };
-        self.persist(&RaftWal::Splice { prev_index: self.last_index(), entries: vec![noop.clone()] });
-        self.log.push(noop);
+        self.splice(self.last_index(), vec![noop]);
         let next = self.last_index() + 1;
         for &p in &self.peers {
             self.next_index.insert(p, next.saturating_sub(1).max(1));
@@ -337,8 +348,7 @@ impl Raft {
         let prev_index = self.last_index();
         let prev_term = self.last_term();
         let entry = RaftEntry { term: self.term, cmd: req.cmd, req: Some(req.id) };
-        self.persist(&RaftWal::Splice { prev_index, entries: vec![entry.clone()] });
-        self.log.push(entry.clone());
+        self.splice(prev_index, vec![entry.clone()]);
         ctx.broadcast(RaftMsg::AppendEntries {
             term: self.term,
             prev_index,
@@ -370,7 +380,10 @@ impl Raft {
         if !entries.is_empty() {
             self.persist(&RaftWal::Splice { prev_index, entries: entries.clone() });
         }
-        self.apply_splice(prev_index, entries)
+        let match_index = self.apply_splice(prev_index, entries);
+        // Checkpoint only now that the log contains the spliced entries.
+        self.maybe_checkpoint();
+        match_index
     }
 
     /// The pure splice body, shared by the live path and WAL replay.
@@ -498,7 +511,16 @@ impl Replica for Raft {
                 }
             }
         }
+        // Count the replayed records toward the next checkpoint, or a
+        // replica that keeps crashing would grow its WAL without bound.
+        self.wal_records = rec.records.len() as u64;
         self.wal = Some(storage);
+    }
+
+    fn sync_storage(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.tick().expect("raft replica lost its durable store");
+        }
     }
 
     fn on_start(&mut self, ctx: &mut dyn Context<RaftMsg>) {

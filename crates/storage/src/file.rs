@@ -3,10 +3,17 @@
 //! Layout under the replica's directory:
 //!
 //! ```text
-//! <dir>/snapshot.bin      # last installed snapshot (tmp + rename)
+//! <dir>/snapshot.bin      # u64 WAL epoch + last installed snapshot (tmp + rename)
 //! <dir>/wal-000001.log    # WAL segments, rotated at ~1 MiB
 //! <dir>/wal-000002.log
 //! ```
+//!
+//! The snapshot header records the WAL epoch — the lowest segment sequence
+//! written after the snapshot — so an `install_snapshot` interrupted between
+//! the snapshot rename and the old-segment deletions cannot leak stale
+//! records into a later recovery: segments below the epoch are ignored and
+//! deleted. The directory itself is fsynced after renames, segment
+//! creations, and deletions, so those survive power loss too.
 //!
 //! Appends are buffered in memory until a sync is due per the
 //! [`FsyncPolicy`]; only a sync writes them to the active segment and
@@ -23,6 +30,13 @@ use std::time::Instant;
 
 /// Rotate the active segment once its synced size passes this.
 const SEGMENT_LIMIT: u64 = 1 << 20;
+
+/// `snapshot.bin` starts with a little-endian u64 WAL epoch: the lowest
+/// segment sequence number written *after* the snapshot was installed.
+/// Recovery ignores (and deletes) segments below it — they predate the
+/// snapshot and only survive a crash that interrupted `install_snapshot`
+/// between the snapshot rename and the segment deletions.
+const SNAPSHOT_HEADER: usize = 8;
 
 /// Durable log + snapshot store in one directory.
 #[derive(Debug)]
@@ -57,13 +71,16 @@ impl FileStorage {
             .last()
             .map(|&(seq, _)| seq)
             .unwrap_or(0);
+        // New segments must never be numbered below the snapshot epoch, or
+        // recovery would discard them as pre-snapshot leftovers.
+        let epoch = Self::snapshot_epoch(&dir)?;
         Ok(FileStorage {
             dir,
             policy,
             segment_limit: segment_limit.max(1),
             // Never reopen an old segment for writing: recovery may have
             // truncated it, and a fresh file keeps the append path simple.
-            active_seq: last + 1,
+            active_seq: (last + 1).max(epoch),
             active: None,
             active_len: 0,
             unsynced: Vec::new(),
@@ -74,6 +91,27 @@ impl FileStorage {
 
     fn snapshot_path(dir: &Path) -> PathBuf {
         dir.join("snapshot.bin")
+    }
+
+    /// The WAL epoch recorded in the snapshot header (0 when there is no
+    /// snapshot, or one too short to carry a header).
+    fn snapshot_epoch(dir: &Path) -> Result<u64, StorageError> {
+        let path = Self::snapshot_path(dir);
+        if !path.exists() {
+            return Ok(0);
+        }
+        let mut buf = [0u8; SNAPSHOT_HEADER];
+        match File::open(&path)?.read_exact(&mut buf) {
+            Ok(()) => Ok(u64::from_le_bytes(buf)),
+            Err(_) => Ok(0),
+        }
+    }
+
+    /// Fsyncs the directory itself, making renames, creations, and
+    /// deletions of its entries durable.
+    fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+        File::open(dir)?.sync_all()?;
+        Ok(())
     }
 
     fn segment_path(dir: &Path, seq: u64) -> PathBuf {
@@ -106,6 +144,9 @@ impl FileStorage {
         if self.active.is_none() {
             let path = Self::segment_path(&self.dir, self.active_seq);
             let f = OpenOptions::new().create(true).append(true).open(&path)?;
+            // Make the new segment's directory entry durable: a synced
+            // record in a file the directory forgot is a record lost.
+            Self::sync_dir(&self.dir)?;
             self.active_len = f.metadata()?.len();
             self.active = Some(f);
         }
@@ -160,13 +201,22 @@ impl Storage for FileStorage {
     }
 
     fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError> {
+        // Every segment on disk is numbered <= active_seq, so stamping the
+        // next sequence as the epoch marks them all as superseded the
+        // instant the rename below lands.
+        let epoch = self.active_seq + 1;
         let tmp = self.dir.join("snapshot.tmp");
         {
             let mut f = File::create(&tmp)?;
+            f.write_all(&epoch.to_le_bytes())?;
             f.write_all(snapshot)?;
             f.sync_data()?;
         }
         fs::rename(&tmp, Self::snapshot_path(&self.dir))?;
+        // The rename must survive power loss before the old log goes: a
+        // crash past this point leaves stale segments behind, but recovery
+        // ignores anything below the epoch.
+        Self::sync_dir(&self.dir)?;
         // The log is now redundant up to this snapshot: truncate it all.
         // The caller re-appends whatever tail it still needs.
         self.active = None;
@@ -177,20 +227,34 @@ impl Storage for FileStorage {
         for (_, path) in Self::segments(&self.dir)? {
             fs::remove_file(path)?;
         }
-        self.active_seq += 1;
+        Self::sync_dir(&self.dir)?;
+        self.active_seq = epoch;
         Ok(())
     }
 
     fn recover(&mut self) -> Result<Recovery, StorageError> {
         let mut out = Recovery::default();
+        let epoch = Self::snapshot_epoch(&self.dir)?;
         let snap_path = Self::snapshot_path(&self.dir);
         if snap_path.exists() {
             let mut buf = Vec::new();
             File::open(&snap_path)?.read_to_end(&mut buf)?;
-            out.snapshot = Some(buf);
+            if buf.len() >= SNAPSHOT_HEADER {
+                out.snapshot = Some(buf[SNAPSHOT_HEADER..].to_vec());
+            }
         }
+        let mut dir_dirty = false;
         let segments = Self::segments(&self.dir)?;
-        for (i, (_, path)) in segments.iter().enumerate() {
+        for (i, (seq, path)) in segments.iter().enumerate() {
+            if *seq < epoch {
+                // Pre-snapshot leftovers: install_snapshot crashed between
+                // the snapshot rename and the segment deletions. Their
+                // records are covered by the snapshot (and replaying them on
+                // top of it could regress state) — finish the deletion.
+                fs::remove_file(path)?;
+                dir_dirty = true;
+                continue;
+            }
             let mut buf = Vec::new();
             File::open(path)?.read_to_end(&mut buf)?;
             let scan = scan_records(&buf);
@@ -206,18 +270,35 @@ impl Storage for FileStorage {
                 for (_, later) in &segments[i + 1..] {
                     fs::remove_file(later)?;
                 }
+                dir_dirty = true;
                 break;
             }
         }
-        // Append after the surviving segments, never into them.
+        if dir_dirty {
+            Self::sync_dir(&self.dir)?;
+        }
+        // Append after the surviving segments, never into them — and never
+        // below the snapshot epoch, which marks lower sequences as stale.
         let last = Self::segments(&self.dir)?
             .last()
             .map(|&(seq, _)| seq)
             .unwrap_or(0);
         self.active = None;
         self.active_len = 0;
-        self.active_seq = last + 1;
+        self.active_seq = (last + 1).max(epoch);
         Ok(out)
+    }
+
+    fn tick(&mut self) -> Result<(), StorageError> {
+        if let FsyncPolicy::Batch { interval_micros, .. } = self.policy {
+            if self
+                .oldest_unsynced
+                .is_some_and(|t| t.elapsed().as_micros() as u64 >= interval_micros)
+            {
+                self.flush()?;
+            }
+        }
+        Ok(())
     }
 
     fn policy(&self) -> FsyncPolicy {
@@ -348,6 +429,79 @@ mod tests {
         for (i, rec) in r.records.iter().enumerate() {
             assert_eq!(rec, &vec![i as u8; 16]);
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_segments_from_an_interrupted_snapshot_install_are_ignored() {
+        let dir = temp_dir("stale");
+        let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+        s.append(b"pre-1").unwrap();
+        s.append(b"pre-2").unwrap();
+        // Keep a copy of the pre-snapshot segment: a crash between the
+        // snapshot rename and the segment deletion would leave it behind.
+        let seg = FileStorage::segments(&dir).unwrap().pop().unwrap().1;
+        let stale = fs::read(&seg).unwrap();
+        s.install_snapshot(b"SNAP").unwrap();
+        s.append(b"post").unwrap();
+        fs::write(&seg, &stale).unwrap(); // resurrect the stale segment
+        let r = FileStorage::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"SNAP".as_slice()));
+        assert_eq!(
+            payloads(&r),
+            vec![b"post".as_slice()],
+            "pre-snapshot records must not replay on top of the snapshot"
+        );
+        assert!(!seg.exists(), "recovery finishes the interrupted deletion");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_after_reopening_a_snapshotted_store_are_not_stale() {
+        let dir = temp_dir("epoch-reopen");
+        {
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+            s.append(b"old").unwrap();
+            s.install_snapshot(b"SNAP").unwrap();
+        }
+        {
+            // A fresh handle must number its segments at or above the epoch,
+            // or recovery would discard its appends as pre-snapshot junk.
+            let mut s = FileStorage::open(&dir, FsyncPolicy::Always).unwrap();
+            s.append(b"new").unwrap();
+        }
+        let r = FileStorage::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"SNAP".as_slice()));
+        assert_eq!(payloads(&r), vec![b"new".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tick_flushes_a_quiet_batch_tail_after_the_interval() {
+        let dir = temp_dir("tick");
+        {
+            let mut s = FileStorage::open(
+                &dir,
+                FsyncPolicy::Batch { appends: 100, interval_micros: 1_000 },
+            )
+            .unwrap();
+            s.append(b"quiet-tail").unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            s.tick().unwrap();
+            // Dropped without an explicit sync: only the tick made it
+            // durable.
+        }
+        let r = FileStorage::open(&dir, FsyncPolicy::Never)
+            .unwrap()
+            .recover()
+            .unwrap();
+        assert_eq!(payloads(&r), vec![b"quiet-tail".as_slice()]);
         fs::remove_dir_all(&dir).ok();
     }
 

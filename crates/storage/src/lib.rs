@@ -36,9 +36,12 @@ pub enum FsyncPolicy {
     /// Every append is synced before it returns — nothing acknowledged is
     /// ever lost, at one sync per append.
     Always,
-    /// Sync after `appends` buffered records, or when `interval_micros` has
-    /// elapsed since the oldest unsynced append (wall-clock backends only;
-    /// the deterministic in-memory backend counts appends alone).
+    /// Sync after `appends` buffered records, or once `interval_micros` has
+    /// elapsed since the oldest unsynced append. The interval is checked on
+    /// the next append *and* on [`Storage::tick`], which wall-clock runtimes
+    /// drive periodically so a quiet replica's tail does not stay unsynced
+    /// indefinitely. The deterministic in-memory backend counts appends
+    /// alone (no wall clock to honor the interval).
     Batch {
         /// Unsynced appends that trigger a sync.
         appends: usize,
@@ -122,6 +125,16 @@ pub trait Storage: Send {
 
     /// Forces every buffered append to stable storage.
     fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Time-driven sync check for batch policies: flushes buffered appends
+    /// if the policy's interval bound has elapsed, and is a no-op otherwise
+    /// (including for `Always` — nothing is ever buffered — and `Never` —
+    /// which must only sync explicitly). Wall-clock runtimes call this
+    /// periodically between events; the default does nothing, which is
+    /// correct for backends without a wall clock.
+    fn tick(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
 
     /// Atomically installs `snapshot` and truncates the WAL. Durable on
     /// return regardless of policy (a snapshot that can vanish is useless).

@@ -205,15 +205,15 @@ impl<K: Eq + Hash + Clone + Send + 'static> Storage for MemStorage<K> {
     fn recover(&mut self) -> Result<Recovery, StorageError> {
         let mut disks = self.disks.lock();
         let d = disks.entry(self.key.clone()).or_default();
-        // Anything still buffered is visible to a live handle; a crash will
-        // already have emptied the unsynced buffer before recovery runs.
-        let mut raw = d.synced.clone();
-        raw.extend_from_slice(&d.unsynced);
-        let scan = scan_records(&raw);
+        // A crash will already have emptied the unsynced buffer before
+        // recovery runs; on a live handle, flush the buffered suffix first
+        // so the records reported as recovered are exactly the bytes that
+        // are durable afterwards — returning buffered records while
+        // discarding them from the disk would lose them at the next crash.
+        d.flush();
+        let scan = scan_records(&d.synced);
         // Repair: drop the damaged tail so the next append starts clean.
-        d.synced.truncate(scan.valid_len.min(d.synced.len()));
-        d.unsynced.clear();
-        d.unsynced_appends = 0;
+        d.synced.truncate(scan.valid_len);
         Ok(Recovery {
             snapshot: d.snapshot.clone(),
             records: scan.records,
@@ -281,6 +281,22 @@ mod tests {
         assert_eq!(hub.unsynced_len(&1), 0);
         assert_eq!(hub.drain_syncs(&1), 1);
         assert_eq!(hub.drain_syncs(&1), 0, "drain resets the counter");
+    }
+
+    #[test]
+    fn recover_on_a_live_handle_makes_reported_records_durable() {
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Never);
+        let mut s = hub.open(1);
+        s.append(b"synced").unwrap();
+        s.sync().unwrap();
+        s.append(b"buffered").unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(payloads(&r), vec![b"synced".as_slice(), b"buffered"]);
+        // Whatever recover reported must survive a crash right after it.
+        hub.crash(&1);
+        let r2 = hub.open(1).recover().unwrap();
+        assert_eq!(r2.damage, Damage::Clean);
+        assert_eq!(payloads(&r2), vec![b"synced".as_slice(), b"buffered"]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::envelope::Envelope;
 use crate::faults::FaultInjector;
 use crate::timer::TimerService;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use paxi_core::command::{ClientRequest, ClientResponse};
 use paxi_core::dist::Rng64;
 use paxi_core::faults::CrashMode;
@@ -25,6 +25,11 @@ use std::time::{Duration, Instant};
 /// a fresh replica for a node id, attaching durable storage so construction
 /// replays the WAL. Cluster constructors derive one from the launch factory.
 pub type Remake<R> = Arc<dyn Fn(NodeId) -> R + Send + Sync>;
+
+/// How long the event loop waits before giving the replica a storage tick.
+/// Bounds how far a batch fsync policy's interval can overshoot on a quiet
+/// node; an idle tick on a replica with nothing buffered is a no-op.
+const SYNC_TICK: Duration = Duration::from_millis(1);
 
 /// Timer event injected back into a node inbox.
 #[derive(Debug, Clone)]
@@ -165,10 +170,19 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
         replica.on_start(&mut ctx);
     }
     let mut frozen: Option<CrashMode> = None;
-    while let Ok(ev) = inbox.recv() {
+    loop {
+        // A bounded wait instead of a blocking recv: on timeout the replica
+        // gets a storage tick, so a batch fsync policy's interval bound is
+        // honored even while the node is quiet (no append to piggyback the
+        // deadline check on).
+        let ev = match inbox.recv_timeout(SYNC_TICK) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
         if let Some(inj) = &faults {
             if inj.is_crashed(id) {
-                if matches!(ev, NodeEvent::Wire(Envelope::Shutdown)) {
+                if matches!(ev, Some(NodeEvent::Wire(Envelope::Shutdown))) {
                     break;
                 }
                 // Record the window's mode while it is still queryable: by
@@ -179,6 +193,14 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
                 continue;
             }
         }
+        let Some(ev) = ev else {
+            // Don't touch a thawed-but-not-yet-recovered replica: recovery
+            // runs on the next real event, exactly as before.
+            if frozen.is_none() {
+                replica.sync_storage();
+            }
+            continue;
+        };
         let mut ctx = ThreadCtx {
             id,
             peers: &peers,
