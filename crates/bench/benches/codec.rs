@@ -12,8 +12,7 @@ fn paxos_p2a() -> PaxosMsg {
     PaxosMsg::P2a {
         ballot: Ballot::first(NodeId::new(0, 0)),
         slot: 123_456,
-        cmd: Command::put(42, vec![7u8; 64]),
-        req: Some(RequestId::new(ClientId(3), 999)),
+        cmds: vec![(Command::put(42, vec![7u8; 64]), Some(RequestId::new(ClientId(3), 999)))],
         commit_upto: 123_450,
     }
 }

@@ -15,8 +15,18 @@ use std::path::Path;
 
 const IDS: &[&str] = &[
     "fig3", "table1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "table3", "formulas", "fig14", "ablation", "crossval", "availability",
+    "table3", "formulas", "fig14", "ablation", "batching", "crossval", "availability",
 ];
+
+/// The batching ablation doubles as the perf-trajectory baseline: alongside
+/// its CSV it writes `BENCH_batching.json` for the CI bench-smoke artifact.
+fn write_batching_baseline(tables: &[paxi_bench::Table]) {
+    let json = figures::batching::baseline_json(tables);
+    match std::fs::write("BENCH_batching.json", json) {
+        Ok(()) => println!("  -> BENCH_batching.json\n"),
+        Err(e) => eprintln!("  !! could not write BENCH_batching.json: {e}"),
+    }
+}
 
 fn emit(tables: &[paxi_bench::Table], results: &Path) {
     for t in tables {
@@ -44,10 +54,18 @@ fn main() {
             for (name, tables) in figures::all(quick) {
                 println!("### {name}");
                 emit(&tables, results);
+                if name == "batching" {
+                    write_batching_baseline(&tables);
+                }
             }
         }
         id => match figures::by_name(id, quick) {
-            Some(tables) => emit(&tables, results),
+            Some(tables) => {
+                emit(&tables, results);
+                if id == "batching" {
+                    write_batching_baseline(&tables);
+                }
+            }
             None => {
                 eprintln!("unknown experiment '{id}'; try: repro list");
                 std::process::exit(2);

@@ -12,6 +12,7 @@ use paxi_sim::SimConfig;
 
 pub mod ablation;
 pub mod availability;
+pub mod batching;
 pub mod crossval;
 pub mod durability;
 pub mod fig10;
@@ -60,6 +61,7 @@ pub fn all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("formulas", tables::formulas()),
         ("fig14", tables::fig14()),
         ("ablation", ablation::run(quick)),
+        ("batching", batching::run(quick)),
         ("crossval", crossval::run(quick)),
         ("availability", availability::run(quick)),
         ("durability", durability::run(quick)),
@@ -83,6 +85,7 @@ pub fn by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
         "formulas" => Some(tables::formulas()),
         "fig14" => Some(tables::fig14()),
         "ablation" => Some(ablation::run(quick)),
+        "batching" => Some(batching::run(quick)),
         "crossval" => Some(crossval::run(quick)),
         "availability" => Some(availability::run(quick)),
         "durability" => Some(durability::run(quick)),

@@ -7,6 +7,7 @@
 
 use crate::error::{CodecError, Result};
 use bytes::{Buf, BytesMut};
+use serde::Serialize;
 
 /// Largest frame we accept; protects against corrupt prefixes.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
@@ -17,6 +18,24 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// Serializes `value` directly into `out` as a length-prefixed frame,
+/// appending. A 4-byte placeholder is reserved, the value serialized in
+/// place via [`crate::to_bytes_into`], and the prefix patched — one buffer,
+/// zero intermediate copies. Callers on the hot path keep `out` alive across
+/// messages so encoding stops allocating entirely.
+pub fn encode_frame_into<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    crate::ser::to_bytes_into(out, value)?;
+    let payload = out.len() - start - 4;
+    if payload > MAX_FRAME {
+        out.truncate(start);
+        return Err(CodecError::Invalid(format!("frame of {payload} bytes exceeds MAX_FRAME")));
+    }
+    out[start..start + 4].copy_from_slice(&(payload as u32).to_le_bytes());
+    Ok(())
 }
 
 /// Incremental frame reassembly over a byte stream.
@@ -93,6 +112,25 @@ mod tests {
         assert_eq!(d.next_frame().unwrap().unwrap(), b"bb");
         assert_eq!(d.next_frame().unwrap().unwrap(), b"");
         assert!(d.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn encode_frame_into_matches_two_step_encode() {
+        let value = (7u64, "payload".to_string(), vec![1u8, 2, 3]);
+        let two_step = encode_frame(&crate::to_bytes(&value).unwrap());
+        let mut buf = vec![0xAA]; // pre-existing bytes must be preserved
+        encode_frame_into(&mut buf, &value).unwrap();
+        assert_eq!(&buf[..1], &[0xAA]);
+        assert_eq!(&buf[1..], &two_step[..]);
+        // Append a second frame into the same buffer and decode both back.
+        encode_frame_into(&mut buf, &value).unwrap();
+        let mut d = FrameDecoder::new();
+        d.feed(&buf[1..]);
+        for _ in 0..2 {
+            let frame = d.next_frame().unwrap().unwrap();
+            let back: (u64, String, Vec<u8>) = crate::from_bytes(&frame).unwrap();
+            assert_eq!(back, value);
+        }
     }
 
     #[test]

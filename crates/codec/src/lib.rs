@@ -26,8 +26,8 @@ pub mod ser;
 
 pub use de::{from_bytes, from_bytes_prefix};
 pub use error::{CodecError, Result};
-pub use frame::{encode_frame, FrameDecoder, MAX_FRAME};
-pub use ser::{to_bytes, to_writer};
+pub use frame::{encode_frame, encode_frame_into, FrameDecoder, MAX_FRAME};
+pub use ser::{to_bytes, to_bytes_into, to_writer};
 
 #[cfg(test)]
 mod tests {

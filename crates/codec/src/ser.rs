@@ -29,6 +29,16 @@ pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<
     value.serialize(&mut Serializer { out })
 }
 
+/// Serializes `value` into a reusable buffer, appending to `out`.
+///
+/// Functionally identical to [`to_writer`]; this is the name the hot paths
+/// use when the point is allocation reuse — callers keep one `Vec` alive,
+/// `clear()` it between messages, and never pay a fresh allocation per
+/// encode the way [`to_bytes`] does.
+pub fn to_bytes_into<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
+    to_writer(out, value)
+}
+
 struct Serializer<'a> {
     out: &'a mut Vec<u8>,
 }

@@ -7,7 +7,48 @@
 //! from. It is the Rust analogue of Paxi's JSON configuration file.
 
 use crate::id::NodeId;
+use crate::time::Nanos;
 use serde::{Deserialize, Serialize};
+
+/// Command-batching knobs for leader-based protocols.
+///
+/// A leader with batching enabled accumulates incoming client commands and
+/// commits them as one slot / log-entry batch: one round of messages, one
+/// WAL append, and one fsync amortized over `max_batch` commands — the
+/// classic lever for relieving the single-leader bottleneck the paper's §3
+/// cost model identifies. `batch_delay` bounds how long the first command in
+/// a partial batch waits before the leader flushes anyway, so batching
+/// trades at most that much latency for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum commands per slot/entry batch. `1` disables batching and is
+    /// behaviorally identical to the unbatched protocol (same messages, same
+    /// timers, same WAL records).
+    pub max_batch: usize,
+    /// Hold-down: how long a partial batch may wait for more commands before
+    /// the leader flushes it. Irrelevant when `max_batch == 1`.
+    pub batch_delay: Nanos,
+}
+
+impl Default for BatchConfig {
+    /// Batching off: one command per slot, exactly today's behavior.
+    fn default() -> Self {
+        BatchConfig { max_batch: 1, batch_delay: Nanos::micros(200) }
+    }
+}
+
+impl BatchConfig {
+    /// Batching enabled with batch size `max_batch` and the default
+    /// 200 µs hold-down.
+    pub fn of(max_batch: usize) -> Self {
+        BatchConfig { max_batch: max_batch.max(1), ..Self::default() }
+    }
+
+    /// Whether batching is active (`max_batch > 1`).
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+}
 
 /// Static description of a cluster deployment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,5 +158,14 @@ mod tests {
     #[should_panic]
     fn wan_rejects_f_equal_per_zone() {
         ClusterConfig::wan(3, 3, 3, 0);
+    }
+
+    #[test]
+    fn batching_defaults_off_and_clamps_to_one() {
+        let d = BatchConfig::default();
+        assert_eq!(d.max_batch, 1);
+        assert!(!d.enabled());
+        assert!(BatchConfig::of(16).enabled());
+        assert_eq!(BatchConfig::of(0).max_batch, 1);
     }
 }

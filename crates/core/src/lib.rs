@@ -39,7 +39,7 @@ pub mod traits;
 
 pub use ballot::Ballot;
 pub use command::{ClientRequest, ClientResponse, Command, Key, Op, Value};
-pub use config::ClusterConfig;
+pub use config::{BatchConfig, ClusterConfig};
 pub use dist::{KeyDist, KeySampler, Rng64};
 pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use id::{ClientId, NodeId, RequestId};

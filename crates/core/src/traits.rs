@@ -121,6 +121,20 @@ pub trait Replica {
         "unnamed"
     }
 
+    /// How many client commands `msg` carries, for cost accounting.
+    ///
+    /// Protocols that batch commands into one wire message (a multi-command
+    /// `P2a`, a multi-entry `AppendEntries`) report the batch width here so
+    /// the simulator's cost model can charge the per-command marginal terms
+    /// on top of the per-message fixed terms — the amortization the paper's
+    /// §3 model predicts. Messages that carry no commands (acks, heartbeats,
+    /// phase-1 traffic) count as weight 1: they cost exactly one message's
+    /// worth of work. The default (weight 1 for everything) leaves unbatched
+    /// protocols' accounting bit-identical to before this hook existed.
+    fn msg_cmds(_msg: &Self::Msg) -> u64 {
+        1
+    }
+
     /// The replica's state machine, if it exposes one. The consensus checker
     /// collects stores from all replicas and verifies their per-key histories
     /// share a common prefix.

@@ -18,7 +18,7 @@
 
 use paxi_core::ballot::Ballot;
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
-use paxi_core::config::ClusterConfig;
+use paxi_core::config::{BatchConfig, ClusterConfig};
 use paxi_core::id::{NodeId, RequestId};
 use paxi_core::quorum::{majority, CountQuorum, QuorumTracker};
 use paxi_core::store::{MultiVersionStore, StoreDump};
@@ -32,6 +32,12 @@ use std::collections::BTreeMap;
 const TIMER_HEARTBEAT: u64 = 1;
 /// Timer kind: follower election timeout check.
 const TIMER_ELECTION: u64 = 2;
+/// Timer kind: batch hold-down expiry — flush a partial command batch.
+const TIMER_BATCH: u64 = 3;
+
+/// The commands decided in one slot: a batch of `(command, request)` pairs
+/// executed in order. Unbatched operation puts exactly one pair per slot.
+pub type SlotCmds = Vec<(Command, Option<RequestId>)>;
 
 /// Tuning knobs for [`MultiPaxos`].
 #[derive(Debug, Clone)]
@@ -55,6 +61,11 @@ pub struct PaxosConfig {
     /// moment the commit index advances, instead of piggybacking commits on
     /// the next phase-2a (the paper's default optimization).
     pub eager_commit: bool,
+    /// Command batching: the leader packs up to `max_batch` client commands
+    /// into one slot, amortizing the phase-2 round, the WAL append, and the
+    /// fsync across the batch. `max_batch = 1` (the default) is behaviorally
+    /// identical to unbatched operation.
+    pub batch: BatchConfig,
 }
 
 impl Default for PaxosConfig {
@@ -67,6 +78,7 @@ impl Default for PaxosConfig {
             enable_failover: true,
             thrifty: false,
             eager_commit: false,
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -75,6 +87,11 @@ impl PaxosConfig {
     /// FPaxos configuration with phase-2 quorum size `q2` (leader included).
     pub fn flexible(q2: usize) -> Self {
         PaxosConfig { q2: Some(q2), ..Default::default() }
+    }
+
+    /// Configuration with command batching of up to `max_batch` per slot.
+    pub fn batched(max_batch: usize) -> Self {
+        PaxosConfig { batch: BatchConfig::of(max_batch), ..Default::default() }
     }
 }
 
@@ -90,8 +107,8 @@ pub enum PaxosMsg {
     P1b {
         /// The promised ballot.
         ballot: Ballot,
-        /// `(slot, accepted_ballot, command, request)` above the commit point.
-        tail: Vec<(u64, Ballot, Command, Option<RequestId>)>,
+        /// `(slot, accepted_ballot, batch)` above the commit point.
+        tail: Vec<(u64, Ballot, SlotCmds)>,
     },
     /// Phase-2a: accept request for one slot. Carries the leader's commit
     /// index so the commit phase piggybacks on the next round's broadcast.
@@ -100,11 +117,9 @@ pub enum PaxosMsg {
         ballot: Ballot,
         /// Log slot.
         slot: u64,
-        /// The command proposed in the slot.
-        cmd: Command,
-        /// Client request to answer once executed (leader-local bookkeeping,
-        /// echoed for re-proposals after failover).
-        req: Option<RequestId>,
+        /// The command batch proposed in the slot (one command when batching
+        /// is off). Requests ride along for re-proposals after failover.
+        cmds: SlotCmds,
         /// All slots `< commit_upto` are committed.
         commit_upto: u64,
     },
@@ -130,8 +145,7 @@ pub enum PaxosMsg {
 #[derive(Debug)]
 struct Entry {
     ballot: Ballot,
-    cmd: Command,
-    req: Option<RequestId>,
+    cmds: SlotCmds,
     quorum: CountQuorum,
     committed: bool,
 }
@@ -147,16 +161,17 @@ pub enum PaxosWal {
         /// The promised ballot.
         Ballot,
     ),
-    /// The replica accepted a command in a slot under a ballot.
+    /// The replica accepted a command batch in a slot under a ballot. One
+    /// record covers the whole batch — one WAL append (and at most one
+    /// fsync) per slot regardless of how many commands it carries.
     Accept {
         /// Log slot.
         slot: u64,
         /// Ballot the acceptance happened under.
         ballot: Ballot,
-        /// The accepted command.
-        cmd: Command,
-        /// Client request to answer once executed (leader bookkeeping).
-        req: Option<RequestId>,
+        /// The accepted command batch, with client requests for leader
+        /// bookkeeping.
+        cmds: SlotCmds,
     },
 }
 
@@ -175,9 +190,9 @@ pub struct PaxosSnapshot {
     pub base: u64,
     /// The state machine at `base`.
     pub store: StoreDump,
-    /// `(slot, ballot, command, request)` of every accepted entry at `base`
-    /// and above — the live tail that would otherwise need WAL records.
-    pub tail: Vec<(u64, Ballot, Command, Option<RequestId>)>,
+    /// `(slot, ballot, batch)` of every accepted entry at `base` and above
+    /// — the live tail that would otherwise need WAL records.
+    pub tail: Vec<(u64, Ballot, SlotCmds)>,
 }
 
 /// Snapshot-and-truncate the WAL once this many slots have been executed
@@ -202,8 +217,13 @@ pub struct MultiPaxos {
     marked_upto: u64,
     store: MultiVersionStore,
     pending: Vec<ClientRequest>,
+    /// Commands accumulating toward the next batched slot (leader only,
+    /// `max_batch > 1`). Flushed when full or when the hold-down fires.
+    batch_buf: SlotCmds,
+    /// Token of the armed batch hold-down timer, if any.
+    batch_token: Option<u64>,
     p1_quorum: Option<CountQuorum>,
-    p1_tails: Vec<Vec<(u64, Ballot, Command, Option<RequestId>)>>,
+    p1_tails: Vec<Vec<(u64, Ballot, SlotCmds)>>,
     last_leader_contact: Nanos,
     election_token: u64,
     /// `commit_upto` observed at the previous heartbeat tick: if the head of
@@ -235,6 +255,8 @@ impl MultiPaxos {
             marked_upto: 0,
             store: MultiVersionStore::new(),
             pending: Vec::new(),
+            batch_buf: Vec::new(),
+            batch_token: None,
             p1_quorum: None,
             p1_tails: Vec::new(),
             last_leader_contact: Nanos::ZERO,
@@ -300,7 +322,7 @@ impl MultiPaxos {
             tail: self
                 .log
                 .range(self.execute_upto..)
-                .map(|(s, e)| (*s, e.ballot, e.cmd.clone(), e.req))
+                .map(|(s, e)| (*s, e.ballot, e.cmds.clone()))
                 .collect(),
         };
         let bytes = paxi_codec::to_bytes(&snap).expect("paxos snapshot must encode");
@@ -318,6 +340,7 @@ impl MultiPaxos {
         self.ballot = self.ballot.next(self.id);
         self.persist(&PaxosWal::Ballot(self.ballot));
         self.active = false;
+        self.abort_batch();
         let mut q = CountQuorum::new(self.q1_size());
         q.ack(self.id);
         self.p1_tails = vec![self.uncommitted_tail()];
@@ -331,10 +354,10 @@ impl MultiPaxos {
         ctx.broadcast(PaxosMsg::P1a { ballot: self.ballot });
     }
 
-    fn uncommitted_tail(&self) -> Vec<(u64, Ballot, Command, Option<RequestId>)> {
+    fn uncommitted_tail(&self) -> Vec<(u64, Ballot, SlotCmds)> {
         self.log
             .range(self.commit_upto..)
-            .map(|(s, e)| (*s, e.ballot, e.cmd.clone(), e.req))
+            .map(|(s, e)| (*s, e.ballot, e.cmds.clone()))
             .collect()
     }
 
@@ -344,13 +367,13 @@ impl MultiPaxos {
         self.p1_quorum = None;
         // Merge the highest-ballot accepted value per uncommitted slot and
         // re-propose them under our ballot.
-        let mut merged: BTreeMap<u64, (Ballot, Command, Option<RequestId>)> = BTreeMap::new();
+        let mut merged: BTreeMap<u64, (Ballot, SlotCmds)> = BTreeMap::new();
         for tail in std::mem::take(&mut self.p1_tails) {
-            for (slot, b, cmd, req) in tail {
+            for (slot, b, cmds) in tail {
                 match merged.get(&slot) {
-                    Some((mb, _, _)) if *mb >= b => {}
+                    Some((mb, _)) if *mb >= b => {}
                     _ => {
-                        merged.insert(slot, (b, cmd, req));
+                        merged.insert(slot, (b, cmds));
                     }
                 }
             }
@@ -359,11 +382,11 @@ impl MultiPaxos {
             self.next_slot = self.next_slot.max(max_slot + 1);
         }
         self.next_slot = self.next_slot.max(self.commit_upto);
-        for (slot, (_, cmd, req)) in merged {
+        for (slot, (_, cmds)) in merged {
             if slot < self.commit_upto {
                 continue;
             }
-            self.propose_in_slot(slot, cmd, req, ctx);
+            self.propose_in_slot(slot, cmds, ctx);
         }
         // Serve requests buffered during the election.
         for req in std::mem::take(&mut self.pending) {
@@ -373,31 +396,60 @@ impl MultiPaxos {
     }
 
     fn propose(&mut self, req: ClientRequest, ctx: &mut dyn Context<PaxosMsg>) {
-        let slot = self.next_slot;
-        self.next_slot += 1;
-        self.propose_in_slot(slot, req.cmd, Some(req.id), ctx);
+        if !self.cfg.batch.enabled() {
+            // Unbatched fast path: exactly the pre-batching behavior — one
+            // command, one slot, one phase-2 round, immediately.
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.propose_in_slot(slot, vec![(req.cmd, Some(req.id))], ctx);
+            return;
+        }
+        self.batch_buf.push((req.cmd, Some(req.id)));
+        if self.batch_buf.len() >= self.cfg.batch.max_batch {
+            self.flush_batch(ctx);
+        } else if self.batch_token.is_none() {
+            // First command of a partial batch: bound its wait.
+            self.batch_token = Some(ctx.set_timer(self.cfg.batch.batch_delay, TIMER_BATCH));
+        }
     }
 
-    fn propose_in_slot(
-        &mut self,
-        slot: u64,
-        cmd: Command,
-        req: Option<RequestId>,
-        ctx: &mut dyn Context<PaxosMsg>,
-    ) {
+    /// Proposes the accumulated batch in one slot: one phase-2 round, one
+    /// WAL record, one fsync for the whole batch.
+    fn flush_batch(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
+        self.batch_token = None;
+        if self.batch_buf.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut self.batch_buf);
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.propose_in_slot(slot, cmds, ctx);
+    }
+
+    /// Folds a not-yet-proposed batch back into the pending queue — called
+    /// when leadership is lost so buffered commands are re-routed (or
+    /// re-proposed if we win again) instead of silently dropped.
+    fn abort_batch(&mut self) {
+        self.batch_token = None;
+        for (cmd, req) in self.batch_buf.drain(..) {
+            if let Some(id) = req {
+                self.pending.push(ClientRequest { id, cmd });
+            }
+        }
+    }
+
+    fn propose_in_slot(&mut self, slot: u64, cmds: SlotCmds, ctx: &mut dyn Context<PaxosMsg>) {
         let mut quorum = CountQuorum::new(self.q2_size());
         quorum.ack(self.id); // self-vote
         // The leader is an acceptor of its own proposal: persist before the
-        // self-vote counts toward the quorum.
-        self.persist(&PaxosWal::Accept { slot, ballot: self.ballot, cmd: cmd.clone(), req });
-        self.log.insert(slot, Entry { ballot: self.ballot, cmd: cmd.clone(), req, quorum, committed: false });
-        let msg = PaxosMsg::P2a {
-            ballot: self.ballot,
+        // self-vote counts toward the quorum. One record per slot covers the
+        // whole batch.
+        self.persist(&PaxosWal::Accept { slot, ballot: self.ballot, cmds: cmds.clone() });
+        self.log.insert(
             slot,
-            cmd,
-            req,
-            commit_upto: self.commit_upto,
-        };
+            Entry { ballot: self.ballot, cmds: cmds.clone(), quorum, committed: false },
+        );
+        let msg = PaxosMsg::P2a { ballot: self.ballot, slot, cmds, commit_upto: self.commit_upto };
         if self.cfg.thrifty {
             // Exactly the quorum: the first |q2|-1 peers in node order.
             let peers: Vec<NodeId> = self
@@ -448,10 +500,13 @@ impl MultiPaxos {
             if !e.committed {
                 break;
             }
-            let value = self.store.execute(&e.cmd);
-            if self.active {
-                if let Some(id) = e.req {
-                    ctx.reply(ClientResponse::ok(id, value));
+            // Execute the batch in order; replies fan back out per command.
+            for (cmd, req) in &e.cmds {
+                let value = self.store.execute(cmd);
+                if self.active {
+                    if let Some(id) = req {
+                        ctx.reply(ClientResponse::ok(*id, value));
+                    }
                 }
             }
             self.execute_upto += 1;
@@ -483,7 +538,7 @@ impl Replica for MultiPaxos {
             self.heartbeat_head = snap.base;
             // The live tail rides inside the snapshot (atomic compaction):
             // restore it exactly as replaying its Accept records would.
-            for (slot, ballot, cmd, req) in snap.tail {
+            for (slot, ballot, cmds) in snap.tail {
                 if slot < self.snapshot_base {
                     continue;
                 }
@@ -491,14 +546,14 @@ impl Replica for MultiPaxos {
                 let mut quorum = CountQuorum::new(self.q2_size());
                 quorum.ack(ballot.id);
                 quorum.ack(self.id);
-                self.log.insert(slot, Entry { ballot, cmd, req, quorum, committed: false });
+                self.log.insert(slot, Entry { ballot, cmds, quorum, committed: false });
                 self.next_slot = self.next_slot.max(slot + 1);
             }
         }
         for bytes in &rec.records {
             match paxi_codec::from_bytes::<PaxosWal>(bytes).expect("paxos wal must decode") {
                 PaxosWal::Ballot(b) => self.ballot = self.ballot.max(b),
-                PaxosWal::Accept { slot, ballot, cmd, req } => {
+                PaxosWal::Accept { slot, ballot, cmds } => {
                     if slot < self.snapshot_base {
                         continue;
                     }
@@ -506,7 +561,7 @@ impl Replica for MultiPaxos {
                     let mut quorum = CountQuorum::new(self.q2_size());
                     quorum.ack(ballot.id);
                     quorum.ack(self.id);
-                    self.log.insert(slot, Entry { ballot, cmd, req, quorum, committed: false });
+                    self.log.insert(slot, Entry { ballot, cmds, quorum, committed: false });
                     self.next_slot = self.next_slot.max(slot + 1);
                 }
             }
@@ -544,6 +599,7 @@ impl Replica for MultiPaxos {
                     // disk doesn't know about could be broken after amnesia.
                     self.persist(&PaxosWal::Ballot(ballot));
                     self.active = false;
+                    self.abort_batch();
                     self.leader_hint = Some(ballot.id);
                     self.last_leader_contact = ctx.now();
                     ctx.send(from, PaxosMsg::P1b { ballot, tail: self.uncommitted_tail() });
@@ -563,25 +619,27 @@ impl Replica for MultiPaxos {
                     }
                 }
             }
-            PaxosMsg::P2a { ballot, slot, cmd, req, commit_upto } => {
+            PaxosMsg::P2a { ballot, slot, cmds, commit_upto } => {
                 if ballot >= self.ballot {
                     if ballot > self.ballot {
                         self.ballot = ballot;
                         self.persist(&PaxosWal::Ballot(ballot));
                     }
                     self.active = false;
+                    self.abort_batch();
                     self.leader_hint = Some(ballot.id);
                     self.last_leader_contact = ctx.now();
                     // Persist the acceptance before the P2b below: once the
                     // leader counts this vote toward a commit, the accepted
-                    // value must survive any crash here.
-                    self.persist(&PaxosWal::Accept { slot, ballot, cmd: cmd.clone(), req });
+                    // batch must survive any crash here. One record, one
+                    // fsync, however many commands the batch carries.
+                    self.persist(&PaxosWal::Accept { slot, ballot, cmds: cmds.clone() });
                     let mut quorum = CountQuorum::new(self.q2_size());
                     quorum.ack(ballot.id);
                     quorum.ack(self.id);
                     self.log.insert(
                         slot,
-                        Entry { ballot, cmd, req, quorum, committed: slot < commit_upto },
+                        Entry { ballot, cmds, quorum, committed: slot < commit_upto },
                     );
                     // Piggybacked phase-3: everything below commit_upto is
                     // committed (incremental scan from the last mark).
@@ -607,6 +665,7 @@ impl Replica for MultiPaxos {
                     self.ballot = ballot;
                     self.persist(&PaxosWal::Ballot(ballot));
                     self.active = false;
+                    self.abort_batch();
                     self.p1_quorum = None;
                     self.leader_hint = Some(ballot.id);
                     self.last_leader_contact = ctx.now();
@@ -646,21 +705,20 @@ impl Replica for MultiPaxos {
                     // re-ack, quorums are sets), and a healthy run never
                     // stalls a full heartbeat, so this costs nothing.
                     if self.commit_upto == self.heartbeat_head {
-                        let stuck: Vec<(u64, Command, Option<RequestId>)> = self
+                        let stuck: Vec<(u64, SlotCmds)> = self
                             .log
                             .range(self.commit_upto..)
                             .filter(|(_, e)| {
                                 !e.committed && !e.quorum.satisfied() && e.ballot == self.ballot
                             })
                             .take(32)
-                            .map(|(s, e)| (*s, e.cmd.clone(), e.req))
+                            .map(|(s, e)| (*s, e.cmds.clone()))
                             .collect();
-                        for (slot, cmd, req) in stuck {
+                        for (slot, cmds) in stuck {
                             ctx.broadcast(PaxosMsg::P2a {
                                 ballot: self.ballot,
                                 slot,
-                                cmd,
-                                req,
+                                cmds,
                                 commit_upto: self.commit_upto,
                             });
                         }
@@ -668,6 +726,17 @@ impl Replica for MultiPaxos {
                     self.heartbeat_head = self.commit_upto;
                     ctx.broadcast(PaxosMsg::Commit { upto: self.commit_upto });
                     ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+                }
+            }
+            TIMER_BATCH => {
+                if Some(token) != self.batch_token {
+                    return; // stale: the batch already flushed (or aborted)
+                }
+                if self.active {
+                    // Hold-down expired with a partial batch: flush it.
+                    self.flush_batch(ctx);
+                } else {
+                    self.abort_batch();
                 }
             }
             TIMER_ELECTION => {
@@ -693,6 +762,18 @@ impl Replica for MultiPaxos {
             "fpaxos"
         } else {
             "paxos"
+        }
+    }
+
+    /// Phase-2a messages weigh as many commands as the slot batch carries,
+    /// so the simulator charges the model's per-command marginal cost on top
+    /// of the per-message fixed cost. Everything else (acks, phase-1,
+    /// commits) weighs 1 — exactly the pre-batching accounting, which keeps
+    /// `max_batch = 1` runs bit-identical to the unbatched protocol.
+    fn msg_cmds(msg: &PaxosMsg) -> u64 {
+        match msg {
+            PaxosMsg::P2a { cmds, .. } => cmds.len().max(1) as u64,
+            _ => 1,
         }
     }
 
@@ -918,6 +999,108 @@ mod tests {
         r
     }
 
+    /// Drives a 3-node replica to leadership via a probe: phase-1 completes
+    /// with one empty-tailed promise.
+    fn probe_leader(cfg: PaxosConfig) -> (MultiPaxos, Probe) {
+        let id = NodeId::new(0, 0);
+        let mut r = MultiPaxos::new(id, ClusterConfig::lan(3), cfg);
+        let mut ctx = probe(id);
+        r.on_start(&mut ctx);
+        let ballot = r.current_ballot();
+        r.on_message(NodeId::new(0, 1), PaxosMsg::P1b { ballot, tail: vec![] }, &mut ctx);
+        assert!(r.is_leader());
+        ctx.sent.clear();
+        (r, ctx)
+    }
+
+    fn request(seq: u64) -> ClientRequest {
+        ClientRequest { id: RequestId::new(ClientId(1), seq), cmd: Command::put(seq, vec![1]) }
+    }
+
+    fn p2a_batches(sent: &[(Option<NodeId>, PaxosMsg)]) -> Vec<&SlotCmds> {
+        sent.iter()
+            .filter_map(|(_, m)| match m {
+                PaxosMsg::P2a { cmds, .. } => Some(cmds),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_batch_goes_out_as_one_p2a() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::batched(4));
+        for seq in 0..4 {
+            r.on_request(request(seq), &mut ctx);
+        }
+        let batches = p2a_batches(&ctx.sent);
+        assert_eq!(batches.len(), 1, "4 commands, max_batch 4: exactly one phase-2 round");
+        assert_eq!(batches[0].len(), 4);
+        // Order preserved within the batch.
+        for (i, (cmd, req)) in batches[0].iter().enumerate() {
+            assert_eq!(*cmd, Command::put(i as u64, vec![1]));
+            assert_eq!(*req, Some(RequestId::new(ClientId(1), i as u64)));
+        }
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_the_hold_down_timer() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::batched(4));
+        r.on_request(request(0), &mut ctx);
+        r.on_request(request(1), &mut ctx);
+        assert!(p2a_batches(&ctx.sent).is_empty(), "partial batch must wait for the hold-down");
+        // Probe's set_timer always returns token 0.
+        r.on_timer(TIMER_BATCH, 0, &mut ctx);
+        let batches = p2a_batches(&ctx.sent);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 2);
+        // A stale timer fire after the flush must not emit an empty batch.
+        r.on_timer(TIMER_BATCH, 0, &mut ctx);
+        assert_eq!(p2a_batches(&ctx.sent).len(), 1);
+    }
+
+    #[test]
+    fn unbatched_config_proposes_immediately_per_command() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::default());
+        for seq in 0..3 {
+            r.on_request(request(seq), &mut ctx);
+        }
+        let batches = p2a_batches(&ctx.sent);
+        assert_eq!(batches.len(), 3, "max_batch = 1: one P2a per command, no buffering");
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn losing_leadership_requeues_the_buffered_batch() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::batched(8));
+        r.on_request(request(0), &mut ctx);
+        r.on_request(request(1), &mut ctx);
+        // A higher ballot arrives: step down; the buffered commands must not
+        // be lost (they re-enter the pending queue).
+        let usurper = Ballot::default().next(NodeId::new(0, 2)).next(NodeId::new(0, 2));
+        r.on_message(NodeId::new(0, 2), PaxosMsg::P1a { ballot: usurper }, &mut ctx);
+        assert!(!r.is_leader());
+        assert_eq!(r.pending.len(), 2, "aborted batch folds back into pending");
+        assert!(r.batch_buf.is_empty());
+    }
+
+    #[test]
+    fn batched_cluster_serves_requests_and_stores_agree() {
+        let mut sim = lan_sim(3, PaxosConfig::batched(8), 4);
+        let report = sim.run();
+        assert!(report.completed > 1000, "completed {}", report.completed);
+        assert_eq!(report.errors, 0);
+        let stores: Vec<_> = sim.replicas().iter().map(|r| r.store().unwrap()).collect();
+        let reference = stores[0];
+        for s in &stores[1..] {
+            for key in reference.keys() {
+                let a = reference.history(key);
+                let b = s.history(key);
+                let common = a.len().min(b.len());
+                assert_eq!(&a[..common], &b[..common], "divergent history for key {key}");
+            }
+        }
+    }
+
     #[test]
     fn acceptor_state_survives_amnesia() {
         use paxi_storage::{FsyncPolicy, MemHub};
@@ -931,8 +1114,7 @@ mod tests {
             PaxosMsg::P2a {
                 ballot,
                 slot: 0,
-                cmd: Command::put(7, vec![9]),
-                req: None,
+                cmds: vec![(Command::put(7, vec![9]), None)],
                 commit_upto: 0,
             },
             &mut ctx,
@@ -946,7 +1128,7 @@ mod tests {
         let tail = r2.uncommitted_tail();
         assert_eq!(tail.len(), 1, "the accepted entry must survive");
         assert_eq!(tail[0].0, 0);
-        assert_eq!(tail[0].2, Command::put(7, vec![9]));
+        assert_eq!(tail[0].2, vec![(Command::put(7, vec![9]), None)]);
     }
 
     #[test]
@@ -971,8 +1153,7 @@ mod tests {
                 PaxosMsg::P2a {
                     ballot,
                     slot,
-                    cmd: Command::put(slot % 8, vec![slot as u8]),
-                    req: None,
+                    cmds: vec![(Command::put(slot % 8, vec![slot as u8]), None)],
                     commit_upto: slot,
                 },
                 &mut ctx,
@@ -990,7 +1171,7 @@ mod tests {
         let tail = r2.uncommitted_tail();
         assert_eq!(tail.len(), 1, "the accepted tail must survive the compaction crash");
         assert_eq!(tail[0].0, COMPACT_EVERY);
-        assert_eq!(tail[0].2, Command::put(COMPACT_EVERY % 8, vec![COMPACT_EVERY as u8]));
+        assert_eq!(tail[0].2, vec![(Command::put(COMPACT_EVERY % 8, vec![COMPACT_EVERY as u8]), None)]);
     }
 
     #[test]
@@ -1007,8 +1188,7 @@ mod tests {
                 PaxosMsg::P2a {
                     ballot,
                     slot,
-                    cmd: Command::put(slot % 8, vec![slot as u8]),
-                    req: None,
+                    cmds: vec![(Command::put(slot % 8, vec![slot as u8]), None)],
                     commit_upto: slot,
                 },
                 &mut ctx,

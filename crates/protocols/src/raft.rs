@@ -11,7 +11,7 @@
 //! and snapshots disabled in etcd).
 
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
-use paxi_core::config::ClusterConfig;
+use paxi_core::config::{BatchConfig, ClusterConfig};
 use paxi_core::id::{NodeId, RequestId};
 use paxi_core::quorum::majority;
 use paxi_core::store::MultiVersionStore;
@@ -23,6 +23,8 @@ use std::collections::{BTreeMap, HashMap};
 
 const TIMER_ELECTION: u64 = 1;
 const TIMER_HEARTBEAT: u64 = 2;
+/// Timer kind: batch hold-down expiry — flush a partial command batch.
+const TIMER_BATCH: u64 = 3;
 /// Maximum entries per repair AppendEntries.
 const REPAIR_BATCH: usize = 256;
 /// Checkpoint (snapshot-and-truncate the WAL) after this many WAL records.
@@ -38,6 +40,11 @@ pub struct RaftConfig {
     /// Node that may start an election immediately, to converge fast at
     /// startup (set to `None` for fully symmetric startup).
     pub preferred_leader: Option<NodeId>,
+    /// Command batching: the leader packs up to `max_batch` client commands
+    /// into one AppendEntries (and one WAL splice, hence one fsync).
+    /// `max_batch = 1` (the default) is behaviorally identical to unbatched
+    /// operation.
+    pub batch: BatchConfig,
 }
 
 impl Default for RaftConfig {
@@ -46,7 +53,15 @@ impl Default for RaftConfig {
             election_timeout: Nanos::millis(300),
             heartbeat: Nanos::millis(20),
             preferred_leader: Some(NodeId::new(0, 0)),
+            batch: BatchConfig::default(),
         }
+    }
+}
+
+impl RaftConfig {
+    /// Configuration with command batching of up to `max_batch` per append.
+    pub fn batched(max_batch: usize) -> Self {
+        RaftConfig { batch: BatchConfig::of(max_batch), ..Default::default() }
     }
 }
 
@@ -175,6 +190,11 @@ pub struct Raft {
     election_token: u64,
     store: MultiVersionStore,
     pending: Vec<ClientRequest>,
+    /// Requests accumulating toward the next batched append (leader only,
+    /// `max_batch > 1`). Flushed when full or when the hold-down fires.
+    batch_buf: Vec<ClientRequest>,
+    /// Token of the armed batch hold-down timer, if any.
+    batch_token: Option<u64>,
     /// Out-of-order appends buffered until their gap fills. Real Raft rides
     /// on TCP's ordering; our network model can reorder messages, and
     /// rejecting every early append degenerates into repair storms.
@@ -208,6 +228,8 @@ impl Raft {
             election_token: 0,
             store: MultiVersionStore::new(),
             pending: Vec::new(),
+            batch_buf: Vec::new(),
+            batch_token: None,
             stash: BTreeMap::new(),
             wal: None,
             wal_records: 0,
@@ -294,9 +316,18 @@ impl Raft {
         self.persist_term();
         self.votes = 0;
         self.last_contact = ctx.now();
+        self.abort_batch();
         if was_leader {
             self.arm_election_timer(ctx);
         }
+    }
+
+    /// Folds a not-yet-appended batch back into the pending queue — called
+    /// on leadership loss so buffered commands are re-routed to the new
+    /// leader instead of silently dropped.
+    fn abort_batch(&mut self) {
+        self.batch_token = None;
+        self.pending.append(&mut self.batch_buf);
     }
 
     fn start_election(&mut self, ctx: &mut dyn Context<RaftMsg>) {
@@ -341,19 +372,46 @@ impl Raft {
     }
 
     fn append_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<RaftMsg>) {
-        // Optimistic pipelining: ship only the new entry, assuming followers
-        // are caught up; the AppendAck failure path repairs any gap. This
-        // keeps the steady state at one small message per round instead of
-        // re-broadcasting the in-flight suffix.
+        if !self.cfg.batch.enabled() {
+            // Unbatched fast path: exactly the pre-batching behavior — ship
+            // only the new entry, immediately (optimistic pipelining; the
+            // AppendAck failure path repairs any gap).
+            self.flush_entries(vec![req], ctx);
+            return;
+        }
+        self.batch_buf.push(req);
+        if self.batch_buf.len() >= self.cfg.batch.max_batch {
+            self.flush_batch(ctx);
+        } else if self.batch_token.is_none() {
+            // First command of a partial batch: bound its wait.
+            self.batch_token = Some(ctx.set_timer(self.cfg.batch.batch_delay, TIMER_BATCH));
+        }
+    }
+
+    /// Appends the accumulated batch as one multi-entry AppendEntries: one
+    /// broadcast, one WAL splice, one fsync for the whole batch.
+    fn flush_batch(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        self.batch_token = None;
+        if self.batch_buf.is_empty() {
+            return;
+        }
+        let reqs = std::mem::take(&mut self.batch_buf);
+        self.flush_entries(reqs, ctx);
+    }
+
+    fn flush_entries(&mut self, reqs: Vec<ClientRequest>, ctx: &mut dyn Context<RaftMsg>) {
         let prev_index = self.last_index();
         let prev_term = self.last_term();
-        let entry = RaftEntry { term: self.term, cmd: req.cmd, req: Some(req.id) };
-        self.splice(prev_index, vec![entry.clone()]);
+        let entries: Vec<RaftEntry> = reqs
+            .into_iter()
+            .map(|req| RaftEntry { term: self.term, cmd: req.cmd, req: Some(req.id) })
+            .collect();
+        self.splice(prev_index, entries.clone());
         ctx.broadcast(RaftMsg::AppendEntries {
             term: self.term,
             prev_index,
             prev_term,
-            entries: vec![entry],
+            entries,
             commit: self.commit,
         });
         self.advance_commit(ctx); // single-node cluster
@@ -683,12 +741,34 @@ impl Replica for Raft {
                     ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
                 }
             }
+            TIMER_BATCH => {
+                if Some(token) != self.batch_token {
+                    return; // stale: the batch already flushed (or aborted)
+                }
+                if self.role == Role::Leader {
+                    // Hold-down expired with a partial batch: flush it.
+                    self.flush_batch(ctx);
+                } else {
+                    self.abort_batch();
+                }
+            }
             _ => {}
         }
     }
 
     fn protocol_name(&self) -> &'static str {
         "raft"
+    }
+
+    /// AppendEntries weighs as many commands as it carries (batched appends
+    /// and repair bursts alike); heartbeats and everything else weigh 1, so
+    /// the simulator's per-command marginal cost only applies where commands
+    /// actually flow.
+    fn msg_cmds(msg: &RaftMsg) -> u64 {
+        match msg {
+            RaftMsg::AppendEntries { entries, .. } => entries.len().max(1) as u64,
+            _ => 1,
+        }
     }
 
     fn store(&self) -> Option<&MultiVersionStore> {
@@ -934,6 +1014,71 @@ mod tests {
         // Log: sentinel + the term-1 no-op.
         assert_eq!(r.last_index(), 1);
         assert_eq!(r.term(), 1);
+    }
+
+    fn request(seq: u64) -> paxi_core::ClientRequest {
+        paxi_core::ClientRequest {
+            id: RequestId::new(paxi_core::ClientId(1), seq),
+            cmd: Command::put(seq, vec![1]),
+        }
+    }
+
+    fn append_batches(sent: &[(NodeId, RaftMsg)]) -> Vec<usize> {
+        sent.iter()
+            .filter_map(|(_, m)| match m {
+                RaftMsg::AppendEntries { entries, .. } if !entries.is_empty() => {
+                    Some(entries.len())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_batch_goes_out_as_one_append() {
+        let cluster = ClusterConfig::lan(1); // single node: elects itself
+        let mut r = Raft::new(NodeId::new(0, 0), cluster, RaftConfig::batched(4));
+        let mut ctx = probe(NodeId::new(0, 0));
+        r.on_start(&mut ctx);
+        assert!(r.is_leader());
+        ctx.sent.clear();
+        for seq in 0..4 {
+            r.on_request(request(seq), &mut ctx);
+        }
+        assert_eq!(append_batches(&ctx.sent), vec![4], "4 commands: one 4-entry append");
+        // Single-node cluster commits immediately: replies fan back out per
+        // command, in order.
+        assert_eq!(ctx.replies.len(), 4);
+        for (i, resp) in ctx.replies.iter().enumerate() {
+            assert_eq!(resp.id.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_the_hold_down_timer() {
+        let cluster = ClusterConfig::lan(1);
+        let mut r = Raft::new(NodeId::new(0, 0), cluster, RaftConfig::batched(4));
+        let mut ctx = probe(NodeId::new(0, 0));
+        r.on_start(&mut ctx);
+        ctx.sent.clear();
+        r.on_request(request(0), &mut ctx);
+        r.on_request(request(1), &mut ctx);
+        assert!(append_batches(&ctx.sent).is_empty(), "partial batch must wait");
+        // Probe's set_timer always returns token 0.
+        r.on_timer(TIMER_BATCH, 0, &mut ctx);
+        assert_eq!(append_batches(&ctx.sent), vec![2]);
+        assert_eq!(ctx.replies.len(), 2);
+        // A stale fire after the flush must not emit an empty batch.
+        r.on_timer(TIMER_BATCH, 0, &mut ctx);
+        assert_eq!(append_batches(&ctx.sent), vec![2]);
+    }
+
+    #[test]
+    fn batched_raft_cluster_serves_requests() {
+        let mut sim = lan_sim(3, RaftConfig::batched(8), 4);
+        let report = sim.run();
+        assert!(report.completed > 1000, "completed {}", report.completed);
+        assert_eq!(report.errors, 0);
     }
 
     fn durable_follower(hub: &paxi_storage::MemHub<u32>) -> Raft {

@@ -36,6 +36,15 @@ pub struct CostModel {
     /// durability tax). SSD-class by default; only incurred when a replica
     /// actually has storage attached, so purely-volatile runs are unchanged.
     pub t_fsync: Nanos,
+    /// Marginal CPU time per *additional* command carried by a batched
+    /// message (the first command rides on `t_in`/`t_out`). This is the
+    /// model's amortization term: a batch of k commands costs the fixed
+    /// per-message work once plus `(k-1) · t_cmd`, so per-command service
+    /// time falls toward `t_cmd` as k grows.
+    pub t_cmd: Nanos,
+    /// Marginal wire bytes per additional command in a batched message
+    /// (headers and the first command ride on `msg_bytes`).
+    pub cmd_bytes: u64,
 }
 
 impl Default for CostModel {
@@ -50,6 +59,8 @@ impl Default for CostModel {
             cpu_penalty: 1.0,
             wire_overhead: Nanos::ZERO,
             t_fsync: Nanos::micros(100),
+            t_cmd: Nanos::micros(1),
+            cmd_bytes: 64,
         }
     }
 }
@@ -67,6 +78,46 @@ impl CostModel {
         let cpu = self.t_in.0 + self.t_out.0 * serializations;
         let cpu = (cpu as f64 * self.cpu_penalty) as u64;
         Nanos(cpu + self.nic().0 * transmissions)
+    }
+
+    /// NIC transmission time for one additional command's worth of payload
+    /// in a batched message.
+    pub fn cmd_nic(&self) -> Nanos {
+        Nanos((self.cmd_bytes * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+
+    /// Raw (pre-penalty) marginal CPU nanoseconds for a message carrying
+    /// `cmds` commands: zero at `cmds <= 1`, `(cmds - 1) · t_cmd` beyond.
+    /// The caller folds this into its CPU total before applying
+    /// `cpu_penalty`, exactly like `t_in`/`t_out`.
+    pub fn cmd_cpu_extra(&self, cmds: u64) -> u64 {
+        self.t_cmd.0 * cmds.saturating_sub(1)
+    }
+
+    /// Marginal NIC nanoseconds for one transmission of a message carrying
+    /// `cmds` commands: zero at `cmds <= 1`.
+    pub fn cmd_nic_extra(&self, cmds: u64) -> u64 {
+        self.cmd_nic().0 * cmds.saturating_sub(1)
+    }
+
+    /// Total service time for a handler invocation whose incoming message
+    /// carried `in_cmds` commands and whose `serializations` outgoing
+    /// serializations each carried `out_cmds`, transmitted `transmissions`
+    /// times. With all weights at 1 this is exactly
+    /// [`CostModel::service_time`] — the amortized model degenerates to the
+    /// per-message model when batching is off.
+    pub fn service_time_batched(
+        &self,
+        serializations: u64,
+        transmissions: u64,
+        in_cmds: u64,
+        out_cmds: u64,
+    ) -> Nanos {
+        let cpu = self.t_in.0
+            + self.cmd_cpu_extra(in_cmds)
+            + (self.t_out.0 + self.cmd_cpu_extra(out_cmds)) * serializations;
+        let cpu = (cpu as f64 * self.cpu_penalty) as u64;
+        Nanos(cpu + (self.nic().0 + self.cmd_nic_extra(out_cmds)) * transmissions)
     }
 
     /// Returns a copy with a different CPU penalty.
@@ -107,6 +158,31 @@ mod tests {
         let total = Nanos(req.0 + 7 * ack.0 + reply.0);
         // ~ (10+5+8.2) + 7*10 + (10+5+1) us ≈ 109 us -> ~9.2k rounds/s.
         assert!(total >= Nanos::micros(100) && total <= Nanos::micros(120), "total {total}");
+    }
+
+    #[test]
+    fn batched_service_time_with_weight_one_is_the_unbatched_model() {
+        let c = CostModel::default();
+        for (s, t) in [(0u64, 0u64), (1, 1), (1, 8), (2, 3)] {
+            assert_eq!(c.service_time_batched(s, t, 1, 1), c.service_time(s, t));
+        }
+    }
+
+    #[test]
+    fn per_command_service_time_amortizes_with_batch_size() {
+        // The model's amortization term: a leader round that carries k
+        // commands per message costs fixed-per-message work once, so the
+        // per-command cost falls monotonically toward t_cmd + cmd_nic.
+        let c = CostModel::default();
+        let per_cmd = |k: u64| {
+            let round = c.service_time_batched(1, 8, k, k);
+            round.0 as f64 / k as f64
+        };
+        assert!(per_cmd(4) < per_cmd(1) / 2.0, "4-batch should halve per-command cost");
+        assert!(per_cmd(16) < per_cmd(4));
+        // Floor: marginal cost per command (1 serialization + 8 transmissions).
+        let floor = (c.t_cmd.0 as f64) + 8.0 * c.cmd_nic().0 as f64;
+        assert!(per_cmd(1024) < floor * 1.2);
     }
 
     #[test]

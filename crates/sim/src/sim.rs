@@ -369,6 +369,14 @@ impl<R: Replica> Simulator<R> {
         let mut effects = std::mem::take(&mut self.scratch);
         effects.clear();
         let charge_input = matches!(input, Input::Msg { .. } | Input::Request(_));
+        // Batch weight of the incoming message: handling a k-command batch
+        // costs the fixed t_in once plus (k-1)·t_cmd. Weight 1 (everything
+        // unbatched) adds exactly zero, keeping the accounting bit-identical
+        // to the per-message model.
+        let in_cmds = match &input {
+            Input::Msg { msg, .. } => R::msg_cmds(msg),
+            _ => 1,
+        };
         {
             let mut ctx = SimCtx {
                 id: node,
@@ -392,30 +400,48 @@ impl<R: Replica> Simulator<R> {
         let cost = &self.cfg.cost;
         let mut serializations = 0u64;
         let mut transmissions = 0u64;
+        // Marginal batching terms, zero whenever every message has weight 1:
+        // each serialization of a k-command batch adds (k-1)·t_cmd of CPU,
+        // each transmission adds (k-1)·cmd_nic of NIC time.
+        let mut cmd_cpu = 0u64;
+        let mut cmd_nic = 0u64;
         for e in &effects {
             match e {
-                Effect::Send { .. } | Effect::Reply { .. } | Effect::Forward { .. } => {
+                Effect::Reply { .. } | Effect::Forward { .. } => {
                     serializations += 1;
                     transmissions += 1;
                 }
-                Effect::Broadcast { .. } => {
+                Effect::Send { msg, .. } => {
                     serializations += 1;
-                    transmissions += (self.all_nodes.len() - 1) as u64;
+                    transmissions += 1;
+                    cmd_cpu += cost.cmd_cpu_extra(R::msg_cmds(msg));
+                    cmd_nic += cost.cmd_nic_extra(R::msg_cmds(msg));
                 }
-                Effect::Multicast { to, .. } => {
+                Effect::Broadcast { msg } => {
+                    let fanout = (self.all_nodes.len() - 1) as u64;
+                    serializations += 1;
+                    transmissions += fanout;
+                    cmd_cpu += cost.cmd_cpu_extra(R::msg_cmds(msg));
+                    cmd_nic += cost.cmd_nic_extra(R::msg_cmds(msg)) * fanout;
+                }
+                Effect::Multicast { to, msg } => {
                     serializations += 1;
                     transmissions += to.len() as u64;
+                    cmd_cpu += cost.cmd_cpu_extra(R::msg_cmds(msg));
+                    cmd_nic += cost.cmd_nic_extra(R::msg_cmds(msg)) * to.len() as u64;
                 }
                 Effect::Timer { .. } => {}
             }
         }
-        let cpu = (if charge_input { cost.t_in.0 } else { 0 }) + cost.t_out.0 * serializations;
+        let cpu = (if charge_input { cost.t_in.0 + cost.cmd_cpu_extra(in_cmds) } else { 0 })
+            + cost.t_out.0 * serializations
+            + cmd_cpu;
         let cpu = (cpu as f64 * cost.cpu_penalty) as u64;
         // Disk time: every fsync the handler triggered stalls the pipeline
         // for t_fsync (the durability tax). Not scaled by cpu_penalty — it
         // models the device, not the protocol's compute.
         let syncs = self.hub.as_ref().map(|h| h.drain_syncs(&node)).unwrap_or(0);
-        let service = Nanos(cpu + cost.nic().0 * transmissions + cost.t_fsync.0 * syncs);
+        let service = Nanos(cpu + cost.nic().0 * transmissions + cmd_nic + cost.t_fsync.0 * syncs);
         let departure = start + service;
         self.nodes[idx].busy_until = departure;
         self.nodes[idx].busy_total += service;

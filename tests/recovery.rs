@@ -195,8 +195,7 @@ fn protocol_wal_records_round_trip_through_file_storage() {
         paxi::codec::to_bytes(&PaxosWal::Accept {
             slot: 17,
             ballot: Ballot::first(node),
-            cmd: Command::put(7, b"value".to_vec()),
-            req,
+            cmds: vec![(Command::put(7, b"value".to_vec()), req)],
         })
         .unwrap(),
         paxi::codec::to_bytes(&RaftWal::Term { term: 3, voted_for: Some(node) }).unwrap(),
@@ -230,8 +229,7 @@ fn protocol_wal_records_round_trip_through_file_storage() {
         PaxosWal::Accept {
             slot: 17,
             ballot: Ballot::first(node),
-            cmd: Command::put(7, b"value".to_vec()),
-            req,
+            cmds: vec![(Command::put(7, b"value".to_vec()), req)],
         }
     );
     let epaxos: EpaxosWal = paxi::codec::from_bytes(&r.records[4]).unwrap();

@@ -102,15 +102,16 @@ fn protocol_messages_roundtrip_through_the_codec() {
             tail: vec![(
                 7,
                 Ballot::first(NodeId::new(0, 1)),
-                Command::put(42, vec![1, 2, 3]),
-                Some(RequestId::new(ClientId(9), 100)),
+                vec![(Command::put(42, vec![1, 2, 3]), Some(RequestId::new(ClientId(9), 100)))],
             )],
         },
         PaxosMsg::P2a {
             ballot: Ballot::first(NodeId::new(2, 2)),
             slot: 123,
-            cmd: Command::delete(5),
-            req: None,
+            cmds: vec![
+                (Command::delete(5), None),
+                (Command::put(6, vec![9]), Some(RequestId::new(ClientId(1), 2))),
+            ],
             commit_upto: 120,
         },
         PaxosMsg::Commit { upto: 99 },
