@@ -4,7 +4,8 @@
 //! repro all [--quick]          run every experiment
 //! repro <id> [--quick]         run one experiment (fig3, table1, fig4, fig7,
 //!                              fig8, fig9, fig10, fig11, fig12, fig13,
-//!                              table3, formulas, fig14)
+//!                              table3, formulas, fig14, ablation, batching,
+//!                              sharding, crossval, availability, durability)
 //! repro list                   list experiment ids
 //! ```
 //!
@@ -15,25 +16,25 @@ use std::path::Path;
 
 const IDS: &[&str] = &[
     "fig3", "table1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "table3", "formulas", "fig14", "ablation", "batching", "crossval", "availability",
+    "table3", "formulas", "fig14", "ablation", "batching", "sharding", "crossval",
+    "availability", "durability",
 ];
 
-/// The batching ablation doubles as the perf-trajectory baseline: alongside
-/// its CSV it writes `BENCH_batching.json` for the CI bench-smoke artifact.
-fn write_batching_baseline(tables: &[paxi_bench::Table]) {
-    let json = figures::batching::baseline_json(tables);
-    match std::fs::write("BENCH_batching.json", json) {
-        Ok(()) => println!("  -> BENCH_batching.json\n"),
-        Err(e) => eprintln!("  !! could not write BENCH_batching.json: {e}"),
-    }
-}
-
-fn emit(tables: &[paxi_bench::Table], results: &Path) {
+/// Prints an experiment's tables, writes their CSVs, and — when the
+/// experiment ships a perf baseline (`figures::baseline_for`) — writes its
+/// `BENCH_*.json` next to the repo root for the CI smoke artifacts.
+fn emit(name: &str, tables: &[paxi_bench::Table], results: &Path) {
     for t in tables {
         println!("{}", t.render());
         match t.write_csv(results) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(e) => eprintln!("  !! could not write CSV: {e}"),
+        }
+    }
+    if let Some((file, json)) = figures::baseline_for(name, tables) {
+        match std::fs::write(file, json) {
+            Ok(()) => println!("  -> {file}\n"),
+            Err(e) => eprintln!("  !! could not write {file}: {e}"),
         }
     }
 }
@@ -53,19 +54,11 @@ fn main() {
         "all" => {
             for (name, tables) in figures::all(quick) {
                 println!("### {name}");
-                emit(&tables, results);
-                if name == "batching" {
-                    write_batching_baseline(&tables);
-                }
+                emit(name, &tables, results);
             }
         }
         id => match figures::by_name(id, quick) {
-            Some(tables) => {
-                emit(&tables, results);
-                if id == "batching" {
-                    write_batching_baseline(&tables);
-                }
-            }
+            Some(tables) => emit(id, &tables, results),
             None => {
                 eprintln!("unknown experiment '{id}'; try: repro list");
                 std::process::exit(2);

@@ -58,27 +58,24 @@ pub fn run(quick: bool) -> Vec<Table> {
 }
 
 /// Renders the ablation table as the `BENCH_batching.json` baseline the CI
-/// bench-smoke job uploads. Hand-formatted: the workspace deliberately
-/// carries no JSON dependency.
+/// bench-smoke job uploads, via the shared [`Table::baseline_json`] writer.
 pub fn baseline_json(tables: &[Table]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"benchmark\": \"ablation_batching\",\n");
-    s.push_str("  \"config\": \"MultiPaxos, 9-node LAN, uniform keys, closed-loop clients\",\n");
-    s.push_str("  \"series\": [\n");
-    if let Some(t) = tables.first() {
-        for (i, row) in t.rows.iter().enumerate() {
-            let sep = if i + 1 == t.rows.len() { "" } else { "," };
-            s.push_str(&format!(
-                "    {{\"max_batch\": {}, \"max_throughput_ops_s\": {}, \
-                 \"unloaded_p50_ms\": {}, \"unloaded_mean_ms\": {}, \
-                 \"speedup_vs_unbatched\": {}}}{sep}\n",
-                row[0], row[1], row[2], row[3], row[4]
-            ));
-        }
-    }
-    s.push_str("  ]\n}\n");
-    s
+    tables
+        .first()
+        .map(|t| {
+            t.baseline_json(
+                "ablation_batching",
+                "MultiPaxos, 9-node LAN, uniform keys, closed-loop clients",
+                &[
+                    "max_batch",
+                    "max_throughput_ops_s",
+                    "unloaded_p50_ms",
+                    "unloaded_mean_ms",
+                    "speedup_vs_unbatched",
+                ],
+            )
+        })
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sharding;
 pub mod tables;
 
 /// Simulation window presets shared by the experimental figures.
@@ -62,6 +63,7 @@ pub fn all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("fig14", tables::fig14()),
         ("ablation", ablation::run(quick)),
         ("batching", batching::run(quick)),
+        ("sharding", sharding::run(quick)),
         ("crossval", crossval::run(quick)),
         ("availability", availability::run(quick)),
         ("durability", durability::run(quick)),
@@ -86,9 +88,21 @@ pub fn by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
         "fig14" => Some(tables::fig14()),
         "ablation" => Some(ablation::run(quick)),
         "batching" => Some(batching::run(quick)),
+        "sharding" => Some(sharding::run(quick)),
         "crossval" => Some(crossval::run(quick)),
         "availability" => Some(availability::run(quick)),
         "durability" => Some(durability::run(quick)),
+        _ => None,
+    }
+}
+
+/// The `BENCH_*.json` perf baseline an experiment ships alongside its CSVs,
+/// if it ships one: `(file name, rendered JSON)`. One registry so the
+/// `repro` binary (and CI) never special-cases individual figures.
+pub fn baseline_for(name: &str, tables: &[Table]) -> Option<(&'static str, String)> {
+    match name {
+        "batching" => Some(("BENCH_batching.json", batching::baseline_json(tables))),
+        "sharding" => Some(("BENCH_sharding.json", sharding::baseline_json(tables))),
         _ => None,
     }
 }

@@ -10,6 +10,8 @@
 //! * [`consensus`] — the common-prefix consensus checker over replica stores.
 //! * [`runner`] — protocol dispatch and saturation sweeps.
 //! * [`nemesis`] — seeded random fault schedules + linearizability verdicts.
+//! * [`sharded`] — multi-group (sharded) runs: routed clients, saturation
+//!   sweeps, per-shard checking, and the sharded nemesis.
 //! * [`table`] — result tables with console + CSV output.
 //! * [`figures`] — one module per reproduced table/figure; the `repro`
 //!   binary drives them.
@@ -22,6 +24,7 @@ pub mod consensus;
 pub mod figures;
 pub mod nemesis;
 pub mod runner;
+pub mod sharded;
 pub mod table;
 pub mod workload;
 
@@ -33,5 +36,9 @@ pub use nemesis::{
     NemesisSchedule,
 };
 pub use runner::{run, run_with_faults, run_with_faults_durable, sweep, Proto, SweepPoint};
+pub use sharded::{
+    check_group_consensus, check_shard_leakage, check_sharded, run_sharded, run_sharded_checked,
+    run_sharded_nemesis, routed_clients, routed_workload, sweep_sharded, ShardProto, ShardedRun,
+};
 pub use table::Table;
 pub use workload::{GeneralWorkload, HotKeyWorkload};

@@ -8,7 +8,7 @@
 //! drives EPaxos dependency tracking and defines the "conflict" workload
 //! parameter `c` of the paper.
 
-use crate::id::RequestId;
+use crate::id::{NodeId, RequestId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -105,17 +105,28 @@ pub struct ClientResponse {
     pub value: Option<Value>,
     /// False when the protocol rejected the request (e.g. redirected).
     pub ok: bool,
+    /// On rejection, where the client should retry: the node the replica
+    /// believes leads the request's consensus group. Smart clients (the
+    /// sharded `ShardRouter`) cache this hint per group and re-issue the
+    /// command there; `None` means the replica has no better idea and the
+    /// client should fall back to probing.
+    pub redirect: Option<NodeId>,
 }
 
 impl ClientResponse {
     /// Successful response carrying `value`.
     pub fn ok(id: RequestId, value: Option<Value>) -> Self {
-        ClientResponse { id, value, ok: true }
+        ClientResponse { id, value, ok: true, redirect: None }
     }
 
     /// Failure/rejection response.
     pub fn err(id: RequestId) -> Self {
-        ClientResponse { id, value: None, ok: false }
+        ClientResponse { id, value: None, ok: false, redirect: None }
+    }
+
+    /// Wrong-leader rejection pointing the client at `leader`.
+    pub fn redirected(id: RequestId, leader: NodeId) -> Self {
+        ClientResponse { id, value: None, ok: false, redirect: Some(leader) }
     }
 }
 

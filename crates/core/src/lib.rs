@@ -22,6 +22,8 @@
 //! * [`metrics`] — latency histograms, CDFs, throughput meters.
 //! * [`faults`] — the Crash / Drop / Slow / Flaky fault plan shared by the
 //!   simulator and the live transports.
+//! * [`group`] — group ids and the group-tagged message envelope for
+//!   multi-group (sharded) deployments.
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod command;
 pub mod config;
 pub mod dist;
 pub mod faults;
+pub mod group;
 pub mod id;
 pub mod metrics;
 pub mod quorum;
@@ -42,6 +45,7 @@ pub use command::{ClientRequest, ClientResponse, Command, Key, Op, Value};
 pub use config::{BatchConfig, ClusterConfig};
 pub use dist::{KeyDist, KeySampler, Rng64};
 pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
+pub use group::{GroupId, GroupMsg};
 pub use id::{ClientId, NodeId, RequestId};
 pub use metrics::{Histogram, LatencySummary, Meter};
 pub use quorum::{

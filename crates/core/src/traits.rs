@@ -141,6 +141,17 @@ pub trait Replica {
     fn store(&self) -> Option<&crate::store::MultiVersionStore> {
         None
     }
+
+    /// Who this replica currently believes serves client requests — the
+    /// redirect surface. Leader-based protocols return their leader hint
+    /// (possibly themselves); leaderless protocols return their own id
+    /// (any replica serves); the default `None` means the replica offers no
+    /// routing information. The sharded runtime uses this to answer
+    /// wrong-leader requests with [`ClientResponse::redirected`] instead of
+    /// forwarding, so smart clients learn group placement.
+    fn leader_hint(&self) -> Option<NodeId> {
+        None
+    }
 }
 
 /// A constructor for a homogeneous cluster of replicas — the runtimes use

@@ -622,6 +622,14 @@ impl Replica for EPaxos {
     fn store(&self) -> Option<&MultiVersionStore> {
         Some(&self.store)
     }
+
+    /// EPaxos is leaderless: every replica serves requests as a command
+    /// leader, so the best place to send a request is wherever it already
+    /// is. Returning our own id makes the sharded runtime treat this node
+    /// as always-right (it never redirects).
+    fn leader_hint(&self) -> Option<NodeId> {
+        Some(self.id)
+    }
 }
 
 /// Convenience factory for a homogeneous EPaxos cluster.

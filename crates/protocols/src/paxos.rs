@@ -780,6 +780,12 @@ impl Replica for MultiPaxos {
     fn store(&self) -> Option<&MultiVersionStore> {
         Some(&self.store)
     }
+
+    /// The ballot owner this replica would forward requests to (itself when
+    /// it is the active leader) â the redirect surface for sharded routing.
+    fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
 }
 
 /// Convenience factory for a homogeneous MultiPaxos cluster.

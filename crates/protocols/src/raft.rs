@@ -774,6 +774,12 @@ impl Replica for Raft {
     fn store(&self) -> Option<&MultiVersionStore> {
         Some(&self.store)
     }
+
+    /// The node this replica believes is the current Raft leader â the
+    /// redirect surface for sharded routing.
+    fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
 }
 
 /// Convenience factory for a homogeneous Raft cluster.

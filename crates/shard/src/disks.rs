@@ -1,0 +1,120 @@
+//! Per-group WAL namespaces over the simulated disk array.
+//!
+//! Each consensus group of a node owns an independent durable store — its
+//! own WAL, snapshots, and compaction cadence — keyed by `(node, group)` in
+//! one shared [`MemHub`]. The simulator still thinks in nodes: an amnesia
+//! crash of a node wipes the unsynced suffix of *all* of its group
+//! namespaces at once (the process died, every group's page cache died with
+//! it), and fsync charging aggregates across the namespaces because they
+//! share the node's one storage pipeline. [`ShardDisks`] implements the
+//! simulator's [`SimDisks`] view to provide exactly that bridging.
+//!
+//! Wall-clock runtimes get the same layout on a real filesystem via
+//! [`paxi_storage::FileStorage::open_namespaced`] (`root/node-z.n/group-G`).
+
+use paxi_core::group::GroupId;
+use paxi_core::id::NodeId;
+use paxi_sim::SimDisks;
+use paxi_storage::{FsyncPolicy, MemHub, MemStorage, StorageFault};
+
+/// Key of one group's WAL namespace on one node.
+pub type ShardDiskKey = (NodeId, u32);
+
+/// A cluster's simulated disk array with one WAL namespace per
+/// `(node, group)`.
+#[derive(Clone)]
+pub struct ShardDisks {
+    hub: MemHub<ShardDiskKey>,
+    groups: u32,
+}
+
+impl ShardDisks {
+    /// A disk array for `groups` groups, all namespaces under `policy`.
+    pub fn new(policy: FsyncPolicy, groups: u32) -> Self {
+        ShardDisks { hub: MemHub::new(policy), groups: groups.max(1) }
+    }
+
+    /// Number of groups (namespaces per node).
+    pub fn groups(&self) -> u32 {
+        self.groups
+    }
+
+    /// Opens the WAL namespace of `group` on `node`. Factories call this
+    /// once per inner replica and attach the handle via
+    /// [`paxi_core::traits::Replica::attach_storage`].
+    pub fn open(&self, node: NodeId, group: GroupId) -> MemStorage<ShardDiskKey> {
+        self.hub.open((node, group.0))
+    }
+
+    /// Arms a storage fault on one group's namespace (fires at the next
+    /// crash of the node).
+    pub fn inject(&self, node: NodeId, group: GroupId, fault: StorageFault) {
+        self.hub.inject((node, group.0), fault);
+    }
+
+    /// Synced bytes of one group's namespace — what survives an amnesia
+    /// crash of the node.
+    pub fn synced_len(&self, node: NodeId, group: GroupId) -> usize {
+        self.hub.synced_len(&(node, group.0))
+    }
+
+    /// Unsynced (crash-vulnerable) bytes of one group's namespace.
+    pub fn unsynced_len(&self, node: NodeId, group: GroupId) -> usize {
+        self.hub.unsynced_len(&(node, group.0))
+    }
+}
+
+impl SimDisks for ShardDisks {
+    /// The process hosts every group: one amnesia crash loses every
+    /// namespace's unsynced suffix and fires every armed fault.
+    fn crash_node(&self, node: NodeId) {
+        for g in 0..self.groups {
+            self.hub.crash(&(node, g));
+        }
+    }
+
+    /// All namespaces share the node's one pipeline: the simulator charges
+    /// `t_fsync` for each sync any of them performed.
+    fn drain_syncs(&self, node: NodeId) -> u64 {
+        (0..self.groups).map(|g| self.hub.drain_syncs(&(node, g))).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_storage::Storage;
+
+    #[test]
+    fn namespaces_are_independent_but_crash_together() {
+        let disks = ShardDisks::new(FsyncPolicy::Never, 3);
+        let node = NodeId::new(0, 0);
+        let mut s0 = disks.open(node, GroupId(0));
+        let mut s2 = disks.open(node, GroupId(2));
+        s0.append(b"alpha").unwrap();
+        s2.append(b"beta").unwrap();
+        s0.sync().unwrap();
+        // Group 0 synced, group 2 did not.
+        assert!(disks.synced_len(node, GroupId(0)) > 0);
+        assert_eq!(disks.synced_len(node, GroupId(2)), 0);
+        assert!(disks.unsynced_len(node, GroupId(2)) > 0);
+        // One node crash wipes every namespace's unsynced suffix.
+        disks.crash_node(node);
+        assert!(disks.synced_len(node, GroupId(0)) > 0, "synced data survives");
+        assert_eq!(disks.unsynced_len(node, GroupId(2)), 0, "unsynced data dies");
+    }
+
+    #[test]
+    fn sync_charges_aggregate_across_groups() {
+        let disks = ShardDisks::new(FsyncPolicy::Always, 4);
+        let node = NodeId::new(0, 1);
+        for g in 0..4 {
+            let mut s = disks.open(node, GroupId(g));
+            s.append(b"x").unwrap(); // FsyncPolicy::Always syncs per append
+        }
+        assert_eq!(disks.drain_syncs(node), 4);
+        assert_eq!(disks.drain_syncs(node), 0, "drain resets the counters");
+        // Other nodes are unaffected.
+        assert_eq!(disks.drain_syncs(NodeId::new(0, 2)), 0);
+    }
+}

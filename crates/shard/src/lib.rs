@@ -1,0 +1,43 @@
+//! # paxi-shard
+//!
+//! A multi-group sharded consensus runtime: runs `N` independent protocol
+//! groups (any [`paxi_core::traits::Replica`] — MultiPaxos, Raft, EPaxos)
+//! side by side over one shared set of nodes and one shared transport, the
+//! standard way past the single-leader throughput wall (*Scaling Strongly
+//! Consistent Replication*, Charapko et al.).
+//!
+//! The pieces:
+//!
+//! * [`partition`] — the [`partition::Partitioner`] trait with hash and
+//!   range implementations; statically maps every key to its [`GroupId`].
+//! * [`replica`] — [`replica::ShardedReplica`], a `Replica` wrapping one
+//!   inner replica per group and multiplexing messages (via
+//!   [`paxi_core::group::GroupMsg`]), timers, and client requests between
+//!   them. Because the whole bundle is *one* replica per node, the
+//!   simulator's single per-node FIFO queue naturally models cross-group
+//!   CPU/NIC contention, and the live transports carry all groups over the
+//!   existing sockets unchanged.
+//! * [`placement`] — leader placement that spreads group leaders
+//!   round-robin across the cluster's nodes.
+//! * [`disks`] — [`disks::ShardDisks`], per-`(node, group)` WAL namespaces
+//!   over [`paxi_storage::MemHub`] with node-granular amnesia crashes.
+//! * [`router`] — the client-side [`router::ShardRouter`]: partitions each
+//!   command, caches per-group leader hints, and retries wrong-leader
+//!   redirects with exponential backoff.
+
+#![warn(missing_docs)]
+
+pub mod disks;
+pub mod partition;
+pub mod placement;
+pub mod replica;
+pub mod router;
+
+pub use disks::ShardDisks;
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use placement::spread_leader;
+pub use replica::{sharded_cluster, ShardSpec, ShardedReplica};
+pub use router::{ClientPool, RouteTransport, RouterConfig, RouterStats, ShardRouter};
+
+/// Re-exported from `paxi-core`: the group id and group-tagged envelope.
+pub use paxi_core::group::{GroupId, GroupMsg};

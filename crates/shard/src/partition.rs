@@ -1,0 +1,184 @@
+//! Static keyspace partitioners.
+//!
+//! A partitioner is a pure function from key to consensus group, fixed for
+//! the lifetime of a deployment: every replica and every client evaluates
+//! the same function, so no routing metadata ever has to be replicated.
+//! Two standard schemes are provided — hash partitioning (uniform spread,
+//! no range locality) and range partitioning (contiguous slices of the
+//! dense keyspace, the natural fit for the benchmark's `0..K` keys).
+
+use paxi_core::command::Key;
+use paxi_core::group::GroupId;
+
+/// Statically maps keys to consensus groups.
+///
+/// Implementations must be deterministic and total: the same key always
+/// lands in the same group, and every key lands in some group `< groups()`.
+pub trait Partitioner: Send + Sync {
+    /// Number of groups this partitioner spreads the keyspace over.
+    fn groups(&self) -> u32;
+
+    /// The group that owns `key`.
+    fn group_of(&self, key: Key) -> GroupId;
+
+    /// Whether `group` owns `key` — the invariant the cross-shard leakage
+    /// checker enforces on every replica's per-group store.
+    fn owns(&self, group: GroupId, key: Key) -> bool {
+        self.group_of(key) == group
+    }
+}
+
+/// Hash partitioning: keys are mixed with a Fibonacci multiplier and taken
+/// modulo the group count. Spreads any key distribution (including the
+/// benchmark's dense `0..K`) near-uniformly, at the price of destroying
+/// range locality.
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    groups: u32,
+}
+
+impl HashPartitioner {
+    /// Partitioner over `groups` groups (at least 1).
+    pub fn new(groups: u32) -> Self {
+        HashPartitioner { groups: groups.max(1) }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn groups(&self) -> u32 {
+        self.groups
+    }
+
+    fn group_of(&self, key: Key) -> GroupId {
+        // Fibonacci hashing: multiply by 2^64/φ and fold the high bits in,
+        // so dense keys don't all land in group (key % groups) order.
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        GroupId(((mixed >> 32) % self.groups as u64) as u32)
+    }
+}
+
+/// Range partitioning: group `g` owns the contiguous slice
+/// `[bounds[g-1], bounds[g])` of the keyspace (group 0 starts at 0, the
+/// last group extends to `Key::MAX`). Preserves range locality and makes
+/// per-group ownership trivially auditable.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    /// `bounds[g]` is the *exclusive* upper bound of group `g`, for all but
+    /// the last group (which is unbounded above).
+    bounds: Vec<Key>,
+}
+
+impl RangePartitioner {
+    /// Splits `[0, key_space)` into `groups` near-equal contiguous ranges;
+    /// keys at or above `key_space` fall into the last group.
+    pub fn even(key_space: Key, groups: u32) -> Self {
+        let groups = groups.max(1) as u64;
+        let span = (key_space.max(groups) + groups - 1) / groups;
+        RangePartitioner { bounds: (1..groups).map(|g| g * span).collect() }
+    }
+
+    /// Explicit split points: `bounds[g]` is the exclusive upper bound of
+    /// group `g`; the number of groups is `bounds.len() + 1`. Bounds must be
+    /// strictly increasing.
+    pub fn with_bounds(bounds: Vec<Key>) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        RangePartitioner { bounds }
+    }
+
+    /// The half-open key range `[lo, hi)` group `g` owns (`hi` is
+    /// `Key::MAX` for the last group). Workload generators use this to draw
+    /// group-local keys that provably match the partitioner.
+    pub fn range(&self, g: GroupId) -> (Key, Key) {
+        let g = g.0 as usize;
+        let lo = if g == 0 { 0 } else { self.bounds[g - 1] };
+        let hi = self.bounds.get(g).copied().unwrap_or(Key::MAX);
+        (lo, hi)
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn groups(&self) -> u32 {
+        self.bounds.len() as u32 + 1
+    }
+
+    fn group_of(&self, key: Key) -> GroupId {
+        // First bound strictly greater than `key` names the owning group.
+        GroupId(self.bounds.partition_point(|&b| b <= key) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_total_and_deterministic() {
+        let p = HashPartitioner::new(8);
+        for key in 0..10_000u64 {
+            let g = p.group_of(key);
+            assert!(g.0 < 8);
+            assert_eq!(g, p.group_of(key));
+            assert!(p.owns(g, key));
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_dense_keys() {
+        let p = HashPartitioner::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4_000u64 {
+            counts[p.group_of(key).0 as usize] += 1;
+        }
+        for (g, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "group {g} holds {c} of 4000 keys");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_covers_contiguously() {
+        let p = RangePartitioner::even(1000, 4);
+        assert_eq!(p.groups(), 4);
+        assert_eq!(p.group_of(0).0, 0);
+        assert_eq!(p.group_of(249).0, 0);
+        assert_eq!(p.group_of(250).0, 1);
+        assert_eq!(p.group_of(999).0, 3);
+        // Keys beyond the nominal space land in the last group.
+        assert_eq!(p.group_of(u64::MAX).0, 3);
+        // Ranges tile the space without gaps.
+        for g in 0..4 {
+            let (lo, hi) = p.range(GroupId(g));
+            assert!(lo < hi);
+            assert!(p.owns(GroupId(g), lo));
+            if hi != u64::MAX {
+                assert!(!p.owns(GroupId(g), hi), "range end is exclusive");
+            }
+        }
+    }
+
+    #[test]
+    fn range_and_workload_agree_on_every_key() {
+        let p = RangePartitioner::even(997, 8); // non-divisible space
+        for g in 0..8 {
+            let (lo, hi) = p.range(GroupId(g));
+            for key in [lo, lo + (hi - lo) / 2, hi - 1] {
+                assert_eq!(p.group_of(key), GroupId(g), "key {key} of group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_group_owns_everything() {
+        let h = HashPartitioner::new(1);
+        let r = RangePartitioner::even(100, 1);
+        for key in [0u64, 1, 99, 100, u64::MAX] {
+            assert_eq!(h.group_of(key).0, 0);
+            assert_eq!(r.group_of(key).0, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_bounds_are_rejected() {
+        RangePartitioner::with_bounds(vec![10, 10]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Leader placement for sharded deployments.
+//!
+//! The whole point of sharding a strongly-consistent store is that the
+//! per-round leader work of different groups lands on *different* nodes.
+//! With every group configured to start its leader on node `(0,0)` (the
+//! single-group default), adding groups would only stack more work on the
+//! same pipeline; spreading initial leaders round-robin across the cluster
+//! makes aggregate saturation throughput scale until follower work fills
+//! every node's queue.
+
+use paxi_core::config::ClusterConfig;
+use paxi_core::group::GroupId;
+use paxi_core::id::NodeId;
+
+/// Round-robin leader placement: group `g`'s leader starts on the `g mod
+/// n`-th node of the cluster (in `ClusterConfig::all_nodes` order). With
+/// `groups <= n` every leader has its own node; beyond that they wrap, and
+/// per-node leader load stays within one group of even.
+pub fn spread_leader(cluster: &ClusterConfig, group: GroupId) -> NodeId {
+    let nodes = cluster.all_nodes();
+    nodes[group.0 as usize % nodes.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaders_spread_then_wrap() {
+        let cluster = ClusterConfig::lan(5);
+        let nodes = cluster.all_nodes();
+        let leaders: Vec<NodeId> = (0..8).map(|g| spread_leader(&cluster, GroupId(g))).collect();
+        // First five groups take distinct nodes.
+        for g in 0..5 {
+            assert_eq!(leaders[g], nodes[g]);
+        }
+        // Then placement wraps: group 5 shares node 0 with group 0.
+        assert_eq!(leaders[5], leaders[0]);
+        assert_eq!(leaders[7], leaders[2]);
+    }
+
+    #[test]
+    fn single_group_leads_on_the_default_node() {
+        let cluster = ClusterConfig::lan(9);
+        assert_eq!(spread_leader(&cluster, GroupId(0)), cluster.initial_leader());
+    }
+}

@@ -1,0 +1,296 @@
+//! The client-side shard router.
+//!
+//! A smart client for sharded deployments: every command is partitioned to
+//! its consensus group, sent to the node the router believes leads that
+//! group, and retried with exponential backoff when the guess is wrong. The
+//! leader cache is populated two ways — successful responses confirm the
+//! current target, and wrong-leader rejections carry the true leader in
+//! [`ClientResponse::redirect`] (see [`crate::replica::ShardedReplica`]'s
+//! redirect mode). A node that can't help (no response, no hint) makes the
+//! router fall back to probing the remaining nodes round-robin, so it
+//! converges even from a cold or stale cache.
+
+use crate::partition::Partitioner;
+use paxi_core::command::{ClientResponse, Command};
+use paxi_core::id::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a router reaches one node of the cluster and awaits the response.
+/// Implemented by the in-process transport's client pool below and by
+/// closures (tests); one blocking call per request, `None` on timeout.
+pub trait RouteTransport {
+    /// Executes `cmd` against `node`, blocking for the response.
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Option<ClientResponse>;
+}
+
+impl<F: FnMut(NodeId, Command) -> Option<ClientResponse>> RouteTransport for F {
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Option<ClientResponse> {
+        self(node, cmd)
+    }
+}
+
+/// A pool of per-node [`SyncClient`]s over the in-process channel
+/// transport — the standard live-transport backend for the router.
+///
+/// [`SyncClient`]: paxi_transport::channel::SyncClient
+pub struct ClientPool<M> {
+    clients: HashMap<NodeId, paxi_transport::channel::SyncClient<M>>,
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static> ClientPool<M> {
+    /// One client per node, registered up front.
+    pub fn new(clients: Vec<(NodeId, paxi_transport::channel::SyncClient<M>)>) -> Self {
+        ClientPool { clients: clients.into_iter().collect() }
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static> RouteTransport for ClientPool<M> {
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Option<ClientResponse> {
+        self.clients.get_mut(&node)?.execute(cmd)
+    }
+}
+
+/// Retry/backoff tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Total attempts per command (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_attempts: 8,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Per-router counters, for observability and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RouterStats {
+    /// Wrong-leader rejections that carried a usable hint.
+    pub redirects: u64,
+    /// Retries performed (attempts beyond the first, across commands).
+    pub retries: u64,
+    /// Commands that exhausted every attempt.
+    pub failures: u64,
+}
+
+/// Routes commands to group leaders, learning placement as it goes.
+pub struct ShardRouter<T> {
+    transport: T,
+    partitioner: Arc<dyn Partitioner>,
+    nodes: Vec<NodeId>,
+    cfg: RouterConfig,
+    /// Cached leader per group id.
+    leaders: HashMap<u32, NodeId>,
+    /// Counters.
+    pub stats: RouterStats,
+}
+
+impl<T: RouteTransport> ShardRouter<T> {
+    /// A router over `nodes` (any order; used both as the cold-cache prior
+    /// — group `g` is first tried on `nodes[g % n]`, matching
+    /// [`crate::placement::spread_leader`] — and as the probe rotation).
+    pub fn new(
+        partitioner: Arc<dyn Partitioner>,
+        nodes: Vec<NodeId>,
+        transport: T,
+        cfg: RouterConfig,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "router needs at least one node");
+        ShardRouter { transport, partitioner, nodes, cfg, leaders: HashMap::new(), stats: RouterStats::default() }
+    }
+
+    /// The cached leader of `group`, if known.
+    pub fn cached_leader(&self, group: u32) -> Option<NodeId> {
+        self.leaders.get(&group).copied()
+    }
+
+    /// Executes `cmd` against its owning group, following redirects.
+    ///
+    /// At-least-once semantics: a retry after a lost response may re-execute
+    /// the command (wrong-leader redirects never execute, so the common
+    /// retry cause is side-effect free).
+    pub fn execute(&mut self, cmd: Command) -> Option<ClientResponse> {
+        let group = self.partitioner.group_of(cmd.key);
+        let prior = self.nodes[group.0 as usize % self.nodes.len()];
+        let mut target = self.leaders.get(&group.0).copied().unwrap_or(prior);
+        for attempt in 0..self.cfg.max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                std::thread::sleep(self.backoff_for(attempt));
+            }
+            match self.transport.execute(target, cmd.clone()) {
+                Some(resp) if resp.ok => {
+                    self.leaders.insert(group.0, target);
+                    return Some(resp);
+                }
+                Some(resp) => {
+                    if let Some(leader) = resp.redirect.filter(|&l| l != target) {
+                        // Wrong leader, useful hint: go straight there.
+                        self.stats.redirects += 1;
+                        self.leaders.insert(group.0, leader);
+                        target = leader;
+                    } else {
+                        // Rejected without a (new) hint: forget the cache
+                        // entry and probe the next node.
+                        self.leaders.remove(&group.0);
+                        target = self.next_after(target);
+                    }
+                }
+                None => {
+                    self.leaders.remove(&group.0);
+                    target = self.next_after(target);
+                }
+            }
+        }
+        self.stats.failures += 1;
+        None
+    }
+
+    fn next_after(&self, node: NodeId) -> NodeId {
+        let at = self.nodes.iter().position(|&n| n == node).unwrap_or(0);
+        self.nodes[(at + 1) % self.nodes.len()]
+    }
+
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << (attempt - 1).min(16);
+        self.cfg.backoff.saturating_mul(factor).min(self.cfg.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RangePartitioner;
+    use paxi_core::id::{ClientId, RequestId};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn cfg() -> RouterConfig {
+        RouterConfig {
+            max_attempts: 6,
+            backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+        }
+    }
+
+    fn nodes(n: u8) -> Vec<NodeId> {
+        (0..n).map(|i| NodeId::new(0, i)).collect()
+    }
+
+    fn rid() -> RequestId {
+        RequestId::new(ClientId(1), 0)
+    }
+
+    /// A fake cluster where `leader` serves everything and every other node
+    /// redirects to it; records which nodes were contacted.
+    fn redirecting_cluster(
+        leader: NodeId,
+        log: Rc<RefCell<Vec<NodeId>>>,
+    ) -> impl FnMut(NodeId, Command) -> Option<ClientResponse> {
+        move |node, _cmd| {
+            log.borrow_mut().push(node);
+            if node == leader {
+                Some(ClientResponse::ok(rid(), None))
+            } else {
+                Some(ClientResponse::redirected(rid(), leader))
+            }
+        }
+    }
+
+    #[test]
+    fn follows_redirects_then_caches_the_leader() {
+        let leader = NodeId::new(0, 2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let mut r =
+            ShardRouter::new(part, nodes(3), redirecting_cluster(leader, log.clone()), cfg());
+        // Cold cache: tries the placement prior (node 0), gets redirected,
+        // lands on the leader.
+        assert!(r.execute(Command::get(5)).unwrap().ok);
+        assert_eq!(*log.borrow(), vec![NodeId::new(0, 0), leader]);
+        assert_eq!(r.stats.redirects, 1);
+        assert_eq!(r.cached_leader(0), Some(leader));
+        // Warm cache: straight to the leader, no redirect.
+        assert!(r.execute(Command::get(6)).unwrap().ok);
+        assert_eq!(log.borrow().len(), 3);
+        assert_eq!(r.stats.redirects, 1);
+    }
+
+    #[test]
+    fn per_group_leaders_are_cached_independently() {
+        // Two groups, different leaders: node g serves group g's keys.
+        let part = Arc::new(RangePartitioner::even(100, 2));
+        let p2 = part.clone();
+        let transport = move |node: NodeId, cmd: Command| {
+            let owner = NodeId::new(0, p2.group_of(cmd.key).0 as u8);
+            Some(if node == owner {
+                ClientResponse::ok(rid(), None)
+            } else {
+                ClientResponse::redirected(rid(), owner)
+            })
+        };
+        let mut r = ShardRouter::new(part, nodes(2), transport, cfg());
+        assert!(r.execute(Command::get(10)).unwrap().ok); // group 0
+        assert!(r.execute(Command::get(60)).unwrap().ok); // group 1
+        assert_eq!(r.cached_leader(0), Some(NodeId::new(0, 0)));
+        assert_eq!(r.cached_leader(1), Some(NodeId::new(0, 1)));
+        // The cold-cache prior matched the spread placement, so no
+        // redirects were even needed.
+        assert_eq!(r.stats.redirects, 0);
+    }
+
+    #[test]
+    fn probes_past_dead_nodes_with_backoff() {
+        // Node 0 times out, node 1 rejects without a hint, node 2 serves.
+        let transport = |node: NodeId, _cmd: Command| match node.node {
+            0 => None,
+            1 => Some(ClientResponse::err(rid())),
+            _ => Some(ClientResponse::ok(rid(), None)),
+        };
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let mut r = ShardRouter::new(part, nodes(3), transport, cfg());
+        assert!(r.execute(Command::get(1)).unwrap().ok);
+        assert_eq!(r.stats.retries, 2);
+        assert_eq!(r.cached_leader(0), Some(NodeId::new(0, 2)));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let mut r = ShardRouter::new(part, nodes(3), |_: NodeId, _: Command| None, cfg());
+        assert!(r.execute(Command::get(1)).is_none());
+        assert_eq!(r.stats.failures, 1);
+        assert_eq!(r.stats.retries, 5, "max_attempts - 1 retries");
+    }
+
+    #[test]
+    fn self_redirect_does_not_loop() {
+        // A confused node redirecting to itself must degrade to probing,
+        // not spin on one target forever.
+        let served = Rc::new(RefCell::new(0u32));
+        let s2 = served.clone();
+        let transport = move |node: NodeId, _cmd: Command| {
+            if node.node == 0 {
+                Some(ClientResponse::redirected(rid(), NodeId::new(0, 0)))
+            } else {
+                *s2.borrow_mut() += 1;
+                Some(ClientResponse::ok(rid(), None))
+            }
+        };
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let mut r = ShardRouter::new(part, nodes(2), transport, cfg());
+        assert!(r.execute(Command::get(1)).unwrap().ok);
+        assert_eq!(*served.borrow(), 1);
+    }
+}

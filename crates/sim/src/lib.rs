@@ -33,5 +33,5 @@ pub use client::{ClientSetup, LoadMode, Workload};
 pub use cost::CostModel;
 pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use report::{NodeStats, OpRecord, SimReport};
-pub use sim::{SimConfig, Simulator};
+pub use sim::{SimConfig, SimDisks, Simulator};
 pub use topology::Topology;

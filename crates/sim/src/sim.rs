@@ -164,6 +164,33 @@ struct NodeState {
     sent: u64,
 }
 
+/// The simulator's view of a cluster's disk array: everything it needs from
+/// durable storage without fixing how disks are keyed. A plain durable run
+/// registers a [`MemHub`] keyed by node; a sharded run registers an array
+/// keyed by `(node, group)` whose `crash_node` wipes *all* of the node's
+/// per-group WAL namespaces at once and whose `drain_syncs` aggregates fsync
+/// counts across them — one node, one pipeline, however many groups live on
+/// it.
+pub trait SimDisks: Send {
+    /// Applies an amnesia crash to every disk `node` owns: the unsynced
+    /// suffix is lost and armed storage faults fire.
+    fn crash_node(&self, node: NodeId);
+    /// Returns and resets the number of fsyncs all of `node`'s disks
+    /// performed since the last call (each is charged `t_fsync` of service
+    /// time).
+    fn drain_syncs(&self, node: NodeId) -> u64;
+}
+
+impl SimDisks for MemHub<NodeId> {
+    fn crash_node(&self, node: NodeId) {
+        self.crash(&node);
+    }
+
+    fn drain_syncs(&self, node: NodeId) -> u64 {
+        MemHub::drain_syncs(self, &node)
+    }
+}
+
 struct ClientState {
     setup: ClientSetup,
     next_seq: u64,
@@ -186,7 +213,7 @@ pub struct Simulator<R: Replica> {
     /// The cluster's simulated disk array, if the run is durable. The
     /// simulator crashes disks on amnesia recovery and converts each disk's
     /// fsync count into service time.
-    hub: Option<MemHub<NodeId>>,
+    hub: Option<Box<dyn SimDisks>>,
     nodes: Vec<NodeState>,
     all_nodes: Vec<NodeId>,
     queue: BinaryHeap<Event<R::Msg>>,
@@ -277,8 +304,8 @@ impl<R: Replica> Simulator<R> {
     /// and applies armed storage faults before the node is rebuilt, and
     /// (b) charges [`CostModel::t_fsync`] for every fsync a node's disk
     /// performs while handling an event.
-    pub fn set_storage(&mut self, hub: MemHub<NodeId>) {
-        self.hub = Some(hub);
+    pub fn set_storage(&mut self, hub: impl SimDisks + 'static) {
+        self.hub = Some(Box::new(hub));
     }
 
     /// The replicas, for post-run state inspection (consensus checking).
@@ -361,7 +388,7 @@ impl<R: Replica> Simulator<R> {
             // it at crash time), then rebuild the replica from the factory,
             // which re-attaches storage and replays snapshot + WAL.
             if let Some(hub) = &self.hub {
-                hub.crash(&node);
+                hub.crash_node(node);
             }
             self.replicas[idx] = self.factory.make(node);
         }
@@ -440,7 +467,7 @@ impl<R: Replica> Simulator<R> {
         // Disk time: every fsync the handler triggered stalls the pipeline
         // for t_fsync (the durability tax). Not scaled by cpu_penalty — it
         // models the device, not the protocol's compute.
-        let syncs = self.hub.as_ref().map(|h| h.drain_syncs(&node)).unwrap_or(0);
+        let syncs = self.hub.as_ref().map(|h| h.drain_syncs(node)).unwrap_or(0);
         let service = Nanos(cpu + cost.nic().0 * transmissions + cmd_nic + cost.t_fsync.0 * syncs);
         let departure = start + service;
         self.nodes[idx].busy_until = departure;

@@ -58,6 +58,19 @@ impl FileStorage {
         Self::open_with_segment_limit(dir, policy, SEGMENT_LIMIT)
     }
 
+    /// Opens (creating if needed) the WAL namespace `namespace` under
+    /// `root` — a sub-store in its own directory with independent segments,
+    /// snapshots, and compaction. Sharded deployments open one namespace per
+    /// consensus group (e.g. `root/node-0.1/group-3`), so a node's groups
+    /// recover independently while sharing one storage root.
+    pub fn open_namespaced(
+        root: impl AsRef<Path>,
+        namespace: &str,
+        policy: FsyncPolicy,
+    ) -> Result<Self, StorageError> {
+        Self::open(root.as_ref().join(namespace), policy)
+    }
+
     /// Like [`FileStorage::open`] with an explicit rotation threshold
     /// (small limits make rotation testable).
     pub fn open_with_segment_limit(

@@ -2,8 +2,8 @@
 //!
 //! Umbrella crate re-exporting the whole Paxi workspace: the framework
 //! building blocks, the deterministic simulator, the protocol
-//! implementations, the analytic models, the benchmark harness, and the
-//! wall-clock transports.
+//! implementations, the analytic models, the benchmark harness, the
+//! multi-group sharding runtime, and the wall-clock transports.
 
 #![warn(missing_docs)]
 
@@ -12,6 +12,7 @@ pub use paxi_codec as codec;
 pub use paxi_core as core;
 pub use paxi_model as model;
 pub use paxi_protocols as protocols;
+pub use paxi_shard as shard;
 pub use paxi_sim as sim;
 pub use paxi_storage as storage;
 pub use paxi_transport as transport;

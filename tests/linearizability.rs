@@ -114,6 +114,100 @@ fn wpaxos_in_wan_is_linearizable_during_migration() {
     );
 }
 
+// --- sharded deployments: per-shard checking and cross-shard isolation ---
+//
+// A sharded run is `N` disjoint consensus instances over one set of nodes.
+// Linearizability is checked per shard (a global check could mask cross-shard
+// bugs), and two isolation invariants are audited on the surviving state:
+// no group's store holds a key the partitioner assigns elsewhere, and every
+// group's replicas share a common per-key history prefix.
+
+#[test]
+fn sharded_paxos_is_linearizable_per_shard() {
+    use paxi::bench::{check_sharded, run_sharded_checked, ShardProto};
+    use paxi::shard::RangePartitioner;
+    let sim = SimConfig {
+        record_ops: true,
+        warmup: Nanos::millis(300),
+        measure: Nanos::secs(2),
+        ..SimConfig::default()
+    };
+    let (groups, key_space) = (4, 64);
+    let run = run_sharded_checked(
+        ShardProto::Paxos,
+        groups,
+        sim,
+        ClusterConfig::lan(5),
+        key_space,
+        3,
+    );
+    assert!(run.report.completed > 300, "completed {}", run.report.completed);
+    assert!(run.leakage.is_empty(), "cross-shard key leakage: {:?}", run.leakage);
+    assert!(run.divergence.is_none(), "within-group divergence: {:?}", run.divergence);
+    let part = RangePartitioner::even(key_space, groups);
+    let shards = check_sharded(&run.report.ops, &part);
+    assert!(shards.len() >= 2, "expected traffic on several shards, got {}", shards.len());
+    for (g, anomalies) in shards {
+        assert!(
+            anomalies.is_empty(),
+            "shard {g}: {} anomalous reads, first: {:?}",
+            anomalies.len(),
+            anomalies.first()
+        );
+    }
+}
+
+#[test]
+fn sharded_raft_keeps_groups_isolated() {
+    use paxi::bench::{run_sharded_checked, ShardProto};
+    let sim = SimConfig {
+        warmup: Nanos::millis(300),
+        measure: Nanos::secs(2),
+        ..SimConfig::default()
+    };
+    let run =
+        run_sharded_checked(ShardProto::Raft, 2, sim, ClusterConfig::lan(5), 64, 3);
+    assert!(run.report.completed > 300, "completed {}", run.report.completed);
+    assert!(run.leakage.is_empty(), "cross-shard key leakage: {:?}", run.leakage);
+    assert!(run.divergence.is_none(), "within-group divergence: {:?}", run.divergence);
+}
+
+#[test]
+fn per_shard_checker_isolates_anomalies_to_the_offending_shard() {
+    use paxi::bench::check_sharded;
+    use paxi::core::GroupId;
+    use paxi::shard::RangePartitioner;
+    use paxi::sim::OpRecord;
+    // Two groups over keys [0,4) and [4,8).
+    let part = RangePartitioner::even(8, 2);
+    let rec = |client: u32, key: u64, write: Option<&[u8]>, read: Option<&[u8]>, t: u64| OpRecord {
+        client: ClientId(client),
+        key,
+        write: write.map(|v| v.to_vec()),
+        read: read.map(|v| Some(v.to_vec())),
+        invoke: Nanos(t),
+        ret: Nanos(t + 5),
+        ok: true,
+    };
+    let ops = vec![
+        // Shard 0 (key 1): clean write-then-read.
+        rec(0, 1, Some(b"a"), None, 0),
+        rec(0, 1, None, Some(b"a"), 10),
+        // Shard 1 (key 5): the read observes a value nobody ever wrote.
+        rec(1, 5, Some(b"b"), None, 0),
+        rec(1, 5, None, Some(b"phantom"), 10),
+    ];
+    let shards = check_sharded(&ops, &part);
+    assert_eq!(shards.len(), 2);
+    for (g, anomalies) in shards {
+        if g == GroupId(0) {
+            assert!(anomalies.is_empty(), "clean shard flagged: {anomalies:?}");
+        } else {
+            assert!(!anomalies.is_empty(), "phantom read in shard {g} went undetected");
+        }
+    }
+}
+
 #[test]
 fn consensus_checker_accepts_paxos_replicas() {
     use paxi::protocols::paxos::{paxos_cluster, PaxosConfig};
