@@ -24,6 +24,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod metrics;
 pub mod sharding;
 pub mod tables;
 

@@ -20,6 +20,8 @@
 //!   protocol abstraction shared by the simulator and wall-clock runtimes.
 //! * [`time`] — nanosecond virtual time.
 //! * [`metrics`] — latency histograms, CDFs, throughput meters.
+//! * [`obs`] — per-replica typed counters / drop causes / gauges and the
+//!   request-lifecycle trace ring, wired through every runtime.
 //! * [`faults`] — the Crash / Drop / Slow / Flaky fault plan shared by the
 //!   simulator and the live transports.
 //! * [`group`] — group ids and the group-tagged message envelope for
@@ -35,6 +37,7 @@ pub mod faults;
 pub mod group;
 pub mod id;
 pub mod metrics;
+pub mod obs;
 pub mod quorum;
 pub mod store;
 pub mod time;
@@ -48,6 +51,10 @@ pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use group::{GroupId, GroupMsg};
 pub use id::{ClientId, NodeId, RequestId};
 pub use metrics::{Histogram, LatencySummary, Meter};
+pub use obs::{
+    ClusterMetrics, DropCause, Gauge, Metric, MetricsRegistry, MetricsSnapshot, TraceEvent,
+    TraceRing, TraceStage,
+};
 pub use quorum::{
     fast_quorum_size, majority, CountQuorum, FastQuorum, FlexibleGridQuorum, GridPhase,
     GridQuorum, GroupQuorum, MajorityQuorum, QuorumTracker,

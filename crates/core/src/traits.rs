@@ -51,6 +51,25 @@ pub trait Context<M> {
     /// Deterministic (in the simulator) source of randomness, e.g. for
     /// randomized election timeouts.
     fn rand_u64(&mut self) -> u64;
+    /// Adds `n` to a typed observability counter (see [`crate::obs`]).
+    /// Runtimes with metrics enabled route this into the node's
+    /// [`crate::obs::MetricsRegistry`]; the default is a no-op so existing
+    /// contexts and disabled runs pay nothing.
+    fn count(&mut self, metric: crate::obs::Metric, n: u64) {
+        let _ = (metric, n);
+    }
+    /// Records `n` dropped messages under a [`crate::obs::DropCause`].
+    /// Default no-op, as for [`Context::count`].
+    fn count_drop(&mut self, cause: crate::obs::DropCause, n: u64) {
+        let _ = (cause, n);
+    }
+    /// Records a request-lifecycle trace event (see
+    /// [`crate::obs::TraceStage`]). Protocols call this at their propose /
+    /// quorum-ack / execute points; runtimes record submit and reply
+    /// themselves. Default no-op.
+    fn trace(&mut self, stage: crate::obs::TraceStage, req: crate::id::RequestId) {
+        let _ = (stage, req);
+    }
 }
 
 /// A replication-protocol replica: a deterministic state machine driven by
@@ -133,6 +152,16 @@ pub trait Replica {
     /// protocols' accounting bit-identical to before this hook existed.
     fn msg_cmds(_msg: &Self::Msg) -> u64 {
         1
+    }
+
+    /// A stable, human-readable name for `msg`'s wire type ("p2a",
+    /// "append_entries", …), used by the observability layer to break
+    /// sent/received counters down per message type — the granularity the
+    /// paper's per-commit message-complexity audit needs. The default lumps
+    /// everything under `"msg"`, which keeps totals correct for protocols
+    /// that don't override it.
+    fn msg_kind(_msg: &Self::Msg) -> &'static str {
+        "msg"
     }
 
     /// The replica's state machine, if it exposes one. The consensus checker

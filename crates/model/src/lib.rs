@@ -15,17 +15,21 @@
 //! * [`protocols`] — per-protocol latency/throughput models (Figures 8, 10, 12).
 //! * [`formulas`] — Formulas 1–7: load, capacity, and latency closed forms (§6).
 //! * [`advisor`] — the Figure 14 protocol-selection flowchart.
+//! * [`messages`] — exact per-commit message complexity at the coordinator,
+//!   cross-checked against observed metrics (§2).
 
 #![warn(missing_docs)]
 
 pub mod advisor;
 pub mod formulas;
+pub mod messages;
 pub mod orderstat;
 pub mod params;
 pub mod protocols;
 pub mod queueing;
 
 pub use advisor::{recommend, Answers, Recommendation};
+pub use messages::{epaxos_leader_fast, paxos_leader, raft_leader, MsgComplexity};
 pub use params::{CostParams, Deployment};
 pub use protocols::{EPaxosModel, PaxosModel, PerfModel, WPaxosModel, WanKeeperModel};
 pub use queueing::{max_throughput, utilization, wait_time, QueueKind};

@@ -1,0 +1,87 @@
+//! Analytic message complexity per committed command (§2 of the paper).
+//!
+//! The paper characterizes each protocol by how many messages its
+//! coordinating replica exchanges per consensus instance. These closed
+//! forms are the ground truth the observability layer is audited against:
+//! the headline metrics test drives each protocol through the simulator
+//! with metrics enabled and asserts the *observed* per-commit counters at
+//! the leader equal these predictions exactly — any silent loss or
+//! double-count breaks the equality.
+//!
+//! Conventions: counts cover protocol messages only (client requests and
+//! replies are tracked by separate counters), describe the steady state
+//! (leader established; Raft heartbeats and elections excluded; EPaxos on
+//! its fast path with no conflicts), and are exact, not asymptotic.
+
+/// Per-commit message counts at the coordinating replica (leader or,
+/// for EPaxos, the command leader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgComplexity {
+    /// Protocol messages the coordinator sends per committed command.
+    pub sent: u64,
+    /// Protocol messages the coordinator receives per committed command.
+    pub received: u64,
+}
+
+impl MsgComplexity {
+    /// Total coordinator message load per commit (the paper's per-instance
+    /// message count at the bottleneck replica).
+    pub fn total(self) -> u64 {
+        self.sent + self.received
+    }
+}
+
+/// Multi-Paxos with a stable leader in an `n`-replica cluster: one
+/// phase-2 round per commit. The leader sends `n-1` accepts (`p2a`) and
+/// receives `n-1` acks (`p2b`); commit notification piggybacks on the
+/// next accept, costing no extra message in steady state.
+pub fn paxos_leader(n: u64) -> MsgComplexity {
+    let peers = n.saturating_sub(1);
+    MsgComplexity { sent: peers, received: peers }
+}
+
+/// Raft with a stable leader in an `n`-replica cluster: identical
+/// steady-state shape to Multi-Paxos — `n-1` `append_entries` out,
+/// `n-1` `append_ack` in, with the advancing commit index piggybacked.
+/// Heartbeats (empty `append_entries`) are a separate, rate-based cost
+/// and are tracked under their own message type.
+pub fn raft_leader(n: u64) -> MsgComplexity {
+    let peers = n.saturating_sub(1);
+    MsgComplexity { sent: peers, received: peers }
+}
+
+/// EPaxos fast path (no conflicts) in an `n`-replica cluster: the command
+/// leader broadcasts `pre_accept` to its `n-1` peers, commits after a
+/// fast quorum of `pre_accept_ok`s, then broadcasts `commit`. Every peer
+/// answers the pre-accept, so the leader still *receives* `n-1` acks even
+/// though it only *waits* for the fast quorum.
+pub fn epaxos_leader_fast(n: u64) -> MsgComplexity {
+    let peers = n.saturating_sub(1);
+    MsgComplexity { sent: 2 * peers, received: peers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_replica_counts() {
+        assert_eq!(paxos_leader(3), MsgComplexity { sent: 2, received: 2 });
+        assert_eq!(raft_leader(3), MsgComplexity { sent: 2, received: 2 });
+        assert_eq!(epaxos_leader_fast(3), MsgComplexity { sent: 4, received: 2 });
+        assert_eq!(epaxos_leader_fast(3).total(), 6);
+    }
+
+    #[test]
+    fn five_replica_counts() {
+        assert_eq!(paxos_leader(5).total(), 8);
+        assert_eq!(epaxos_leader_fast(5), MsgComplexity { sent: 8, received: 4 });
+    }
+
+    #[test]
+    fn degenerate_single_node_cluster_is_message_free() {
+        assert_eq!(paxos_leader(1).total(), 0);
+        assert_eq!(raft_leader(1).total(), 0);
+        assert_eq!(epaxos_leader_fast(1).total(), 0);
+    }
+}

@@ -23,6 +23,7 @@
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
 use paxi_core::config::ClusterConfig;
 use paxi_core::id::{NodeId, RequestId};
+use paxi_core::obs::{Metric, TraceStage};
 use paxi_core::quorum::{fast_quorum_size, majority};
 use paxi_core::store::MultiVersionStore;
 use paxi_core::traits::{Context, Replica};
@@ -286,18 +287,25 @@ impl EPaxos {
         }
         inst.status = Status::Committed;
         let (cmd, seq, deps) = (inst.cmd.clone(), inst.seq, inst.deps.clone());
+        let req = inst.req;
         self.pending_exec.insert(iref);
         self.persist(iref, WalStatus::Committed);
+        ctx.count(Metric::Commits, 1);
+        if let Some(id) = req {
+            ctx.trace(TraceStage::QuorumAck, id);
+        }
         ctx.broadcast(EpaxosMsg::Commit { iref, cmd, seq, deps });
         self.execute_ready(ctx);
     }
 
     fn record_commit(&mut self, iref: IRef, cmd: Command, seq: u64, deps: Vec<IRef>, ctx: &mut dyn Context<EpaxosMsg>) {
+        let newly_committed;
         match self.get_mut(iref) {
             Some(inst) => {
                 if inst.status == Status::Executed {
                     return;
                 }
+                newly_committed = inst.status != Status::Committed;
                 inst.cmd = cmd;
                 inst.seq = seq;
                 inst.deps = deps;
@@ -305,7 +313,11 @@ impl EPaxos {
             }
             None => {
                 self.insert_instance(iref, cmd, seq, deps, Status::Committed, None);
+                newly_committed = true;
             }
+        }
+        if newly_committed {
+            ctx.count(Metric::Commits, 1);
         }
         let (key, seq) = {
             let i = self.get(iref).unwrap();
@@ -438,9 +450,11 @@ impl EPaxos {
         let cmd = inst.cmd.clone();
         let req = inst.req;
         let value = self.store.execute(&cmd);
+        ctx.count(Metric::Executes, 1);
         self.pending_exec.remove(&iref);
         if mine {
             if let Some(id) = req {
+                ctx.trace(TraceStage::Execute, id);
                 ctx.reply(ClientResponse::ok(id, value));
             }
         }
@@ -549,6 +563,7 @@ impl Replica for EPaxos {
         // Every replica is an opportunistic leader for its own clients.
         let iref = IRef { leader: self.id, idx: self.next_idx };
         self.next_idx += 1;
+        ctx.trace(TraceStage::Propose, req.id);
         let (seq, deps) = self.attributes(&req.cmd, iref);
         self.insert_instance(iref, req.cmd.clone(), seq, deps.clone(), Status::PreAccepted, Some(req.id));
         // The leader's own pre-accept is a fast-quorum vote: make it durable
@@ -563,6 +578,17 @@ impl Replica for EPaxos {
 
     fn protocol_name(&self) -> &'static str {
         "epaxos"
+    }
+
+    /// Stable wire-type names for the per-type observability breakdown.
+    fn msg_kind(msg: &EpaxosMsg) -> &'static str {
+        match msg {
+            EpaxosMsg::PreAccept { .. } => "pre_accept",
+            EpaxosMsg::PreAcceptOk { .. } => "pre_accept_ok",
+            EpaxosMsg::Accept { .. } => "accept",
+            EpaxosMsg::AcceptOk { .. } => "accept_ok",
+            EpaxosMsg::Commit { .. } => "commit",
+        }
     }
 
     /// Recovers acceptor state from `storage` and keeps the handle for

@@ -20,6 +20,7 @@ use paxi_core::ballot::Ballot;
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
 use paxi_core::config::{BatchConfig, ClusterConfig};
 use paxi_core::id::{NodeId, RequestId};
+use paxi_core::obs::{Metric, TraceStage};
 use paxi_core::quorum::{majority, CountQuorum, QuorumTracker};
 use paxi_core::store::{MultiVersionStore, StoreDump};
 use paxi_core::time::Nanos;
@@ -439,6 +440,11 @@ impl MultiPaxos {
     }
 
     fn propose_in_slot(&mut self, slot: u64, cmds: SlotCmds, ctx: &mut dyn Context<PaxosMsg>) {
+        for (_, req) in &cmds {
+            if let Some(id) = req {
+                ctx.trace(TraceStage::Propose, *id);
+            }
+        }
         let mut quorum = CountQuorum::new(self.q2_size());
         quorum.ack(self.id); // self-vote
         // The leader is an acceptor of its own proposal: persist before the
@@ -481,11 +487,25 @@ impl MultiPaxos {
         let before = self.commit_upto;
         while let Some(e) = self.log.get(&self.commit_upto) {
             if e.committed || (self.active && e.quorum.satisfied()) {
-                self.log.get_mut(&self.commit_upto).unwrap().committed = true;
+                // A slot committing via its own quorum (not a piggybacked
+                // mark) is the leader's quorum-ack moment for its requests.
+                let quorum_now = !e.committed && self.active;
+                let entry = self.log.get_mut(&self.commit_upto).unwrap();
+                entry.committed = true;
+                if quorum_now {
+                    for (_, req) in &entry.cmds {
+                        if let Some(id) = req {
+                            ctx.trace(TraceStage::QuorumAck, *id);
+                        }
+                    }
+                }
                 self.commit_upto += 1;
             } else {
                 break;
             }
+        }
+        if self.commit_upto > before {
+            ctx.count(Metric::Commits, self.commit_upto - before);
         }
         if self.cfg.eager_commit && self.active && self.commit_upto > before {
             ctx.broadcast(PaxosMsg::Commit { upto: self.commit_upto });
@@ -503,8 +523,10 @@ impl MultiPaxos {
             // Execute the batch in order; replies fan back out per command.
             for (cmd, req) in &e.cmds {
                 let value = self.store.execute(cmd);
+                ctx.count(Metric::Executes, 1);
                 if self.active {
                     if let Some(id) = req {
+                        ctx.trace(TraceStage::Execute, *id);
                         ctx.reply(ClientResponse::ok(*id, value));
                     }
                 }
@@ -714,6 +736,9 @@ impl Replica for MultiPaxos {
                             .take(32)
                             .map(|(s, e)| (*s, e.cmds.clone()))
                             .collect();
+                        if !stuck.is_empty() {
+                            ctx.count(Metric::Retransmissions, stuck.len() as u64);
+                        }
                         for (slot, cmds) in stuck {
                             ctx.broadcast(PaxosMsg::P2a {
                                 ballot: self.ballot,
@@ -774,6 +799,17 @@ impl Replica for MultiPaxos {
         match msg {
             PaxosMsg::P2a { cmds, .. } => cmds.len().max(1) as u64,
             _ => 1,
+        }
+    }
+
+    fn msg_kind(msg: &PaxosMsg) -> &'static str {
+        match msg {
+            PaxosMsg::P1a { .. } => "p1a",
+            PaxosMsg::P1b { .. } => "p1b",
+            PaxosMsg::P2a { .. } => "p2a",
+            PaxosMsg::P2b { .. } => "p2b",
+            PaxosMsg::Nack { .. } => "nack",
+            PaxosMsg::Commit { .. } => "commit",
         }
     }
 

@@ -13,6 +13,7 @@
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
 use paxi_core::config::{BatchConfig, ClusterConfig};
 use paxi_core::id::{NodeId, RequestId};
+use paxi_core::obs::{Metric, TraceStage};
 use paxi_core::quorum::majority;
 use paxi_core::store::MultiVersionStore;
 use paxi_core::time::Nanos;
@@ -400,6 +401,9 @@ impl Raft {
     }
 
     fn flush_entries(&mut self, reqs: Vec<ClientRequest>, ctx: &mut dyn Context<RaftMsg>) {
+        for req in &reqs {
+            ctx.trace(TraceStage::Propose, req.id);
+        }
         let prev_index = self.last_index();
         let prev_term = self.last_term();
         let entries: Vec<RaftEntry> = reqs
@@ -463,6 +467,7 @@ impl Raft {
 
     /// Sends a bounded catch-up batch to one straggler.
     fn send_repair(&mut self, to: NodeId, ctx: &mut dyn Context<RaftMsg>) {
+        ctx.count(Metric::Retransmissions, 1);
         let ni = *self.next_index.get(&to).unwrap_or(&1);
         let prev_index = ni - 1;
         let prev_term = self.log[prev_index as usize].term;
@@ -523,7 +528,14 @@ impl Raft {
         if quorum_match > self.commit
             && self.log.get(quorum_match as usize).map(|e| e.term) == Some(self.term)
         {
+            let before = self.commit;
             self.commit = quorum_match;
+            ctx.count(Metric::Commits, self.commit - before);
+            for idx in (before + 1)..=self.commit {
+                if let Some(id) = self.log[idx as usize].req {
+                    ctx.trace(TraceStage::QuorumAck, id);
+                }
+            }
         }
         self.apply(ctx);
     }
@@ -533,8 +545,10 @@ impl Raft {
             self.applied += 1;
             let e = &self.log[self.applied as usize];
             let value = self.store.execute(&e.cmd);
+            ctx.count(Metric::Executes, 1);
             if self.role == Role::Leader {
                 if let Some(id) = e.req {
+                    ctx.trace(TraceStage::Execute, id);
                     ctx.reply(ClientResponse::ok(id, value));
                 }
             }
@@ -672,7 +686,11 @@ impl Replica for Raft {
                 }
                 let last = self.last_index();
                 self.stash.retain(|&p, _| p > last);
+                let before = self.commit;
                 self.commit = self.commit.max(commit_hint.min(match_index));
+                if self.commit > before {
+                    ctx.count(Metric::Commits, self.commit - before);
+                }
                 self.apply(ctx);
                 ctx.send(from, RaftMsg::AppendAck { term: self.term, success: true, match_index });
             }
@@ -768,6 +786,19 @@ impl Replica for Raft {
         match msg {
             RaftMsg::AppendEntries { entries, .. } => entries.len().max(1) as u64,
             _ => 1,
+        }
+    }
+
+    /// Stable wire-type names for the per-type observability breakdown.
+    /// Empty appends are heartbeats and named separately, so the per-commit
+    /// replication traffic can be audited without the keepalive noise.
+    fn msg_kind(msg: &RaftMsg) -> &'static str {
+        match msg {
+            RaftMsg::RequestVote { .. } => "request_vote",
+            RaftMsg::Vote { .. } => "vote",
+            RaftMsg::AppendEntries { entries, .. } if entries.is_empty() => "heartbeat",
+            RaftMsg::AppendEntries { .. } => "append_entries",
+            RaftMsg::AppendAck { .. } => "append_ack",
         }
     }
 

@@ -484,6 +484,17 @@ impl Replica for VPaxos {
     fn protocol_name(&self) -> &'static str {
         "vpaxos"
     }
+
+    /// Stable wire-type names for the per-type observability breakdown.
+    fn msg_kind(msg: &VpMsg) -> &'static str {
+        match msg {
+            VpMsg::Accept { .. } => "accept",
+            VpMsg::AcceptOk { .. } => "accept_ok",
+            VpMsg::Escalate { .. } => "escalate",
+            VpMsg::OwnerChange { .. } => "owner_change",
+            VpMsg::Transfer { .. } => "transfer",
+        }
+    }
 }
 
 /// Convenience factory for a homogeneous VPaxos cluster.

@@ -424,6 +424,18 @@ impl Replica for WanKeeper {
     fn protocol_name(&self) -> &'static str {
         "wankeeper"
     }
+
+    /// Stable wire-type names for the per-type observability breakdown.
+    fn msg_kind(msg: &WkMsg) -> &'static str {
+        match msg {
+            WkMsg::Accept { .. } => "accept",
+            WkMsg::AcceptOk { .. } => "accept_ok",
+            WkMsg::TokenRequest { .. } => "token_request",
+            WkMsg::TokenGrant { .. } => "token_grant",
+            WkMsg::TokenRetract { .. } => "token_retract",
+            WkMsg::TokenReturn { .. } => "token_return",
+        }
+    }
 }
 
 /// Convenience factory for a homogeneous WanKeeper cluster.

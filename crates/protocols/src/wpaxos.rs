@@ -713,6 +713,20 @@ impl Replica for WPaxos {
         "wpaxos"
     }
 
+    /// Stable wire-type names for the per-type observability breakdown.
+    fn msg_kind(msg: &WPaxosMsg) -> &'static str {
+        match msg {
+            WPaxosMsg::P1a { .. } => "p1a",
+            WPaxosMsg::P1b { .. } => "p1b",
+            WPaxosMsg::Nack { .. } => "nack",
+            WPaxosMsg::P2a { .. } => "p2a",
+            WPaxosMsg::P2b { .. } => "p2b",
+            WPaxosMsg::CommitBatch { .. } => "commit_batch",
+            WPaxosMsg::Submit { .. } => "submit",
+            WPaxosMsg::Handover { .. } => "handover",
+        }
+    }
+
     fn store(&self) -> Option<&MultiVersionStore> {
         Some(&self.store)
     }

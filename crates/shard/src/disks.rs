@@ -78,6 +78,11 @@ impl SimDisks for ShardDisks {
     fn drain_syncs(&self, node: NodeId) -> u64 {
         (0..self.groups).map(|g| self.hub.drain_syncs(&(node, g))).sum()
     }
+
+    /// WAL appends aggregate the same way for the observability counters.
+    fn drain_appends(&self, node: NodeId) -> u64 {
+        (0..self.groups).map(|g| self.hub.drain_appends(&(node, g))).sum()
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use crate::partition::Partitioner;
 use paxi_core::command::{ClientRequest, ClientResponse};
 use paxi_core::group::{GroupId, GroupMsg};
 use paxi_core::id::NodeId;
+use paxi_core::obs::{DropCause, Metric};
 use paxi_core::store::MultiVersionStore;
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica};
@@ -180,6 +181,18 @@ impl<M> Context<M> for GroupCtx<'_, M> {
     fn rand_u64(&mut self) -> u64 {
         self.inner.rand_u64()
     }
+
+    fn count(&mut self, metric: Metric, n: u64) {
+        self.inner.count(metric, n);
+    }
+
+    fn count_drop(&mut self, cause: DropCause, n: u64) {
+        self.inner.count_drop(cause, n);
+    }
+
+    fn trace(&mut self, stage: paxi_core::obs::TraceStage, req: paxi_core::id::RequestId) {
+        self.inner.trace(stage, req);
+    }
 }
 
 impl<R: Replica> Replica for ShardedReplica<R> {
@@ -206,8 +219,10 @@ impl<R: Replica> Replica for ShardedReplica<R> {
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
         let GroupMsg { group, msg } = msg;
         // A group id outside the deployment (corrupt frame, config skew) is
-        // dropped, never a panic: transports feed this path raw bytes.
+        // dropped, never a panic: transports feed this path raw bytes. The
+        // drop is accounted so chaos digests can explain every loss.
         let Some(replica) = self.groups.get_mut(group.0 as usize) else {
+            ctx.count_drop(DropCause::NoRoute, 1);
             return;
         };
         let mut gctx = GroupCtx { group, inner: ctx };
@@ -224,6 +239,7 @@ impl<R: Replica> Replica for ShardedReplica<R> {
             // still gets the request and applies its own buffering.
             if let Some(leader) = self.groups[idx].leader_hint() {
                 if leader != self.id {
+                    ctx.count(Metric::Redirects, 1);
                     ctx.reply(ClientResponse::redirected(req.id, leader));
                     return;
                 }
@@ -251,6 +267,11 @@ impl<R: Replica> Replica for ShardedReplica<R> {
         // message's batch width, keeping groups=1 runs bit-identical to the
         // unsharded protocol.
         R::msg_cmds(&msg.msg)
+    }
+
+    fn msg_kind(msg: &Self::Msg) -> &'static str {
+        // The envelope is transparent to the per-type breakdown too.
+        R::msg_kind(&msg.msg)
     }
 
     fn store(&self) -> Option<&MultiVersionStore> {

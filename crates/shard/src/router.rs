@@ -163,8 +163,18 @@ impl<T: RouteTransport> ShardRouter<T> {
     }
 
     fn backoff_for(&self, attempt: u32) -> Duration {
-        let factor = 1u32 << (attempt - 1).min(16);
-        self.cfg.backoff.saturating_mul(factor).min(self.cfg.max_backoff)
+        // Double once per prior retry, clamping at the ceiling *inside* the
+        // loop: the early return bounds the work by log2(max/base) no matter
+        // how large `attempt` grows, and there is no shift to overflow at
+        // attempt >= 32 (or underflow at attempt == 0).
+        let mut d = self.cfg.backoff.min(self.cfg.max_backoff);
+        for _ in 1..attempt {
+            if d >= self.cfg.max_backoff {
+                return self.cfg.max_backoff;
+            }
+            d = d.saturating_mul(2).min(self.cfg.max_backoff);
+        }
+        d
     }
 }
 
@@ -272,6 +282,23 @@ mod tests {
         assert!(r.execute(Command::get(1)).is_none());
         assert_eq!(r.stats.failures, 1);
         assert_eq!(r.stats.retries, 5, "max_attempts - 1 retries");
+    }
+
+    #[test]
+    fn backoff_is_safe_at_extreme_attempt_counts() {
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let r = ShardRouter::new(part, nodes(1), |_: NodeId, _: Command| None, cfg());
+        // attempt 0 must not underflow the exponent (the old code computed
+        // `attempt - 1` on a u32).
+        assert_eq!(r.backoff_for(0), Duration::from_micros(10));
+        assert_eq!(r.backoff_for(1), Duration::from_micros(10));
+        assert_eq!(r.backoff_for(2), Duration::from_micros(20));
+        assert_eq!(r.backoff_for(4), Duration::from_micros(80));
+        // Past the ceiling the backoff clamps instead of overflowing the
+        // doubling factor (the old code shifted by up to `attempt - 1`).
+        for attempt in [5u32, 32, 33, 64, u32::MAX] {
+            assert_eq!(r.backoff_for(attempt), Duration::from_micros(100), "attempt {attempt}");
+        }
     }
 
     #[test]

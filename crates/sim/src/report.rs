@@ -3,6 +3,7 @@
 use paxi_core::command::{Key, Value};
 use paxi_core::id::{ClientId, NodeId};
 use paxi_core::metrics::{Histogram, LatencySummary};
+use paxi_core::obs::{ClusterMetrics, TraceRing};
 use paxi_core::time::Nanos;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -76,6 +77,13 @@ pub struct SimReport {
     pub timeline: Vec<(Nanos, u64)>,
     /// Total simulator events processed (diagnostic).
     pub events_processed: u64,
+    /// Per-node observability metrics (only when [`crate::SimConfig`]'s
+    /// `metrics` flag was set). Deterministic: two runs with the same seed
+    /// produce identical snapshots.
+    pub metrics: Option<ClusterMetrics>,
+    /// The request-lifecycle trace ring (only with `metrics` on and a
+    /// nonzero `trace_capacity`).
+    pub trace: Option<TraceRing>,
 }
 
 impl SimReport {

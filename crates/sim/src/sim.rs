@@ -22,6 +22,10 @@ use paxi_core::config::ClusterConfig;
 use paxi_core::dist::Rng64;
 use paxi_core::id::{ClientId, NodeId, RequestId};
 use paxi_core::metrics::Histogram;
+use paxi_core::obs::{
+    ClusterMetrics, DropCause, Gauge, Metric, MetricsRegistry, MetricsSnapshot, TraceEvent,
+    TraceRing, TraceStage,
+};
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica, ReplicaFactory};
 use paxi_storage::MemHub;
@@ -47,6 +51,20 @@ pub struct SimConfig {
     pub client_retry: Option<Nanos>,
     /// If set, the report includes completions bucketed by this interval.
     pub timeline_bucket: Option<Nanos>,
+    /// Collect per-node observability metrics (counters, drop causes,
+    /// gauges — see [`paxi_core::obs`]). Off by default: a disabled run
+    /// allocates nothing for metrics and its hot path is untouched.
+    pub metrics: bool,
+    /// Capacity of the request-lifecycle trace ring (newest events win).
+    /// Only honored when `metrics` is on; `0` disables tracing.
+    pub trace_capacity: usize,
+    /// After the measurement window closes, keep delivering in-flight
+    /// messages (but issue no new requests and fire no timers) until the
+    /// queue empties. Every request the clients issued then runs to
+    /// completion, which makes per-commit message accounting exact — the
+    /// mode the model cross-check tests use. Off by default; the report's
+    /// measurement window is unaffected either way.
+    pub drain: bool,
 }
 
 impl Default for SimConfig {
@@ -60,6 +78,9 @@ impl Default for SimConfig {
             record_ops: false,
             client_retry: None,
             timeline_bucket: None,
+            metrics: false,
+            trace_capacity: 0,
+            drain: false,
         }
     }
 }
@@ -122,6 +143,10 @@ struct SimCtx<'a, M> {
     effects: &'a mut Vec<Effect<M>>,
     rng: &'a mut Rng64,
     token_counter: &'a mut u64,
+    /// The handling node's registry, when metrics are enabled.
+    metrics: Option<&'a mut MetricsRegistry>,
+    /// The cluster-wide trace ring, when tracing is enabled.
+    trace: Option<&'a mut TraceRing>,
 }
 
 impl<M> Context<M> for SimCtx<'_, M> {
@@ -155,6 +180,21 @@ impl<M> Context<M> for SimCtx<'_, M> {
     fn rand_u64(&mut self) -> u64 {
         self.rng.next_u64()
     }
+    fn count(&mut self, metric: Metric, n: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.add(metric, n);
+        }
+    }
+    fn count_drop(&mut self, cause: DropCause, n: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.add_drop(cause, n);
+        }
+    }
+    fn trace(&mut self, stage: TraceStage, req: RequestId) {
+        if let Some(ring) = &mut self.trace {
+            ring.push(TraceEvent { at: self.now, node: self.id, req, stage });
+        }
+    }
 }
 
 struct NodeState {
@@ -162,6 +202,9 @@ struct NodeState {
     busy_total: Nanos,
     handled: u64,
     sent: u64,
+    /// Events queued for this node and not yet dispatched — only maintained
+    /// when metrics are enabled (feeds the queue-depth high-water gauge).
+    inflight: u64,
 }
 
 /// The simulator's view of a cluster's disk array: everything it needs from
@@ -179,6 +222,14 @@ pub trait SimDisks: Send {
     /// performed since the last call (each is charged `t_fsync` of service
     /// time).
     fn drain_syncs(&self, node: NodeId) -> u64;
+    /// Returns and resets the number of WAL records all of `node`'s disks
+    /// appended since the last call — feeds the observability layer's
+    /// per-node WAL-append counter. The default reports nothing (a backend
+    /// predating the counter).
+    fn drain_appends(&self, node: NodeId) -> u64 {
+        let _ = node;
+        0
+    }
 }
 
 impl SimDisks for MemHub<NodeId> {
@@ -188,6 +239,10 @@ impl SimDisks for MemHub<NodeId> {
 
     fn drain_syncs(&self, node: NodeId) -> u64 {
         MemHub::drain_syncs(self, &node)
+    }
+
+    fn drain_appends(&self, node: NodeId) -> u64 {
+        MemHub::drain_appends(self, &node)
     }
 }
 
@@ -236,6 +291,14 @@ pub struct Simulator<R: Replica> {
     timeline: BTreeMap<u64, u64>,
     events_processed: u64,
     scratch: Vec<Effect<R::Msg>>,
+    /// Per-node metrics registries, `None` unless `cfg.metrics` — the
+    /// disabled hot path never touches (or allocates) them.
+    metrics: Option<Vec<MetricsRegistry>>,
+    /// Cluster-wide request-lifecycle trace ring, when tracing is enabled.
+    trace_ring: Option<TraceRing>,
+    /// True once the run is past its window in drain mode: in-flight work
+    /// finishes but clients issue nothing new.
+    draining: bool,
 }
 
 impl<R: Replica> Simulator<R> {
@@ -259,9 +322,25 @@ impl<R: Replica> Simulator<R> {
         let replicas: Vec<R> = all_nodes.iter().map(|&id| factory.make(id)).collect();
         let nodes = all_nodes
             .iter()
-            .map(|_| NodeState { busy_until: Nanos::ZERO, busy_total: Nanos::ZERO, handled: 0, sent: 0 })
+            .map(|_| NodeState {
+                busy_until: Nanos::ZERO,
+                busy_total: Nanos::ZERO,
+                handled: 0,
+                sent: 0,
+                inflight: 0,
+            })
             .collect();
         let rng = Rng64::seed(cfg.seed);
+        let metrics = if cfg.metrics {
+            Some(all_nodes.iter().map(|_| MetricsRegistry::new()).collect())
+        } else {
+            None
+        };
+        let trace_ring = if cfg.metrics && cfg.trace_capacity > 0 {
+            Some(TraceRing::new(cfg.trace_capacity))
+        } else {
+            None
+        };
         Simulator {
             cfg,
             cluster,
@@ -289,6 +368,9 @@ impl<R: Replica> Simulator<R> {
             timeline: BTreeMap::new(),
             events_processed: 0,
             scratch: Vec::new(),
+            metrics,
+            trace_ring,
+            draining: false,
         }
     }
 
@@ -319,6 +401,18 @@ impl<R: Replica> Simulator<R> {
     }
 
     fn push(&mut self, at: Nanos, kind: EventKind<R::Msg>) {
+        if self.metrics.is_some() {
+            // Queue-depth bookkeeping (high-water gauge) — enabled runs
+            // only, so the disabled hot path stays untouched.
+            if let EventKind::Node { to, .. } = &kind {
+                let idx = self.cluster.index_of(*to);
+                let depth = self.nodes[idx].inflight.saturating_add(1);
+                self.nodes[idx].inflight = depth;
+                if let Some(ms) = &mut self.metrics {
+                    ms[idx].gauge_max(Gauge::QueueDepthHwm, depth);
+                }
+            }
+        }
         self.event_seq += 1;
         self.queue.push(Event { at, seq: self.event_seq, kind });
     }
@@ -360,10 +454,30 @@ impl<R: Replica> Simulator<R> {
 
         while let Some(ev) = self.queue.pop() {
             if ev.at > end {
-                break;
+                if !self.cfg.drain {
+                    break;
+                }
+                // Drain phase: deliver what is already in flight, create
+                // nothing new. Client issues, retry checks, and timer fires
+                // are skipped (a heartbeat would re-arm itself forever), so
+                // the queue empties once every outstanding message chain
+                // runs out — at which point each issued request has either
+                // completed or died at a counted drop site.
+                self.draining = true;
+                match &ev.kind {
+                    EventKind::ClientIssue { .. } | EventKind::RetryCheck { .. } => continue,
+                    EventKind::Node { input: Input::Timer { .. }, .. } => continue,
+                    _ => {}
+                }
             }
             self.now = ev.at;
             self.events_processed += 1;
+            if self.metrics.is_some() {
+                if let EventKind::Node { to, .. } = &ev.kind {
+                    let idx = self.cluster.index_of(*to);
+                    self.nodes[idx].inflight = self.nodes[idx].inflight.saturating_sub(1);
+                }
+            }
             match ev.kind {
                 EventKind::Node { to, input } => self.dispatch(to, input),
                 EventKind::ClientIssue { ci } => self.client_issue(ci),
@@ -377,6 +491,14 @@ impl<R: Replica> Simulator<R> {
 
     fn dispatch(&mut self, node: NodeId, input: Input<R::Msg>) {
         if self.faults.is_crashed(node, self.now) {
+            // A crashed node silently discards everything addressed to it.
+            // Messages and requests are real losses — charge them to the
+            // target's drop accounting so chaos digests can explain them.
+            if let Some(ms) = &mut self.metrics {
+                if matches!(input, Input::Msg { .. } | Input::Request(_)) {
+                    ms[self.cluster.index_of(node)].add_drop(DropCause::Crashed, 1);
+                }
+            }
             return;
         }
         let idx = self.cluster.index_of(node);
@@ -404,6 +526,15 @@ impl<R: Replica> Simulator<R> {
             Input::Msg { msg, .. } => R::msg_cmds(msg),
             _ => 1,
         };
+        if let Some(ms) = &mut self.metrics {
+            let m = &mut ms[idx];
+            match &input {
+                Input::Msg { msg, .. } => m.received(R::msg_kind(msg), 1),
+                Input::Request(_) => m.add(Metric::Requests, 1),
+                Input::Timer { .. } => m.add(Metric::TimerFires, 1),
+                _ => {}
+            }
+        }
         {
             let mut ctx = SimCtx {
                 id: node,
@@ -411,6 +542,8 @@ impl<R: Replica> Simulator<R> {
                 effects: &mut effects,
                 rng: &mut self.rng,
                 token_counter: &mut self.token_counter,
+                metrics: self.metrics.as_mut().map(|ms| &mut ms[idx]),
+                trace: self.trace_ring.as_mut(),
             };
             let replica = &mut self.replicas[idx];
             match input {
@@ -460,6 +593,38 @@ impl<R: Replica> Simulator<R> {
                 Effect::Timer { .. } => {}
             }
         }
+        // Observability accounting over the same effect list the cost model
+        // walked: per-type sent counters (broadcast fans out per recipient),
+        // command payload totals, batch-size high-water, replies, forwards.
+        if let Some(ms) = &mut self.metrics {
+            let m = &mut ms[idx];
+            let fanout = (self.all_nodes.len() - 1) as u64;
+            for e in &effects {
+                match e {
+                    Effect::Send { msg, .. } => {
+                        let cmds = R::msg_cmds(msg);
+                        m.sent(R::msg_kind(msg), 1);
+                        m.add(Metric::CmdsSent, cmds);
+                        m.gauge_max(Gauge::BatchHwm, cmds);
+                    }
+                    Effect::Broadcast { msg } => {
+                        let cmds = R::msg_cmds(msg);
+                        m.sent(R::msg_kind(msg), fanout);
+                        m.add(Metric::CmdsSent, cmds.saturating_mul(fanout));
+                        m.gauge_max(Gauge::BatchHwm, cmds);
+                    }
+                    Effect::Multicast { to, msg } => {
+                        let cmds = R::msg_cmds(msg);
+                        m.sent(R::msg_kind(msg), to.len() as u64);
+                        m.add(Metric::CmdsSent, cmds.saturating_mul(to.len() as u64));
+                        m.gauge_max(Gauge::BatchHwm, cmds);
+                    }
+                    Effect::Reply { .. } => m.add(Metric::Replies, 1),
+                    Effect::Forward { .. } => m.add(Metric::Forwards, 1),
+                    Effect::Timer { .. } => {}
+                }
+            }
+        }
         let cpu = (if charge_input { cost.t_in.0 + cost.cmd_cpu_extra(in_cmds) } else { 0 })
             + cost.t_out.0 * serializations
             + cmd_cpu;
@@ -468,6 +633,16 @@ impl<R: Replica> Simulator<R> {
         // for t_fsync (the durability tax). Not scaled by cpu_penalty — it
         // models the device, not the protocol's compute.
         let syncs = self.hub.as_ref().map(|h| h.drain_syncs(node)).unwrap_or(0);
+        if let Some(ms) = &mut self.metrics {
+            let appends = self.hub.as_ref().map(|h| h.drain_appends(node)).unwrap_or(0);
+            let m = &mut ms[idx];
+            if appends > 0 {
+                m.add(Metric::WalAppends, appends);
+            }
+            if syncs > 0 {
+                m.add(Metric::WalFsyncs, syncs);
+            }
+        }
         let service = Nanos(cpu + cost.nic().0 * transmissions + cmd_nic + cost.t_fsync.0 * syncs);
         let departure = start + service;
         self.nodes[idx].busy_until = departure;
@@ -494,6 +669,14 @@ impl<R: Replica> Simulator<R> {
                     self.push(start + after, EventKind::Node { to: node, input: Input::Timer { kind, token } });
                 }
                 Effect::Reply { resp } => {
+                    if let Some(ring) = &mut self.trace_ring {
+                        ring.push(TraceEvent {
+                            at: departure,
+                            node,
+                            req: resp.id,
+                            stage: TraceStage::Reply,
+                        });
+                    }
                     if let Some(p) = self.pending.get(&resp.id) {
                         let zone = self.clients[p.ci].setup.zone;
                         let delay = self.cfg.topology.sample_one_way(&mut self.rng, node.zone, zone);
@@ -502,7 +685,7 @@ impl<R: Replica> Simulator<R> {
                 }
                 Effect::Forward { to, req } => {
                     match self.faults.message_fate(node, to, departure, &mut self.rng) {
-                        MsgFate::Dropped => {}
+                        MsgFate::Dropped => self.count_fault_drop(node),
                         MsgFate::Deliver { extra_delay } => {
                             let delay =
                                 self.cfg.topology.sample_one_way(&mut self.rng, node.zone, to.zone);
@@ -518,6 +701,13 @@ impl<R: Replica> Simulator<R> {
         self.scratch = effects;
     }
 
+    /// Charges one fault-injected message loss to `from`'s drop accounting.
+    fn count_fault_drop(&mut self, from: NodeId) {
+        if let Some(ms) = &mut self.metrics {
+            ms[self.cluster.index_of(from)].add_drop(DropCause::Fault, 1);
+        }
+    }
+
     fn emit_msg(&mut self, from: NodeId, to: NodeId, msg: R::Msg, departure: Nanos) {
         if to == from {
             // Self-delivery bypasses the network.
@@ -525,7 +715,7 @@ impl<R: Replica> Simulator<R> {
             return;
         }
         match self.faults.message_fate(from, to, departure, &mut self.rng) {
-            MsgFate::Dropped => {}
+            MsgFate::Dropped => self.count_fault_drop(from),
             MsgFate::Deliver { extra_delay } => {
                 let delay = self.cfg.topology.sample_one_way(&mut self.rng, from.zone, to.zone);
                 self.push(
@@ -548,6 +738,9 @@ impl<R: Replica> Simulator<R> {
         let cmd = self.workload.next(client_id, zone, seq, now, &mut self.rng);
         let id = RequestId::new(client_id, seq);
         self.pending.insert(id, Pending { ci, invoke: now, cmd: cmd.clone() });
+        if let Some(ring) = &mut self.trace_ring {
+            ring.push(TraceEvent { at: now, node: attach, req: id, stage: TraceStage::Submit });
+        }
         if now >= self.cfg.warmup {
             self.issued += 1;
         }
@@ -588,6 +781,9 @@ impl<R: Replica> Simulator<R> {
         }
         if self.cfg.record_ops {
             self.ops.push(op_record(&p, &resp, now, resp.ok));
+        }
+        if self.draining {
+            return; // the window is over: complete, but issue nothing new
         }
         if let LoadMode::Closed { think } = self.clients[p.ci].setup.mode {
             self.push(now + think, EventKind::ClientIssue { ci: p.ci });
@@ -644,6 +840,14 @@ impl<R: Replica> Simulator<R> {
             })
             .collect();
         let bucket = self.cfg.timeline_bucket.unwrap_or(Nanos::ZERO);
+        let metrics = self.metrics.as_ref().map(|ms| ClusterMetrics {
+            nodes: self
+                .all_nodes
+                .iter()
+                .zip(ms)
+                .map(|(&id, m)| MetricsSnapshot { node: id, metrics: m.clone() })
+                .collect(),
+        });
         SimReport {
             window,
             issued: self.issued,
@@ -663,6 +867,8 @@ impl<R: Replica> Simulator<R> {
                 .map(|(b, c)| (Nanos(b * bucket.0), *c))
                 .collect(),
             events_processed: self.events_processed,
+            metrics,
+            trace: self.trace_ring.clone(),
         }
     }
 }

@@ -35,6 +35,8 @@ struct MemDisk {
     unsynced_appends: usize,
     /// Syncs since last drained (the simulator charges these).
     syncs: u64,
+    /// Appends since last drained (the simulator's WAL-append counter).
+    appends: u64,
     /// Faults armed for the next crash.
     faults: Vec<StorageFault>,
 }
@@ -135,6 +137,17 @@ impl<K: Eq + Hash + Clone + Send + 'static> MemHub<K> {
             .unwrap_or(0)
     }
 
+    /// Returns and resets the number of records appended to `key`'s disk
+    /// since the last drain — the simulator's observability layer feeds
+    /// these into the per-node WAL-append counter.
+    pub fn drain_appends(&self, key: &K) -> u64 {
+        self.disks
+            .lock()
+            .get_mut(key)
+            .map(|d| std::mem::take(&mut d.appends))
+            .unwrap_or(0)
+    }
+
     /// Bytes currently synced for `key` (diagnostics and tests).
     pub fn synced_len(&self, key: &K) -> usize {
         self.disks
@@ -171,6 +184,7 @@ impl<K: Eq + Hash + Clone + Send + 'static> Storage for MemStorage<K> {
         let d = disks.entry(self.key.clone()).or_default();
         d.unsynced.extend_from_slice(&encode_record(payload));
         d.unsynced_appends += 1;
+        d.appends = d.appends.saturating_add(1);
         match self.policy {
             FsyncPolicy::Always => d.flush(),
             FsyncPolicy::Batch { appends, .. } => {

@@ -8,8 +8,10 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
+use crate::obs::DropCounters;
 use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
+use paxi_core::obs::DropCause;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use paxi_core::command::{ClientResponse, Command};
@@ -24,6 +26,7 @@ use std::time::{Duration, Instant};
 struct Registry<M> {
     nodes: HashMap<NodeId, Sender<NodeEvent<M>>>,
     clients: Mutex<HashMap<ClientId, Sender<ClientResponse>>>,
+    drops: DropCounters,
 }
 
 /// Channel-backed outbound half.
@@ -39,13 +42,25 @@ impl<M> Clone for ChannelOut<M> {
 
 impl<M: Clone + std::fmt::Debug + Send + 'static> Outbound<M> for ChannelOut<M> {
     fn to_node(&self, to: NodeId, env: Envelope<M>) {
-        if let Some(tx) = self.reg.nodes.get(&to) {
-            let _ = tx.send(NodeEvent::Wire(env));
+        match self.reg.nodes.get(&to) {
+            Some(tx) => {
+                if tx.send(NodeEvent::Wire(env)).is_err() {
+                    // The node's event loop already exited.
+                    self.reg.drops.record(DropCause::Crashed);
+                }
+            }
+            None => self.reg.drops.record(DropCause::NoRoute),
         }
     }
     fn to_client(&self, client: ClientId, resp: ClientResponse) {
-        if let Some(tx) = self.reg.clients.lock().get(&client) {
-            let _ = tx.send(resp);
+        match self.reg.clients.lock().get(&client) {
+            Some(tx) => {
+                if tx.send(resp).is_err() {
+                    // The client dropped its receiving half.
+                    self.reg.drops.record(DropCause::NoRoute);
+                }
+            }
+            None => self.reg.drops.record(DropCause::NoRoute),
         }
     }
 }
@@ -107,7 +122,11 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
             inj.start(epoch);
             inj.schedule_recoveries(&timers, &inboxes);
         }
-        let reg = Arc::new(Registry { nodes: inboxes, clients: Mutex::new(HashMap::new()) });
+        let reg = Arc::new(Registry {
+            nodes: inboxes,
+            clients: Mutex::new(HashMap::new()),
+            drops: DropCounters::new(),
+        });
         let mut handles = Vec::new();
         for (i, (id, rx, tx)) in receivers.into_iter().enumerate() {
             let replica = factory.make(id);
@@ -157,6 +176,14 @@ impl<R: Replica + Send + 'static> InProcCluster<R> {
     /// The cluster configuration.
     pub fn cluster(&self) -> &ClusterConfig {
         &self.cluster
+    }
+
+    /// Per-cause ledger of envelopes this cluster's channels dropped
+    /// (unknown destinations, exited node loops, departed clients).
+    /// Fault-injected link and crash drops are charged to the
+    /// [`FaultInjector`]'s own counters instead.
+    pub fn drops(&self) -> &DropCounters {
+        &self.reg.drops
     }
 
     /// Creates a synchronous client attached to `attach`.

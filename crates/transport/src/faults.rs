@@ -25,6 +25,7 @@
 //! [`FaultInjector::decide_link_at`], which the parity tests exercise).
 
 use crate::envelope::Envelope;
+use crate::obs::DropCounters;
 use crate::runtime::{NodeEvent, Outbound};
 use crate::timer::TimerService;
 use crossbeam::channel::Sender;
@@ -70,12 +71,27 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rng: Mutex<Rng64>,
     epoch: Mutex<Option<Instant>>,
+    drops: DropCounters,
 }
 
 impl FaultInjector {
     /// Wraps a plan with a seeded randomness stream for Flaky/Slow rules.
     pub fn new(plan: FaultPlan, seed: u64) -> Arc<Self> {
-        Arc::new(FaultInjector { plan, rng: Mutex::new(Rng64::seed(seed)), epoch: Mutex::new(None) })
+        Arc::new(FaultInjector {
+            plan,
+            rng: Mutex::new(Rng64::seed(seed)),
+            epoch: Mutex::new(None),
+            drops: DropCounters::new(),
+        })
+    }
+
+    /// Losses charged to this injector so far: `fault` for link drops
+    /// decided by [`ChaosOut`], `crashed` for events discarded at frozen
+    /// nodes' event loops. Shared with every cluster that holds this
+    /// injector, so chaos digests can reconcile issued vs. completed
+    /// requests against a full loss ledger.
+    pub fn drops(&self) -> &DropCounters {
+        &self.drops
     }
 
     /// Pins the injector's time origin. Cluster constructors call this with
@@ -188,7 +204,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M> + Clone> Outbou
     fn to_node(&self, to: NodeId, env: Envelope<M>) {
         match self.injector.decide_link(self.src, to) {
             LinkDecision::Deliver => self.inner.to_node(to, env),
-            LinkDecision::Drop => {}
+            LinkDecision::Drop => {
+                self.injector.drops().record(paxi_core::obs::DropCause::Fault);
+            }
             LinkDecision::DeliverAfter(delay) => {
                 let inner = self.inner.clone();
                 self.timers.schedule(delay, move || inner.to_node(to, env));
@@ -241,6 +259,31 @@ mod tests {
         assert!(t1 >= Nanos::secs(10));
         inj.start(Instant::now());
         assert!(inj.now() >= t1, "second start must not rewind the clock");
+    }
+
+    #[derive(Clone)]
+    struct NullOut;
+    impl Outbound<()> for NullOut {
+        fn to_node(&self, _to: NodeId, _env: Envelope<()>) {}
+        fn to_client(&self, _client: ClientId, _resp: ClientResponse) {}
+    }
+
+    #[test]
+    fn link_drops_are_charged_to_the_fault_cause() {
+        let mut plan = FaultPlan::new();
+        plan.drop_link(n(0), n(1), Nanos::ZERO, Nanos::secs(3600));
+        let inj = FaultInjector::new(plan, 9);
+        inj.start(Instant::now());
+        let timers = Arc::new(TimerService::new());
+        let out: ChaosOut<(), NullOut> = ChaosOut::new(NullOut, n(0), Arc::clone(&inj), timers);
+        for _ in 0..4 {
+            out.to_node(n(1), Envelope::Shutdown);
+        }
+        assert_eq!(inj.drops().get(paxi_core::obs::DropCause::Fault), 4);
+        assert_eq!(inj.drops().total(), 4);
+        // Healthy links charge nothing.
+        out.to_node(n(2), Envelope::Shutdown);
+        assert_eq!(inj.drops().total(), 4);
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //!   `launch_chaotic` constructor that applies a
 //!   [`paxi_core::faults::FaultPlan`] (Crash / Drop / Slow / Flaky) against
 //!   wall-clock time, mirroring the simulator's semantics.
+//! * [`obs`] — transport-side drop accounting: every loss path (encode
+//!   failure, oversize datagram, full writer queue, reconnect window,
+//!   injected fault) charges a named [`paxi_core::obs::DropCause`] in a
+//!   shared [`DropCounters`], so no message disappears without a ledger
+//!   entry.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod envelope;
 pub mod faults;
+pub mod obs;
 pub mod runtime;
 pub mod tcp;
 pub mod timer;
@@ -30,6 +36,7 @@ pub mod udp;
 pub use channel::{InProcCluster, SyncClient};
 pub use envelope::Envelope;
 pub use faults::{ChaosOut, FaultInjector, LinkDecision};
+pub use obs::DropCounters;
 pub use runtime::Remake;
 pub use tcp::{TcpClient, TcpCluster};
 pub use timer::TimerService;

@@ -1,0 +1,116 @@
+//! Drop accounting for wall-clock transports.
+//!
+//! The simulator threads a `MetricsRegistry` through every replica callback,
+//! but the transports lose messages on paths that never reach a replica at
+//! all: encode failures, oversize datagrams, full writer queues, reconnect
+//! windows, and fault-injected link drops. [`DropCounters`] is the shared,
+//! lock-free tally those paths charge so that a cluster can account for
+//! every loss — the same `drops_by_cause` contract the simulator upholds,
+//! with `unexplained` pinned at zero.
+
+use paxi_core::obs::{DropCause, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+
+const CAUSES: usize = DropCause::ALL.len();
+
+/// Shared per-cause drop counters for one transport endpoint (or one fault
+/// injector). Cloning is cheap and clones observe the same tallies, so the
+/// outbound half owned by each node thread and the cluster handle that
+/// snapshots at shutdown can share one instance.
+#[derive(Debug, Clone)]
+pub struct DropCounters {
+    slots: Arc<[AtomicU64; CAUSES]>,
+}
+
+impl Default for DropCounters {
+    fn default() -> Self {
+        DropCounters::new()
+    }
+}
+
+impl DropCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        DropCounters { slots: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))) }
+    }
+
+    /// Charges one drop to `cause`.
+    pub fn record(&self, cause: DropCause) {
+        self.record_n(cause, 1);
+    }
+
+    /// Charges `n` drops to `cause`.
+    pub fn record_n(&self, cause: DropCause, n: u64) {
+        self.slots[cause as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current tally for one cause.
+    pub fn get(&self, cause: DropCause) -> u64 {
+        self.slots[cause as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sum over all causes.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Folds the current tallies into a [`MetricsRegistry`] snapshot.
+    pub fn fold_into(&self, reg: &mut MetricsRegistry) {
+        for (i, cause) in DropCause::ALL.iter().enumerate() {
+            let n = self.slots[i].load(Ordering::Relaxed);
+            if n > 0 {
+                reg.add_drop(*cause, n);
+            }
+        }
+    }
+
+    /// A standalone registry snapshot of these counters.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.fold_into(&mut reg);
+        reg
+    }
+}
+
+/// Logs a drop to stderr exactly once per call site (further occurrences
+/// are counted silently). Call sites hold a `static Once` so repeated
+/// failures — e.g. an unencodable message type retried in a loop — cannot
+/// flood the log.
+pub fn log_drop_once(once: &Once, cause: DropCause, context: &str) {
+    once.call_once(|| {
+        eprintln!(
+            "paxi-transport: dropping message (cause: {}): {context}; \
+             further occurrences are counted, not logged",
+            cause.name()
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_tallies() {
+        let a = DropCounters::new();
+        let b = a.clone();
+        a.record(DropCause::Encode);
+        b.record_n(DropCause::Encode, 2);
+        b.record(DropCause::QueueFull);
+        assert_eq!(a.get(DropCause::Encode), 3);
+        assert_eq!(a.get(DropCause::QueueFull), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn fold_into_skips_zero_causes() {
+        let c = DropCounters::new();
+        c.record_n(DropCause::Oversize, 5);
+        let reg = c.snapshot();
+        assert_eq!(reg.drops(DropCause::Oversize), 5);
+        assert_eq!(reg.total_drops(), 5);
+        assert!(reg.to_json().contains("\"oversize\":5"));
+        assert_eq!(reg.drops(DropCause::Encode), 0);
+    }
+}

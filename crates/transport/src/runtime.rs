@@ -185,6 +185,16 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
                 if matches!(ev, Some(NodeEvent::Wire(Envelope::Shutdown))) {
                     break;
                 }
+                // Wire traffic discarded by a frozen node is a real loss the
+                // cluster must account for; timers and restart wake-ups are
+                // not messages, so they don't enter the drop ledger.
+                if matches!(
+                    ev,
+                    Some(NodeEvent::Wire(Envelope::Msg { .. }))
+                        | Some(NodeEvent::Wire(Envelope::Request(_)))
+                ) {
+                    inj.drops().record(paxi_core::obs::DropCause::Crashed);
+                }
                 // Record the window's mode while it is still queryable: by
                 // thaw time the window no longer covers the clock.
                 if frozen.is_none() {

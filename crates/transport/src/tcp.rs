@@ -32,8 +32,10 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
+use crate::obs::{log_drop_once, DropCounters};
 use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
+use paxi_core::obs::DropCause;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use paxi_core::command::{ClientResponse, Command};
@@ -83,6 +85,9 @@ struct Backoff {
     delay: Duration,
 }
 
+/// Logged once per process when a framed envelope fails to encode.
+static TCP_ENCODE_WARN: std::sync::Once = std::sync::Once::new();
+
 struct NodeNet<M> {
     me: NodeId,
     addrs: Arc<HashMap<NodeId, SocketAddr>>,
@@ -90,6 +95,7 @@ struct NodeNet<M> {
     backoff: Mutex<HashMap<NodeId, Backoff>>,
     jitter: Mutex<Rng64>,
     routes: Mutex<HashMap<ClientId, Route>>,
+    drops: DropCounters,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -141,8 +147,12 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
         let bytes = match cached {
             Some(tx) => match tx.try_send(bytes) {
                 Ok(()) => return,
-                // Queue full: the peer is alive but slow — shed the frame.
-                Err(TrySendError::Full(_)) => return,
+                // Queue full: the peer is alive but slow — shed the frame,
+                // charging the loss so it never reads as mystery attrition.
+                Err(TrySendError::Full(_)) => {
+                    self.drops.record(DropCause::QueueFull);
+                    return;
+                }
                 // Writer exited (socket broke): forget the connection,
                 // unless another thread already replaced it.
                 Err(TrySendError::Disconnected(bytes)) => {
@@ -155,8 +165,15 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
             },
             None => bytes,
         };
-        if let Some(tx) = self.connect_peer(to) {
-            let _ = tx.try_send(bytes);
+        // Frames lost while the peer link is down (dial failed, or the
+        // backoff window is still closed) are reconnect-window losses.
+        match self.connect_peer(to) {
+            Some(tx) => {
+                if tx.try_send(bytes).is_err() {
+                    self.drops.record(DropCause::Reconnect);
+                }
+            }
+            None => self.drops.record(DropCause::Reconnect),
         }
     }
 
@@ -203,14 +220,24 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
     }
 
     fn deliver_response(&self, client: ClientId, resp: &ClientResponse) {
-        let Some(route) = self.routes.lock().get(&client).cloned() else { return };
-        // Encode once, whichever way the response is routed (and not at all
-        // when the route is already gone).
-        let Some(bytes) = Self::encode(&Envelope::Response(resp.clone())) else { return };
+        let Some(route) = self.routes.lock().get(&client).cloned() else {
+            // The client's connection (and its routes) are already gone.
+            self.drops.record(DropCause::NoRoute);
+            return;
+        };
+        // Encode once, whichever way the response is routed.
+        let Some(bytes) = Self::encode(&Envelope::Response(resp.clone())) else {
+            self.drops.record(DropCause::Encode);
+            log_drop_once(&TCP_ENCODE_WARN, DropCause::Encode, "TCP response failed to encode");
+            return;
+        };
         match route {
-            Route::Local(tx) => {
-                let _ = tx.try_send(bytes);
-            }
+            Route::Local(tx) => match tx.try_send(bytes) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => self.drops.record(DropCause::QueueFull),
+                // The client's writer exited: nobody left to deliver to.
+                Err(TrySendError::Disconnected(_)) => self.drops.record(DropCause::NoRoute),
+            },
             Route::Via(peer) => self.send_to_peer(peer, bytes),
         }
     }
@@ -233,8 +260,16 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
         // Requests we forward should route replies back through us only if
         // the client is ours; if we got it from elsewhere the route already
         // points there and the next node will record `via us`, chaining back.
-        if let Some(bytes) = NodeNet::encode(&env) {
-            self.net.send_to_peer(to, bytes);
+        match NodeNet::encode(&env) {
+            Some(bytes) => self.net.send_to_peer(to, bytes),
+            None => {
+                self.net.drops.record(DropCause::Encode);
+                log_drop_once(
+                    &TCP_ENCODE_WARN,
+                    DropCause::Encode,
+                    "TCP node->node envelope failed to encode",
+                );
+            }
         }
     }
     fn to_client(&self, client: ClientId, resp: ClientResponse) {
@@ -248,6 +283,7 @@ pub struct TcpCluster<R: Replica> {
     inboxes: HashMap<NodeId, Sender<NodeEvent<R::Msg>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     next_client: AtomicU32,
+    drops: DropCounters,
     _timers: Arc<TimerService>,
 }
 
@@ -288,6 +324,7 @@ where
         F: ReplicaFactory<R = R> + Send + Sync + 'static,
     {
         let factory = Arc::new(factory);
+        let drops = DropCounters::new();
         let all = cluster.all_nodes();
         let mut listeners = Vec::new();
         let mut addrs = HashMap::new();
@@ -312,6 +349,7 @@ where
                 backoff: Mutex::new(HashMap::new()),
                 jitter: Mutex::new(Rng64::seed(0x7C9 ^ id.pack() as u64)),
                 routes: Mutex::new(HashMap::new()),
+                drops: drops.clone(),
                 _marker: std::marker::PhantomData,
             });
             // Acceptor: one reader thread per inbound connection.
@@ -367,7 +405,22 @@ where
             inj.start(epoch);
             inj.schedule_recoveries(&timers, &inboxes);
         }
-        Ok(TcpCluster { addrs, inboxes, handles, next_client: AtomicU32::new(0), _timers: timers })
+        Ok(TcpCluster {
+            addrs,
+            inboxes,
+            handles,
+            next_client: AtomicU32::new(0),
+            drops,
+            _timers: timers,
+        })
+    }
+
+    /// Per-cause ledger of every frame this cluster's nodes shed (encode
+    /// failures, full writer queues, reconnect-window losses, vanished
+    /// reply routes). Fault-injected link and crash drops are charged to
+    /// the [`FaultInjector`]'s own counters instead.
+    pub fn drops(&self) -> &DropCounters {
+        &self.drops
     }
 
     /// The address of a node's listener.
@@ -660,6 +713,7 @@ mod tests {
             backoff: Mutex::new(HashMap::new()),
             jitter: Mutex::new(Rng64::seed(1)),
             routes: Mutex::new(HashMap::new()),
+            drops: DropCounters::new(),
             _marker: std::marker::PhantomData,
         };
         for _ in 0..50 {
@@ -669,5 +723,8 @@ mod tests {
         let backoff = net.backoff.lock();
         let state = backoff.get(&target).expect("backoff entry");
         assert!(state.delay > RECONNECT_BASE);
+        // Every shed frame is on the ledger as a reconnect-window loss.
+        assert_eq!(net.drops.get(DropCause::Reconnect), 50);
+        assert_eq!(net.drops.total(), 50, "no other cause was charged");
     }
 }

@@ -13,8 +13,10 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
+use crate::obs::{log_drop_once, DropCounters};
 use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
+use paxi_core::obs::DropCause;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use paxi_core::command::{ClientResponse, Command};
@@ -60,11 +62,17 @@ enum Route {
     Via(NodeId),
 }
 
+/// Logged once per process when a node→node envelope fails to encode.
+static SEND_ENCODE_WARN: std::sync::Once = std::sync::Once::new();
+/// Logged once per process when a client response fails to encode.
+static RESP_ENCODE_WARN: std::sync::Once = std::sync::Once::new();
+
 struct UdpNet {
     socket: UdpSocket,
     addrs: Arc<HashMap<NodeId, SocketAddr>>,
     routes: Mutex<HashMap<ClientId, Route>>,
     dropped_oversize: Arc<AtomicU64>,
+    drops: DropCounters,
 }
 
 impl UdpNet {
@@ -73,10 +81,28 @@ impl UdpNet {
         to: NodeId,
         env: &Envelope<M>,
     ) -> Result<(), OversizeDatagram> {
-        let Some(addr) = self.addrs.get(&to) else { return Ok(()) };
-        let Ok(bytes) = paxi_codec::to_bytes(env) else { return Ok(()) };
+        let Some(addr) = self.addrs.get(&to) else {
+            self.drops.record(DropCause::NoRoute);
+            return Ok(());
+        };
+        let bytes = match paxi_codec::to_bytes(env) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // Encode failures must not vanish: charge the ledger and say
+                // so once — a persistently unencodable message class would
+                // otherwise look like ordinary datagram loss.
+                self.drops.record(DropCause::Encode);
+                log_drop_once(
+                    &SEND_ENCODE_WARN,
+                    DropCause::Encode,
+                    "UDP node->node envelope failed to encode",
+                );
+                return Ok(());
+            }
+        };
         if bytes.len() > MAX_DGRAM {
             self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+            self.drops.record(DropCause::Oversize);
             return Err(OversizeDatagram { len: bytes.len(), max: MAX_DGRAM });
         }
         let _ = self.socket.send_to(&bytes, addr);
@@ -87,12 +113,25 @@ impl UdpNet {
         let route = self.routes.lock().get(&resp.id.client).copied();
         match route {
             Some(Route::Local(addr)) => {
-                if let Ok(bytes) = paxi_codec::to_bytes(&Envelope::<()>::Response(resp.clone())) {
-                    if bytes.len() > MAX_DGRAM {
-                        self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
-                        return;
+                match paxi_codec::to_bytes(&Envelope::<()>::Response(resp.clone())) {
+                    Ok(bytes) => {
+                        if bytes.len() > MAX_DGRAM {
+                            self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+                            self.drops.record(DropCause::Oversize);
+                            return;
+                        }
+                        let _ = self.socket.send_to(&bytes, addr);
                     }
-                    let _ = self.socket.send_to(&bytes, addr);
+                    Err(_) => {
+                        // Same hole as the request path: a response that
+                        // cannot encode is a real loss, not a non-event.
+                        self.drops.record(DropCause::Encode);
+                        log_drop_once(
+                            &RESP_ENCODE_WARN,
+                            DropCause::Encode,
+                            "UDP client response failed to encode",
+                        );
+                    }
                 }
             }
             Some(Route::Via(peer)) => {
@@ -100,7 +139,11 @@ impl UdpNet {
                 // will time out and retry like any other datagram loss.
                 let _ = self.send_to_node::<M>(peer, &Envelope::Response(resp.clone()));
             }
-            None => {}
+            None => {
+                // No reply route on record for this client: the response has
+                // nowhere to go.
+                self.drops.record(DropCause::NoRoute);
+            }
         }
     }
 }
@@ -136,6 +179,7 @@ pub struct UdpCluster<R: Replica> {
     handles: Vec<std::thread::JoinHandle<()>>,
     next_client: AtomicU32,
     dropped_oversize: Arc<AtomicU64>,
+    drops: DropCounters,
     _timers: Arc<TimerService>,
 }
 
@@ -177,6 +221,7 @@ where
     {
         let factory = Arc::new(factory);
         let dropped_oversize = Arc::new(AtomicU64::new(0));
+        let drops = DropCounters::new();
         let all = cluster.all_nodes();
         let mut sockets = Vec::new();
         let mut addrs = HashMap::new();
@@ -202,6 +247,7 @@ where
                 addrs: Arc::clone(&addrs),
                 routes: Mutex::new(HashMap::new()),
                 dropped_oversize: Arc::clone(&dropped_oversize),
+                drops: drops.clone(),
             });
             // Receiver thread.
             {
@@ -285,6 +331,7 @@ where
             handles,
             next_client: AtomicU32::new(0),
             dropped_oversize,
+            drops,
             _timers: timers,
         })
     }
@@ -294,6 +341,14 @@ where
     /// class does not fit UDP — switch to the TCP transport.
     pub fn dropped_oversize(&self) -> u64 {
         self.dropped_oversize.load(Ordering::Relaxed)
+    }
+
+    /// Per-cause ledger of every envelope this cluster's sockets dropped
+    /// (encode failures, oversize datagrams, missing reply routes).
+    /// Fault-injected link and crash drops are charged to the
+    /// [`FaultInjector`]'s own counters instead.
+    pub fn drops(&self) -> &DropCounters {
+        &self.drops
     }
 
     /// The address of a node's socket.
@@ -415,6 +470,7 @@ mod tests {
             addrs: Arc::new([(peer, b.local_addr().unwrap())].into_iter().collect()),
             routes: Mutex::new(HashMap::new()),
             dropped_oversize: Arc::clone(&counter),
+            drops: DropCounters::new(),
         };
         let small: Envelope<()> = Envelope::Request(paxi_core::ClientRequest {
             id: RequestId::new(ClientId(0), 0),
@@ -429,6 +485,8 @@ mod tests {
         assert!(err.len > MAX_DGRAM);
         assert_eq!(err.max, MAX_DGRAM);
         assert_eq!(counter.load(Ordering::Relaxed), 1, "the drop is counted");
+        assert_eq!(net.drops.get(DropCause::Oversize), 1, "and charged to the cause ledger");
+        assert_eq!(net.drops.get(DropCause::Encode), 0);
     }
 
     #[test]
