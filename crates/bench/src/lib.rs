@@ -10,6 +10,8 @@
 //! * [`consensus`] — the common-prefix consensus checker over replica stores.
 //! * [`runner`] — protocol dispatch and saturation sweeps.
 //! * [`nemesis`] — seeded random fault schedules + linearizability verdicts.
+//! * [`reconfig`] — mid-reconfiguration nemesis: crashes inside a membership
+//!   change's transition window, verdicts over history + final config.
 //! * [`sharded`] — multi-group (sharded) runs: routed clients, saturation
 //!   sweeps, per-shard checking, and the sharded nemesis.
 //! * [`table`] — result tables with console + CSV output.
@@ -23,6 +25,7 @@ pub mod config;
 pub mod consensus;
 pub mod figures;
 pub mod nemesis;
+pub mod reconfig;
 pub mod runner;
 pub mod sharded;
 pub mod table;
@@ -35,10 +38,11 @@ pub use nemesis::{
     generate_schedule, generate_schedule_with_mode, run_nemesis, NemesisConfig, NemesisOutcome,
     NemesisSchedule,
 };
+pub use reconfig::{run_reconfig_nemesis, ReconfigConfig, ReconfigOutcome, ReconfigVictim};
 pub use runner::{run, run_with_faults, run_with_faults_durable, sweep, Proto, SweepPoint};
 pub use sharded::{
-    check_group_consensus, check_shard_leakage, check_sharded, run_sharded, run_sharded_checked,
-    run_sharded_nemesis, routed_clients, routed_workload, sweep_sharded, ShardProto, ShardedRun,
+    check_group_consensus, check_shard_leakage, check_sharded, routed_clients, routed_workload,
+    run_sharded, run_sharded_checked, run_sharded_nemesis, sweep_sharded, ShardProto, ShardedRun,
 };
 pub use table::Table;
 pub use workload::{GeneralWorkload, HotKeyWorkload};

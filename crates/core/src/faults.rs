@@ -39,13 +39,30 @@ pub struct FaultWindow {
 impl FaultWindow {
     /// A window starting at `at` and lasting `duration` (saturating).
     pub fn new(at: Nanos, duration: Nanos) -> Self {
-        FaultWindow { from: at, until: Nanos(at.0.saturating_add(duration.0)) }
+        FaultWindow {
+            from: at,
+            until: Nanos(at.0.saturating_add(duration.0)),
+        }
     }
 
     /// An open-ended window: active from `at` until the end of the run (or
     /// until a later [`FaultPlan::heal`] truncates it).
     pub fn until_end(at: Nanos) -> Self {
-        FaultWindow { from: at, until: Nanos(u64::MAX) }
+        FaultWindow {
+            from: at,
+            until: Nanos(u64::MAX),
+        }
+    }
+
+    /// A window aimed at a reconfiguration's cut-over: it opens the instant
+    /// the config change is submitted (`reconfig_at`) and spans the
+    /// `transition` interval during which the cluster is in its joint /
+    /// pre-activation configuration. Nemesis suites use this to land
+    /// crashes precisely inside the membership transition — the regime
+    /// where "The Performance of Paxos in the Cloud" observes cloud
+    /// deployments losing availability.
+    pub fn during_reconfig(reconfig_at: Nanos, transition: Nanos) -> Self {
+        FaultWindow::new(reconfig_at, transition)
     }
 
     /// Whether `t` falls inside the window.
@@ -175,7 +192,12 @@ impl FaultPlan {
 
     /// Drops all messages `src → dst` for an explicit window.
     pub fn drop_link_in(&mut self, src: NodeId, dst: NodeId, window: FaultWindow) -> &mut Self {
-        self.links.push(LinkRule { src, dst, window, kind: LinkFault::Drop });
+        self.links.push(LinkRule {
+            src,
+            dst,
+            window,
+            kind: LinkFault::Drop,
+        });
         self
     }
 
@@ -202,7 +224,12 @@ impl FaultPlan {
         window: FaultWindow,
     ) -> &mut Self {
         let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
-        self.links.push(LinkRule { src, dst, window, kind: LinkFault::Flaky { p } });
+        self.links.push(LinkRule {
+            src,
+            dst,
+            window,
+            kind: LinkFault::Flaky { p },
+        });
         self
     }
 
@@ -227,13 +254,24 @@ impl FaultPlan {
         max_delay: Nanos,
         window: FaultWindow,
     ) -> &mut Self {
-        self.links.push(LinkRule { src, dst, window, kind: LinkFault::Slow { max_delay } });
+        self.links.push(LinkRule {
+            src,
+            dst,
+            window,
+            kind: LinkFault::Slow { max_delay },
+        });
         self
     }
 
     /// Symmetric partition: drops all traffic between every node of `a` and
     /// every node of `b`, both directions, in the window.
-    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId], at: Nanos, duration: Nanos) -> &mut Self {
+    pub fn partition(
+        &mut self,
+        a: &[NodeId],
+        b: &[NodeId],
+        at: Nanos,
+        duration: Nanos,
+    ) -> &mut Self {
         self.partition_in(a, b, FaultWindow::new(at, duration))
     }
 
@@ -263,7 +301,9 @@ impl FaultPlan {
 
     /// Whether `node` is down at time `t`.
     pub fn is_crashed(&self, node: NodeId, t: Nanos) -> bool {
-        self.crashes.iter().any(|(n, w, _)| *n == node && w.contains(t))
+        self.crashes
+            .iter()
+            .any(|(n, w, _)| *n == node && w.contains(t))
     }
 
     /// The mode of the crash window covering `node` at `t`, if any.
@@ -331,7 +371,10 @@ mod tests {
         assert!(p.is_crashed(n(0, 0), Nanos::secs(1)));
         assert!(p.is_crashed(n(0, 0), Nanos::millis(2_999)));
         assert!(!p.is_crashed(n(0, 0), Nanos::secs(3)));
-        assert!(!p.is_crashed(n(0, 1), Nanos::secs(2)), "other nodes unaffected");
+        assert!(
+            !p.is_crashed(n(0, 1), Nanos::secs(2)),
+            "other nodes unaffected"
+        );
     }
 
     #[test]
@@ -339,10 +382,15 @@ mod tests {
         let mut p = FaultPlan::new();
         p.drop_link(n(0, 0), n(0, 1), Nanos::ZERO, Nanos::secs(10));
         let mut rng = Rng64::seed(1);
-        assert_eq!(p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng), MsgFate::Dropped);
+        assert_eq!(
+            p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng),
+            MsgFate::Dropped
+        );
         assert_eq!(
             p.message_fate(n(0, 1), n(0, 0), Nanos::secs(1), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+            MsgFate::Deliver {
+                extra_delay: Nanos::ZERO
+            }
         );
     }
 
@@ -380,11 +428,15 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(
                 p.message_fate(n(0, 1), n(0, 0), Nanos::secs(1), &mut rng),
-                MsgFate::Deliver { extra_delay: Nanos::ZERO }
+                MsgFate::Deliver {
+                    extra_delay: Nanos::ZERO
+                }
             );
             assert_eq!(
                 p.message_fate(n(0, 0), n(0, 2), Nanos::secs(1), &mut rng),
-                MsgFate::Deliver { extra_delay: Nanos::ZERO }
+                MsgFate::Deliver {
+                    extra_delay: Nanos::ZERO
+                }
             );
         }
     }
@@ -392,7 +444,13 @@ mod tests {
     #[test]
     fn slow_adds_bounded_delay() {
         let mut p = FaultPlan::new();
-        p.slow_link(n(0, 0), n(0, 1), Nanos::millis(5), Nanos::ZERO, Nanos::secs(100));
+        p.slow_link(
+            n(0, 0),
+            n(0, 1),
+            Nanos::millis(5),
+            Nanos::ZERO,
+            Nanos::secs(100),
+        );
         let mut rng = Rng64::seed(2);
         for _ in 0..1000 {
             match p.message_fate(n(0, 0), n(0, 1), Nanos::secs(1), &mut rng) {
@@ -408,17 +466,24 @@ mod tests {
         p.partition(&[n(0, 0)], &[n(1, 0), n(1, 1)], Nanos::ZERO, Nanos::secs(5));
         let mut rng = Rng64::seed(3);
         for (a, b) in [(n(0, 0), n(1, 0)), (n(1, 0), n(0, 0)), (n(0, 0), n(1, 1))] {
-            assert_eq!(p.message_fate(a, b, Nanos::secs(1), &mut rng), MsgFate::Dropped);
+            assert_eq!(
+                p.message_fate(a, b, Nanos::secs(1), &mut rng),
+                MsgFate::Dropped
+            );
         }
         // Unrelated pair unaffected.
         assert_eq!(
             p.message_fate(n(1, 0), n(1, 1), Nanos::secs(1), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+            MsgFate::Deliver {
+                extra_delay: Nanos::ZERO
+            }
         );
         // After the window traffic flows again.
         assert_eq!(
             p.message_fate(n(0, 0), n(1, 0), Nanos::secs(6), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+            MsgFate::Deliver {
+                extra_delay: Nanos::ZERO
+            }
         );
     }
 
@@ -453,7 +518,9 @@ mod tests {
         let mut rng = Rng64::seed(6);
         assert_eq!(
             p.message_fate(n(0, 1), n(0, 2), Nanos::secs(6), &mut rng),
-            MsgFate::Deliver { extra_delay: Nanos::ZERO }
+            MsgFate::Deliver {
+                extra_delay: Nanos::ZERO
+            }
         );
         // The future window still applies.
         assert_eq!(
@@ -461,7 +528,9 @@ mod tests {
             MsgFate::Dropped
         );
         // Healed crash now has a recovery point at the heal instant.
-        assert!(p.recoveries().any(|(node, at, _)| node == n(0, 0) && at == Nanos::secs(5)));
+        assert!(p
+            .recoveries()
+            .any(|(node, at, _)| node == n(0, 0) && at == Nanos::secs(5)));
     }
 
     #[test]
@@ -484,9 +553,19 @@ mod tests {
         let mut p = FaultPlan::new();
         p.crash(n(0, 0), Nanos::secs(1), Nanos::secs(1));
         p.crash_amnesia(n(0, 1), Nanos::secs(2), Nanos::secs(2));
-        assert_eq!(p.crash_mode_at(n(0, 0), Nanos::millis(1_500)), Some(CrashMode::Freeze));
-        assert_eq!(p.crash_mode_at(n(0, 1), Nanos::secs(3)), Some(CrashMode::Amnesia));
-        assert_eq!(p.crash_mode_at(n(0, 1), Nanos::secs(5)), None, "after the window");
+        assert_eq!(
+            p.crash_mode_at(n(0, 0), Nanos::millis(1_500)),
+            Some(CrashMode::Freeze)
+        );
+        assert_eq!(
+            p.crash_mode_at(n(0, 1), Nanos::secs(3)),
+            Some(CrashMode::Amnesia)
+        );
+        assert_eq!(
+            p.crash_mode_at(n(0, 1), Nanos::secs(5)),
+            None,
+            "after the window"
+        );
         let rec: Vec<_> = p.recoveries().collect();
         assert!(rec.contains(&(n(0, 1), Nanos::secs(4), CrashMode::Amnesia)));
         // Both modes freeze delivery identically while down.

@@ -26,6 +26,8 @@
 //!   simulator and the live transports.
 //! * [`group`] — group ids and the group-tagged message envelope for
 //!   multi-group (sharded) deployments.
+//! * [`membership`] — dynamic membership: config-change deltas, stable and
+//!   joint (C_old,new) configurations, and the dual-majority quorum.
 
 #![warn(missing_docs)]
 
@@ -36,6 +38,7 @@ pub mod dist;
 pub mod faults;
 pub mod group;
 pub mod id;
+pub mod membership;
 pub mod metrics;
 pub mod obs;
 pub mod quorum;
@@ -50,14 +53,15 @@ pub use dist::{KeyDist, KeySampler, Rng64};
 pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use group::{GroupId, GroupMsg};
 pub use id::{ClientId, NodeId, RequestId};
+pub use membership::{ConfigChange, JointQuorum, Membership, CONFIG_KEY};
 pub use metrics::{Histogram, LatencySummary, Meter};
 pub use obs::{
     ClusterMetrics, DropCause, Gauge, Metric, MetricsRegistry, MetricsSnapshot, TraceEvent,
     TraceRing, TraceStage,
 };
 pub use quorum::{
-    fast_quorum_size, majority, CountQuorum, FastQuorum, FlexibleGridQuorum, GridPhase,
-    GridQuorum, GroupQuorum, MajorityQuorum, QuorumTracker,
+    fast_quorum_size, majority, CountQuorum, FastQuorum, FlexibleGridQuorum, GridPhase, GridQuorum,
+    GroupQuorum, MajorityQuorum, QuorumTracker,
 };
 pub use store::{MultiVersionStore, StoreDump, Version};
 pub use time::Nanos;

@@ -181,6 +181,16 @@ pub trait Replica {
     fn leader_hint(&self) -> Option<NodeId> {
         None
     }
+
+    /// The node's current view of the voting membership (all voters of the
+    /// active configuration, joint sets unioned), if the protocol supports
+    /// dynamic membership. Wall-clock runtimes poll this after each event
+    /// to add or remove live peer links when a reconfiguration activates.
+    /// The default `None` means membership is static for this protocol and
+    /// the runtime keeps its startup peer set.
+    fn current_members(&self) -> Option<Vec<NodeId>> {
+        None
+    }
 }
 
 /// A constructor for a homogeneous cluster of replicas — the runtimes use

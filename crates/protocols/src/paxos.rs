@@ -15,11 +15,22 @@
 //! Liveness: followers monitor leader heartbeats (the piggybacked commit
 //! broadcast) and start phase-1 with a higher ballot after a randomized
 //! timeout, which is what the availability experiments exercise.
+//!
+//! Membership changes use the classic α-window scheme (SMART / Stoppable
+//! Paxos): a new stable configuration is chosen as an ordinary log value in
+//! some slot `s` and governs quorums from slot `s + α` onward, so up to α
+//! commands stay pipelined across the cut-over. The config rides the log as
+//! a write to [`CONFIG_KEY`], is persisted by the same Accept records (plus
+//! an explicit [`PaxosWal::Config`] activation record), and is re-derived
+//! from the log on recovery — a replica restarting mid-transition comes up
+//! in the configuration its durable log dictates, never an older one. One
+//! reconfiguration in flight at a time is the supported regime.
 
 use paxi_core::ballot::Ballot;
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
 use paxi_core::config::{BatchConfig, ClusterConfig};
 use paxi_core::id::{NodeId, RequestId};
+use paxi_core::membership::{self, ConfigChange, Membership, CONFIG_KEY};
 use paxi_core::obs::{Metric, TraceStage};
 use paxi_core::quorum::{majority, CountQuorum, QuorumTracker};
 use paxi_core::store::{MultiVersionStore, StoreDump};
@@ -67,6 +78,14 @@ pub struct PaxosConfig {
     /// fsync across the batch. `max_batch = 1` (the default) is behaviorally
     /// identical to unbatched operation.
     pub batch: BatchConfig,
+    /// Initial voting membership; `None` means every node in the cluster
+    /// votes (the static-membership behavior). Nodes outside the membership
+    /// are non-voting learners until a reconfiguration adds them.
+    pub initial_members: Option<Vec<NodeId>>,
+    /// Reconfiguration pipeline depth α: a configuration chosen in slot `s`
+    /// governs quorums from slot `s + α` onward, keeping up to α commands
+    /// in flight across the cut-over. Clamped to at least 1.
+    pub alpha: u64,
 }
 
 impl Default for PaxosConfig {
@@ -80,6 +99,8 @@ impl Default for PaxosConfig {
             thrifty: false,
             eager_commit: false,
             batch: BatchConfig::default(),
+            initial_members: None,
+            alpha: 4,
         }
     }
 }
@@ -87,12 +108,18 @@ impl Default for PaxosConfig {
 impl PaxosConfig {
     /// FPaxos configuration with phase-2 quorum size `q2` (leader included).
     pub fn flexible(q2: usize) -> Self {
-        PaxosConfig { q2: Some(q2), ..Default::default() }
+        PaxosConfig {
+            q2: Some(q2),
+            ..Default::default()
+        }
     }
 
     /// Configuration with command batching of up to `max_batch` per slot.
     pub fn batched(max_batch: usize) -> Self {
-        PaxosConfig { batch: BatchConfig::of(max_batch), ..Default::default() }
+        PaxosConfig {
+            batch: BatchConfig::of(max_batch),
+            ..Default::default()
+        }
     }
 }
 
@@ -110,6 +137,10 @@ pub enum PaxosMsg {
         ballot: Ballot,
         /// `(slot, accepted_ballot, batch)` above the commit point.
         tail: Vec<(u64, Ballot, SlotCmds)>,
+        /// The acceptor's commit index: the new leader floors its first
+        /// fresh slot here, so a lagging just-joined winner cannot propose
+        /// below what the cluster already chose.
+        commit_upto: u64,
     },
     /// Phase-2a: accept request for one slot. Carries the leader's commit
     /// index so the commit phase piggybacks on the next round's broadcast.
@@ -174,6 +205,18 @@ pub enum PaxosWal {
         /// bookkeeping.
         cmds: SlotCmds,
     },
+    /// A stable configuration was accepted in `slot` and governs quorums
+    /// from `slot + α` onward. Redundant with the Accept record carrying
+    /// the config command (recovery re-derives the map from the log), but
+    /// it makes activation explicit and auditable in the WAL stream.
+    Config {
+        /// The slot the configuration was chosen in.
+        slot: u64,
+        /// The configuration's epoch.
+        epoch: u64,
+        /// The new voting member set, sorted.
+        members: Vec<NodeId>,
+    },
 }
 
 /// The snapshot MultiPaxos installs when it compacts its WAL: everything
@@ -194,6 +237,10 @@ pub struct PaxosSnapshot {
     /// `(slot, ballot, batch)` of every accepted entry at `base` and above
     /// — the live tail that would otherwise need WAL records.
     pub tail: Vec<(u64, Ballot, SlotCmds)>,
+    /// The configuration map at snapshot time as `(effective_slot, epoch,
+    /// members)` triples: configs chosen below `base` live only here once
+    /// their Accept records are compacted away.
+    pub configs: Vec<(u64, u64, Vec<NodeId>)>,
 }
 
 /// Snapshot-and-truncate the WAL once this many slots have been executed
@@ -205,7 +252,6 @@ pub struct MultiPaxos {
     id: NodeId,
     cluster: ClusterConfig,
     cfg: PaxosConfig,
-    n: usize,
     ballot: Ballot,
     active: bool,
     leader_hint: Option<NodeId>,
@@ -225,6 +271,15 @@ pub struct MultiPaxos {
     batch_token: Option<u64>,
     p1_quorum: Option<CountQuorum>,
     p1_tails: Vec<Vec<(u64, Ballot, SlotCmds)>>,
+    /// Highest commit index any phase-1 promise reported — floors the new
+    /// leader's first fresh slot.
+    p1_max_commit: u64,
+    /// Voting configurations keyed by the slot they take effect at:
+    /// `effective_slot → (epoch, members)`. Key 0 holds the initial
+    /// configuration and is never removed; a config chosen in slot `s`
+    /// lives at key `s + α`. The entry with the greatest key `≤ slot`
+    /// governs `slot`'s quorums.
+    configs: BTreeMap<u64, (u64, Vec<NodeId>)>,
     last_leader_contact: Nanos,
     election_token: u64,
     /// `commit_upto` observed at the previous heartbeat tick: if the head of
@@ -240,12 +295,18 @@ pub struct MultiPaxos {
 impl MultiPaxos {
     /// Creates a replica for node `id` in `cluster`.
     pub fn new(id: NodeId, cluster: ClusterConfig, cfg: PaxosConfig) -> Self {
-        let n = cluster.n();
+        let mut initial = cfg
+            .initial_members
+            .clone()
+            .unwrap_or_else(|| cluster.all_nodes());
+        initial.sort_unstable();
+        initial.dedup();
+        let mut configs = BTreeMap::new();
+        configs.insert(0u64, (0u64, initial));
         MultiPaxos {
             id,
             cluster,
             cfg,
-            n,
             ballot: Ballot::default(),
             active: false,
             leader_hint: None,
@@ -260,6 +321,8 @@ impl MultiPaxos {
             batch_token: None,
             p1_quorum: None,
             p1_tails: Vec::new(),
+            p1_max_commit: 0,
+            configs,
             last_leader_contact: Nanos::ZERO,
             election_token: 0,
             heartbeat_head: 0,
@@ -268,15 +331,158 @@ impl MultiPaxos {
         }
     }
 
-    /// Phase-2 quorum size (leader included).
+    /// Phase-2 quorum size (leader included) at the proposal frontier.
     pub fn q2_size(&self) -> usize {
-        self.cfg.q2.unwrap_or_else(|| majority(self.n)).max(1).min(self.n)
+        self.q2_size_at(self.next_slot)
     }
 
-    /// Phase-1 quorum size: `N − |q2| + 1`, which equals the majority when
-    /// `|q2|` is the majority (N odd).
+    /// Phase-1 quorum size: `N − |q2| + 1` over the current members, which
+    /// equals the majority when `|q2|` is the majority (N odd).
     pub fn q1_size(&self) -> usize {
-        self.n - self.q2_size() + 1
+        self.q1_size_at(self.next_slot)
+    }
+
+    /// The reconfiguration window, clamped so a config never governs the
+    /// very slot it is chosen in.
+    fn alpha(&self) -> u64 {
+        self.cfg.alpha.max(1)
+    }
+
+    /// The voting member set governing `slot`.
+    pub fn members_at(&self, slot: u64) -> &[NodeId] {
+        &self
+            .configs
+            .range(..=slot)
+            .next_back()
+            .expect("configs always holds the initial entry at key 0")
+            .1
+             .1
+    }
+
+    /// The voting members at the proposal frontier.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.members_at(self.next_slot).to_vec()
+    }
+
+    /// Epoch of the latest configuration this replica knows of — including
+    /// one accepted but not yet effective.
+    pub fn config_epoch(&self) -> u64 {
+        self.configs
+            .values()
+            .next_back()
+            .map(|(e, _)| *e)
+            .unwrap_or(0)
+    }
+
+    fn q2_size_at(&self, slot: u64) -> usize {
+        let m = self.members_at(slot).len().max(1);
+        self.cfg.q2.unwrap_or_else(|| majority(m)).max(1).min(m)
+    }
+
+    fn q1_size_at(&self, slot: u64) -> usize {
+        let m = self.members_at(slot).len().max(1);
+        m - self.q2_size_at(slot).min(m) + 1
+    }
+
+    /// Records any stable configuration carried by the batch accepted in
+    /// `slot` (and un-records one if a higher ballot overwrote the slot
+    /// with a config-free batch). Called at every log-insert point —
+    /// propose, accept, and both recovery paths — so activation state is a
+    /// pure function of the accepted log.
+    fn note_config(&mut self, slot: u64, cmds: &SlotCmds) {
+        let key = slot + self.alpha();
+        let found = cmds
+            .iter()
+            .find_map(|(cmd, _)| match membership::as_membership(cmd) {
+                Some(Membership::Stable { epoch, members }) => Some((epoch, members)),
+                _ => None,
+            });
+        match found {
+            Some((epoch, members)) => {
+                self.persist(&PaxosWal::Config {
+                    slot,
+                    epoch,
+                    members: members.clone(),
+                });
+                self.configs.insert(key, (epoch, members));
+            }
+            None => {
+                // Key 0 is the initial config; `key >= α ≥ 1` can't hit it.
+                self.configs.remove(&key);
+            }
+        }
+    }
+
+    /// An established leader excluded by a committed, now-effective
+    /// configuration lays down leadership: it flushes its commit index one
+    /// last time (so the survivors learn everything it chose) and goes
+    /// quiet; the remaining members elect among themselves when its
+    /// heartbeats stop.
+    fn maybe_step_down(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
+        if !self.active {
+            return;
+        }
+        let Some((&key, (_, members))) = self.configs.range(..=self.next_slot).next_back() else {
+            return;
+        };
+        if members.contains(&self.id) {
+            return;
+        }
+        // Depose only after every slot below the cut-over point committed:
+        // the outgoing leader drives its α-window slots home first, and an
+        // accepted-but-overwritable config can never cost a leader (its
+        // own slot sits below `key` and would have to commit first).
+        if self.commit_upto < key {
+            return;
+        }
+        ctx.broadcast(PaxosMsg::Commit {
+            upto: self.commit_upto,
+        });
+        self.active = false;
+        self.abort_batch();
+        self.leader_hint = None;
+    }
+
+    /// Sequences a client-requested membership delta: resolves it against
+    /// the latest configuration this leader knows (even one still inside
+    /// its α window) and proposes the resulting absolute stable config in
+    /// its own slot, bypassing batching so the activation point
+    /// `slot + α` is pinned the moment the request is sequenced.
+    fn handle_reconfig(
+        &mut self,
+        req: ClientRequest,
+        change: ConfigChange,
+        ctx: &mut dyn Context<PaxosMsg>,
+    ) {
+        let (epoch, members) = self
+            .configs
+            .values()
+            .next_back()
+            .cloned()
+            .unwrap_or((0, Vec::new()));
+        if change.is_noop_on(&members) {
+            // Nothing would change: acknowledge without spending a slot, so
+            // a no-op reconfiguration perturbs neither the log nor the
+            // deterministic schedule.
+            ctx.reply(ClientResponse::ok(req.id, None));
+            return;
+        }
+        let target = change.apply(&members);
+        if target.is_empty() {
+            ctx.reply(ClientResponse::err(req.id));
+            return;
+        }
+        let next = Membership::Stable {
+            epoch: epoch + 1,
+            members: target,
+        };
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.propose_in_slot(
+            slot,
+            vec![(membership::membership_command(&next), Some(req.id))],
+            ctx,
+        );
     }
 
     /// Whether this replica currently believes it is the established leader.
@@ -301,7 +507,8 @@ impl MultiPaxos {
     fn persist(&mut self, rec: &PaxosWal) {
         if let Some(wal) = &mut self.wal {
             let bytes = paxi_codec::to_bytes(rec).expect("paxos wal record must encode");
-            wal.append(&bytes).expect("paxos replica lost its durable store");
+            wal.append(&bytes)
+                .expect("paxos replica lost its durable store");
         }
     }
 
@@ -312,7 +519,8 @@ impl MultiPaxos {
     /// leaves either the old WAL or the complete new snapshot — never a
     /// truncated log whose tail was still waiting to be re-appended.
     fn maybe_compact(&mut self) {
-        if self.wal.is_none() || self.execute_upto.saturating_sub(self.snapshot_base) < COMPACT_EVERY
+        if self.wal.is_none()
+            || self.execute_upto.saturating_sub(self.snapshot_base) < COMPACT_EVERY
         {
             return;
         }
@@ -324,6 +532,11 @@ impl MultiPaxos {
                 .log
                 .range(self.execute_upto..)
                 .map(|(s, e)| (*s, e.ballot, e.cmds.clone()))
+                .collect(),
+            configs: self
+                .configs
+                .iter()
+                .map(|(k, (e, m))| (*k, *e, m.clone()))
                 .collect(),
         };
         let bytes = paxi_codec::to_bytes(&snap).expect("paxos snapshot must encode");
@@ -338,6 +551,10 @@ impl MultiPaxos {
     }
 
     fn start_phase1(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
+        if !self.members_at(self.next_slot).contains(&self.id) {
+            // A learner outside the voting membership never campaigns.
+            return;
+        }
         self.ballot = self.ballot.next(self.id);
         self.persist(&PaxosWal::Ballot(self.ballot));
         self.active = false;
@@ -345,6 +562,7 @@ impl MultiPaxos {
         let mut q = CountQuorum::new(self.q1_size());
         q.ack(self.id);
         self.p1_tails = vec![self.uncommitted_tail()];
+        self.p1_max_commit = self.commit_upto;
         if q.satisfied() {
             // Single-node cluster: become leader immediately.
             self.p1_quorum = Some(q);
@@ -352,7 +570,9 @@ impl MultiPaxos {
             return;
         }
         self.p1_quorum = Some(q);
-        ctx.broadcast(PaxosMsg::P1a { ballot: self.ballot });
+        ctx.broadcast(PaxosMsg::P1a {
+            ballot: self.ballot,
+        });
     }
 
     fn uncommitted_tail(&self) -> Vec<(u64, Ballot, SlotCmds)> {
@@ -382,7 +602,7 @@ impl MultiPaxos {
         if let Some((&max_slot, _)) = merged.iter().next_back() {
             self.next_slot = self.next_slot.max(max_slot + 1);
         }
-        self.next_slot = self.next_slot.max(self.commit_upto);
+        self.next_slot = self.next_slot.max(self.commit_upto).max(self.p1_max_commit);
         for (slot, (_, cmds)) in merged {
             if slot < self.commit_upto {
                 continue;
@@ -445,25 +665,47 @@ impl MultiPaxos {
                 ctx.trace(TraceStage::Propose, *id);
             }
         }
-        let mut quorum = CountQuorum::new(self.q2_size());
-        quorum.ack(self.id); // self-vote
+        let mut quorum = CountQuorum::new(self.q2_size_at(slot));
+        if self.members_at(slot).contains(&self.id) {
+            // Self-vote — but only with a vote to cast: a leader already
+            // excluded by the config governing this slot is a proposer, not
+            // an acceptor, and must collect the full quorum from members.
+            quorum.ack(self.id);
+        }
         // The leader is an acceptor of its own proposal: persist before the
         // self-vote counts toward the quorum. One record per slot covers the
         // whole batch.
-        self.persist(&PaxosWal::Accept { slot, ballot: self.ballot, cmds: cmds.clone() });
+        self.persist(&PaxosWal::Accept {
+            slot,
+            ballot: self.ballot,
+            cmds: cmds.clone(),
+        });
         self.log.insert(
             slot,
-            Entry { ballot: self.ballot, cmds: cmds.clone(), quorum, committed: false },
+            Entry {
+                ballot: self.ballot,
+                cmds: cmds.clone(),
+                quorum,
+                committed: false,
+            },
         );
-        let msg = PaxosMsg::P2a { ballot: self.ballot, slot, cmds, commit_upto: self.commit_upto };
+        self.note_config(slot, &cmds);
+        let msg = PaxosMsg::P2a {
+            ballot: self.ballot,
+            slot,
+            cmds,
+            commit_upto: self.commit_upto,
+        };
         if self.cfg.thrifty {
-            // Exactly the quorum: the first |q2|-1 peers in node order.
+            // Exactly the quorum: the first |q2|-1 voting peers in node
+            // order. Non-members are learners and never help the quorum,
+            // so thrifty mode skips them entirely.
             let peers: Vec<NodeId> = self
-                .cluster
-                .all_nodes()
-                .into_iter()
+                .members_at(slot)
+                .iter()
+                .copied()
                 .filter(|&p| p != self.id)
-                .take(self.q2_size() - 1)
+                .take(self.q2_size_at(slot).saturating_sub(1))
                 .collect();
             ctx.multicast(&peers, msg);
         } else {
@@ -508,9 +750,12 @@ impl MultiPaxos {
             ctx.count(Metric::Commits, self.commit_upto - before);
         }
         if self.cfg.eager_commit && self.active && self.commit_upto > before {
-            ctx.broadcast(PaxosMsg::Commit { upto: self.commit_upto });
+            ctx.broadcast(PaxosMsg::Commit {
+                upto: self.commit_upto,
+            });
         }
         self.execute(ctx);
+        self.maybe_step_down(ctx);
     }
 
     fn execute(&mut self, ctx: &mut dyn Context<PaxosMsg>) {
@@ -522,8 +767,16 @@ impl MultiPaxos {
             }
             // Execute the batch in order; replies fan back out per command.
             for (cmd, req) in &e.cmds {
-                let value = self.store.execute(cmd);
-                ctx.count(Metric::Executes, 1);
+                // Config commands mutate the configuration (at accept time,
+                // via `note_config`), not the store — but their client still
+                // gets an acknowledgment at the commit point.
+                let value = if cmd.key == CONFIG_KEY {
+                    None
+                } else {
+                    let v = self.store.execute(cmd);
+                    ctx.count(Metric::Executes, 1);
+                    v
+                };
                 if self.active {
                     if let Some(id) = req {
                         ctx.trace(TraceStage::Execute, *id);
@@ -558,6 +811,12 @@ impl Replica for MultiPaxos {
             self.marked_upto = snap.base;
             self.next_slot = snap.base;
             self.heartbeat_head = snap.base;
+            // The configuration map rides whole inside the snapshot:
+            // configs chosen below the base have no surviving Accept
+            // records to re-derive them from.
+            for (key, epoch, members) in snap.configs {
+                self.configs.insert(key, (epoch, members));
+            }
             // The live tail rides inside the snapshot (atomic compaction):
             // restore it exactly as replaying its Accept records would.
             for (slot, ballot, cmds) in snap.tail {
@@ -565,10 +824,19 @@ impl Replica for MultiPaxos {
                     continue;
                 }
                 self.ballot = self.ballot.max(ballot);
-                let mut quorum = CountQuorum::new(self.q2_size());
+                let mut quorum = CountQuorum::new(self.q2_size_at(slot));
                 quorum.ack(ballot.id);
                 quorum.ack(self.id);
-                self.log.insert(slot, Entry { ballot, cmds, quorum, committed: false });
+                self.note_config(slot, &cmds);
+                self.log.insert(
+                    slot,
+                    Entry {
+                        ballot,
+                        cmds,
+                        quorum,
+                        committed: false,
+                    },
+                );
                 self.next_slot = self.next_slot.max(slot + 1);
             }
         }
@@ -580,11 +848,29 @@ impl Replica for MultiPaxos {
                         continue;
                     }
                     self.ballot = self.ballot.max(ballot);
-                    let mut quorum = CountQuorum::new(self.q2_size());
+                    let mut quorum = CountQuorum::new(self.q2_size_at(slot));
                     quorum.ack(ballot.id);
                     quorum.ack(self.id);
-                    self.log.insert(slot, Entry { ballot, cmds, quorum, committed: false });
+                    self.note_config(slot, &cmds);
+                    self.log.insert(
+                        slot,
+                        Entry {
+                            ballot,
+                            cmds,
+                            quorum,
+                            committed: false,
+                        },
+                    );
                     self.next_slot = self.next_slot.max(slot + 1);
+                }
+                PaxosWal::Config {
+                    slot,
+                    epoch,
+                    members,
+                } => {
+                    // Explicit activation record: idempotent with the
+                    // `note_config` the Accept replay above just did.
+                    self.configs.insert(slot + self.alpha(), (epoch, members));
                 }
             }
         }
@@ -624,16 +910,38 @@ impl Replica for MultiPaxos {
                     self.abort_batch();
                     self.leader_hint = Some(ballot.id);
                     self.last_leader_contact = ctx.now();
-                    ctx.send(from, PaxosMsg::P1b { ballot, tail: self.uncommitted_tail() });
+                    ctx.send(
+                        from,
+                        PaxosMsg::P1b {
+                            ballot,
+                            tail: self.uncommitted_tail(),
+                            commit_upto: self.commit_upto,
+                        },
+                    );
                 } else {
-                    ctx.send(from, PaxosMsg::Nack { ballot: self.ballot });
+                    ctx.send(
+                        from,
+                        PaxosMsg::Nack {
+                            ballot: self.ballot,
+                        },
+                    );
                 }
             }
-            PaxosMsg::P1b { ballot, tail } => {
+            PaxosMsg::P1b {
+                ballot,
+                tail,
+                commit_upto,
+            } => {
                 if ballot == self.ballot && !self.active {
+                    // Promises from nodes outside the voting membership are
+                    // learner echoes — they must not help phase-1 succeed.
+                    if !self.members_at(self.next_slot).contains(&from) {
+                        return;
+                    }
                     if let Some(q) = self.p1_quorum.as_mut() {
                         if q.ack(from) {
                             self.p1_tails.push(tail);
+                            self.p1_max_commit = self.p1_max_commit.max(commit_upto);
                         }
                         if q.satisfied() {
                             self.become_leader(ctx);
@@ -641,7 +949,12 @@ impl Replica for MultiPaxos {
                     }
                 }
             }
-            PaxosMsg::P2a { ballot, slot, cmds, commit_upto } => {
+            PaxosMsg::P2a {
+                ballot,
+                slot,
+                cmds,
+                commit_upto,
+            } => {
                 if ballot >= self.ballot {
                     if ballot > self.ballot {
                         self.ballot = ballot;
@@ -655,13 +968,23 @@ impl Replica for MultiPaxos {
                     // leader counts this vote toward a commit, the accepted
                     // batch must survive any crash here. One record, one
                     // fsync, however many commands the batch carries.
-                    self.persist(&PaxosWal::Accept { slot, ballot, cmds: cmds.clone() });
-                    let mut quorum = CountQuorum::new(self.q2_size());
+                    self.persist(&PaxosWal::Accept {
+                        slot,
+                        ballot,
+                        cmds: cmds.clone(),
+                    });
+                    let mut quorum = CountQuorum::new(self.q2_size_at(slot));
                     quorum.ack(ballot.id);
                     quorum.ack(self.id);
+                    self.note_config(slot, &cmds);
                     self.log.insert(
                         slot,
-                        Entry { ballot, cmds, quorum, committed: slot < commit_upto },
+                        Entry {
+                            ballot,
+                            cmds,
+                            quorum,
+                            committed: slot < commit_upto,
+                        },
                     );
                     // Piggybacked phase-3: everything below commit_upto is
                     // committed (incremental scan from the last mark).
@@ -669,11 +992,22 @@ impl Replica for MultiPaxos {
                     self.maybe_commit(ctx);
                     ctx.send(from, PaxosMsg::P2b { ballot, slot });
                 } else {
-                    ctx.send(from, PaxosMsg::Nack { ballot: self.ballot });
+                    ctx.send(
+                        from,
+                        PaxosMsg::Nack {
+                            ballot: self.ballot,
+                        },
+                    );
                 }
             }
             PaxosMsg::P2b { ballot, slot } => {
                 if self.active && ballot == self.ballot {
+                    // Acks only count from the members governing the slot:
+                    // a removed node still accepting as a learner must not
+                    // pollute the quorum.
+                    if !self.members_at(slot).contains(&from) {
+                        return;
+                    }
                     if let Some(e) = self.log.get_mut(&slot) {
                         if e.ballot == ballot {
                             e.quorum.ack(from);
@@ -704,7 +1038,11 @@ impl Replica for MultiPaxos {
 
     fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<PaxosMsg>) {
         if self.active {
-            self.propose(req, ctx);
+            if let Some(change) = membership::as_config_change(&req.cmd) {
+                self.handle_reconfig(req, change, ctx);
+            } else {
+                self.propose(req, ctx);
+            }
         } else if let Some(leader) = self.leader_hint {
             if leader == self.id {
                 self.pending.push(req);
@@ -749,7 +1087,9 @@ impl Replica for MultiPaxos {
                         }
                     }
                     self.heartbeat_head = self.commit_upto;
-                    ctx.broadcast(PaxosMsg::Commit { upto: self.commit_upto });
+                    ctx.broadcast(PaxosMsg::Commit {
+                        upto: self.commit_upto,
+                    });
                     ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
                 }
             }
@@ -770,6 +1110,7 @@ impl Replica for MultiPaxos {
                 }
                 let now = ctx.now();
                 if !self.active
+                    && self.members_at(self.next_slot).contains(&self.id)
                     && now.saturating_sub(self.last_leader_contact) >= self.cfg.election_timeout
                 {
                     self.start_phase1(ctx);
@@ -822,6 +1163,26 @@ impl Replica for MultiPaxos {
     fn leader_hint(&self) -> Option<NodeId> {
         self.leader_hint
     }
+
+    /// The union of the configuration governing the proposal frontier and
+    /// every configuration still inside its α window — a joining node needs
+    /// its peer links *before* its config takes effect.
+    fn current_members(&self) -> Option<Vec<NodeId>> {
+        let governing = self
+            .configs
+            .range(..=self.next_slot)
+            .next_back()
+            .map(|(k, _)| *k)
+            .unwrap_or(0);
+        let mut v: Vec<NodeId> = self
+            .configs
+            .range(governing..)
+            .flat_map(|(_, (_, m))| m.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        Some(v)
+    }
 }
 
 /// Convenience factory for a homogeneous MultiPaxos cluster.
@@ -840,7 +1201,10 @@ mod tests {
         let cluster = ClusterConfig::lan(n);
         let setups = ClientSetup::closed_per_zone(&cluster, clients);
         Simulator::new(
-            SimConfig { record_ops: true, ..SimConfig::default() },
+            SimConfig {
+                record_ops: true,
+                ..SimConfig::default()
+            },
             cluster.clone(),
             paxos_cluster(cluster, cfg),
             paxi_sim::client::uniform_workload(100),
@@ -888,7 +1252,11 @@ mod tests {
                 let a = reference.history(key);
                 let b = s.history(key);
                 let common = a.len().min(b.len());
-                assert_eq!(&a[..common], &b[..common], "divergent history for key {key}");
+                assert_eq!(
+                    &a[..common],
+                    &b[..common],
+                    "divergent history for key {key}"
+                );
             }
         }
     }
@@ -928,13 +1296,17 @@ mod tests {
             cluster.clone(),
             paxos_cluster(
                 cluster,
-                PaxosConfig { election_timeout: Nanos::millis(300), ..PaxosConfig::default() },
+                PaxosConfig {
+                    election_timeout: Nanos::millis(300),
+                    ..PaxosConfig::default()
+                },
             ),
             paxi_sim::client::uniform_workload(100),
             setups,
         );
         // Kill the initial leader at t=1s for the rest of the run.
-        sim.faults_mut().crash(NodeId::new(0, 0), Nanos::secs(1), Nanos::secs(30));
+        sim.faults_mut()
+            .crash(NodeId::new(0, 0), Nanos::secs(1), Nanos::secs(30));
         let report = sim.run();
         // Progress resumed after the election: completions exist late in the run.
         let late = report
@@ -943,7 +1315,11 @@ mod tests {
             .filter(|(t, _)| *t > Nanos::secs(2))
             .map(|(_, c)| *c)
             .sum::<u64>();
-        assert!(late > 100, "no post-failover progress: {late} (timeline {:?})", report.timeline);
+        assert!(
+            late > 100,
+            "no post-failover progress: {late} (timeline {:?})",
+            report.timeline
+        );
     }
 
     #[test]
@@ -974,7 +1350,12 @@ mod tests {
         // Pick a few acknowledged writes; their values must be in the
         // replicated history of the leader's store.
         let mut checked = 0;
-        for op in report.ops.iter().filter(|o| o.ok && o.write.is_some()).take(20) {
+        for op in report
+            .ops
+            .iter()
+            .filter(|o| o.ok && o.write.is_some())
+            .take(20)
+        {
             let hist = store.history(op.key);
             let v = op.write.as_ref().unwrap();
             assert!(
@@ -1031,12 +1412,18 @@ mod tests {
     }
 
     fn probe(id: NodeId) -> Probe {
-        Probe { id, sent: Vec::new() }
+        Probe {
+            id,
+            sent: Vec::new(),
+        }
     }
 
     fn durable_follower(hub: &paxi_storage::MemHub<u32>) -> MultiPaxos {
-        let mut r =
-            MultiPaxos::new(NodeId::new(0, 1), ClusterConfig::lan(3), PaxosConfig::default());
+        let mut r = MultiPaxos::new(
+            NodeId::new(0, 1),
+            ClusterConfig::lan(3),
+            PaxosConfig::default(),
+        );
         r.attach_storage(Box::new(hub.open(1)));
         r
     }
@@ -1049,14 +1436,25 @@ mod tests {
         let mut ctx = probe(id);
         r.on_start(&mut ctx);
         let ballot = r.current_ballot();
-        r.on_message(NodeId::new(0, 1), PaxosMsg::P1b { ballot, tail: vec![] }, &mut ctx);
+        r.on_message(
+            NodeId::new(0, 1),
+            PaxosMsg::P1b {
+                ballot,
+                tail: vec![],
+                commit_upto: 0,
+            },
+            &mut ctx,
+        );
         assert!(r.is_leader());
         ctx.sent.clear();
         (r, ctx)
     }
 
     fn request(seq: u64) -> ClientRequest {
-        ClientRequest { id: RequestId::new(ClientId(1), seq), cmd: Command::put(seq, vec![1]) }
+        ClientRequest {
+            id: RequestId::new(ClientId(1), seq),
+            cmd: Command::put(seq, vec![1]),
+        }
     }
 
     fn p2a_batches(sent: &[(Option<NodeId>, PaxosMsg)]) -> Vec<&SlotCmds> {
@@ -1075,7 +1473,11 @@ mod tests {
             r.on_request(request(seq), &mut ctx);
         }
         let batches = p2a_batches(&ctx.sent);
-        assert_eq!(batches.len(), 1, "4 commands, max_batch 4: exactly one phase-2 round");
+        assert_eq!(
+            batches.len(),
+            1,
+            "4 commands, max_batch 4: exactly one phase-2 round"
+        );
         assert_eq!(batches[0].len(), 4);
         // Order preserved within the batch.
         for (i, (cmd, req)) in batches[0].iter().enumerate() {
@@ -1089,7 +1491,10 @@ mod tests {
         let (mut r, mut ctx) = probe_leader(PaxosConfig::batched(4));
         r.on_request(request(0), &mut ctx);
         r.on_request(request(1), &mut ctx);
-        assert!(p2a_batches(&ctx.sent).is_empty(), "partial batch must wait for the hold-down");
+        assert!(
+            p2a_batches(&ctx.sent).is_empty(),
+            "partial batch must wait for the hold-down"
+        );
         // Probe's set_timer always returns token 0.
         r.on_timer(TIMER_BATCH, 0, &mut ctx);
         let batches = p2a_batches(&ctx.sent);
@@ -1107,7 +1512,11 @@ mod tests {
             r.on_request(request(seq), &mut ctx);
         }
         let batches = p2a_batches(&ctx.sent);
-        assert_eq!(batches.len(), 3, "max_batch = 1: one P2a per command, no buffering");
+        assert_eq!(
+            batches.len(),
+            3,
+            "max_batch = 1: one P2a per command, no buffering"
+        );
         assert!(batches.iter().all(|b| b.len() == 1));
     }
 
@@ -1118,8 +1527,14 @@ mod tests {
         r.on_request(request(1), &mut ctx);
         // A higher ballot arrives: step down; the buffered commands must not
         // be lost (they re-enter the pending queue).
-        let usurper = Ballot::default().next(NodeId::new(0, 2)).next(NodeId::new(0, 2));
-        r.on_message(NodeId::new(0, 2), PaxosMsg::P1a { ballot: usurper }, &mut ctx);
+        let usurper = Ballot::default()
+            .next(NodeId::new(0, 2))
+            .next(NodeId::new(0, 2));
+        r.on_message(
+            NodeId::new(0, 2),
+            PaxosMsg::P1a { ballot: usurper },
+            &mut ctx,
+        );
         assert!(!r.is_leader());
         assert_eq!(r.pending.len(), 2, "aborted batch folds back into pending");
         assert!(r.batch_buf.is_empty());
@@ -1138,7 +1553,11 @@ mod tests {
                 let a = reference.history(key);
                 let b = s.history(key);
                 let common = a.len().min(b.len());
-                assert_eq!(&a[..common], &b[..common], "divergent history for key {key}");
+                assert_eq!(
+                    &a[..common],
+                    &b[..common],
+                    "divergent history for key {key}"
+                );
             }
         }
     }
@@ -1211,9 +1630,19 @@ mod tests {
         assert_eq!(r2.current_ballot(), ballot);
         assert_eq!(r2.store().unwrap().executed(), COMPACT_EVERY);
         let tail = r2.uncommitted_tail();
-        assert_eq!(tail.len(), 1, "the accepted tail must survive the compaction crash");
+        assert_eq!(
+            tail.len(),
+            1,
+            "the accepted tail must survive the compaction crash"
+        );
         assert_eq!(tail[0].0, COMPACT_EVERY);
-        assert_eq!(tail[0].2, vec![(Command::put(COMPACT_EVERY % 8, vec![COMPACT_EVERY as u8]), None)]);
+        assert_eq!(
+            tail[0].2,
+            vec![(
+                Command::put(COMPACT_EVERY % 8, vec![COMPACT_EVERY as u8]),
+                None
+            )]
+        );
     }
 
     #[test]
@@ -1259,5 +1688,210 @@ mod tests {
                 "recovered history diverges on key {key}"
             );
         }
+    }
+
+    fn reconfig_request(seq: u64, change: ConfigChange) -> ClientRequest {
+        ClientRequest {
+            id: RequestId::new(ClientId(9), seq),
+            cmd: membership::reconfig_command(&change),
+        }
+    }
+
+    #[test]
+    fn reconfig_rides_the_log_and_activates_after_alpha() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::default());
+        let n2 = NodeId::new(0, 2);
+        r.on_request(
+            reconfig_request(0, ConfigChange::remove(vec![n2])),
+            &mut ctx,
+        );
+        // The config is chosen in slot 0 but governs only from slot α = 4:
+        // the epoch advances immediately, the member set does not.
+        assert_eq!(r.config_epoch(), 1);
+        assert_eq!(
+            r.members().len(),
+            3,
+            "inside the α window the old config still governs"
+        );
+        assert_eq!(
+            p2a_batches(&ctx.sent).len(),
+            1,
+            "the config entry gets its own slot"
+        );
+        for seq in 0..3 {
+            r.on_request(request(seq), &mut ctx);
+        }
+        assert_eq!(r.members(), vec![NodeId::new(0, 0), NodeId::new(0, 1)]);
+        // Commit everything: the removed node's acks must not be needed.
+        let ballot = r.current_ballot();
+        for slot in 0..4 {
+            r.on_message(NodeId::new(0, 1), PaxosMsg::P2b { ballot, slot }, &mut ctx);
+        }
+        assert_eq!(r.commit_upto, 4);
+    }
+
+    #[test]
+    fn removed_acceptor_acks_never_count_after_cut_over() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::default());
+        let n1 = NodeId::new(0, 1);
+        let n2 = NodeId::new(0, 2);
+        r.on_request(
+            reconfig_request(0, ConfigChange::remove(vec![n2])),
+            &mut ctx,
+        );
+        for seq in 0..4 {
+            r.on_request(request(seq), &mut ctx);
+        }
+        let ballot = r.current_ballot();
+        // Slot 4 is governed by the 2-member config; the removed node's
+        // learner ack must not commit it.
+        r.on_message(n2, PaxosMsg::P2b { ballot, slot: 4 }, &mut ctx);
+        assert_eq!(r.commit_upto, 0, "outsider ack polluted the quorum");
+        for slot in 0..5 {
+            r.on_message(n1, PaxosMsg::P2b { ballot, slot }, &mut ctx);
+        }
+        assert_eq!(r.commit_upto, 5);
+    }
+
+    #[test]
+    fn excluded_leader_steps_down_after_cut_over() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::default());
+        let me = NodeId::new(0, 0);
+        r.on_request(
+            reconfig_request(0, ConfigChange::remove(vec![me])),
+            &mut ctx,
+        );
+        let ballot = r.current_ballot();
+        // Inside the window the deposed-to-be leader keeps driving slots.
+        for seq in 0..3 {
+            r.on_request(request(seq), &mut ctx);
+            assert!(r.is_leader());
+        }
+        for slot in 0..4 {
+            r.on_message(NodeId::new(0, 1), PaxosMsg::P2b { ballot, slot }, &mut ctx);
+        }
+        assert!(
+            !r.is_leader(),
+            "committed + effective exclusion must depose the leader"
+        );
+        // The farewell is a final commit flush so survivors learn slot 3.
+        let farewell = ctx.sent.iter().rev().find_map(|(_, m)| match m {
+            PaxosMsg::Commit { upto } => Some(*upto),
+            _ => None,
+        });
+        assert_eq!(farewell, Some(4));
+    }
+
+    #[test]
+    fn noop_reconfig_answers_without_a_slot() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::default());
+        let change = ConfigChange {
+            add: vec![NodeId::new(1, 0)],
+            remove: vec![NodeId::new(1, 0)],
+        };
+        r.on_request(reconfig_request(0, change), &mut ctx);
+        assert_eq!(r.config_epoch(), 0);
+        assert!(
+            p2a_batches(&ctx.sent).is_empty(),
+            "a no-op change must not spend a slot"
+        );
+        assert_eq!(r.next_slot, 0);
+    }
+
+    #[test]
+    fn removed_node_never_campaigns() {
+        let me = NodeId::new(0, 2);
+        let mut r = MultiPaxos::new(
+            me,
+            ClusterConfig::lan(3),
+            PaxosConfig {
+                election_timeout: Nanos::ZERO,
+                ..PaxosConfig::default()
+            },
+        );
+        let mut ctx = probe(me);
+        r.on_start(&mut ctx);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let gone = Membership::Stable {
+            epoch: 1,
+            members: vec![NodeId::new(0, 0), NodeId::new(0, 1)],
+        };
+        for slot in 0..5 {
+            let cmd = if slot == 0 {
+                membership::membership_command(&gone)
+            } else {
+                Command::put(slot, vec![1])
+            };
+            r.on_message(
+                leader,
+                PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    cmds: vec![(cmd, None)],
+                    commit_upto: slot,
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(r.members(), vec![NodeId::new(0, 0), NodeId::new(0, 1)]);
+        ctx.sent.clear();
+        // Election timeout of zero: the timer condition holds, only the
+        // membership gate can stop the campaign.
+        r.on_timer(TIMER_ELECTION, 0, &mut ctx);
+        assert!(!r.is_leader());
+        assert!(
+            !ctx.sent
+                .iter()
+                .any(|(_, m)| matches!(m, PaxosMsg::P1a { .. })),
+            "a removed node must stay a quiet learner"
+        );
+    }
+
+    #[test]
+    fn config_survives_amnesia_never_recovering_the_old_one() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(NodeId::new(0, 1));
+        let next = Membership::Stable {
+            epoch: 1,
+            members: vec![NodeId::new(0, 0), NodeId::new(0, 1)],
+        };
+        for slot in 0..5 {
+            let cmd = if slot == 0 {
+                membership::membership_command(&next)
+            } else {
+                Command::put(slot, vec![1])
+            };
+            r.on_message(
+                leader,
+                PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    cmds: vec![(cmd, None)],
+                    commit_upto: slot,
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(r.config_epoch(), 1);
+        // Amnesia: the rebuilt replica must come up in the new config —
+        // never the pre-transition 3-member one.
+        drop(r);
+        hub.crash(&1);
+        let r2 = durable_follower(&hub);
+        assert_eq!(
+            r2.config_epoch(),
+            1,
+            "the chosen config must survive the crash"
+        );
+        assert_eq!(
+            r2.members(),
+            vec![NodeId::new(0, 0), NodeId::new(0, 1)],
+            "recovery resurrected the old configuration"
+        );
     }
 }

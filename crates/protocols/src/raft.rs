@@ -6,15 +6,24 @@
 //! the same leader-bottleneck throughput. This is a from-scratch Raft with
 //! terms, randomized election timeouts, log replication via AppendEntries
 //! (with consistency check and conflict truncation), and the
-//! commit-only-current-term rule. Snapshots and membership changes are out of
-//! scope, matching the paper's benchmark configuration (persistent logging
-//! and snapshots disabled in etcd).
+//! commit-only-current-term rule. Snapshots stay out of scope (persistent
+//! logging and snapshots are disabled in etcd for the paper's benchmarks),
+//! but membership changes are implemented as Raft joint consensus: a
+//! C_old,new log entry switches the node to dual-majority rules the moment
+//! it is *appended*, the committed joint entry triggers the C_new entry,
+//! and a leader excluded by the committed new configuration hands off and
+//! steps down. Configuration entries ride the log as ordinary commands on
+//! the reserved [`paxi_core::membership::CONFIG_KEY`], so the existing
+//! splice WAL records make every transition crash-survivable — a node
+//! restarting mid-transition rescans its recovered log and rejoins in the
+//! joint or new configuration, never the old one.
 
 use paxi_core::command::{ClientRequest, ClientResponse, Command};
 use paxi_core::config::{BatchConfig, ClusterConfig};
 use paxi_core::id::{NodeId, RequestId};
+use paxi_core::membership::{self, ConfigChange, JointQuorum, Membership, CONFIG_KEY};
 use paxi_core::obs::{Metric, TraceStage};
-use paxi_core::quorum::majority;
+use paxi_core::quorum::{majority, QuorumTracker};
 use paxi_core::store::MultiVersionStore;
 use paxi_core::time::Nanos;
 use paxi_core::traits::{Context, Replica};
@@ -46,6 +55,11 @@ pub struct RaftConfig {
     /// `max_batch = 1` (the default) is behaviorally identical to unbatched
     /// operation.
     pub batch: BatchConfig,
+    /// The initial voting membership. `None` (the default) means every node
+    /// of the cluster universe votes — the static-membership behavior. A
+    /// subset turns the remaining universe nodes into passive learners that
+    /// can later be added via a [`ConfigChange`].
+    pub initial_members: Option<Vec<NodeId>>,
 }
 
 impl Default for RaftConfig {
@@ -55,6 +69,7 @@ impl Default for RaftConfig {
             heartbeat: Nanos::millis(20),
             preferred_leader: Some(NodeId::new(0, 0)),
             batch: BatchConfig::default(),
+            initial_members: None,
         }
     }
 }
@@ -62,7 +77,10 @@ impl Default for RaftConfig {
 impl RaftConfig {
     /// Configuration with command batching of up to `max_batch` per append.
     pub fn batched(max_batch: usize) -> Self {
-        RaftConfig { batch: BatchConfig::of(max_batch), ..Default::default() }
+        RaftConfig {
+            batch: BatchConfig::of(max_batch),
+            ..Default::default()
+        }
     }
 }
 
@@ -153,6 +171,18 @@ pub enum RaftWal {
         /// The spliced entries.
         entries: Vec<RaftEntry>,
     },
+    /// A membership adoption: the configuration carried by the log entry at
+    /// `index` became this node's active configuration. Written right after
+    /// the splice record that introduced (or truncated away) the config
+    /// entry, so activation is crash-atomic with the log mutation — replay
+    /// lands in exactly the configuration the live node was using.
+    Membership {
+        /// Log index of the adopted configuration entry (0 = the initial
+        /// configuration, after a truncation removed every config entry).
+        index: u64,
+        /// The adopted configuration.
+        membership: Membership,
+    },
 }
 
 /// The checkpoint Raft installs when compacting its WAL. The whole log is
@@ -179,7 +209,19 @@ pub struct Raft {
     role: Role,
     term: u64,
     voted_for: Option<NodeId>,
-    votes: usize,
+    votes: JointQuorum,
+    /// The epoch-0 voting membership, used when the log holds no config
+    /// entry (and re-adopted if truncation removes every config entry).
+    initial_members: Vec<NodeId>,
+    /// The active configuration: the *latest* config entry in the log
+    /// (committed or not, per Raft's adopt-on-append rule), or the initial
+    /// membership.
+    membership: Membership,
+    /// Log index of the entry `membership` was adopted from (0 = initial).
+    membership_index: u64,
+    /// A reconfiguration request waiting for the in-flight transition to
+    /// finish (one config change at a time).
+    pending_reconfig: Option<ClientRequest>,
     // Log is 1-indexed: log[0] is a sentinel.
     log: Vec<RaftEntry>,
     commit: u64,
@@ -209,7 +251,16 @@ pub struct Raft {
 impl Raft {
     /// Creates a replica for node `id` in `cluster`.
     pub fn new(id: NodeId, cluster: ClusterConfig, cfg: RaftConfig) -> Self {
-        let peers = cluster.all_nodes().into_iter().filter(|&p| p != id).collect();
+        let initial_members = cfg
+            .initial_members
+            .clone()
+            .unwrap_or_else(|| cluster.all_nodes());
+        let membership = Membership::initial(initial_members.clone());
+        let peers = membership
+            .voters()
+            .into_iter()
+            .filter(|&p| p != id)
+            .collect();
         Raft {
             id,
             cluster,
@@ -218,8 +269,16 @@ impl Raft {
             role: Role::Follower,
             term: 0,
             voted_for: None,
-            votes: 0,
-            log: vec![RaftEntry { term: 0, cmd: Command::get(0), req: None }],
+            votes: JointQuorum::of(&membership),
+            initial_members,
+            membership,
+            membership_index: 0,
+            pending_reconfig: None,
+            log: vec![RaftEntry {
+                term: 0,
+                cmd: Command::get(0),
+                req: None,
+            }],
             commit: 0,
             applied: 0,
             next_index: HashMap::new(),
@@ -267,8 +326,11 @@ impl Raft {
 
     /// Snapshot-plus-truncate: replaces the WAL with one checkpoint record.
     fn checkpoint(&mut self) {
-        let snap =
-            RaftCheckpoint { term: self.term, voted_for: self.voted_for, log: self.log.clone() };
+        let snap = RaftCheckpoint {
+            term: self.term,
+            voted_for: self.voted_for,
+            log: self.log.clone(),
+        };
         let bytes = paxi_codec::to_bytes(&snap).expect("raft checkpoint must encode");
         self.wal
             .as_mut()
@@ -282,7 +344,10 @@ impl Raft {
     /// updates `term`/`voted_for` before calling, so the in-memory state
     /// already reflects the record and checkpointing here is safe.
     fn persist_term(&mut self) {
-        self.persist(&RaftWal::Term { term: self.term, voted_for: self.voted_for });
+        self.persist(&RaftWal::Term {
+            term: self.term,
+            voted_for: self.voted_for,
+        });
         self.maybe_checkpoint();
     }
 
@@ -296,6 +361,22 @@ impl Raft {
         self.term
     }
 
+    /// The active configuration (latest config entry in the log, committed
+    /// or not, per Raft's adopt-on-append rule).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Every node with a vote in the active configuration.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.membership.voters()
+    }
+
+    /// Epoch of the active configuration (0 = initial).
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
     fn last_index(&self) -> u64 {
         (self.log.len() - 1) as u64
     }
@@ -306,7 +387,8 @@ impl Raft {
 
     fn arm_election_timer(&mut self, ctx: &mut dyn Context<RaftMsg>) {
         let jitter = ctx.rand_u64() % self.cfg.election_timeout.0.max(1);
-        self.election_token = ctx.set_timer(self.cfg.election_timeout + Nanos(jitter), TIMER_ELECTION);
+        self.election_token =
+            ctx.set_timer(self.cfg.election_timeout + Nanos(jitter), TIMER_ELECTION);
     }
 
     fn step_down(&mut self, term: u64, ctx: &mut dyn Context<RaftMsg>) {
@@ -315,12 +397,33 @@ impl Raft {
         self.role = Role::Follower;
         self.voted_for = None;
         self.persist_term();
-        self.votes = 0;
+        self.votes.reset();
         self.last_contact = ctx.now();
         self.abort_batch();
+        if let Some(req) = self.pending_reconfig.take() {
+            self.pending.push(req);
+        }
         if was_leader {
             self.arm_election_timer(ctx);
         }
+    }
+
+    /// Leadership hand-off after committing a configuration that excludes
+    /// this node. Unlike [`Raft::step_down`] the term does not change (so
+    /// the durable vote for this term stays intact — resetting it would
+    /// allow a second vote in the same term) and the node simply becomes a
+    /// passive follower: the election gate keeps a non-member from ever
+    /// campaigning again.
+    fn retire(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.votes.reset();
+        self.last_contact = ctx.now();
+        self.abort_batch();
+        if let Some(req) = self.pending_reconfig.take() {
+            self.pending.push(req);
+        }
+        self.arm_election_timer(ctx);
     }
 
     /// Folds a not-yet-appended batch back into the pending queue — called
@@ -332,22 +435,44 @@ impl Raft {
     }
 
     fn start_election(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        if !self.membership.contains(self.id) {
+            // Non-voters (not-yet-added learners, removed nodes) never
+            // campaign — a departed node cannot disrupt the new cluster.
+            return;
+        }
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);
         // The self-vote counts toward the majority the moment the candidacy
         // is announced, so it must hit the disk first.
         self.persist_term();
-        self.votes = 1;
-        if self.votes >= majority(self.cluster.n()) {
+        // A joint configuration elects with a majority of *both* member
+        // sets (the dual-quorum rule); a stable one with a plain majority.
+        self.votes = JointQuorum::of(&self.membership);
+        self.votes.ack(self.id);
+        if self.votes.satisfied() {
             self.become_leader(ctx);
             return;
         }
-        ctx.broadcast(RaftMsg::RequestVote {
-            term: self.term,
-            last_log_index: self.last_index(),
-            last_log_term: self.last_term(),
-        });
+        self.cast(
+            ctx,
+            RaftMsg::RequestVote {
+                term: self.term,
+                last_log_index: self.last_index(),
+                last_log_term: self.last_term(),
+            },
+        );
+    }
+
+    /// Sends `msg` to every voting peer: a true broadcast when the voters
+    /// span the whole cluster universe (bit-identical to the static-
+    /// membership build), a multicast to the voter subset otherwise.
+    fn cast(&self, ctx: &mut dyn Context<RaftMsg>, msg: RaftMsg) {
+        if self.peers.len() + 1 >= self.cluster.n() {
+            ctx.broadcast(msg);
+        } else {
+            ctx.multicast(&self.peers, msg);
+        }
     }
 
     fn become_leader(&mut self, ctx: &mut dyn Context<RaftMsg>) {
@@ -357,7 +482,11 @@ impl Raft {
         // the current term via counting (§5.4.2), so without this a quiet
         // leader could never commit inherited entries — wedging the clients
         // waiting on them.
-        let noop = RaftEntry { term: self.term, cmd: Command::get(0), req: None };
+        let noop = RaftEntry {
+            term: self.term,
+            cmd: Command::get(0),
+            req: None,
+        };
         self.splice(self.last_index(), vec![noop]);
         let next = self.last_index() + 1;
         for &p in &self.peers {
@@ -408,7 +537,11 @@ impl Raft {
         let prev_term = self.last_term();
         let entries: Vec<RaftEntry> = reqs
             .into_iter()
-            .map(|req| RaftEntry { term: self.term, cmd: req.cmd, req: Some(req.id) })
+            .map(|req| RaftEntry {
+                term: self.term,
+                cmd: req.cmd,
+                req: Some(req.id),
+            })
             .collect();
         self.splice(prev_index, entries.clone());
         ctx.broadcast(RaftMsg::AppendEntries {
@@ -440,7 +573,10 @@ impl Raft {
     /// sends makes the leader count these entries as replicated here.
     fn splice(&mut self, prev_index: u64, entries: Vec<RaftEntry>) -> u64 {
         if !entries.is_empty() {
-            self.persist(&RaftWal::Splice { prev_index, entries: entries.clone() });
+            self.persist(&RaftWal::Splice {
+                prev_index,
+                entries: entries.clone(),
+            });
         }
         let match_index = self.apply_splice(prev_index, entries);
         // Checkpoint only now that the log contains the spliced entries.
@@ -449,11 +585,20 @@ impl Raft {
     }
 
     /// The pure splice body, shared by the live path and WAL replay.
+    /// Membership adoption happens here — on *append*, not commit, per the
+    /// Raft rule — so a recovered log replays into exactly the joint or new
+    /// configuration the live node was using.
     fn apply_splice(&mut self, prev_index: u64, entries: Vec<RaftEntry>) -> u64 {
+        let mut config_touched = entries.iter().any(|e| e.cmd.key == CONFIG_KEY);
         let mut idx = prev_index as usize + 1;
         for e in entries {
             if idx < self.log.len() {
                 if self.log[idx].term != e.term {
+                    if (idx as u64) <= self.membership_index {
+                        // Truncation swallowed the adopted config entry:
+                        // fall back to the latest surviving one.
+                        config_touched = true;
+                    }
                     self.log.truncate(idx);
                     self.log.push(e);
                 }
@@ -462,7 +607,62 @@ impl Raft {
             }
             idx += 1;
         }
+        if config_touched {
+            self.rescan_membership();
+        }
         (idx - 1) as u64
+    }
+
+    /// Re-derives the active configuration from the log: the latest config
+    /// entry wins; a log without one falls back to the initial membership.
+    /// Persists the adoption (crash-atomic with the splice that caused it)
+    /// and refreshes the peer set.
+    fn rescan_membership(&mut self) {
+        let mut found: Option<(u64, Membership)> = None;
+        for idx in (1..self.log.len()).rev() {
+            if self.log[idx].cmd.key != CONFIG_KEY {
+                continue;
+            }
+            if let Some(m) = membership::as_membership(&self.log[idx].cmd) {
+                found = Some((idx as u64, m));
+                break;
+            }
+        }
+        let (index, m) =
+            found.unwrap_or_else(|| (0, Membership::initial(self.initial_members.clone())));
+        if index == self.membership_index && m == self.membership {
+            return;
+        }
+        self.membership_index = index;
+        self.membership = m;
+        self.persist(&RaftWal::Membership {
+            index,
+            membership: self.membership.clone(),
+        });
+        self.refresh_peers();
+    }
+
+    /// Rebuilds the peer list from the active configuration's voters. A
+    /// leader seeds replication state for newly added peers (their first
+    /// nack's fast-backoff hint walks `next_index` to wherever their log
+    /// actually ends, then bounded repair batches catch them up).
+    fn refresh_peers(&mut self) {
+        self.peers = self
+            .membership
+            .voters()
+            .into_iter()
+            .filter(|&p| p != self.id)
+            .collect();
+        if self.role == Role::Leader {
+            let seed_next = self.last_index().max(1);
+            for &p in &self.peers {
+                self.next_index.entry(p).or_insert(seed_next);
+                self.match_index.entry(p).or_insert(0);
+            }
+        }
+        let peers = &self.peers;
+        self.next_index.retain(|k, _| peers.contains(k));
+        self.match_index.retain(|k, _| peers.contains(k));
     }
 
     /// Sends a bounded catch-up batch to one straggler.
@@ -497,7 +697,11 @@ impl Raft {
             });
         for (ni, peers) in groups {
             let prev_index = ni - 1;
-            let prev_term = self.log.get(prev_index as usize).map(|e| e.term).unwrap_or(0);
+            let prev_term = self
+                .log
+                .get(prev_index as usize)
+                .map(|e| e.term)
+                .unwrap_or(0);
             let start = (ni as usize).min(self.log.len());
             let end = (start + REPAIR_BATCH).min(self.log.len());
             let entries: Vec<RaftEntry> = self.log[start..end].to_vec();
@@ -516,14 +720,39 @@ impl Raft {
         }
     }
 
+    /// The index replicated on a majority of *every* member set of the
+    /// active configuration — the joint-consensus commit rule. For a stable
+    /// configuration spanning the whole universe this is exactly the
+    /// classic single-majority computation.
+    fn quorum_commit_floor(&self) -> u64 {
+        let mut floor = u64::MAX;
+        for set in self.membership.member_sets() {
+            let mut matches: Vec<u64> = set
+                .iter()
+                .map(|&p| {
+                    if p == self.id {
+                        self.last_index()
+                    } else {
+                        *self.match_index.get(&p).unwrap_or(&0)
+                    }
+                })
+                .collect();
+            matches.sort_unstable_by(|a, b| b.cmp(a));
+            let need = majority(set.len().max(1));
+            floor = floor.min(matches.get(need - 1).copied().unwrap_or(0));
+        }
+        if floor == u64::MAX {
+            0
+        } else {
+            floor
+        }
+    }
+
     fn advance_commit(&mut self, ctx: &mut dyn Context<RaftMsg>) {
         if self.role != Role::Leader {
             return;
         }
-        let mut matches: Vec<u64> = self.peers.iter().map(|p| self.match_index[p]).collect();
-        matches.push(self.last_index());
-        matches.sort_unstable_by(|a, b| b.cmp(a));
-        let quorum_match = matches[majority(self.cluster.n()) - 1];
+        let quorum_match = self.quorum_commit_floor();
         // Only commit entries from the current term (Raft §5.4.2).
         if quorum_match > self.commit
             && self.log.get(quorum_match as usize).map(|e| e.term) == Some(self.term)
@@ -538,14 +767,78 @@ impl Raft {
             }
         }
         self.apply(ctx);
+        self.maybe_advance_transition(ctx);
+    }
+
+    /// Drives the two-step joint-consensus transition from the leader side:
+    /// a *committed* C_old,new entry triggers the C_new entry, and a
+    /// committed stable configuration that excludes the leader makes it
+    /// hand off (one last commit-bearing heartbeat) and retire. Runs after
+    /// every commit advance, so a leader elected mid-transition finishes
+    /// the job its predecessor started.
+    fn maybe_advance_transition(&mut self, ctx: &mut dyn Context<RaftMsg>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        if self.membership_index > self.commit || self.membership_index == 0 {
+            return; // transition entry (if any) not yet committed
+        }
+        if self.membership.is_joint() {
+            let stable = self.membership.to_stable();
+            let prev_index = self.last_index();
+            let prev_term = self.last_term();
+            let entries = vec![RaftEntry {
+                term: self.term,
+                cmd: membership::membership_command(&stable),
+                req: None,
+            }];
+            self.splice(prev_index, entries.clone());
+            self.cast(
+                ctx,
+                RaftMsg::AppendEntries {
+                    term: self.term,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    commit: self.commit,
+                },
+            );
+            self.advance_commit(ctx); // single-node new config commits now
+        } else if !self.membership.contains(self.id) {
+            // The committed configuration excludes us: teach the commit
+            // index with a final heartbeat, then become a passive learner.
+            ctx.broadcast(RaftMsg::AppendEntries {
+                term: self.term,
+                prev_index: self.last_index(),
+                prev_term: self.last_term(),
+                entries: Vec::new(),
+                commit: self.commit,
+            });
+            self.retire(ctx);
+        } else if let Some(req) = self.pending_reconfig.take() {
+            // Transition complete and we still lead: admit the queued
+            // change.
+            self.on_request(req, ctx);
+        }
     }
 
     fn apply(&mut self, ctx: &mut dyn Context<RaftMsg>) {
         while self.applied < self.commit {
             self.applied += 1;
             let e = &self.log[self.applied as usize];
-            let value = self.store.execute(&e.cmd);
-            ctx.count(Metric::Executes, 1);
+            // Config entries act at append time, not execute time: they
+            // never touch the key-value store (the reserved key must not
+            // shadow application data), but the proposing leader still
+            // answers the client that requested the change.
+            let is_config = e.cmd.key == CONFIG_KEY;
+            let value = if is_config {
+                None
+            } else {
+                self.store.execute(&e.cmd)
+            };
+            if !is_config {
+                ctx.count(Metric::Executes, 1);
+            }
             if self.role == Role::Leader {
                 if let Some(id) = e.req {
                     ctx.trace(TraceStage::Execute, id);
@@ -553,6 +846,47 @@ impl Raft {
                 }
             }
         }
+    }
+
+    /// Leader-side handling of a client [`ConfigChange`]: resolves the
+    /// delta against the current membership and replicates the resulting
+    /// C_old,new entry (adopted on append, committed under dual majority).
+    /// No-op changes answer immediately without touching the log, so an
+    /// add-then-remove of the same node leaves the run bit-identical to a
+    /// static one. One transition at a time: a change arriving mid-flight
+    /// waits in `pending_reconfig` (or is rejected if that seat is taken).
+    fn handle_reconfig(
+        &mut self,
+        mut req: ClientRequest,
+        change: ConfigChange,
+        ctx: &mut dyn Context<RaftMsg>,
+    ) {
+        if self.membership.is_joint() || self.membership_index > self.commit {
+            if self.pending_reconfig.is_none() {
+                self.pending_reconfig = Some(req);
+            } else {
+                ctx.reply(ClientResponse::err(req.id));
+            }
+            return;
+        }
+        let members = self.membership.target().to_vec();
+        if change.is_noop_on(&members) {
+            ctx.reply(ClientResponse::ok(req.id, None));
+            return;
+        }
+        let new = change.apply(&members);
+        if new.is_empty() {
+            ctx.reply(ClientResponse::err(req.id));
+            return;
+        }
+        let joint = Membership::Joint {
+            epoch: self.membership.epoch() + 1,
+            old: members,
+            new,
+        };
+        req.cmd = membership::membership_command(&joint);
+        // Bypasses batching: a config entry gets its own append and fsync.
+        self.flush_entries(vec![req], ctx);
     }
 }
 
@@ -578,11 +912,23 @@ impl Replica for Raft {
                     self.term = term;
                     self.voted_for = voted_for;
                 }
-                RaftWal::Splice { prev_index, entries } => {
+                RaftWal::Splice {
+                    prev_index,
+                    entries,
+                } => {
                     self.apply_splice(prev_index, entries);
+                }
+                RaftWal::Membership { index, membership } => {
+                    self.membership_index = index;
+                    self.membership = membership;
                 }
             }
         }
+        // The log is the configuration's source of truth: one final rescan
+        // guarantees the recovered node wakes up in the latest (joint or
+        // new) configuration its durable log witnessed — never the old one.
+        self.rescan_membership();
+        self.refresh_peers();
         // Count the replayed records toward the next checkpoint, or a
         // replica that keeps crashing would grow its WAL without bound.
         self.wal_records = rec.records.len() as u64;
@@ -608,11 +954,16 @@ impl Replica for Raft {
 
     fn on_message(&mut self, from: NodeId, msg: RaftMsg, ctx: &mut dyn Context<RaftMsg>) {
         match msg {
-            RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
+            RaftMsg::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => {
                 if term > self.term {
                     self.step_down(term, ctx);
                 }
-                let up_to_date = (last_log_term, last_log_index) >= (self.last_term(), self.last_index());
+                let up_to_date =
+                    (last_log_term, last_log_index) >= (self.last_term(), self.last_index());
                 let grant = term == self.term
                     && up_to_date
                     && (self.voted_for.is_none() || self.voted_for == Some(from));
@@ -624,7 +975,13 @@ impl Replica for Raft {
                     self.persist_term();
                     self.last_contact = ctx.now();
                 }
-                ctx.send(from, RaftMsg::Vote { term: self.term, granted: grant });
+                ctx.send(
+                    from,
+                    RaftMsg::Vote {
+                        term: self.term,
+                        granted: grant,
+                    },
+                );
             }
             RaftMsg::Vote { term, granted } => {
                 if term > self.term {
@@ -632,18 +989,33 @@ impl Replica for Raft {
                     return;
                 }
                 if self.role == Role::Candidate && term == self.term && granted {
-                    self.votes += 1;
-                    if self.votes >= majority(self.cluster.n()) {
+                    // JointQuorum ignores acks from outside the member
+                    // sets, so a removed node's vote can never elect.
+                    self.votes.ack(from);
+                    if self.votes.satisfied() {
                         self.become_leader(ctx);
                     }
                 }
             }
-            RaftMsg::AppendEntries { term, prev_index, prev_term, entries, commit } => {
+            RaftMsg::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => {
                 if term > self.term || (term == self.term && self.role == Role::Candidate) {
                     self.step_down(term, ctx);
                 }
                 if term < self.term {
-                    ctx.send(from, RaftMsg::AppendAck { term: self.term, success: false, match_index: 0 });
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendAck {
+                            term: self.term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
                     return;
                 }
                 self.last_contact = ctx.now();
@@ -666,7 +1038,11 @@ impl Replica for Raft {
                     let hint = self.last_index().min(prev_index.saturating_sub(1));
                     ctx.send(
                         from,
-                        RaftMsg::AppendAck { term: self.term, success: false, match_index: hint },
+                        RaftMsg::AppendAck {
+                            term: self.term,
+                            success: false,
+                            match_index: hint,
+                        },
                     );
                     return;
                 }
@@ -676,7 +1052,9 @@ impl Replica for Raft {
                 let mut commit_hint = commit;
                 loop {
                     let last = self.last_index();
-                    let Some((p_term, _, _)) = self.stash.get(&last) else { break };
+                    let Some((p_term, _, _)) = self.stash.get(&last) else {
+                        break;
+                    };
                     if self.log[last as usize].term != *p_term {
                         break;
                     }
@@ -692,9 +1070,20 @@ impl Replica for Raft {
                     ctx.count(Metric::Commits, self.commit - before);
                 }
                 self.apply(ctx);
-                ctx.send(from, RaftMsg::AppendAck { term: self.term, success: true, match_index });
+                ctx.send(
+                    from,
+                    RaftMsg::AppendAck {
+                        term: self.term,
+                        success: true,
+                        match_index,
+                    },
+                );
             }
-            RaftMsg::AppendAck { term, success, match_index } => {
+            RaftMsg::AppendAck {
+                term,
+                success,
+                match_index,
+            } => {
                 if term > self.term {
                     self.step_down(term, ctx);
                     return;
@@ -703,7 +1092,13 @@ impl Replica for Raft {
                     return;
                 }
                 if success {
-                    let best = match_index.max(self.match_index[&from]);
+                    // Acks from nodes outside the replication set (learners
+                    // reached by a universe broadcast, just-removed peers)
+                    // carry no quorum weight and are dropped here.
+                    let Some(&prev) = self.match_index.get(&from) else {
+                        return;
+                    };
+                    let best = match_index.max(prev);
                     self.match_index.insert(from, best);
                     self.next_index.insert(from, best + 1);
                     self.advance_commit(ctx);
@@ -716,7 +1111,9 @@ impl Replica for Raft {
                     // Back off using the follower's hint and retry with a
                     // bounded batch (an unbounded suffix here turns jitter-
                     // induced reorders into O(log²) repair traffic).
-                    let ni = self.next_index.get_mut(&from).unwrap();
+                    let Some(ni) = self.next_index.get_mut(&from) else {
+                        return;
+                    };
                     *ni = (match_index + 1).min((*ni).saturating_sub(1)).max(1);
                     self.send_repair(from, ctx);
                 }
@@ -726,7 +1123,13 @@ impl Replica for Raft {
 
     fn on_request(&mut self, req: ClientRequest, ctx: &mut dyn Context<RaftMsg>) {
         match self.role {
-            Role::Leader => self.append_request(req, ctx),
+            Role::Leader => {
+                if let Some(change) = membership::as_config_change(&req.cmd) {
+                    self.handle_reconfig(req, change, ctx);
+                } else {
+                    self.append_request(req, ctx);
+                }
+            }
             _ => match self.leader_hint {
                 Some(l) if l != self.id => ctx.forward(l, req),
                 _ => self.pending.push(req),
@@ -811,6 +1214,12 @@ impl Replica for Raft {
     fn leader_hint(&self) -> Option<NodeId> {
         self.leader_hint
     }
+
+    /// The voters of the active configuration — the live runtimes poll this
+    /// after each event to add/remove peer links when a transition lands.
+    fn current_members(&self) -> Option<Vec<NodeId>> {
+        Some(self.membership.voters())
+    }
 }
 
 /// Convenience factory for a homogeneous Raft cluster.
@@ -827,7 +1236,10 @@ mod tests {
         let cluster = ClusterConfig::lan(n);
         let setups = ClientSetup::closed_per_zone(&cluster, clients);
         Simulator::new(
-            SimConfig { record_ops: true, ..SimConfig::default() },
+            SimConfig {
+                record_ops: true,
+                ..SimConfig::default()
+            },
             cluster.clone(),
             raft_cluster(cluster, cfg),
             paxi_sim::client::uniform_workload(100),
@@ -888,7 +1300,8 @@ mod tests {
             paxi_sim::client::uniform_workload(100),
             setups,
         );
-        sim.faults_mut().crash(NodeId::new(0, 0), Nanos::secs(1), Nanos::secs(30));
+        sim.faults_mut()
+            .crash(NodeId::new(0, 0), Nanos::secs(1), Nanos::secs(30));
         let report = sim.run();
         let late: u64 = report
             .timeline
@@ -940,7 +1353,11 @@ mod tests {
     }
 
     fn probe(id: NodeId) -> Probe {
-        Probe { id, sent: Vec::new(), replies: Vec::new() }
+        Probe {
+            id,
+            sent: Vec::new(),
+            replies: Vec::new(),
+        }
     }
 
     #[test]
@@ -949,12 +1366,20 @@ mod tests {
         let mut r = Raft::new(NodeId::new(0, 1), cluster, RaftConfig::default());
         // Give the voter a log entry at term 2.
         r.term = 2;
-        r.log.push(RaftEntry { term: 2, cmd: Command::get(1), req: None });
+        r.log.push(RaftEntry {
+            term: 2,
+            cmd: Command::get(1),
+            req: None,
+        });
         let mut ctx = probe(NodeId::new(0, 1));
         // Candidate with an older last-log term must be rejected.
         r.on_message(
             NodeId::new(0, 2),
-            RaftMsg::RequestVote { term: 3, last_log_index: 5, last_log_term: 1 },
+            RaftMsg::RequestVote {
+                term: 3,
+                last_log_index: 5,
+                last_log_term: 1,
+            },
             &mut ctx,
         );
         match &ctx.sent[0].1 {
@@ -964,7 +1389,11 @@ mod tests {
         // Candidate with an up-to-date log gets the vote.
         r.on_message(
             NodeId::new(0, 2),
-            RaftMsg::RequestVote { term: 3, last_log_index: 5, last_log_term: 2 },
+            RaftMsg::RequestVote {
+                term: 3,
+                last_log_index: 5,
+                last_log_term: 2,
+            },
             &mut ctx,
         );
         match &ctx.sent[1].1 {
@@ -980,12 +1409,20 @@ mod tests {
         let mut ctx = probe(NodeId::new(0, 1));
         r.on_message(
             NodeId::new(0, 0),
-            RaftMsg::RequestVote { term: 1, last_log_index: 0, last_log_term: 0 },
+            RaftMsg::RequestVote {
+                term: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
             &mut ctx,
         );
         r.on_message(
             NodeId::new(0, 2),
-            RaftMsg::RequestVote { term: 1, last_log_index: 0, last_log_term: 0 },
+            RaftMsg::RequestVote {
+                term: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
             &mut ctx,
         );
         let grants: Vec<bool> = ctx
@@ -996,7 +1433,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(grants, vec![true, false], "second candidate in same term denied");
+        assert_eq!(
+            grants,
+            vec![true, false],
+            "second candidate in same term denied"
+        );
     }
 
     #[test]
@@ -1004,7 +1445,11 @@ mod tests {
         let cluster = ClusterConfig::lan(3);
         let mut r = Raft::new(NodeId::new(0, 1), cluster, RaftConfig::default());
         let mut ctx = probe(NodeId::new(0, 1));
-        let e = |i: u8| RaftEntry { term: 1, cmd: Command::put(i as u64, vec![i]), req: None };
+        let e = |i: u8| RaftEntry {
+            term: 1,
+            cmd: Command::put(i as u64, vec![i]),
+            req: None,
+        };
         // Entry for slot 2 arrives before slot 1: stashed, no nack.
         r.on_message(
             NodeId::new(0, 0),
@@ -1017,7 +1462,10 @@ mod tests {
             },
             &mut ctx,
         );
-        assert!(ctx.sent.is_empty(), "early append must be buffered silently");
+        assert!(
+            ctx.sent.is_empty(),
+            "early append must be buffered silently"
+        );
         assert_eq!(r.last_index(), 0);
         // The gap filler arrives: both entries apply, one ack for the pair.
         r.on_message(
@@ -1033,7 +1481,11 @@ mod tests {
         );
         assert_eq!(r.last_index(), 2, "stash drained");
         match &ctx.sent[0].1 {
-            RaftMsg::AppendAck { success, match_index, .. } => {
+            RaftMsg::AppendAck {
+                success,
+                match_index,
+                ..
+            } => {
                 assert!(success);
                 assert_eq!(*match_index, 2);
             }
@@ -1082,7 +1534,11 @@ mod tests {
         for seq in 0..4 {
             r.on_request(request(seq), &mut ctx);
         }
-        assert_eq!(append_batches(&ctx.sent), vec![4], "4 commands: one 4-entry append");
+        assert_eq!(
+            append_batches(&ctx.sent),
+            vec![4],
+            "4 commands: one 4-entry append"
+        );
         // Single-node cluster commits immediately: replies fan back out per
         // command, in order.
         assert_eq!(ctx.replies.len(), 4);
@@ -1100,7 +1556,10 @@ mod tests {
         ctx.sent.clear();
         r.on_request(request(0), &mut ctx);
         r.on_request(request(1), &mut ctx);
-        assert!(append_batches(&ctx.sent).is_empty(), "partial batch must wait");
+        assert!(
+            append_batches(&ctx.sent).is_empty(),
+            "partial batch must wait"
+        );
         // Probe's set_timer always returns token 0.
         r.on_timer(TIMER_BATCH, 0, &mut ctx);
         assert_eq!(append_batches(&ctx.sent), vec![2]);
@@ -1119,7 +1578,11 @@ mod tests {
     }
 
     fn durable_follower(hub: &paxi_storage::MemHub<u32>) -> Raft {
-        let mut r = Raft::new(NodeId::new(0, 1), ClusterConfig::lan(3), RaftConfig::default());
+        let mut r = Raft::new(
+            NodeId::new(0, 1),
+            ClusterConfig::lan(3),
+            RaftConfig::default(),
+        );
         r.attach_storage(Box::new(hub.open(1)));
         r
     }
@@ -1133,10 +1596,18 @@ mod tests {
         let mut ctx = probe(NodeId::new(0, 1));
         r.on_message(
             leader,
-            RaftMsg::RequestVote { term: 3, last_log_index: 0, last_log_term: 0 },
+            RaftMsg::RequestVote {
+                term: 3,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
             &mut ctx,
         );
-        let e = |i: u8| RaftEntry { term: 3, cmd: Command::put(i as u64, vec![i]), req: None };
+        let e = |i: u8| RaftEntry {
+            term: 3,
+            cmd: Command::put(i as u64, vec![i]),
+            req: None,
+        };
         r.on_message(
             leader,
             RaftMsg::AppendEntries {
@@ -1161,7 +1632,11 @@ mod tests {
         let mut ctx2 = probe(NodeId::new(0, 1));
         r2.on_message(
             NodeId::new(0, 2),
-            RaftMsg::RequestVote { term: 3, last_log_index: 9, last_log_term: 3 },
+            RaftMsg::RequestVote {
+                term: 3,
+                last_log_index: 9,
+                last_log_term: 3,
+            },
             &mut ctx2,
         );
         match &ctx2.sent[0].1 {
@@ -1179,7 +1654,11 @@ mod tests {
         let leader = NodeId::new(0, 0);
         let mut r = durable_follower(&hub);
         let mut ctx = probe(NodeId::new(0, 1));
-        let e = |i: u64| RaftEntry { term: 1, cmd: Command::put(i % 8, vec![i as u8]), req: None };
+        let e = |i: u64| RaftEntry {
+            term: 1,
+            cmd: Command::put(i % 8, vec![i as u8]),
+            req: None,
+        };
         for i in 1..=600u64 {
             r.on_message(
                 leader,
@@ -1209,7 +1688,11 @@ mod tests {
         assert_eq!(r.store().unwrap().executed(), 600);
         hub.crash(&1);
         let mut r2 = durable_follower(&hub);
-        assert_eq!(r2.last_index(), 600, "checkpoint + WAL must rebuild the whole log");
+        assert_eq!(
+            r2.last_index(),
+            600,
+            "checkpoint + WAL must rebuild the whole log"
+        );
         assert_eq!(r2.term(), 1);
         assert_eq!(
             r2.store().unwrap().executed(),
@@ -1232,7 +1715,10 @@ mod tests {
         );
         assert_eq!(r2.store().unwrap().executed(), 600);
         for key in 0..8u64 {
-            assert_eq!(r2.store().unwrap().history(key), r.store().unwrap().history(key));
+            assert_eq!(
+                r2.store().unwrap().history(key),
+                r.store().unwrap().history(key)
+            );
         }
     }
 
@@ -1252,6 +1738,283 @@ mod tests {
         );
         let paxos_tput = paxos_sim.run().throughput;
         let ratio = raft_tput / paxos_tput;
-        assert!((0.6..1.6).contains(&ratio), "raft {raft_tput} vs paxos {paxos_tput}");
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "raft {raft_tput} vs paxos {paxos_tput}"
+        );
+    }
+
+    // --- joint-consensus reconfiguration ---
+
+    fn reconfig_request(seq: u64, change: &ConfigChange) -> paxi_core::ClientRequest {
+        paxi_core::ClientRequest {
+            id: RequestId::new(paxi_core::ClientId(9), seq),
+            cmd: membership::reconfig_command(change),
+        }
+    }
+
+    #[test]
+    fn joint_reconfig_adds_a_node_end_to_end() {
+        let n0 = NodeId::new(0, 0);
+        let n1 = NodeId::new(0, 1);
+        // Universe of two, but only n0 votes initially: n1 is a learner.
+        let cfg = RaftConfig {
+            initial_members: Some(vec![n0]),
+            ..Default::default()
+        };
+        let mut r = Raft::new(n0, ClusterConfig::lan(2), cfg);
+        let mut ctx = probe(n0);
+        r.on_start(&mut ctx);
+        assert!(r.is_leader(), "sole member elects itself");
+        r.on_request(reconfig_request(1, &ConfigChange::add(vec![n1])), &mut ctx);
+        assert!(r.membership().is_joint(), "C_old,new adopted on append");
+        assert_eq!(r.config_epoch(), 1);
+        // The joint entry cannot commit on the old majority alone: it needs
+        // the new set's majority, i.e. the joiner's ack.
+        r.on_message(
+            n1,
+            RaftMsg::AppendAck {
+                term: r.term(),
+                success: true,
+                match_index: 2,
+            },
+            &mut ctx,
+        );
+        assert!(
+            !r.membership().is_joint(),
+            "committed joint entry triggers C_new"
+        );
+        assert_eq!(r.members(), vec![n0, n1]);
+        assert_eq!(r.config_epoch(), 1);
+        assert!(
+            ctx.replies.iter().any(|resp| resp.id.seq == 1 && resp.ok),
+            "client is answered when the joint entry commits"
+        );
+    }
+
+    #[test]
+    fn leader_hands_off_and_retires_when_removed() {
+        let n0 = NodeId::new(0, 0);
+        let n1 = NodeId::new(0, 1);
+        let mut r = Raft::new(n0, ClusterConfig::lan(2), RaftConfig::default());
+        let mut ctx = probe(n0);
+        r.on_start(&mut ctx);
+        r.on_message(
+            n1,
+            RaftMsg::Vote {
+                term: 1,
+                granted: true,
+            },
+            &mut ctx,
+        );
+        assert!(r.is_leader());
+        r.on_message(
+            n1,
+            RaftMsg::AppendAck {
+                term: 1,
+                success: true,
+                match_index: 1,
+            },
+            &mut ctx,
+        );
+        r.on_request(
+            reconfig_request(1, &ConfigChange::remove(vec![n0])),
+            &mut ctx,
+        );
+        assert!(r.membership().is_joint());
+        // n1 acks the joint entry (index 2): dual majority met, C_new out.
+        r.on_message(
+            n1,
+            RaftMsg::AppendAck {
+                term: 1,
+                success: true,
+                match_index: 2,
+            },
+            &mut ctx,
+        );
+        assert!(!r.membership().is_joint());
+        assert!(
+            r.is_leader(),
+            "leader manages the cluster until C_new commits"
+        );
+        // n1 acks C_new (index 3): the excluded leader hands off and retires.
+        r.on_message(
+            n1,
+            RaftMsg::AppendAck {
+                term: 1,
+                success: true,
+                match_index: 3,
+            },
+            &mut ctx,
+        );
+        assert!(
+            !r.is_leader(),
+            "excluded leader steps down after C_new commits"
+        );
+        assert_eq!(r.members(), vec![n1]);
+        // And it can never campaign again.
+        r.start_election(&mut ctx);
+        assert!(!r.is_leader());
+        assert_eq!(r.term(), 1, "non-member must not inflate terms");
+    }
+
+    #[test]
+    fn noop_reconfig_answers_without_touching_the_log() {
+        let n0 = NodeId::new(0, 0);
+        let mut r = Raft::new(n0, ClusterConfig::lan(1), RaftConfig::default());
+        let mut ctx = probe(n0);
+        r.on_start(&mut ctx);
+        let before = r.last_index();
+        let change = ConfigChange {
+            add: vec![n0],
+            remove: vec![],
+        };
+        r.on_request(reconfig_request(1, &change), &mut ctx);
+        assert_eq!(r.last_index(), before, "no-op change must not grow the log");
+        assert_eq!(r.config_epoch(), 0);
+        assert!(ctx.replies[0].ok);
+    }
+
+    #[test]
+    fn learner_outside_the_membership_never_campaigns() {
+        let n0 = NodeId::new(0, 0);
+        let n1 = NodeId::new(0, 1);
+        let cfg = RaftConfig {
+            initial_members: Some(vec![n0]),
+            preferred_leader: Some(n1),
+            ..Default::default()
+        };
+        let mut r = Raft::new(n1, ClusterConfig::lan(2), cfg);
+        let mut ctx = probe(n1);
+        r.on_start(&mut ctx);
+        assert!(!r.is_leader());
+        assert_eq!(r.term(), 0);
+        assert!(ctx.sent.is_empty(), "no RequestVote may leave a non-member");
+    }
+
+    #[test]
+    fn truncation_rolls_the_membership_back() {
+        let n1 = NodeId::new(0, 1);
+        let leader = NodeId::new(0, 0);
+        let mut r = Raft::new(n1, ClusterConfig::lan(3), RaftConfig::default());
+        let mut ctx = probe(n1);
+        let joint = Membership::Joint {
+            epoch: 1,
+            old: ClusterConfig::lan(3).all_nodes(),
+            new: vec![leader, n1],
+        };
+        let cfg_entry = RaftEntry {
+            term: 1,
+            cmd: membership::membership_command(&joint),
+            req: None,
+        };
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![cfg_entry],
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        assert!(r.membership().is_joint());
+        // A higher-term leader overwrites the uncommitted config entry.
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 2,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![RaftEntry {
+                    term: 2,
+                    cmd: Command::put(1, vec![1]),
+                    req: None,
+                }],
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        assert!(
+            !r.membership().is_joint(),
+            "truncated config entry must be un-adopted"
+        );
+        assert_eq!(
+            r.config_epoch(),
+            0,
+            "fell back to the initial configuration"
+        );
+    }
+
+    #[test]
+    fn mid_transition_restart_recovers_joint_then_new_config() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let n1 = NodeId::new(0, 1);
+        let all = ClusterConfig::lan(3).all_nodes();
+        let joint = Membership::Joint {
+            epoch: 1,
+            old: all.clone(),
+            new: vec![leader, n1],
+        };
+        let mut r = durable_follower(&hub);
+        let mut ctx = probe(n1);
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![RaftEntry {
+                    term: 1,
+                    cmd: membership::membership_command(&joint),
+                    req: None,
+                }],
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        assert!(r.membership().is_joint());
+        // Amnesia mid-transition: the rebuilt node must wake up joint —
+        // never in the old configuration.
+        drop(r);
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        assert!(
+            r2.membership().is_joint(),
+            "restart lands in the joint config"
+        );
+        assert_eq!(r2.config_epoch(), 1);
+        assert_eq!(r2.members(), all, "joint voters span old ∪ new");
+        // The transition completes: C_new arrives, then another crash.
+        let stable = joint.to_stable();
+        let mut ctx2 = probe(n1);
+        r2.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 1,
+                prev_term: 1,
+                entries: vec![RaftEntry {
+                    term: 1,
+                    cmd: membership::membership_command(&stable),
+                    req: None,
+                }],
+                commit: 1,
+            },
+            &mut ctx2,
+        );
+        drop(r2);
+        hub.crash(&1);
+        let r3 = durable_follower(&hub);
+        assert!(!r3.membership().is_joint());
+        assert_eq!(
+            r3.members(),
+            vec![leader, n1],
+            "restart lands in the new config"
+        );
+        assert_eq!(r3.config_epoch(), 1);
     }
 }

@@ -42,7 +42,9 @@ pub struct ClientPool<M> {
 impl<M: Clone + std::fmt::Debug + Send + 'static> ClientPool<M> {
     /// One client per node, registered up front.
     pub fn new(clients: Vec<(NodeId, paxi_transport::channel::SyncClient<M>)>) -> Self {
-        ClientPool { clients: clients.into_iter().collect() }
+        ClientPool {
+            clients: clients.into_iter().collect(),
+        }
     }
 }
 
@@ -107,12 +109,36 @@ impl<T: RouteTransport> ShardRouter<T> {
         cfg: RouterConfig,
     ) -> Self {
         assert!(!nodes.is_empty(), "router needs at least one node");
-        ShardRouter { transport, partitioner, nodes, cfg, leaders: HashMap::new(), stats: RouterStats::default() }
+        ShardRouter {
+            transport,
+            partitioner,
+            nodes,
+            cfg,
+            leaders: HashMap::new(),
+            stats: RouterStats::default(),
+        }
     }
 
     /// The cached leader of `group`, if known.
     pub fn cached_leader(&self, group: u32) -> Option<NodeId> {
         self.leaders.get(&group).copied()
+    }
+
+    /// Replaces the router's node set after a membership change. Cached
+    /// leaders outside the new set are evicted immediately — a departed node
+    /// will never answer again, so waiting for `max_attempts` timeouts per
+    /// group just to relearn that is pure stall. Entries pointing at
+    /// surviving nodes are kept: leadership usually stays put across a
+    /// reconfiguration that doesn't remove the leader.
+    pub fn set_nodes(&mut self, nodes: Vec<NodeId>) {
+        assert!(!nodes.is_empty(), "router needs at least one node");
+        self.leaders.retain(|_, leader| nodes.contains(leader));
+        self.nodes = nodes;
+    }
+
+    /// The node set the router currently probes over.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
     }
 
     /// Executes `cmd` against its owning group, following redirects.
@@ -136,8 +162,14 @@ impl<T: RouteTransport> ShardRouter<T> {
                 }
                 Some(resp) => {
                     if let Some(leader) = resp.redirect.filter(|&l| l != target) {
-                        // Wrong leader, useful hint: go straight there.
+                        // Wrong leader, useful hint: go straight there. A
+                        // hint naming a node outside the known set means a
+                        // newer membership epoch — adopt the node into the
+                        // probe rotation so follow-up failures can reach it.
                         self.stats.redirects += 1;
+                        if !self.nodes.contains(&leader) {
+                            self.nodes.push(leader);
+                        }
                         self.leaders.insert(group.0, leader);
                         target = leader;
                     } else {
@@ -223,8 +255,12 @@ mod tests {
         let leader = NodeId::new(0, 2);
         let log = Rc::new(RefCell::new(Vec::new()));
         let part = Arc::new(RangePartitioner::even(100, 1));
-        let mut r =
-            ShardRouter::new(part, nodes(3), redirecting_cluster(leader, log.clone()), cfg());
+        let mut r = ShardRouter::new(
+            part,
+            nodes(3),
+            redirecting_cluster(leader, log.clone()),
+            cfg(),
+        );
         // Cold cache: tries the placement prior (node 0), gets redirected,
         // lands on the leader.
         assert!(r.execute(Command::get(5)).unwrap().ok);
@@ -297,8 +333,59 @@ mod tests {
         // Past the ceiling the backoff clamps instead of overflowing the
         // doubling factor (the old code shifted by up to `attempt - 1`).
         for attempt in [5u32, 32, 33, 64, u32::MAX] {
-            assert_eq!(r.backoff_for(attempt), Duration::from_micros(100), "attempt {attempt}");
+            assert_eq!(
+                r.backoff_for(attempt),
+                Duration::from_micros(100),
+                "attempt {attempt}"
+            );
         }
+    }
+
+    #[test]
+    fn set_nodes_evicts_departed_leaders_only() {
+        let part = Arc::new(RangePartitioner::even(100, 2));
+        let p2 = part.clone();
+        let transport = move |node: NodeId, cmd: Command| {
+            let owner = NodeId::new(0, p2.group_of(cmd.key).0 as u8);
+            Some(if node == owner {
+                ClientResponse::ok(rid(), None)
+            } else {
+                ClientResponse::redirected(rid(), owner)
+            })
+        };
+        let mut r = ShardRouter::new(part, nodes(2), transport, cfg());
+        assert!(r.execute(Command::get(10)).unwrap().ok); // group 0 -> node 0
+        assert!(r.execute(Command::get(60)).unwrap().ok); // group 1 -> node 1
+                                                          // New epoch removes node 1 and adds node 2: only group 1's cache
+                                                          // entry (pointing at the departed node) is evicted.
+        r.set_nodes(vec![NodeId::new(0, 0), NodeId::new(0, 2)]);
+        assert_eq!(r.cached_leader(0), Some(NodeId::new(0, 0)));
+        assert_eq!(r.cached_leader(1), None);
+        assert_eq!(r.nodes(), &[NodeId::new(0, 0), NodeId::new(0, 2)]);
+    }
+
+    #[test]
+    fn redirect_to_unknown_node_adopts_newer_epoch() {
+        // The router only knows nodes 0 and 1, but leadership moved to a
+        // freshly joined node 3 (a membership epoch the router hasn't heard
+        // of). The redirect hint must be followed AND the node adopted into
+        // the probe rotation.
+        let joined = NodeId::new(0, 3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let mut r = ShardRouter::new(
+            part,
+            nodes(2),
+            redirecting_cluster(joined, log.clone()),
+            cfg(),
+        );
+        assert!(r.execute(Command::get(5)).unwrap().ok);
+        assert_eq!(*log.borrow(), vec![NodeId::new(0, 0), joined]);
+        assert_eq!(r.cached_leader(0), Some(joined));
+        assert!(
+            r.nodes().contains(&joined),
+            "joined node enters the rotation"
+        );
     }
 
     #[test]

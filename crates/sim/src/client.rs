@@ -16,6 +16,7 @@ use paxi_core::command::Command;
 use paxi_core::config::ClusterConfig;
 use paxi_core::dist::Rng64;
 use paxi_core::id::{ClientId, NodeId};
+use paxi_core::membership::{reconfig_command, ConfigChange};
 use paxi_core::time::Nanos;
 
 /// How a client issues requests.
@@ -78,7 +79,9 @@ impl ClientSetup {
             .map(|z| ClientSetup {
                 zone: z,
                 attach: NodeId::new(z, 0),
-                mode: LoadMode::Open { rate: rate_per_zone },
+                mode: LoadMode::Open {
+                    rate: rate_per_zone,
+                },
             })
             .collect()
     }
@@ -86,7 +89,11 @@ impl ClientSetup {
     /// A single open-loop client in zone 0 at `rate` req/s — the setup used
     /// to validate the queueing models (Figure 4).
     pub fn open_single(rate: f64) -> Vec<ClientSetup> {
-        vec![ClientSetup { zone: 0, attach: NodeId::new(0, 0), mode: LoadMode::Open { rate } }]
+        vec![ClientSetup {
+            zone: 0,
+            attach: NodeId::new(0, 0),
+            mode: LoadMode::Open { rate },
+        }]
     }
 }
 
@@ -96,8 +103,14 @@ pub trait Workload {
     /// Produces the command for the `seq`-th request of `client` in `zone`,
     /// issued at (virtual or wall-clock) time `now` — the timestamp lets
     /// workloads implement time-varying patterns like a moving hotspot.
-    fn next(&mut self, client: ClientId, zone: u8, seq: u64, now: Nanos, rng: &mut Rng64)
-        -> Command;
+    fn next(
+        &mut self,
+        client: ClientId,
+        zone: u8,
+        seq: u64,
+        now: Nanos,
+        rng: &mut Rng64,
+    ) -> Command;
 }
 
 impl<F: FnMut(ClientId, u8, u64, Nanos, &mut Rng64) -> Command> Workload for F {
@@ -127,6 +140,86 @@ pub fn uniform_workload(k: u64) -> impl Workload {
     }
 }
 
+/// Wraps a workload so that one designated client issues a
+/// membership-change request once virtual time reaches `at`; every other
+/// request (and every other client) passes through to the inner workload
+/// untouched.
+///
+/// The change is re-submitted every [`ReconfigWorkload::REFIRE_EVERY`]-th
+/// request of the designated client: a lone submission can be eaten by a
+/// crashed leader and the simulator's retry machinery abandons lost
+/// requests rather than re-sending them. Re-fires are safe by construction
+/// — once the change is applied it decodes as a no-op against the current
+/// membership and is acknowledged without consuming a log slot.
+///
+/// A change that is a no-op against `initial` (e.g. add-then-remove the
+/// same node) is elided entirely — the wrapper becomes bit-identical to the
+/// inner workload, which is exactly what the reconfiguration determinism
+/// fingerprints assert.
+pub struct ReconfigWorkload<W> {
+    inner: W,
+    at: Nanos,
+    change: ConfigChange,
+    client: ClientId,
+    elide: bool,
+    fired: u64,
+    since_fire: u64,
+}
+
+impl<W: Workload> ReconfigWorkload<W> {
+    /// The designated client re-submits the change every this-many of its
+    /// own requests (first submission at `at`, then on this cadence).
+    pub const REFIRE_EVERY: u64 = 8;
+
+    /// Wraps `inner` so `client` submits `change` starting at the first
+    /// request it issues at or after `at`. `initial` is the membership the
+    /// cluster starts with, used only to detect (and elide) no-op changes.
+    pub fn new(
+        inner: W,
+        client: ClientId,
+        at: Nanos,
+        change: ConfigChange,
+        initial: &[NodeId],
+    ) -> Self {
+        let elide = change.is_noop_on(initial);
+        ReconfigWorkload {
+            inner,
+            at,
+            change,
+            client,
+            elide,
+            fired: 0,
+            since_fire: 0,
+        }
+    }
+
+    /// Whether the reconfiguration request has been issued at least once.
+    pub fn fired(&self) -> bool {
+        self.fired > 0
+    }
+}
+
+impl<W: Workload> Workload for ReconfigWorkload<W> {
+    fn next(
+        &mut self,
+        client: ClientId,
+        zone: u8,
+        seq: u64,
+        now: Nanos,
+        rng: &mut Rng64,
+    ) -> Command {
+        if !self.elide && client == self.client && now >= self.at {
+            if self.fired == 0 || self.since_fire + 1 >= Self::REFIRE_EVERY {
+                self.fired += 1;
+                self.since_fire = 0;
+                return reconfig_command(&self.change);
+            }
+            self.since_fire += 1;
+        }
+        self.inner.next(client, zone, seq, now, rng)
+    }
+}
+
 /// Encodes `(client, seq)` into a 12-byte unique value.
 pub fn unique_value(client: ClientId, seq: u64) -> Vec<u8> {
     let mut v = Vec::with_capacity(12);
@@ -148,7 +241,11 @@ mod tests {
             assert_eq!(cl.attach.zone, cl.zone);
         }
         // Round-robin: 5 clients over 3 replicas covers all of them.
-        let zone0: Vec<u8> = clients.iter().filter(|c| c.zone == 0).map(|c| c.attach.node).collect();
+        let zone0: Vec<u8> = clients
+            .iter()
+            .filter(|c| c.zone == 0)
+            .map(|c| c.attach.node)
+            .collect();
         assert_eq!(zone0, vec![0, 1, 2, 0, 1]);
     }
 

@@ -54,9 +54,7 @@ impl LinkDecision {
     fn from_fate(fate: MsgFate) -> Self {
         match fate {
             MsgFate::Dropped => LinkDecision::Drop,
-            MsgFate::Deliver { extra_delay } if extra_delay == Nanos::ZERO => {
-                LinkDecision::Deliver
-            }
+            MsgFate::Deliver { extra_delay } if extra_delay == Nanos::ZERO => LinkDecision::Deliver,
             MsgFate::Deliver { extra_delay } => {
                 LinkDecision::DeliverAfter(Duration::from_nanos(extra_delay.0))
             }
@@ -154,7 +152,9 @@ impl FaultInjector {
         for (node, at, _mode) in self.plan.recoveries() {
             // The wake event is mode-agnostic: the node's event loop already
             // recorded the window's mode and picks the right thaw path.
-            let Some(tx) = inboxes.get(&node).cloned() else { continue };
+            let Some(tx) = inboxes.get(&node).cloned() else {
+                continue;
+            };
             timers.schedule(Duration::from_nanos(at.0), move || {
                 let _ = tx.send(NodeEvent::Restart);
             });
@@ -182,7 +182,13 @@ impl<M, O: Outbound<M> + Clone> ChaosOut<M, O> {
         injector: Arc<FaultInjector>,
         timers: Arc<TimerService>,
     ) -> Self {
-        ChaosOut { inner, src, injector, timers, _marker: std::marker::PhantomData }
+        ChaosOut {
+            inner,
+            src,
+            injector,
+            timers,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -205,7 +211,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M> + Clone> Outbou
         match self.injector.decide_link(self.src, to) {
             LinkDecision::Deliver => self.inner.to_node(to, env),
             LinkDecision::Drop => {
-                self.injector.drops().record(paxi_core::obs::DropCause::Fault);
+                self.injector
+                    .drops()
+                    .record(paxi_core::obs::DropCause::Fault);
             }
             LinkDecision::DeliverAfter(delay) => {
                 let inner = self.inner.clone();
@@ -216,6 +224,16 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M> + Clone> Outbou
 
     fn to_client(&self, client: ClientId, resp: ClientResponse) {
         self.inner.to_client(client, resp);
+    }
+
+    // Link-management hooks pass straight through: fault rules govern
+    // message fates, not the existence of connections (a dropped link still
+    // has a live socket under it, exactly like iptables-style chaos).
+    fn connect_peer(&self, peer: NodeId) {
+        self.inner.connect_peer(peer);
+    }
+    fn disconnect_peer(&self, peer: NodeId) {
+        self.inner.disconnect_peer(peer);
     }
 }
 

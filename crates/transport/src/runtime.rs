@@ -56,6 +56,43 @@ pub trait Outbound<M>: Send + 'static {
     fn to_node(&self, to: NodeId, env: Envelope<M>);
     /// Delivers a response to a client (best effort).
     fn to_client(&self, client: ClientId, resp: ClientResponse);
+    /// Proactively establishes (or re-establishes) a link to `peer`. The
+    /// event loop calls this when a reconfiguration activates a new member
+    /// and when an amnesiac node rejoins, so the first protocol message
+    /// doesn't eat the dial latency. Default no-op — in-process transports
+    /// and lazily-dialing ones need no warm-up.
+    fn connect_peer(&self, peer: NodeId) {
+        let _ = peer;
+    }
+    /// Tears down any cached link to a departed peer so its writer-side
+    /// resources are reclaimed. Default no-op.
+    fn disconnect_peer(&self, peer: NodeId) {
+        let _ = peer;
+    }
+}
+
+/// Reconciles the runtime's live peer set with the replica's current view
+/// of the membership: newly active members get links warmed
+/// ([`Outbound::connect_peer`]), departed ones get theirs torn down
+/// ([`Outbound::disconnect_peer`]), and the broadcast set follows. A
+/// replica whose [`Replica::current_members`] returns `None` (static
+/// membership) keeps its startup peer set untouched.
+fn sync_peers<R: Replica, O: Outbound<R::Msg>>(replica: &R, peers: &mut Vec<NodeId>, out: &O) {
+    let Some(mut members) = replica.current_members() else {
+        return;
+    };
+    members.sort_unstable();
+    members.dedup();
+    if members == *peers {
+        return;
+    }
+    for p in members.iter().filter(|p| !peers.contains(p)) {
+        out.connect_peer(*p);
+    }
+    for p in peers.iter().filter(|p| !members.contains(p)) {
+        out.disconnect_peer(*p);
+    }
+    *peers = members;
 }
 
 struct ThreadCtx<'a, M, O: Outbound<M>> {
@@ -80,7 +117,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M>> Context<M>
     }
     fn send(&mut self, to: NodeId, msg: M) {
         if to == self.id {
-            let _ = self.inbox_tx.send(NodeEvent::Wire(Envelope::Msg { from: self.id, msg }));
+            let _ = self
+                .inbox_tx
+                .send(NodeEvent::Wire(Envelope::Msg { from: self.id, msg }));
         } else {
             self.out.to_node(to, Envelope::Msg { from: self.id, msg });
         }
@@ -88,27 +127,41 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M>> Context<M>
     fn broadcast(&mut self, msg: M) {
         for &p in self.peers {
             if p != self.id {
-                self.out.to_node(p, Envelope::Msg { from: self.id, msg: msg.clone() });
+                self.out.to_node(
+                    p,
+                    Envelope::Msg {
+                        from: self.id,
+                        msg: msg.clone(),
+                    },
+                );
             }
         }
     }
     fn multicast(&mut self, to: &[NodeId], msg: M) {
         for &p in to {
             if p == self.id {
-                let _ = self
-                    .inbox_tx
-                    .send(NodeEvent::Wire(Envelope::Msg { from: self.id, msg: msg.clone() }));
+                let _ = self.inbox_tx.send(NodeEvent::Wire(Envelope::Msg {
+                    from: self.id,
+                    msg: msg.clone(),
+                }));
             } else {
-                self.out.to_node(p, Envelope::Msg { from: self.id, msg: msg.clone() });
+                self.out.to_node(
+                    p,
+                    Envelope::Msg {
+                        from: self.id,
+                        msg: msg.clone(),
+                    },
+                );
             }
         }
     }
     fn set_timer(&mut self, after: Nanos, kind: u64) -> u64 {
         let token = self.token_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let tx = self.inbox_tx.clone();
-        self.timers.schedule(Duration::from_nanos(after.0), move || {
-            let _ = tx.send(NodeEvent::Timer { kind, token });
-        });
+        self.timers
+            .schedule(Duration::from_nanos(after.0), move || {
+                let _ = tx.send(NodeEvent::Timer { kind, token });
+            });
         token
     }
     fn reply(&mut self, resp: ClientResponse) {
@@ -144,7 +197,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static, O: Outbound<M>> Context<M>
 pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
     id: NodeId,
     mut replica: R,
-    peers: Vec<NodeId>,
+    mut peers: Vec<NodeId>,
     inbox: Receiver<NodeEvent<R::Msg>>,
     inbox_tx: Sender<NodeEvent<R::Msg>>,
     out: O,
@@ -169,6 +222,7 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
         };
         replica.on_start(&mut ctx);
     }
+    sync_peers(&replica, &mut peers, &out);
     let mut frozen: Option<CrashMode> = None;
     loop {
         // A bounded wait instead of a blocking recv: on timeout the replica
@@ -228,6 +282,12 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
                     replica = mk(id);
                 }
                 replica.on_recover(&mut ctx);
+                // An amnesiac node's transport may have dropped its links
+                // while it was dark (peers tore down dead connections); warm
+                // them again so recovery traffic doesn't eat dial latency.
+                for &p in ctx.peers.iter().filter(|&&p| p != id) {
+                    out.connect_peer(p);
+                }
             }
             None => {}
         }
@@ -239,5 +299,9 @@ pub fn run_node<R: Replica, O: Outbound<R::Msg>>(
             NodeEvent::Timer { kind, token } => replica.on_timer(kind, token, &mut ctx),
             NodeEvent::Restart => {}
         }
+        // A handled event may have activated a configuration; reconcile the
+        // live link set with the replica's membership view before the next
+        // recv so activation-time joins get warm links immediately.
+        sync_peers(&replica, &mut peers, &out);
     }
 }

@@ -35,13 +35,13 @@ use crate::faults::{ChaosOut, FaultInjector};
 use crate::obs::{log_drop_once, DropCounters};
 use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
-use paxi_core::obs::DropCause;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use paxi_core::command::{ClientResponse, Command};
 use paxi_core::config::ClusterConfig;
 use paxi_core::dist::Rng64;
 use paxi_core::id::{ClientId, NodeId, RequestId};
+use paxi_core::obs::DropCause;
 use paxi_core::traits::{Replica, ReplicaFactory};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
@@ -106,27 +106,29 @@ fn spawn_writer(stream: TcpStream) -> Sender<Vec<u8>> {
     let (tx, rx) = bounded::<Vec<u8>>(WRITE_QUEUE_DEPTH);
     // If the spawn itself fails, the closure (and `rx`) is dropped and every
     // send on `tx` reports a dead channel — same signal as a broken socket.
-    let _ = std::thread::Builder::new().name("paxi-tcp-writer".into()).spawn(move || {
-        let mut stream = stream;
-        let mut burst: Vec<u8> = Vec::with_capacity(WRITE_BURST_BYTES);
-        // Block for the first frame of a burst, then coalesce whatever else
-        // is already queued into the same write. Under load the queue is
-        // rarely empty, so a saturated link converges on large bursts; an
-        // idle link degenerates to one frame per write with no added delay.
-        while let Ok(bytes) = rx.recv() {
-            burst.clear();
-            burst.extend_from_slice(&bytes);
-            while burst.len() < WRITE_BURST_BYTES {
-                match rx.try_recv() {
-                    Ok(more) => burst.extend_from_slice(&more),
-                    Err(_) => break,
+    let _ = std::thread::Builder::new()
+        .name("paxi-tcp-writer".into())
+        .spawn(move || {
+            let mut stream = stream;
+            let mut burst: Vec<u8> = Vec::with_capacity(WRITE_BURST_BYTES);
+            // Block for the first frame of a burst, then coalesce whatever else
+            // is already queued into the same write. Under load the queue is
+            // rarely empty, so a saturated link converges on large bursts; an
+            // idle link degenerates to one frame per write with no added delay.
+            while let Ok(bytes) = rx.recv() {
+                burst.clear();
+                burst.extend_from_slice(&bytes);
+                while burst.len() < WRITE_BURST_BYTES {
+                    match rx.try_recv() {
+                        Ok(more) => burst.extend_from_slice(&more),
+                        Err(_) => break,
+                    }
+                }
+                if stream.write_all(&burst).is_err() || stream.flush().is_err() {
+                    return;
                 }
             }
-            if stream.write_all(&burst).is_err() || stream.flush().is_err() {
-                return;
-            }
-        }
-    });
+        });
     tx
 }
 
@@ -196,15 +198,24 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
             }
             None => {
                 let mut backoff = self.backoff.lock();
-                let entry = backoff
-                    .entry(to)
-                    .or_insert(Backoff { next_attempt: Instant::now(), delay: RECONNECT_BASE });
+                let entry = backoff.entry(to).or_insert(Backoff {
+                    next_attempt: Instant::now(),
+                    delay: RECONNECT_BASE,
+                });
                 let jitter = 0.5 + self.jitter.lock().next_f64(); // factor in [0.5, 1.5)
                 entry.next_attempt = Instant::now() + entry.delay.mul_f64(jitter);
                 entry.delay = (entry.delay * 2).min(RECONNECT_MAX);
                 None
             }
         }
+    }
+
+    /// Forgets any cached connection (and backoff state) for a departed
+    /// peer: its writer thread exits once the sender side is dropped, and no
+    /// future redial will be attempted until someone addresses it again.
+    fn drop_peer(&self, to: NodeId) {
+        self.peer_conns.lock().remove(&to);
+        self.backoff.lock().remove(&to);
     }
 
     fn try_dial(&self, addr: SocketAddr) -> Option<Sender<Vec<u8>>> {
@@ -228,7 +239,11 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
         // Encode once, whichever way the response is routed.
         let Some(bytes) = Self::encode(&Envelope::Response(resp.clone())) else {
             self.drops.record(DropCause::Encode);
-            log_drop_once(&TCP_ENCODE_WARN, DropCause::Encode, "TCP response failed to encode");
+            log_drop_once(
+                &TCP_ENCODE_WARN,
+                DropCause::Encode,
+                "TCP response failed to encode",
+            );
             return;
         };
         match route {
@@ -249,7 +264,9 @@ struct TcpOut<M> {
 
 impl<M> Clone for TcpOut<M> {
     fn clone(&self) -> Self {
-        TcpOut { net: Arc::clone(&self.net) }
+        TcpOut {
+            net: Arc::clone(&self.net),
+        }
     }
 }
 
@@ -274,6 +291,14 @@ impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static>
     }
     fn to_client(&self, client: ClientId, resp: ClientResponse) {
         self.net.deliver_response(client, &resp);
+    }
+    fn connect_peer(&self, peer: NodeId) {
+        // Warm-up dial: failure just arms the backoff; the next protocol
+        // message retries through the normal send path.
+        let _ = self.net.connect_peer(peer);
+    }
+    fn disconnect_peer(&self, peer: NodeId) {
+        self.net.drop_peer(peer);
     }
 }
 
@@ -396,7 +421,9 @@ where
                     })
                 }
                 None => std::thread::spawn(move || {
-                    run_node(id, replica, peers, rx, tx, out, timers2, epoch, seed, None, None)
+                    run_node(
+                        id, replica, peers, rx, tx, out, timers2, epoch, seed, None, None,
+                    )
                 }),
             };
             handles.push(handle);
@@ -484,15 +511,21 @@ fn read_frames<M>(
                 Err(_) => return,
             };
             if identity.is_none() {
-                let Ok(hello) = paxi_codec::from_bytes::<Hello>(&frame) else { return };
+                let Ok(hello) = paxi_codec::from_bytes::<Hello>(&frame) else {
+                    return;
+                };
                 if matches!(hello, Hello::Client(_)) {
-                    let Ok(clone) = stream.try_clone() else { return };
+                    let Ok(clone) = stream.try_clone() else {
+                        return;
+                    };
                     *writer = Some(spawn_writer(clone));
                 }
                 identity = Some(hello);
                 continue;
             }
-            let Ok(env) = paxi_codec::from_bytes::<Envelope<M>>(&frame) else { return };
+            let Ok(env) = paxi_codec::from_bytes::<Envelope<M>>(&frame) else {
+                return;
+            };
             match (&identity, env) {
                 (Some(Hello::Client(cid)), Envelope::Request(req)) => {
                     if let Some(w) = &*writer {
@@ -571,10 +604,7 @@ impl TcpClient {
         self.seq += 1;
         // Clients never parameterize over a protocol's message type; unit
         // stands in because Request/Response variants carry no M.
-        let env: Envelope<()> = Envelope::Request(paxi_core::ClientRequest {
-            id: req_id,
-            cmd,
-        });
+        let env: Envelope<()> = Envelope::Request(paxi_core::ClientRequest { id: req_id, cmd });
         let mut frame = Vec::new();
         paxi_codec::encode_frame_into(&mut frame, &env).ok()?;
         self.stream.write_all(&frame).ok()?;

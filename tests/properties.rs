@@ -463,6 +463,111 @@ proptest! {
         }
     }
 
+    // --- membership payloads & config WAL records (reconfiguration) ---
+    //
+    // A mid-reconfiguration crash hands recovery whatever config bytes
+    // survived; like the codec itself, the hand-rolled membership payload
+    // decoders must round-trip exactly and *fail*, never panic, on
+    // truncations and bit flips.
+
+    #[test]
+    fn config_change_payloads_round_trip_and_reject_garbage(
+        add in proptest::collection::vec((0u8..4, 0u8..8), 0..5),
+        remove in proptest::collection::vec((0u8..4, 0u8..8), 0..5),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        use paxi::core::membership::ConfigChange;
+        let change = ConfigChange {
+            add: add.into_iter().map(|(z, n)| NodeId::new(z, n)).collect(),
+            remove: remove.into_iter().map(|(z, n)| NodeId::new(z, n)).collect(),
+        };
+        let bytes = change.encode();
+        prop_assert_eq!(ConfigChange::decode(&bytes), Some(change.clone()));
+        // Every truncation must reject (the node counts are explicit, so a
+        // clipped payload can never satisfy them) — and never panic.
+        for keep in 0..bytes.len() {
+            prop_assert!(ConfigChange::decode(&bytes[..keep]).is_none());
+        }
+        // A bit flip decodes to something-or-nothing, never a panic.
+        let mut flipped = bytes.clone();
+        let i = idx % flipped.len();
+        flipped[i] ^= 1 << bit;
+        let _ = ConfigChange::decode(&flipped);
+        // Trailing garbage must reject too.
+        let mut padded = bytes;
+        padded.push(0);
+        prop_assert!(ConfigChange::decode(&padded).is_none());
+    }
+
+    #[test]
+    fn membership_payloads_round_trip_and_reject_garbage(
+        epoch in any::<u64>(),
+        old in proptest::collection::vec((0u8..4, 0u8..8), 0..5),
+        new in proptest::collection::vec((0u8..4, 0u8..8), 0..5),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        use paxi::core::membership::Membership;
+        let old: Vec<NodeId> = old.into_iter().map(|(z, n)| NodeId::new(z, n)).collect();
+        let new: Vec<NodeId> = new.into_iter().map(|(z, n)| NodeId::new(z, n)).collect();
+        for m in [
+            Membership::Stable { epoch, members: old.clone() },
+            Membership::Joint { epoch, old, new },
+        ] {
+            let bytes = m.encode();
+            prop_assert_eq!(Membership::decode(&bytes), Some(m.clone()));
+            for keep in 0..bytes.len() {
+                prop_assert!(Membership::decode(&bytes[..keep]).is_none());
+            }
+            let mut flipped = bytes.clone();
+            let i = idx % flipped.len();
+            flipped[i] ^= 1 << bit;
+            let _ = Membership::decode(&flipped);
+            let mut padded = bytes;
+            padded.push(0);
+            prop_assert!(Membership::decode(&padded).is_none());
+        }
+    }
+
+    #[test]
+    fn membership_wal_records_round_trip(
+        slot in any::<u64>(),
+        epoch in any::<u64>(),
+        index in any::<u64>(),
+        members in proptest::collection::vec((0u8..4, 0u8..8), 0..6),
+        joint in any::<bool>(),
+    ) {
+        use paxi::core::membership::Membership;
+        use paxi::protocols::paxos::PaxosWal;
+        use paxi::protocols::raft::RaftWal;
+        let members: Vec<NodeId> =
+            members.into_iter().map(|(z, n)| NodeId::new(z, n)).collect();
+
+        let rec = PaxosWal::Config { slot, epoch, members: members.clone() };
+        let bytes = codec::to_bytes(&rec).unwrap();
+        let back: PaxosWal = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &rec);
+        if bytes.len() > 1 {
+            let r: codec::Result<PaxosWal> = codec::from_bytes(&bytes[..bytes.len() - 1]);
+            prop_assert!(r.is_err(), "truncated config record must not decode");
+        }
+
+        let membership = if joint {
+            Membership::Joint { epoch, old: members.clone(), new: members }
+        } else {
+            Membership::Stable { epoch, members }
+        };
+        let rec = RaftWal::Membership { index, membership };
+        let bytes = codec::to_bytes(&rec).unwrap();
+        let back: RaftWal = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &rec);
+        if bytes.len() > 1 {
+            let r: codec::Result<RaftWal> = codec::from_bytes(&bytes[..bytes.len() - 1]);
+            prop_assert!(r.is_err(), "truncated membership record must not decode");
+        }
+    }
+
     #[test]
     fn epaxos_wal_records_round_trip(
         zone in 0u8..4, node in 0u8..4,

@@ -1,0 +1,331 @@
+//! Membership change under chaos: the mid-reconfiguration nemesis suites.
+//!
+//! Each suite runs a live membership change — a join (node 5 enters a
+//! 5-of-6 cluster) or a leave (node 4 departs) — and fells a chosen victim
+//! *inside* the transition window: the leader driving the change, the
+//! joining node, or the departing node, in both freeze (memory survives)
+//! and amnesia (memory wiped, WAL replayed) crash modes. Every run must
+//! come out linearizable, make progress after healing, account for every
+//! message loss (`unexplained == 0`), and finish the cut-over: a majority
+//! of the target membership reports exactly the target configuration —
+//! never the old one.
+//!
+//! The suites ride on the same determinism contract as the rest of the
+//! harness: a failing `(proto, victim, mode, seed)` tuple replays
+//! bit-for-bit, and the no-op fingerprint test pins the zero-cost property
+//! — an elided add-then-remove-the-same-node change leaves the simulation
+//! bit-identical to a static run.
+
+use paxi::bench::{
+    run, run_reconfig_nemesis, Proto, ReconfigConfig, ReconfigOutcome, ReconfigVictim,
+};
+use paxi::core::membership::ConfigChange;
+use paxi::core::{ClusterConfig, CrashMode, FaultPlan, Nanos, NodeId};
+use paxi::protocols::raft::RaftConfig;
+use paxi::sim::client::uniform_workload;
+use paxi::sim::{ClientSetup, FaultWindow, ReconfigWorkload, SimConfig};
+use paxi::transport::{FaultInjector, LinkDecision};
+use paxi_core::dist::Rng64;
+use paxi_core::faults::MsgFate;
+use paxi_core::id::ClientId;
+use std::time::Duration;
+
+const VICTIMS: [ReconfigVictim; 3] = [
+    ReconfigVictim::Leader,
+    ReconfigVictim::Joiner,
+    ReconfigVictim::Leaver,
+];
+
+fn quick_sim() -> SimConfig {
+    SimConfig {
+        warmup: Nanos::millis(100),
+        measure: Nanos::millis(3_900),
+        ..SimConfig::default()
+    }
+}
+
+fn raft() -> Proto {
+    Proto::Raft {
+        cfg: RaftConfig::default(),
+        cpu_penalty: 1.0,
+    }
+}
+
+fn assert_clean(out: &ReconfigOutcome) {
+    let ctx = format!(
+        "{} victim={} mode={} seed={} digest={:#x}\nschedule:\n{}\nviews: {:?}",
+        out.proto,
+        out.victim.label(),
+        out.mode.label(),
+        out.seed,
+        out.digest(),
+        out.steps.join("\n"),
+        out.final_members,
+    );
+    assert!(
+        out.anomalies.is_empty(),
+        "{} anomalies, first {:?}\n{ctx}",
+        out.anomalies.len(),
+        out.anomalies.first(),
+    );
+    assert!(out.tail_completed > 0, "no progress after heal\n{ctx}");
+    assert_eq!(
+        out.unexplained_drops, 0,
+        "unattributed message losses\n{ctx}"
+    );
+    assert!(out.cut_over_complete(), "cut-over did not complete\n{ctx}");
+}
+
+fn run_suite(proto: &Proto, mode: CrashMode, seed: u64) {
+    for victim in VICTIMS {
+        let cfg = ReconfigConfig {
+            seed,
+            mode,
+            ..Default::default()
+        };
+        assert_clean(&run_reconfig_nemesis(proto, quick_sim(), &cfg, victim));
+    }
+}
+
+// --- the nemesis matrix: {Paxos, Raft} x {freeze, amnesia} x 3 victims ---
+
+#[test]
+fn paxos_reconfig_nemesis_freeze() {
+    run_suite(&Proto::paxos(), CrashMode::Freeze, 1);
+}
+
+#[test]
+fn paxos_reconfig_nemesis_amnesia() {
+    run_suite(&Proto::paxos(), CrashMode::Amnesia, 1);
+}
+
+#[test]
+fn raft_reconfig_nemesis_freeze() {
+    run_suite(&raft(), CrashMode::Freeze, 1);
+}
+
+#[test]
+fn raft_reconfig_nemesis_amnesia() {
+    run_suite(&raft(), CrashMode::Amnesia, 1);
+}
+
+#[test]
+fn second_seed_sweeps_the_leader_victim() {
+    // The leader victim is the hardest cell (the change's proposer dies);
+    // sweep it across an extra seed on both protocols and modes.
+    for proto in [Proto::paxos(), raft()] {
+        for mode in [CrashMode::Freeze, CrashMode::Amnesia] {
+            let cfg = ReconfigConfig {
+                seed: 7,
+                mode,
+                ..Default::default()
+            };
+            assert_clean(&run_reconfig_nemesis(
+                &proto,
+                quick_sim(),
+                &cfg,
+                ReconfigVictim::Leader,
+            ));
+        }
+    }
+}
+
+// --- crash recovery: the amnesia victims rejoin in the NEW config ---
+
+#[test]
+fn amnesia_victim_rejoins_in_the_new_configuration_never_the_old() {
+    // The joining node is wiped mid-transition and rebuilt from its WAL;
+    // after healing it must hold exactly the target membership. The old
+    // 5-node configuration (which does not contain the joiner) must appear
+    // in nobody's view — a node that recovered "into the old config" would
+    // report a member set without node 5.
+    for proto in [Proto::paxos(), raft()] {
+        let cfg = ReconfigConfig {
+            seed: 1,
+            mode: CrashMode::Amnesia,
+            ..Default::default()
+        };
+        let out = run_reconfig_nemesis(&proto, quick_sim(), &cfg, ReconfigVictim::Joiner);
+        assert_clean(&out);
+        let joiner = NodeId::new(0, 5);
+        assert!(out.target.contains(&joiner));
+        let view = out.final_members[5].as_deref();
+        assert_eq!(
+            view,
+            Some(out.target.as_slice()),
+            "{}: recovered joiner must hold the target config, got {:?}",
+            out.proto,
+            view
+        );
+    }
+}
+
+// --- sim/live fate parity for mid-reconfiguration fault plans ---
+
+#[test]
+fn during_reconfig_plans_decide_identically_in_sim_and_live() {
+    fn n(i: u8) -> NodeId {
+        NodeId::new(0, i)
+    }
+    let reconfig_at = Nanos::millis(400);
+    let transition = Nanos::millis(300);
+    let mut plan = FaultPlan::new();
+    plan.crash_mode_in(
+        n(0),
+        FaultWindow::during_reconfig(reconfig_at, transition),
+        CrashMode::Freeze,
+    );
+    plan.crash_mode_in(
+        n(5),
+        FaultWindow::during_reconfig(reconfig_at, transition),
+        CrashMode::Amnesia,
+    );
+    plan.flaky_link(n(1), n(2), 0.4, reconfig_at, transition);
+    plan.slow_link(n(2), n(3), Nanos::millis(2), reconfig_at, transition);
+    plan.heal(Nanos::millis(3_000));
+
+    for seed in [1u64, 7, 1234] {
+        let inj = FaultInjector::new(plan.clone(), seed);
+        let mut sim_rng = Rng64::seed(seed);
+        for q in 0..1_000u64 {
+            let (src, dst) = match q % 4 {
+                0 => (n(1), n(2)),
+                1 => (n(2), n(3)),
+                2 => (n(3), n(1)),
+                _ => (n(1), n(3)),
+            };
+            let t = Nanos::millis(q * 3 % 1_500);
+            let sim_fate = plan.message_fate(src, dst, t, &mut sim_rng);
+            let expected = match sim_fate {
+                MsgFate::Dropped => LinkDecision::Drop,
+                MsgFate::Deliver { extra_delay } if extra_delay == Nanos::ZERO => {
+                    LinkDecision::Deliver
+                }
+                MsgFate::Deliver { extra_delay } => {
+                    LinkDecision::DeliverAfter(Duration::from_nanos(extra_delay.0))
+                }
+            };
+            assert_eq!(
+                inj.decide_link_at(src, dst, t),
+                expected,
+                "seed {seed} query {q} {src}->{dst} at {t:?}"
+            );
+        }
+        // Crash windows agree too: inside the transition both victims are
+        // down, outside nobody is.
+        let mid = reconfig_at + Nanos(transition.0 / 2);
+        assert!(plan.is_crashed(n(0), mid));
+        assert!(plan.is_crashed(n(5), mid));
+        assert!(!plan.is_crashed(n(0), reconfig_at + transition));
+        assert!(!plan.is_crashed(n(1), mid));
+    }
+}
+
+// --- determinism fingerprints ---
+
+fn fingerprint(workload_reconfig: Option<ConfigChange>, seed: u64) -> (u64, u64, u64, String) {
+    let cluster = ClusterConfig::lan(5);
+    let sim = SimConfig {
+        seed,
+        warmup: Nanos::millis(200),
+        measure: Nanos::secs(1),
+        record_ops: true,
+        ..SimConfig::default()
+    };
+    let clients = ClientSetup::closed_per_zone(&cluster, 3);
+    let initial = cluster.all_nodes();
+    let report = match workload_reconfig {
+        Some(change) => {
+            let w = ReconfigWorkload::new(
+                uniform_workload(16),
+                ClientId(0),
+                Nanos::millis(500),
+                change,
+                &initial,
+            );
+            run(&Proto::paxos(), sim, cluster, w, clients)
+        }
+        None => run(&Proto::paxos(), sim, cluster, uniform_workload(16), clients),
+    };
+    let op_digest = report
+        .ops
+        .iter()
+        .take(50)
+        .map(|o| format!("{}:{}:{}", o.client, o.key, o.invoke.0))
+        .collect::<Vec<_>>()
+        .join(",");
+    (
+        report.completed,
+        report.events_processed,
+        report.latency.mean.0,
+        op_digest,
+    )
+}
+
+#[test]
+fn noop_reconfig_fingerprint_matches_the_static_run() {
+    // Adding and then removing the same non-member is a no-op change; the
+    // workload elides it entirely, so the run must be bit-identical to a run
+    // with no reconfiguration wrapper at all — reconfiguration support costs
+    // a static cluster nothing. (The node must start outside the membership:
+    // `remove` wins over `add`, so add+remove of a *member* is a leave.)
+    let node = NodeId::new(0, 9);
+    let noop = ConfigChange {
+        add: vec![node],
+        remove: vec![node],
+    };
+    assert!(noop.is_noop_on(&ClusterConfig::lan(5).all_nodes()));
+    let a = fingerprint(Some(noop), 1234);
+    let b = fingerprint(None, 1234);
+    assert_eq!(
+        a, b,
+        "no-op reconfiguration must not perturb the simulation"
+    );
+}
+
+#[test]
+fn real_reconfig_replays_identically_under_the_same_seed() {
+    let cfg = ReconfigConfig {
+        seed: 42,
+        ..Default::default()
+    };
+    let a = run_reconfig_nemesis(&Proto::paxos(), quick_sim(), &cfg, ReconfigVictim::Joiner);
+    let b = run_reconfig_nemesis(&Proto::paxos(), quick_sim(), &cfg, ReconfigVictim::Joiner);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(
+        a.completed, b.completed,
+        "same seed must replay identically"
+    );
+    assert_eq!(a.tail_completed, b.tail_completed);
+    assert_eq!(a.final_members, b.final_members);
+}
+
+// --- CI artifact: verdict digests for the reconfig-smoke job ---
+
+#[test]
+fn write_reconfig_digest_artifact() {
+    let mut lines = Vec::new();
+    for proto in [Proto::paxos(), raft()] {
+        for victim in VICTIMS {
+            let cfg = ReconfigConfig {
+                seed: 1,
+                ..Default::default()
+            };
+            let out = run_reconfig_nemesis(&proto, quick_sim(), &cfg, victim);
+            lines.push(format!(
+                "proto={} victim={} mode={} seed={} digest={:#018x} passed={}",
+                out.proto,
+                out.victim.label(),
+                out.mode.label(),
+                out.seed,
+                out.digest(),
+                out.passed(),
+            ));
+            assert!(out.passed(), "smoke cell failed: {}", lines.last().unwrap());
+        }
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/reconfig_digests.txt", lines.join("\n") + "\n")
+        .expect("write digest artifact");
+}
