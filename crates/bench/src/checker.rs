@@ -67,10 +67,14 @@ pub fn check_linearizability(ops: &[OpRecord]) -> Vec<Anomaly> {
     let mut writes: HashMap<Key, HashMap<&Value, WriteInfo>> = HashMap::new();
     for op in ops {
         if let Some(v) = &op.write {
-            writes
-                .entry(op.key)
-                .or_default()
-                .insert(v, WriteInfo { invoke: op.invoke, ret: op.ret, ok: op.ok });
+            writes.entry(op.key).or_default().insert(
+                v,
+                WriteInfo {
+                    invoke: op.invoke,
+                    ret: op.ret,
+                    ok: op.ok,
+                },
+            );
         }
     }
     let mut anomalies = Vec::new();
@@ -104,7 +108,8 @@ pub fn check_linearizability(ops: &[OpRecord]) -> Vec<Anomaly> {
                 }
                 // Stale: some *successful* other write fits strictly between.
                 let stale = key_writes.map_or(false, |m| {
-                    m.values().any(|w2| w2.ok && w2.invoke > w.ret && w2.ret < op.invoke)
+                    m.values()
+                        .any(|w2| w2.ok && w2.invoke > w.ret && w2.ret < op.invoke)
                 });
                 if stale {
                     anomalies.push(Anomaly {
@@ -119,8 +124,8 @@ pub fn check_linearizability(ops: &[OpRecord]) -> Vec<Anomaly> {
             None => {
                 // Reading "absent" is stale once any successful write to the
                 // key fully completed before the read began.
-                let stale = key_writes
-                    .map_or(false, |m| m.values().any(|w| w.ok && w.ret < op.invoke));
+                let stale =
+                    key_writes.map_or(false, |m| m.values().any(|w| w.ok && w.ret < op.invoke));
                 if stale {
                     anomalies.push(Anomaly {
                         kind: AnomalyKind::StaleRead,
@@ -166,17 +171,28 @@ mod tests {
 
     #[test]
     fn clean_history_passes() {
-        let ops = vec![w(1, 10, 0, 5, true), r(1, Some(10), 6, 8), w(1, 11, 9, 12, true), r(1, Some(11), 13, 15)];
+        let ops = vec![
+            w(1, 10, 0, 5, true),
+            r(1, Some(10), 6, 8),
+            w(1, 11, 9, 12, true),
+            r(1, Some(11), 13, 15),
+        ];
         assert!(check_linearizability(&ops).is_empty());
     }
 
     #[test]
     fn concurrent_read_may_return_either() {
         // Read overlaps the second write: both old and new values are legal.
-        let ops_old =
-            vec![w(1, 10, 0, 5, true), w(1, 11, 6, 12, true), r(1, Some(10), 7, 9)];
-        let ops_new =
-            vec![w(1, 10, 0, 5, true), w(1, 11, 6, 12, true), r(1, Some(11), 7, 9)];
+        let ops_old = vec![
+            w(1, 10, 0, 5, true),
+            w(1, 11, 6, 12, true),
+            r(1, Some(10), 7, 9),
+        ];
+        let ops_new = vec![
+            w(1, 10, 0, 5, true),
+            w(1, 11, 6, 12, true),
+            r(1, Some(11), 7, 9),
+        ];
         assert!(check_linearizability(&ops_old).is_empty());
         assert!(check_linearizability(&ops_new).is_empty());
     }
@@ -184,7 +200,11 @@ mod tests {
     #[test]
     fn stale_read_detected() {
         // w(10) then w(11) fully done, then read returns 10: stale.
-        let ops = vec![w(1, 10, 0, 5, true), w(1, 11, 6, 9, true), r(1, Some(10), 12, 14)];
+        let ops = vec![
+            w(1, 10, 0, 5, true),
+            w(1, 11, 6, 9, true),
+            r(1, Some(10), 12, 14),
+        ];
         let a = check_linearizability(&ops);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].kind, AnomalyKind::StaleRead);
@@ -221,8 +241,11 @@ mod tests {
         let ops = vec![w(1, 10, 0, 5, false), r(1, Some(10), 6, 7)];
         assert!(check_linearizability(&ops).is_empty());
         // ...and it cannot make an older value stale.
-        let ops =
-            vec![w(1, 10, 0, 5, true), w(1, 11, 6, 9, false), r(1, Some(10), 12, 14)];
+        let ops = vec![
+            w(1, 10, 0, 5, true),
+            w(1, 11, 6, 9, false),
+            r(1, Some(10), 12, 14),
+        ];
         assert!(check_linearizability(&ops).is_empty());
         // Nor does it make reading None stale.
         let ops = vec![w(1, 10, 0, 5, false), r(1, None, 8, 9)];

@@ -82,7 +82,11 @@ impl Default for BenchmarkConfig {
 impl BenchmarkConfig {
     /// A uniform workload over `k` keys with the given write ratio.
     pub fn uniform(k: u64, write_ratio: f64) -> Self {
-        BenchmarkConfig { K: k, W: write_ratio, ..Default::default() }
+        BenchmarkConfig {
+            K: k,
+            W: write_ratio,
+            ..Default::default()
+        }
     }
 
     /// A locality workload: each zone's keys cluster (Normal) around a
@@ -99,7 +103,11 @@ impl BenchmarkConfig {
     /// A conflict workload: `percent`% of requests target one shared hot
     /// key, the rest are client-private.
     pub fn conflict(percent: u8) -> Self {
-        BenchmarkConfig { conflicts: percent, K: 1000, ..Default::default() }
+        BenchmarkConfig {
+            conflicts: percent,
+            K: 1000,
+            ..Default::default()
+        }
     }
 }
 

@@ -25,7 +25,9 @@ pub struct Divergence {
 /// Verifies the common-prefix property across all stores. Returns the first
 /// divergence found, or `Ok(())`.
 pub fn check_consensus(stores: &[&MultiVersionStore]) -> Result<(), Divergence> {
-    let Some(first) = stores.first() else { return Ok(()) };
+    let Some(first) = stores.first() else {
+        return Ok(());
+    };
     // Collect the union of keys across all stores.
     let mut keys: Vec<Key> = stores.iter().flat_map(|s| s.keys()).collect();
     keys.sort_unstable();
@@ -39,7 +41,12 @@ pub fn check_consensus(stores: &[&MultiVersionStore]) -> Result<(), Divergence> 
                 let common = ha.len().min(hb.len());
                 for i in 0..common {
                     if ha[i] != hb[i] {
-                        return Err(Divergence { key, node_a: a, node_b: b, at: i });
+                        return Err(Divergence {
+                            key,
+                            node_a: a,
+                            node_b: b,
+                            at: i,
+                        });
                     }
                 }
             }

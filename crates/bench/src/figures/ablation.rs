@@ -21,15 +21,34 @@ use paxi_sim::client::uniform_workload;
 pub fn run(quick: bool) -> Vec<Table> {
     let cluster = ClusterConfig::lan(9);
     let sim = super::sim_preset(quick);
-    let counts = if quick { vec![2, 16, 48] } else { vec![2, 8, 16, 32, 64, 96] };
+    let counts = if quick {
+        vec![2, 16, 48]
+    } else {
+        vec![2, 8, 16, 32, 64, 96]
+    };
 
     let variants: Vec<(&str, PaxosConfig)> = vec![
         ("piggyback+broadcast (paper)", PaxosConfig::default()),
-        ("eager commit", PaxosConfig { eager_commit: true, ..Default::default() }),
-        ("thrifty", PaxosConfig { thrifty: true, ..Default::default() }),
+        (
+            "eager commit",
+            PaxosConfig {
+                eager_commit: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "thrifty",
+            PaxosConfig {
+                thrifty: true,
+                ..Default::default()
+            },
+        ),
         (
             "thrifty FPaxos |q2|=3",
-            PaxosConfig { thrifty: true, ..PaxosConfig::flexible(3) },
+            PaxosConfig {
+                thrifty: true,
+                ..PaxosConfig::flexible(3)
+            },
         ),
     ];
 
@@ -38,7 +57,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["variant", "max_throughput", "low_load_latency_ms"],
     );
     for (name, cfg) in variants {
-        let points = sweep(&Proto::Paxos(cfg), &sim, &cluster, &counts, || uniform_workload(1000));
+        let points = sweep(&Proto::Paxos(cfg), &sim, &cluster, &counts, || {
+            uniform_workload(1000)
+        });
         let max_tput = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
         let low_lat = points.first().map(|p| p.mean_ms).unwrap_or(f64::NAN);
         t.row(vec![name.into(), f0(max_tput), f2(low_lat)]);
@@ -52,7 +73,9 @@ mod tests {
     fn optimizations_rank_as_the_cost_model_predicts() {
         let t = &super::run(true)[0];
         let tput = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[1].parse().unwrap()
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         let piggyback = tput("piggyback");
         let eager = tput("eager");
@@ -60,9 +83,15 @@ mod tests {
         // Eager commit costs throughput vs the piggybacked default.
         assert!(eager < piggyback, "eager {eager} vs piggyback {piggyback}");
         // Thrifty sheds follower acks and gains throughput.
-        assert!(thrifty > piggyback * 1.1, "thrifty {thrifty} vs piggyback {piggyback}");
+        assert!(
+            thrifty > piggyback * 1.1,
+            "thrifty {thrifty} vs piggyback {piggyback}"
+        );
         // Thrifty FPaxos with |q2|=3 sheds even more.
         let thrifty_fp = tput("thrifty FPaxos");
-        assert!(thrifty_fp > thrifty, "thrifty-fpaxos {thrifty_fp} vs thrifty {thrifty}");
+        assert!(
+            thrifty_fp > thrifty,
+            "thrifty-fpaxos {thrifty_fp} vs thrifty {thrifty}"
+        );
     }
 }

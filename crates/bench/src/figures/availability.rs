@@ -19,16 +19,27 @@ use paxi_protocols::wpaxos::{wpaxos_cluster, WPaxosConfig};
 use paxi_sim::{ClientSetup, SimConfig, Simulator, Topology};
 
 fn zone_writes(client: ClientId, zone: u8, seq: u64, _now: Nanos, rng: &mut Rng64) -> Command {
-    Command::put(zone as u64 * 1000 + rng.below(20), paxi_sim::client::unique_value(client, seq))
+    Command::put(
+        zone as u64 * 1000 + rng.below(20),
+        paxi_sim::client::unique_value(client, seq),
+    )
 }
 
 fn timeline(report: &paxi_sim::SimReport) -> Vec<(f64, u64)> {
-    report.timeline.iter().map(|(t, c)| (t.as_secs_f64(), *c)).collect()
+    report
+        .timeline
+        .iter()
+        .map(|(t, c)| (t.as_secs_f64(), *c))
+        .collect()
 }
 
 /// Builds the availability timeline table.
 pub fn run(quick: bool) -> Vec<Table> {
-    let measure = if quick { Nanos::secs(4) } else { Nanos::secs(6) };
+    let measure = if quick {
+        Nanos::secs(4)
+    } else {
+        Nanos::secs(6)
+    };
     let base = SimConfig {
         warmup: Nanos::millis(100),
         measure,
@@ -44,24 +55,34 @@ pub fn run(quick: bool) -> Vec<Table> {
         cluster.clone(),
         paxos_cluster(
             cluster,
-            PaxosConfig { election_timeout: Nanos::millis(400), ..Default::default() },
+            PaxosConfig {
+                election_timeout: Nanos::millis(400),
+                ..Default::default()
+            },
         ),
         zone_writes,
         ClientSetup::closed_per_zone(&ClusterConfig::lan(5), 4),
     );
-    paxos_sim.faults_mut().crash(NodeId::new(0, 0), Nanos::secs(2), Nanos::secs(60));
+    paxos_sim
+        .faults_mut()
+        .crash(NodeId::new(0, 0), Nanos::secs(2), Nanos::secs(60));
     let paxos = paxos_sim.run();
 
     // WPaxos: crash one of the three zone leaders; other zones unaffected.
     let cluster = ClusterConfig::wan(3, 3, 1, 0);
     let mut wpaxos_sim = Simulator::new(
-        SimConfig { topology: Topology::lan_zones(3), ..base },
+        SimConfig {
+            topology: Topology::lan_zones(3),
+            ..base
+        },
         cluster.clone(),
         wpaxos_cluster(cluster.clone(), WPaxosConfig::default()),
         zone_writes,
         ClientSetup::closed_per_zone(&cluster, 4),
     );
-    wpaxos_sim.faults_mut().crash(NodeId::new(2, 0), Nanos::secs(2), Nanos::secs(60));
+    wpaxos_sim
+        .faults_mut()
+        .crash(NodeId::new(2, 0), Nanos::secs(2), Nanos::secs(60));
     let wpaxos = wpaxos_sim.run();
 
     let mut t = Table::new(
@@ -70,8 +91,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let p = timeline(&paxos);
     let w = timeline(&wpaxos);
-    let buckets: std::collections::BTreeSet<u64> =
-        p.iter().chain(&w).map(|(t, _)| (t * 4.0).round() as u64).collect();
+    let buckets: std::collections::BTreeSet<u64> = p
+        .iter()
+        .chain(&w)
+        .map(|(t, _)| (t * 4.0).round() as u64)
+        .collect();
     for b in buckets {
         let ts = b as f64 / 4.0;
         let find = |series: &[(f64, u64)]| {
@@ -92,7 +116,11 @@ mod tests {
     fn paxos_dips_while_wpaxos_keeps_most_of_its_throughput() {
         let t = &super::run(true)[0];
         let at = |ts: &str, col: usize| -> u64 {
-            t.rows.iter().find(|r| r[0] == ts).map(|r| r[col].parse().unwrap()).unwrap_or(0)
+            t.rows
+                .iter()
+                .find(|r| r[0] == ts)
+                .map(|r| r[col].parse().unwrap())
+                .unwrap_or(0)
         };
         let paxos_before = at("1.75", 1);
         let paxos_outage = at("2.25", 1);

@@ -29,17 +29,28 @@ pub fn run(quick: bool) -> Vec<Table> {
     let sim = super::sim_preset(quick);
     // First count is the unloaded point (one closed-loop client); the tail
     // saturates the leader so max throughput is actually reached.
-    let counts = if quick { vec![1, 16, 64] } else { vec![1, 4, 16, 48, 96, 160] };
+    let counts = if quick {
+        vec![1, 16, 64]
+    } else {
+        vec![1, 4, 16, 48, 96, 160]
+    };
 
     let mut t = Table::new(
         "Ablation: batching MultiPaxos (9-node LAN)",
-        &["max_batch", "max_throughput", "unloaded_p50_ms", "unloaded_mean_ms", "speedup_vs_1"],
+        &[
+            "max_batch",
+            "max_throughput",
+            "unloaded_p50_ms",
+            "unloaded_mean_ms",
+            "speedup_vs_1",
+        ],
     );
     let mut base_tput = f64::NAN;
     for &batch in BATCHES {
         let cfg = PaxosConfig::batched(batch);
-        let points =
-            sweep(&Proto::Paxos(cfg), &sim, &cluster, &counts, || uniform_workload(1000));
+        let points = sweep(&Proto::Paxos(cfg), &sim, &cluster, &counts, || {
+            uniform_workload(1000)
+        });
         let max_tput = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
         let p50 = points.first().map(|p| p.p50_ms).unwrap_or(f64::NAN);
         let mean = points.first().map(|p| p.mean_ms).unwrap_or(f64::NAN);
@@ -95,7 +106,12 @@ mod tests {
             tput("16"),
             tput("1")
         );
-        assert!(tput("4") > tput("1"), "batch=4 {} vs baseline {}", tput("4"), tput("1"));
+        assert!(
+            tput("4") > tput("1"),
+            "batch=4 {} vs baseline {}",
+            tput("4"),
+            tput("1")
+        );
         // Unloaded p50 pays at most the batch_delay hold-down: within 1.5x.
         assert!(
             p50("16") <= 1.5 * p50("1"),

@@ -21,7 +21,14 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "Cross-validation: analytic model vs simulator (LAN, 9 nodes)",
-        &["protocol", "model_max_tput", "sim_max_tput", "ratio", "model_ms_low", "sim_ms_low"],
+        &[
+            "protocol",
+            "model_max_tput",
+            "sim_max_tput",
+            "ratio",
+            "model_ms_low",
+            "sim_ms_low",
+        ],
     );
 
     // MultiPaxos and FPaxos on the flat LAN.
@@ -32,11 +39,15 @@ pub fn run(quick: bool) -> Vec<Table> {
         (Proto::fpaxos(3), Box::new(PaxosModel::fpaxos(3))),
     ];
     for (proto, model) in entries {
-        let points = sweep(&proto, &sim, &lan_cluster, &counts, || uniform_workload(1000));
+        let points = sweep(&proto, &sim, &lan_cluster, &counts, || {
+            uniform_workload(1000)
+        });
         let sim_max = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
         let sim_low = points.first().map(|p| p.mean_ms).unwrap_or(f64::NAN);
         let model_max = model.max_throughput(&lan_model);
-        let model_low = model.latency_ms(&lan_model, model_max * 0.05).unwrap_or(f64::NAN);
+        let model_low = model
+            .latency_ms(&lan_model, model_max * 0.05)
+            .unwrap_or(f64::NAN);
         t.row(vec![
             proto.name(),
             f0(model_max),
@@ -55,7 +66,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         grid_model.rtt_ms = vec![vec![paxi_model::params::LAN_RTT_MS; 3]; 3];
         let model = WPaxosModel::new(1.0);
         let cluster = ClusterConfig::wan(3, 3, 1, 0);
-        let grid_sim = paxi_sim::SimConfig { topology: Topology::lan_zones(3), ..sim.clone() };
+        let grid_sim = paxi_sim::SimConfig {
+            topology: Topology::lan_zones(3),
+            ..sim.clone()
+        };
         let points = sweep(
             &Proto::WPaxos(WPaxosConfig::default()),
             &grid_sim,
@@ -66,7 +80,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         let sim_max = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
         let sim_low = points.first().map(|p| p.mean_ms).unwrap_or(f64::NAN);
         let model_max = model.max_throughput(&grid_model);
-        let model_low = model.latency_ms(&grid_model, model_max * 0.05).unwrap_or(f64::NAN);
+        let model_low = model
+            .latency_ms(&grid_model, model_max * 0.05)
+            .unwrap_or(f64::NAN);
         t.row(vec![
             "WPaxos(fz=0)".into(),
             f0(model_max),
@@ -87,7 +103,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         let sim_max = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
         let sim_low = points.first().map(|p| p.mean_ms).unwrap_or(f64::NAN);
         let model_max = model.max_throughput(&lan_model);
-        let model_low = model.latency_ms(&lan_model, model_max * 0.05).unwrap_or(f64::NAN);
+        let model_low = model
+            .latency_ms(&lan_model, model_max * 0.05)
+            .unwrap_or(f64::NAN);
         t.row(vec![
             "EPaxos (model c=0.02 / sim penalized)".into(),
             f0(model_max),

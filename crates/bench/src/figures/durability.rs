@@ -23,8 +23,16 @@ use paxi_sim::{ClientSetup, FaultPlan, SimConfig, SimReport};
 use paxi_storage::FsyncPolicy;
 
 fn base(quick: bool) -> SimConfig {
-    let measure = if quick { Nanos::secs(1) } else { Nanos::secs(4) };
-    SimConfig { warmup: Nanos::millis(300), measure, ..SimConfig::default() }
+    let measure = if quick {
+        Nanos::secs(1)
+    } else {
+        Nanos::secs(4)
+    };
+    SimConfig {
+        warmup: Nanos::millis(300),
+        measure,
+        ..SimConfig::default()
+    }
 }
 
 fn run_policy(quick: bool, policy: FsyncPolicy) -> SimReport {
@@ -68,9 +76,18 @@ pub fn run(quick: bool) -> Vec<Table> {
         ]);
     };
     push("volatile", &run_volatile(quick));
-    push(&FsyncPolicy::Never.label(), &run_policy(quick, FsyncPolicy::Never));
-    push(&FsyncPolicy::batch8().label(), &run_policy(quick, FsyncPolicy::batch8()));
-    push(&FsyncPolicy::Always.label(), &run_policy(quick, FsyncPolicy::Always));
+    push(
+        &FsyncPolicy::Never.label(),
+        &run_policy(quick, FsyncPolicy::Never),
+    );
+    push(
+        &FsyncPolicy::batch8().label(),
+        &run_policy(quick, FsyncPolicy::batch8()),
+    );
+    push(
+        &FsyncPolicy::Always.label(),
+        &run_policy(quick, FsyncPolicy::Always),
+    );
     vec![t]
 }
 
@@ -82,7 +99,9 @@ mod tests {
     fn always_pays_more_latency_than_never() {
         let t = &run(true)[0];
         let p50 = |label: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == label).expect(label)[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == label).expect(label)[2]
+                .parse()
+                .unwrap()
         };
         let never = p50("never");
         let always = p50("always");

@@ -31,7 +31,14 @@ pub fn run(_quick: bool) -> Vec<Table> {
             Box::new(PaxosModel::fpaxos(3).with_leader_zone(CA)),
         ),
         ("EPaxos (c=0.3)".into(), Box::new(EPaxosModel::new(0.3))),
-        ("WPaxos (l=0.7)".into(), Box::new(WPaxosModel { fz: 0, f: 1, locality: 0.7 })),
+        (
+            "WPaxos (l=0.7)".into(),
+            Box::new(WPaxosModel {
+                fz: 0,
+                f: 1,
+                locality: 0.7,
+            }),
+        ),
     ];
     for (name, model) in &fixed {
         for (tput, lat) in model.curve(&d, 20) {
@@ -57,7 +64,9 @@ mod tests {
     fn wan_latency_spread_exceeds_100ms() {
         let t = &super::run(true)[0];
         let low_load_lat = |proto: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == proto).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == proto).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         let paxos = low_load_lat("MultiPaxos (CA leader)");
         let wpaxos = low_load_lat("WPaxos (l=0.7)");
@@ -84,6 +93,10 @@ mod tests {
             .collect();
         assert!(ramp.len() > 10);
         // Latency grows substantially across the ramp (conflicts + queueing).
-        assert!(ramp.last().unwrap() > &(ramp[0] * 1.3), "ramp {:?}", &ramp[..3]);
+        assert!(
+            ramp.last().unwrap() > &(ramp[0] * 1.3),
+            "ramp {:?}",
+            &ramp[..3]
+        );
     }
 }

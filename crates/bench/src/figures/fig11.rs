@@ -37,16 +37,30 @@ fn protocols() -> Vec<Proto> {
             initial_owner: Some(NodeId::new(OH, 0)),
             ..WPaxosConfig::default()
         }),
-        Proto::WanKeeper(WanKeeperConfig { master_zone: OH, ..Default::default() }),
+        Proto::WanKeeper(WanKeeperConfig {
+            master_zone: OH,
+            ..Default::default()
+        }),
         Proto::epaxos(),
-        Proto::VPaxos(VPaxosConfig { master_zone: OH, initial_zone: OH, window: 3 }),
-        Proto::Paxos(PaxosConfig { initial_leader: NodeId::new(OH, 0), ..Default::default() }),
+        Proto::VPaxos(VPaxosConfig {
+            master_zone: OH,
+            initial_zone: OH,
+            window: 3,
+        }),
+        Proto::Paxos(PaxosConfig {
+            initial_leader: NodeId::new(OH, 0),
+            ..Default::default()
+        }),
     ]
 }
 
 /// Builds one table per displayed region (VA, OH, CA).
 pub fn run(quick: bool) -> Vec<Table> {
-    let conflicts: Vec<u8> = if quick { vec![0, 40, 100] } else { vec![0, 20, 40, 60, 80, 100] };
+    let conflicts: Vec<u8> = if quick {
+        vec![0, 40, 100]
+    } else {
+        vec![0, 20, 40, 60, 80, 100]
+    };
     let cluster = ClusterConfig::wan(5, 3, 1, 0);
     // Migration of each zone's private objects away from Ohio is gated on
     // client-paced WAN round trips, so the warmup must cover it (the paper
@@ -70,8 +84,11 @@ pub fn run(quick: bool) -> Vec<Table> {
                 cluster.clone()
             };
             let clients = ClientSetup::closed_per_zone(&cluster, 2);
-            let workload =
-                HotKeyWorkload { conflict: c as f64 / 100.0, hot_key: 0, private_keys: 20 };
+            let workload = HotKeyWorkload {
+                conflict: c as f64 / 100.0,
+                hot_key: 0,
+                private_keys: 20,
+            };
             let report = run_sim(proto, sim.clone(), cluster, workload, clients);
             for zone in 0..3u8 {
                 if let Some(s) = report.zone_latency.get(&zone) {
@@ -87,7 +104,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         let mut cols: Vec<&str> = vec!["conflict_pct"];
         cols.extend(names.iter().map(String::as_str));
         let mut t = Table::new(
-            format!("Fig 11{}: conflict workload latency in {region}", (b'a' + zone as u8) as char),
+            format!(
+                "Fig 11{}: conflict workload latency in {region}",
+                (b'a' + zone as u8) as char
+            ),
             &cols,
         );
         for (ci, &c) in conflicts.iter().enumerate() {
@@ -118,7 +138,10 @@ mod tests {
             let c = col(va, proto);
             let at0: f64 = va.rows.first().unwrap()[c].parse().unwrap();
             let at100: f64 = va.rows.last().unwrap()[c].parse().unwrap();
-            assert!(at0 < 6.0, "{proto} VA at 0% conflict should be local: {at0}");
+            assert!(
+                at0 < 6.0,
+                "{proto} VA at 0% conflict should be local: {at0}"
+            );
             assert!(
                 at100 > 6.0 && at100 < 35.0,
                 "{proto} VA at 100% should pay ~one VA-OH trip: {at100}"
@@ -136,12 +159,21 @@ mod tests {
         let px = col(va, "Paxos");
         let px_first: f64 = va.rows.first().unwrap()[px].parse().unwrap();
         let px_last: f64 = va.rows.last().unwrap()[px].parse().unwrap();
-        assert!(px_first > 20.0, "Paxos VA should pay WAN quorum: {px_first}");
-        assert!((px_last / px_first - 1.0).abs() < 0.5, "Paxos is conflict-insensitive");
+        assert!(
+            px_first > 20.0,
+            "Paxos VA should pay WAN quorum: {px_first}"
+        );
+        assert!(
+            (px_last / px_first - 1.0).abs() < 0.5,
+            "Paxos is conflict-insensitive"
+        );
         // (4) EPaxos suffers from interference even in the hot object's
         // home region (no leader advantage there).
         let ep = col(oh, "EPaxos");
         let ep_last: f64 = oh.rows.last().unwrap()[ep].parse().unwrap();
-        assert!(ep_last > 8.0, "EPaxos OH at 100% conflict pays WAN rounds: {ep_last}");
+        assert!(
+            ep_last > 8.0,
+            "EPaxos OH at 100% conflict pays WAN rounds: {ep_last}"
+        );
     }
 }

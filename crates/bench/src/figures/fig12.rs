@@ -34,7 +34,10 @@ mod tests {
         let drop = 1.0 - last / first;
         assert!((0.25..0.55).contains(&drop), "degradation {drop}");
         let paxos: f64 = t.rows[0][2].parse().unwrap();
-        assert!(last > paxos, "EPaxos at c=1 ({last}) still above Paxos ({paxos})");
+        assert!(
+            last > paxos,
+            "EPaxos at c=1 ({last}) still above Paxos ({paxos})"
+        );
         // Paxos line is flat.
         for row in &t.rows {
             assert_eq!(row[2], t.rows[0][2]);

@@ -29,14 +29,24 @@ fn protocols() -> Vec<Proto> {
             initial_owner: Some(NodeId::new(OH, 0)),
             ..WPaxosConfig::default()
         }),
-        Proto::WanKeeper(WanKeeperConfig { master_zone: OH, ..Default::default() }),
-        Proto::VPaxos(VPaxosConfig { master_zone: OH, initial_zone: OH, window: 3 }),
+        Proto::WanKeeper(WanKeeperConfig {
+            master_zone: OH,
+            ..Default::default()
+        }),
+        Proto::VPaxos(VPaxosConfig {
+            master_zone: OH,
+            initial_zone: OH,
+            window: 3,
+        }),
         Proto::WPaxos(WPaxosConfig {
             fz: 2,
             initial_owner: Some(NodeId::new(OH, 0)),
             ..WPaxosConfig::default()
         }),
-        Proto::Paxos(PaxosConfig { initial_leader: NodeId::new(OH, 0), ..Default::default() }),
+        Proto::Paxos(PaxosConfig {
+            initial_leader: NodeId::new(OH, 0),
+            ..Default::default()
+        }),
         Proto::epaxos(),
     ]
 }
@@ -64,7 +74,13 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["protocol", "latency_ms", "cum_fraction"],
     );
     // zone display order follows the paper's x axis: T C O V I.
-    let display: [(u8, &str); 5] = [(4, "Tokyo"), (2, "California"), (1, "Ohio"), (0, "Virginia"), (3, "Ireland")];
+    let display: [(u8, &str); 5] = [
+        (4, "Tokyo"),
+        (2, "California"),
+        (1, "Ohio"),
+        (0, "Virginia"),
+        (3, "Ireland"),
+    ];
     let mut per_zone: Vec<Vec<f64>> = vec![vec![f64::NAN; protos.len()]; 5];
 
     for (pi, proto) in protos.iter().enumerate() {
@@ -85,7 +101,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         let step = (cdf.len() / 24).max(1);
         for (i, (lat, frac)) in cdf.iter().enumerate() {
             if i % step == 0 || i + 1 == cdf.len() {
-                cdf_table.row(vec![names[pi].clone(), f2(lat.as_millis_f64()), format!("{frac:.3}")]);
+                cdf_table.row(vec![
+                    names[pi].clone(),
+                    f2(lat.as_millis_f64()),
+                    format!("{frac:.3}"),
+                ]);
             }
         }
     }
@@ -97,7 +117,10 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut cols: Vec<&str> = vec!["region"];
     cols.extend(names.iter().map(String::as_str));
-    let mut a = Table::new("Fig 13a: average latency per region (locality workload)", &cols);
+    let mut a = Table::new(
+        "Fig 13a: average latency per region (locality workload)",
+        &cols,
+    );
     for row in region_rows {
         a.row(row);
     }
@@ -112,7 +135,9 @@ mod tests {
         let a = &tables[0];
         let col = |name: &str| a.columns.iter().position(|c| c == name).unwrap();
         let cell = |region: &str, c: usize| -> f64 {
-            a.rows.iter().find(|r| r[0] == region).unwrap()[c].parse().unwrap()
+            a.rows.iter().find(|r| r[0] == region).unwrap()[c]
+                .parse()
+                .unwrap()
         };
         let wk = col("WanKeeper");
         let wp = col("WPaxos(fz=0)");
@@ -127,7 +152,10 @@ mod tests {
             assert!(v >= oh - 0.5, "WanKeeper {region} ({v}) vs Ohio ({oh})");
             worst = worst.max(v);
         }
-        assert!(worst > oh + 5.0, "some region pays for shared objects: worst {worst} vs OH {oh}");
+        assert!(
+            worst > oh + 5.0,
+            "some region pays for shared objects: worst {worst} vs OH {oh}"
+        );
         // WPaxos balances: once objects migrate, every region is far below
         // the single-leader WAN cost (remote regions like Tokyo keep a tail
         // of boundary objects contested with neighbors, so the mean stays

@@ -68,7 +68,10 @@ mod tests {
             .rows
             .iter()
             .max_by(|a, b| {
-                a[1].parse::<f64>().unwrap().partial_cmp(&b[1].parse::<f64>().unwrap()).unwrap()
+                a[1].parse::<f64>()
+                    .unwrap()
+                    .partial_cmp(&b[1].parse::<f64>().unwrap())
+                    .unwrap()
             })
             .unwrap();
         let peak_ms: f64 = peak[0].parse().unwrap();

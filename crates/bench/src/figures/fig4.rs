@@ -20,7 +20,9 @@ fn rates(quick: bool) -> Vec<f64> {
     if quick {
         vec![3000.0, 5000.0, 7000.0]
     } else {
-        vec![3000.0, 3500.0, 4000.0, 4500.0, 5000.0, 5500.0, 6000.0, 6500.0, 7000.0, 7500.0, 8000.0]
+        vec![
+            3000.0, 3500.0, 4000.0, 4500.0, 5000.0, 5500.0, 6000.0, 6500.0, 7000.0, 7500.0, 8000.0,
+        ]
     }
 }
 
@@ -35,13 +37,28 @@ pub fn run_figure(quick: bool) -> Vec<Table> {
     let models: Vec<(&str, PaxosModel)> = vec![
         ("MM1", PaxosModel::multi_paxos().with_queue(QueueKind::MM1)),
         ("MD1", PaxosModel::multi_paxos().with_queue(QueueKind::MD1)),
-        ("MG1", PaxosModel::multi_paxos().with_queue(QueueKind::MG1 { service_var: cv2 * ts * ts })),
-        ("GG1", PaxosModel::multi_paxos().with_queue(QueueKind::GG1 { ca2: 1.0, cs2: cv2 })),
+        (
+            "MG1",
+            PaxosModel::multi_paxos().with_queue(QueueKind::MG1 {
+                service_var: cv2 * ts * ts,
+            }),
+        ),
+        (
+            "GG1",
+            PaxosModel::multi_paxos().with_queue(QueueKind::GG1 { ca2: 1.0, cs2: cv2 }),
+        ),
     ];
 
     let mut t = Table::new(
         "Fig 4: queueing models vs Paxi reference (9-node LAN Paxos)",
-        &["throughput_rps", "MM1_ms", "MD1_ms", "MG1_ms", "GG1_ms", "Paxi_sim_ms"],
+        &[
+            "throughput_rps",
+            "MM1_ms",
+            "MD1_ms",
+            "MG1_ms",
+            "GG1_ms",
+            "Paxi_sim_ms",
+        ],
     );
     let cluster = ClusterConfig::lan(9);
     for rate in rates(quick) {
@@ -56,7 +73,13 @@ pub fn run_figure(quick: bool) -> Vec<Table> {
         // same aggregate rate.
         let sim = super::sim_preset(quick);
         let clients = ClientSetup::open_single(rate);
-        let report = run_sim(&Proto::paxos(), sim, cluster.clone(), uniform_workload(1000), clients);
+        let report = run_sim(
+            &Proto::paxos(),
+            sim,
+            cluster.clone(),
+            uniform_workload(1000),
+            clients,
+        );
         cells.push(f2(report.latency.mean.as_millis_f64()));
         t.row(cells);
     }

@@ -10,9 +10,9 @@
 use crate::runner::{sweep, Proto};
 use crate::table::{f0, f2, Table};
 use paxi_core::config::ClusterConfig;
+use paxi_core::time::Nanos;
 use paxi_protocols::raft::RaftConfig;
 use paxi_sim::client::uniform_workload;
-use paxi_core::time::Nanos;
 
 /// Builds the two latency-vs-throughput series.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -20,13 +20,18 @@ pub fn run(quick: bool) -> Vec<Table> {
     let counts = super::sweep_counts(quick);
     let sim = super::sim_preset(quick);
 
-    let paxos = sweep(&Proto::paxos(), &sim, &cluster, &counts, || uniform_workload(1000));
+    let paxos = sweep(&Proto::paxos(), &sim, &cluster, &counts, || {
+        uniform_workload(1000)
+    });
 
     // "etcd": our Raft with HTTP-like per-hop overhead on inter-node links.
     let mut etcd_sim = sim.clone();
     etcd_sim.cost.wire_overhead = Nanos::micros(400);
     let raft = sweep(
-        &Proto::Raft { cfg: RaftConfig::default(), cpu_penalty: 1.05 },
+        &Proto::Raft {
+            cfg: RaftConfig::default(),
+            cpu_penalty: 1.05,
+        },
         &etcd_sim,
         &cluster,
         &counts,
@@ -57,9 +62,15 @@ mod tests {
         let last = t.rows.last().unwrap();
         let paxos_max: f64 = last[1].parse().unwrap();
         let raft_max: f64 = last[3].parse().unwrap();
-        assert!((0.6..1.6).contains(&(raft_max / paxos_max)), "paxos {paxos_max} raft {raft_max}");
+        assert!(
+            (0.6..1.6).contains(&(raft_max / paxos_max)),
+            "paxos {paxos_max} raft {raft_max}"
+        );
         // Single-leader wall in the 6-11k range (paper: ~8000 ops/s).
-        assert!((5_000.0..12_000.0).contains(&paxos_max), "paxos max {paxos_max}");
+        assert!(
+            (5_000.0..12_000.0).contains(&paxos_max),
+            "paxos max {paxos_max}"
+        );
         // etcd-like Raft pays more latency below saturation.
         let first = &t.rows[0];
         let paxos_ms: f64 = first[2].parse().unwrap();

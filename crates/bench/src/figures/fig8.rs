@@ -67,7 +67,10 @@ mod tests {
         let fpaxos = max_tput(a, "FPaxos(|q2|=3)");
         let wpaxos = max_tput(a, "WPaxos");
         let epaxos = max_tput(a, "EPaxos");
-        assert!((paxos - fpaxos).abs() / paxos < 0.1, "FPaxos ~= Paxos in max tput");
+        assert!(
+            (paxos - fpaxos).abs() / paxos < 0.1,
+            "FPaxos ~= Paxos in max tput"
+        );
         assert!(wpaxos > 1.3 * paxos, "WPaxos {wpaxos} vs Paxos {paxos}");
         assert!(epaxos > paxos, "EPaxos {epaxos} vs Paxos {paxos}");
     }
@@ -77,7 +80,9 @@ mod tests {
         let tables = run(true);
         let b = &tables[1];
         let first = |proto: &str| -> f64 {
-            b.rows.iter().find(|r| r[0] == proto).unwrap()[2].parse().unwrap()
+            b.rows.iter().find(|r| r[0] == proto).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         let gain = first("MultiPaxos") - first("FPaxos(|q2|=3)");
         assert!(gain >= 0.0 && gain < 0.2, "LAN FPaxos gain {gain} ms");

@@ -30,28 +30,47 @@ pub fn run(quick: bool) -> Vec<Table> {
     let lan = ClusterConfig::lan(9);
     for proto in [Proto::paxos(), Proto::fpaxos(3), Proto::epaxos()] {
         let bench = bench.clone();
-        let points = sweep(&proto, &sim, &lan, &counts, || GeneralWorkload::new(bench.clone(), 1));
+        let points = sweep(&proto, &sim, &lan, &counts, || {
+            GeneralWorkload::new(bench.clone(), 1)
+        });
         for p in points {
-            t.row(vec![proto.name(), p.clients.to_string(), f0(p.throughput), f2(p.mean_ms)]);
+            t.row(vec![
+                proto.name(),
+                p.clients.to_string(),
+                f0(p.throughput),
+                f2(p.mean_ms),
+            ]);
         }
     }
 
     // The same 9 nodes as a 3x3 grid for the zone-structured protocols.
     let grid = ClusterConfig::wan(3, 3, 1, 0);
-    let grid_sim = paxi_sim::SimConfig { topology: Topology::lan_zones(3), ..sim.clone() };
+    let grid_sim = paxi_sim::SimConfig {
+        topology: Topology::lan_zones(3),
+        ..sim.clone()
+    };
     let zone_protos = [
         Proto::WPaxos(WPaxosConfig::default()),
         // In a LAN there is no reason to centralize shared objects at the
         // master; the decentralized forwarding variant matches the paper's
         // LAN deployment (see EXPERIMENTS.md).
-        Proto::WanKeeper(WanKeeperConfig { shared_to_master: false, ..Default::default() }),
+        Proto::WanKeeper(WanKeeperConfig {
+            shared_to_master: false,
+            ..Default::default()
+        }),
     ];
     for proto in zone_protos {
         let bench = bench.clone();
-        let points =
-            sweep(&proto, &grid_sim, &grid, &counts, || GeneralWorkload::new(bench.clone(), 3));
+        let points = sweep(&proto, &grid_sim, &grid, &counts, || {
+            GeneralWorkload::new(bench.clone(), 3)
+        });
         for p in points {
-            t.row(vec![proto.name(), p.clients.to_string(), f0(p.throughput), f2(p.mean_ms)]);
+            t.row(vec![
+                proto.name(),
+                p.clients.to_string(),
+                f0(p.throughput),
+                f2(p.mean_ms),
+            ]);
         }
     }
     vec![t]
@@ -79,7 +98,13 @@ mod tests {
         // Paxi LAN experiments.
         assert!(wpaxos > 1.2 * paxos, "wpaxos {wpaxos} paxos {paxos}");
         assert!(wankeeper > wpaxos, "wankeeper {wankeeper} wpaxos {wpaxos}");
-        assert!(epaxos < wpaxos, "epaxos {epaxos} should trail wpaxos {wpaxos}");
-        assert!((0.8..1.25).contains(&(fpaxos / paxos)), "fpaxos {fpaxos} ~ paxos {paxos}");
+        assert!(
+            epaxos < wpaxos,
+            "epaxos {epaxos} should trail wpaxos {wpaxos}"
+        );
+        assert!(
+            (0.8..1.25).contains(&(fpaxos / paxos)),
+            "fpaxos {fpaxos} ~ paxos {paxos}"
+        );
     }
 }

@@ -32,7 +32,10 @@ fn probe_proto(name: &str) -> Option<Proto> {
     match name {
         "fig4" | "fig9" | "fig13" | "ablation" | "batching" | "sharding" | "crossval"
         | "availability" | "durability" => Some(Proto::paxos()),
-        "fig7" => Some(Proto::Raft { cfg: RaftConfig::default(), cpu_penalty: 1.0 }),
+        "fig7" => Some(Proto::Raft {
+            cfg: RaftConfig::default(),
+            cpu_penalty: 1.0,
+        }),
         "fig11" | "fig12" => Some(Proto::epaxos()),
         _ => None,
     }
@@ -46,7 +49,11 @@ pub fn snapshot(name: &str, quick: bool) -> Option<MetricsSidecar> {
     let cluster = ClusterConfig::lan(3);
     let cfg = SimConfig {
         warmup: Nanos::millis(100),
-        measure: if quick { Nanos::millis(300) } else { Nanos::secs(1) },
+        measure: if quick {
+            Nanos::millis(300)
+        } else {
+            Nanos::secs(1)
+        },
         metrics: true,
         trace_capacity: 256,
         drain: true,
@@ -54,7 +61,9 @@ pub fn snapshot(name: &str, quick: bool) -> Option<MetricsSidecar> {
     };
     let setups = ClientSetup::closed_per_zone(&cluster, 4);
     let report = runner::run(&proto, cfg, cluster, client::uniform_workload(100), setups);
-    let cm = report.metrics.expect("metrics were enabled for the probe run");
+    let cm = report
+        .metrics
+        .expect("metrics were enabled for the probe run");
     Some(MetricsSidecar {
         file: format!("metrics_{name}.json"),
         json: cm.to_json(),
@@ -68,10 +77,22 @@ mod tests {
 
     #[test]
     fn probe_covers_every_experimental_figure() {
-        for name in ["fig4", "fig7", "fig11", "batching", "sharding", "availability"] {
-            assert!(probe_proto(name).is_some(), "{name} must have a metrics probe");
+        for name in [
+            "fig4",
+            "fig7",
+            "fig11",
+            "batching",
+            "sharding",
+            "availability",
+        ] {
+            assert!(
+                probe_proto(name).is_some(),
+                "{name} must have a metrics probe"
+            );
         }
-        for name in ["table1", "table3", "formulas", "fig14", "fig3", "fig8", "fig10"] {
+        for name in [
+            "table1", "table3", "formulas", "fig14", "fig3", "fig8", "fig10",
+        ] {
             assert!(probe_proto(name).is_none(), "{name} is analytic-only");
         }
     }
@@ -80,7 +101,10 @@ mod tests {
     fn paxos_probe_snapshot_is_clean_and_renderable() {
         let side = snapshot("fig4", true).expect("fig4 has a probe");
         assert_eq!(side.file, "metrics_fig4.json");
-        assert_eq!(side.unexplained_drops, 0, "clean probe must explain all drops");
+        assert_eq!(
+            side.unexplained_drops, 0,
+            "clean probe must explain all drops"
+        );
         assert!(side.json.contains("\"unexplained_drops\""));
         assert!(side.json.contains("\"msgs_sent\""));
     }

@@ -31,9 +31,17 @@ pub mod tables;
 /// Simulation window presets shared by the experimental figures.
 pub(crate) fn sim_preset(quick: bool) -> SimConfig {
     if quick {
-        SimConfig { warmup: Nanos::millis(300), measure: Nanos::secs(1), ..SimConfig::default() }
+        SimConfig {
+            warmup: Nanos::millis(300),
+            measure: Nanos::secs(1),
+            ..SimConfig::default()
+        }
     } else {
-        SimConfig { warmup: Nanos::secs(1), measure: Nanos::secs(4), ..SimConfig::default() }
+        SimConfig {
+            warmup: Nanos::secs(1),
+            measure: Nanos::secs(4),
+            ..SimConfig::default()
+        }
     }
 }
 

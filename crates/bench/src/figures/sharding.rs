@@ -33,7 +33,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     let sim = super::sim_preset(quick);
     // Per-group closed-loop client counts: the first shows near-unloaded
     // latency, the last saturates every group's leader.
-    let counts: Vec<usize> = if quick { vec![4, 32] } else { vec![2, 8, 24, 64] };
+    let counts: Vec<usize> = if quick {
+        vec![4, 32]
+    } else {
+        vec![2, 8, 24, 64]
+    };
     let protos: &[ShardProto] = if quick {
         &[ShardProto::Paxos, ShardProto::Raft]
     } else {
@@ -42,7 +46,14 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "Ablation: sharding scaling (9-node LAN)",
-        &["protocol", "groups", "clients", "max_throughput", "mean_ms_at_max", "speedup_vs_1_group"],
+        &[
+            "protocol",
+            "groups",
+            "clients",
+            "max_throughput",
+            "mean_ms_at_max",
+            "speedup_vs_1_group",
+        ],
     );
     for &proto in protos {
         let mut base_tput = f64::NAN;
@@ -117,8 +128,14 @@ mod tests {
         );
         // Scaling is monotone in the group count for both protocols.
         for proto in ["Paxos", "Raft"] {
-            assert!(tput(proto, "2") > tput(proto, "1"), "{proto} g=2 must beat g=1");
-            assert!(tput(proto, "8") > tput(proto, "4"), "{proto} g=8 must beat g=4");
+            assert!(
+                tput(proto, "2") > tput(proto, "1"),
+                "{proto} g=2 must beat g=1"
+            );
+            assert!(
+                tput(proto, "8") > tput(proto, "4"),
+                "{proto} g=8 must beat g=4"
+            );
         }
 
         // The JSON baseline embeds every row through the shared writer.

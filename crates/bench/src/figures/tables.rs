@@ -11,15 +11,34 @@ use paxi_model::queueing::{wait_time, QueueKind};
 pub fn table1() -> Vec<Table> {
     let mut t = Table::new(
         "Table 1: queue types (Wq in microseconds, service = 100us)",
-        &["model", "arrivals", "service", "Wq_rho_0.5", "Wq_rho_0.8", "Wq_rho_0.95"],
+        &[
+            "model",
+            "arrivals",
+            "service",
+            "Wq_rho_0.5",
+            "Wq_rho_0.8",
+            "Wq_rho_0.95",
+        ],
     );
     let s = 100e-6;
     let cv2 = 0.15 * 0.15;
     let rows: Vec<(&str, &str, &str, QueueKind)> = vec![
         ("M/M/1", "Poisson", "Exponential", QueueKind::MM1),
         ("M/D/1", "Poisson", "Constant", QueueKind::MD1),
-        ("M/G/1", "Poisson", "General", QueueKind::MG1 { service_var: cv2 * s * s }),
-        ("G/G/1", "General", "General", QueueKind::GG1 { ca2: 1.0, cs2: cv2 }),
+        (
+            "M/G/1",
+            "Poisson",
+            "General",
+            QueueKind::MG1 {
+                service_var: cv2 * s * s,
+            },
+        ),
+        (
+            "G/G/1",
+            "General",
+            "General",
+            QueueKind::GG1 { ca2: 1.0, cs2: cv2 },
+        ),
     ];
     for (name, arr, svc, kind) in rows {
         let wq = |rho: f64| -> String {
@@ -28,7 +47,14 @@ pub fn table1() -> Vec<Table> {
                 None => "unstable".into(),
             }
         };
-        t.row(vec![name.into(), arr.into(), svc.into(), wq(0.5), wq(0.8), wq(0.95)]);
+        t.row(vec![
+            name.into(),
+            arr.into(),
+            svc.into(),
+            wq(0.5),
+            wq(0.8),
+            wq(0.95),
+        ]);
     }
     vec![t]
 }
@@ -45,19 +71,39 @@ pub fn table3() -> Vec<Table> {
         ("N", c.N.to_string(), "Run for N operations (if N>0)"),
         ("K", c.K.to_string(), "Total number of keys"),
         ("W", c.W.to_string(), "Write ratio"),
-        ("Concurrency", c.concurrency.to_string(), "Number of concurrent clients"),
+        (
+            "Concurrency",
+            c.concurrency.to_string(),
+            "Number of concurrent clients",
+        ),
         (
             "LinearizabilityCheck",
             c.linearizability_check.to_string(),
             "Check linearizability at the end of benchmark",
         ),
-        ("Distribution", format!("{:?}", c.distribution), "Key generation distribution"),
+        (
+            "Distribution",
+            format!("{:?}", c.distribution),
+            "Key generation distribution",
+        ),
         ("Min", c.min.to_string(), "Random: minimum key number"),
-        ("Conflicts", c.conflicts.to_string(), "Random: percentage of conflicting keys"),
+        (
+            "Conflicts",
+            c.conflicts.to_string(),
+            "Random: percentage of conflicting keys",
+        ),
         ("Mu", c.mu.to_string(), "Normal: mean"),
         ("Sigma", c.sigma.to_string(), "Normal: standard deviation"),
-        ("Move", c.move_hotspot.to_string(), "Normal: moving average (mu)"),
-        ("Speed", c.speed_ms.to_string(), "Normal: moving speed in milliseconds"),
+        (
+            "Move",
+            c.move_hotspot.to_string(),
+            "Normal: moving average (mu)",
+        ),
+        (
+            "Speed",
+            c.speed_ms.to_string(),
+            "Normal: moving speed in milliseconds",
+        ),
         ("Zipfian_s", c.zipfian_s.to_string(), "Zipfian: s parameter"),
         ("Zipfian_v", c.zipfian_v.to_string(), "Zipfian: v parameter"),
     ];
@@ -72,7 +118,14 @@ pub fn table3() -> Vec<Table> {
 pub fn formulas() -> Vec<Table> {
     let mut load = Table::new(
         "Formulas 3-6: load L(S) = (1+c)(Q+L-2)/L at N=9",
-        &["protocol", "leaders_L", "quorum_Q", "conflict_c", "load", "capacity"],
+        &[
+            "protocol",
+            "leaders_L",
+            "quorum_Q",
+            "conflict_c",
+            "load",
+            "capacity",
+        ],
     );
     let rows: Vec<(&str, usize, usize, f64)> = vec![
         ("Paxos", 1, 5, 0.0),
@@ -98,7 +151,11 @@ pub fn formulas() -> Vec<Table> {
         &["conflict_c", "locality_l", "latency_ms"],
     );
     for &(c, l) in &[(0.0, 0.0), (0.0, 0.5), (0.0, 1.0), (0.3, 1.0), (1.0, 0.0)] {
-        lat.row(vec![c.to_string(), l.to_string(), f2(formulas::latency(c, l, 80.0, 10.0))]);
+        lat.row(vec![
+            c.to_string(),
+            l.to_string(),
+            f2(formulas::latency(c, l, 80.0, 10.0)),
+        ]);
     }
     vec![load, lat]
 }
@@ -107,7 +164,15 @@ pub fn formulas() -> Vec<Table> {
 pub fn fig14() -> Vec<Table> {
     let mut t = Table::new(
         "Fig 14: protocol selection flowchart (all paths)",
-        &["consensus", "wan", "read_heavy", "locality", "dynamic", "dc_failure", "recommendation"],
+        &[
+            "consensus",
+            "wan",
+            "read_heavy",
+            "locality",
+            "dynamic",
+            "dc_failure",
+            "recommendation",
+        ],
     );
     let b = |v: bool| if v { "y" } else { "n" }.to_string();
     let mut emit = |a: Answers| {
@@ -130,13 +195,32 @@ pub fn fig14() -> Vec<Table> {
         dynamic_locality: false,
         datacenter_failure_concern: false,
     };
-    emit(Answers { needs_consensus: false, ..base });
+    emit(Answers {
+        needs_consensus: false,
+        ..base
+    });
     emit(base);
-    emit(Answers { read_heavy: true, ..base });
+    emit(Answers {
+        read_heavy: true,
+        ..base
+    });
     emit(Answers { wan: true, ..base });
-    emit(Answers { wan: true, read_heavy: true, ..base });
-    emit(Answers { wan: true, locality: true, ..base });
-    emit(Answers { wan: true, locality: true, dynamic_locality: true, ..base });
+    emit(Answers {
+        wan: true,
+        read_heavy: true,
+        ..base
+    });
+    emit(Answers {
+        wan: true,
+        locality: true,
+        ..base
+    });
+    emit(Answers {
+        wan: true,
+        locality: true,
+        dynamic_locality: true,
+        ..base
+    });
     emit(Answers {
         wan: true,
         locality: true,
@@ -167,7 +251,9 @@ mod tests {
     fn formulas_table_matches_section_6() {
         let t = &super::formulas()[0];
         let load_of = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[4].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[4]
+                .parse()
+                .unwrap()
         };
         assert_eq!(load_of("Paxos"), 4.0);
         assert!((load_of("EPaxos c=0") - 4.0 / 3.0).abs() < 0.01);

@@ -12,6 +12,8 @@
 //! * [`nemesis`] — seeded random fault schedules + linearizability verdicts.
 //! * [`reconfig`] — mid-reconfiguration nemesis: crashes inside a membership
 //!   change's transition window, verdicts over history + final config.
+//! * [`migration`] — mid-migration nemesis: crashes inside a shard
+//!   hand-off, verdicts over history + surviving ownership state.
 //! * [`sharded`] — multi-group (sharded) runs: routed clients, saturation
 //!   sweeps, per-shard checking, and the sharded nemesis.
 //! * [`table`] — result tables with console + CSV output.
@@ -24,6 +26,7 @@ pub mod checker;
 pub mod config;
 pub mod consensus;
 pub mod figures;
+pub mod migration;
 pub mod nemesis;
 pub mod reconfig;
 pub mod runner;
@@ -34,6 +37,10 @@ pub mod workload;
 pub use checker::{check_linearizability, Anomaly, AnomalyKind};
 pub use config::{BenchmarkConfig, Distribution};
 pub use consensus::{check_consensus, Divergence};
+pub use migration::{
+    audit_handoff, run_migration_nemesis, MigrationAudit, MigrationConfig, MigrationOutcome,
+    MigrationStage, MigrationVictim,
+};
 pub use nemesis::{
     generate_schedule, generate_schedule_with_mode, run_nemesis, NemesisConfig, NemesisOutcome,
     NemesisSchedule,

@@ -269,8 +269,11 @@ pub fn run_nemesis(
         ),
     };
     let anomalies = check_linearizability(&report.ops);
-    let tail_completed =
-        report.ops.iter().filter(|o| o.ok && o.ret >= heal_at).count() as u64;
+    let tail_completed = report
+        .ops
+        .iter()
+        .filter(|o| o.ok && o.ret >= heal_at)
+        .count() as u64;
     NemesisOutcome {
         proto: proto.name(),
         seed: cfg.seed,
@@ -312,7 +315,11 @@ mod tests {
             "seed must exercise a crash: {:?}",
             freeze.steps
         );
-        assert_ne!(freeze.digest(), amnesia.digest(), "crash semantics must not collide");
+        assert_ne!(
+            freeze.digest(),
+            amnesia.digest(),
+            "crash semantics must not collide"
+        );
         // Same mode stays deterministic.
         let again = generate_schedule_with_mode(7, &cluster, horizon, 5, CrashMode::Amnesia);
         assert_eq!(amnesia.digest(), again.digest());
@@ -338,7 +345,11 @@ mod tests {
             &Proto::paxos(),
             sim,
             ClusterConfig::lan(5),
-            &NemesisConfig { seed: 11, crash_mode: CrashMode::Amnesia, ..Default::default() },
+            &NemesisConfig {
+                seed: 11,
+                crash_mode: CrashMode::Amnesia,
+                ..Default::default()
+            },
         );
         assert!(out.anomalies.is_empty(), "anomalies: {:?}", out.anomalies);
         assert!(out.tail_completed > 0, "no post-heal progress");
@@ -394,7 +405,10 @@ mod tests {
             &Proto::paxos(),
             sim,
             ClusterConfig::lan(5),
-            &NemesisConfig { seed: 11, ..Default::default() },
+            &NemesisConfig {
+                seed: 11,
+                ..Default::default()
+            },
         );
         assert!(out.anomalies.is_empty(), "anomalies: {:?}", out.anomalies);
         assert!(out.tail_completed > 0, "no post-heal progress");

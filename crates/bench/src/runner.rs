@@ -121,16 +121,33 @@ pub fn run_with_faults(
         s.run()
     }
     match proto {
-        Proto::Paxos(cfg) => {
-            go(sim, cluster.clone(), paxos_cluster(cluster, cfg.clone()), workload, clients, faults)
-        }
+        Proto::Paxos(cfg) => go(
+            sim,
+            cluster.clone(),
+            paxos_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+        ),
         Proto::EPaxos { cpu_penalty } => {
             sim.cost.cpu_penalty = *cpu_penalty;
-            go(sim, cluster.clone(), epaxos_cluster(cluster), workload, clients, faults)
+            go(
+                sim,
+                cluster.clone(),
+                epaxos_cluster(cluster),
+                workload,
+                clients,
+                faults,
+            )
         }
-        Proto::WPaxos(cfg) => {
-            go(sim, cluster.clone(), wpaxos_cluster(cluster, cfg.clone()), workload, clients, faults)
-        }
+        Proto::WPaxos(cfg) => go(
+            sim,
+            cluster.clone(),
+            wpaxos_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+        ),
         Proto::WanKeeper(cfg) => go(
             sim,
             cluster.clone(),
@@ -139,12 +156,24 @@ pub fn run_with_faults(
             clients,
             faults,
         ),
-        Proto::VPaxos(cfg) => {
-            go(sim, cluster.clone(), vpaxos_cluster(cluster, cfg.clone()), workload, clients, faults)
-        }
+        Proto::VPaxos(cfg) => go(
+            sim,
+            cluster.clone(),
+            vpaxos_cluster(cluster, cfg.clone()),
+            workload,
+            clients,
+            faults,
+        ),
         Proto::Raft { cfg, cpu_penalty } => {
             sim.cost.cpu_penalty = *cpu_penalty;
-            go(sim, cluster.clone(), raft_cluster(cluster, cfg.clone()), workload, clients, faults)
+            go(
+                sim,
+                cluster.clone(),
+                raft_cluster(cluster, cfg.clone()),
+                workload,
+                clients,
+                faults,
+            )
         }
     }
 }
@@ -201,7 +230,15 @@ pub fn run_with_faults_durable(
         ),
         Proto::EPaxos { cpu_penalty } => {
             sim.cost.cpu_penalty = *cpu_penalty;
-            go(sim, cluster.clone(), epaxos_cluster(cluster), workload, clients, faults, policy)
+            go(
+                sim,
+                cluster.clone(),
+                epaxos_cluster(cluster),
+                workload,
+                clients,
+                faults,
+                policy,
+            )
         }
         Proto::WPaxos(cfg) => go(
             sim,
@@ -277,8 +314,13 @@ where
         .iter()
         .map(|&count| {
             let clients = ClientSetup::closed_per_zone(cluster, count);
-            let report =
-                run(proto, sim.clone(), cluster.clone(), workload_factory(), clients);
+            let report = run(
+                proto,
+                sim.clone(),
+                cluster.clone(),
+                workload_factory(),
+                clients,
+            );
             SweepPoint {
                 clients: count * cluster.zones as usize,
                 throughput: report.throughput,
@@ -306,8 +348,19 @@ mod tests {
         for proto in [Proto::paxos(), Proto::fpaxos(2), Proto::epaxos()] {
             let cluster = ClusterConfig::lan(3);
             let clients = ClientSetup::closed_per_zone(&cluster, 2);
-            let r = run(&proto, quick.clone(), cluster, uniform_workload(20), clients);
-            assert!(r.completed > 100, "{} completed {}", proto.name(), r.completed);
+            let r = run(
+                &proto,
+                quick.clone(),
+                cluster,
+                uniform_workload(20),
+                clients,
+            );
+            assert!(
+                r.completed > 100,
+                "{} completed {}",
+                proto.name(),
+                r.completed
+            );
         }
         // Zone-structured protocols on a 3x3 grid in a LAN.
         let grid_sim = SimConfig {
@@ -316,14 +369,31 @@ mod tests {
         };
         for proto in [
             Proto::WPaxos(WPaxosConfig::default()),
-            Proto::WanKeeper(WanKeeperConfig { shared_to_master: false, ..Default::default() }),
+            Proto::WanKeeper(WanKeeperConfig {
+                shared_to_master: false,
+                ..Default::default()
+            }),
             Proto::VPaxos(VPaxosConfig::default()),
-            Proto::Raft { cfg: RaftConfig::default(), cpu_penalty: 1.0 },
+            Proto::Raft {
+                cfg: RaftConfig::default(),
+                cpu_penalty: 1.0,
+            },
         ] {
             let cluster = ClusterConfig::wan(3, 3, 1, 0);
             let clients = ClientSetup::closed_per_zone(&cluster, 2);
-            let r = run(&proto, grid_sim.clone(), cluster, uniform_workload(20), clients);
-            assert!(r.completed > 100, "{} completed {}", proto.name(), r.completed);
+            let r = run(
+                &proto,
+                grid_sim.clone(),
+                cluster,
+                uniform_workload(20),
+                clients,
+            );
+            assert!(
+                r.completed > 100,
+                "{} completed {}",
+                proto.name(),
+                r.completed
+            );
         }
     }
 
@@ -335,8 +405,9 @@ mod tests {
             measure: paxi_core::Nanos::secs(1),
             ..SimConfig::default()
         };
-        let points =
-            sweep(&Proto::paxos(), &sim, &cluster, &[1, 4, 16, 64], || uniform_workload(100));
+        let points = sweep(&Proto::paxos(), &sim, &cluster, &[1, 4, 16, 64], || {
+            uniform_workload(100)
+        });
         assert_eq!(points.len(), 4);
         assert!(points[1].throughput > points[0].throughput);
         // Latency at saturation is far above the unloaded latency.

@@ -38,7 +38,7 @@ use paxi_shard::{
     sharded_cluster, spread_leader, Partitioner, RangePartitioner, ShardDisks, ShardSpec,
     ShardedReplica,
 };
-use paxi_sim::client::{unique_value, uniform_workload};
+use paxi_sim::client::{uniform_workload, unique_value};
 use paxi_sim::report::{OpRecord, SimReport};
 use paxi_sim::{ClientSetup, LoadMode, SimConfig, Simulator, Workload};
 use paxi_storage::FsyncPolicy;
@@ -81,11 +81,7 @@ pub struct ShardedRun {
 /// placed leader — the simulator-side model of router-directed traffic.
 /// Clients are interleaved so client `i` belongs to group `i % groups`
 /// (which is what [`routed_workload`] assumes).
-pub fn routed_clients(
-    cluster: &ClusterConfig,
-    groups: u32,
-    per_group: usize,
-) -> Vec<ClientSetup> {
+pub fn routed_clients(cluster: &ClusterConfig, groups: u32, per_group: usize) -> Vec<ClientSetup> {
     let mut v = Vec::with_capacity(per_group * groups as usize);
     for _ in 0..per_group {
         for g in 0..groups {
@@ -155,7 +151,11 @@ where
     } else {
         (Vec::new(), None)
     };
-    ShardedRun { report, leakage, divergence }
+    ShardedRun {
+        report,
+        leakage,
+        divergence,
+    }
 }
 
 /// Dispatches `proto` into [`go`], building per-group inner replicas with
@@ -186,6 +186,7 @@ fn dispatch(
                     ..PaxosConfig::default()
                 };
                 let mut r = MultiPaxos::new(id, cl.clone(), cfg);
+                r.set_group(g);
                 if let Some(d) = &wal {
                     r.attach_storage(Box::new(d.open(id, g)));
                 }
@@ -207,6 +208,7 @@ fn dispatch(
                     ..RaftConfig::default()
                 };
                 let mut r = Raft::new(id, cl.clone(), cfg);
+                r.set_group(g);
                 if let Some(d) = &wal {
                     r.attach_storage(Box::new(d.open(id, g)));
                 }
@@ -303,8 +305,14 @@ pub fn sweep_sharded(
     per_group_counts
         .iter()
         .map(|&count| {
-            let report =
-                run_sharded(proto, groups, sim.clone(), cluster.clone(), key_space, count);
+            let report = run_sharded(
+                proto,
+                groups,
+                sim.clone(),
+                cluster.clone(),
+                key_space,
+                count,
+            );
             SweepPoint {
                 clients: count * groups as usize,
                 throughput: report.throughput,
@@ -359,8 +367,12 @@ pub fn run_sharded_nemesis(
         false,
     );
     let anomalies = check_linearizability(&run.report.ops);
-    let tail_completed =
-        run.report.ops.iter().filter(|o| o.ok && o.ret >= heal_at).count() as u64;
+    let tail_completed = run
+        .report
+        .ops
+        .iter()
+        .filter(|o| o.ok && o.ret >= heal_at)
+        .count() as u64;
     NemesisOutcome {
         proto: format!("Sharded{}(g={groups})", proto.name()),
         seed: cfg.seed,
@@ -376,10 +388,7 @@ pub fn run_sharded_nemesis(
 /// Because groups are disjoint consensus instances, a global check could
 /// only mask cross-shard bugs; per-shard checking plus the leakage audit is
 /// strictly stronger.
-pub fn check_sharded(
-    ops: &[OpRecord],
-    part: &dyn Partitioner,
-) -> Vec<(GroupId, Vec<Anomaly>)> {
+pub fn check_sharded(ops: &[OpRecord], part: &dyn Partitioner) -> Vec<(GroupId, Vec<Anomaly>)> {
     let mut by_group: Vec<Vec<OpRecord>> = (0..part.groups()).map(|_| Vec::new()).collect();
     for op in ops {
         by_group[part.group_of(op.key).0 as usize].push(op.clone());
@@ -422,8 +431,10 @@ pub fn check_shard_leakage<R: Replica>(
 pub fn check_group_consensus<R: Replica>(nodes: &[ShardedReplica<R>]) -> Option<String> {
     let groups = nodes.first().map(|n| n.group_replicas().len()).unwrap_or(0);
     for g in 0..groups {
-        let stores: Vec<&MultiVersionStore> =
-            nodes.iter().filter_map(|n| n.group_replicas()[g].store()).collect();
+        let stores: Vec<&MultiVersionStore> = nodes
+            .iter()
+            .filter_map(|n| n.group_replicas()[g].store())
+            .collect();
         if let Err(d) = crate::consensus::check_consensus(&stores) {
             return Some(format!(
                 "group {g}: key {} diverges between replicas {} and {} at version {}",
@@ -479,9 +490,19 @@ mod tests {
 
     #[test]
     fn sharded_paxos_completes_and_stays_clean() {
-        let run =
-            run_sharded_checked(ShardProto::Paxos, 4, quick(), ClusterConfig::lan(5), 1000, 2);
-        assert!(run.report.completed > 200, "completed {}", run.report.completed);
+        let run = run_sharded_checked(
+            ShardProto::Paxos,
+            4,
+            quick(),
+            ClusterConfig::lan(5),
+            1000,
+            2,
+        );
+        assert!(
+            run.report.completed > 200,
+            "completed {}",
+            run.report.completed
+        );
         assert!(run.leakage.is_empty(), "leakage: {:?}", run.leakage);
         assert!(run.divergence.is_none(), "divergence: {:?}", run.divergence);
     }

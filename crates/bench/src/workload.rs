@@ -29,15 +29,24 @@ impl GeneralWorkload {
             Distribution::Uniform => Some(KeySampler::new(cfg.K.max(1), KeyDist::Uniform)),
             Distribution::Zipfian => Some(KeySampler::new(
                 cfg.K.max(1),
-                KeyDist::Zipfian { s: cfg.zipfian_s, v: cfg.zipfian_v },
+                KeyDist::Zipfian {
+                    s: cfg.zipfian_s,
+                    v: cfg.zipfian_v,
+                },
             )),
             Distribution::Exponential => Some(KeySampler::new(
                 cfg.K.max(1),
-                KeyDist::Exponential { rate: 8.0 / cfg.K.max(1) as f64 },
+                KeyDist::Exponential {
+                    rate: 8.0 / cfg.K.max(1) as f64,
+                },
             )),
             Distribution::Normal => None, // per-zone mean, sampled inline
         };
-        GeneralWorkload { cfg, zones: zones.max(1) as u64, sampler }
+        GeneralWorkload {
+            cfg,
+            zones: zones.max(1) as u64,
+            sampler,
+        }
     }
 
     /// The Normal-distribution center for `zone` at time `now`: zones are
@@ -135,7 +144,9 @@ mod tests {
         let mut writes = 0;
         let n = 10_000;
         for seq in 0..n {
-            if w.next(ClientId(0), 0, seq, Nanos::ZERO, &mut rng).is_write() {
+            if w.next(ClientId(0), 0, seq, Nanos::ZERO, &mut rng)
+                .is_write()
+            {
                 writes += 1;
             }
         }
@@ -145,7 +156,10 @@ mod tests {
 
     #[test]
     fn conflicts_zero_means_private_keys_only() {
-        let cfg = BenchmarkConfig { conflicts: 0, ..BenchmarkConfig::uniform(100, 1.0) };
+        let cfg = BenchmarkConfig {
+            conflicts: 0,
+            ..BenchmarkConfig::uniform(100, 1.0)
+        };
         let mut w = GeneralWorkload::new(cfg, 1);
         let mut rng = Rng64::seed(2);
         for seq in 0..1000 {
@@ -184,12 +198,19 @@ mod tests {
         let w = GeneralWorkload::new(cfg, 2);
         let early = w.zone_mu(0, Nanos::ZERO);
         let later = w.zone_mu(0, Nanos::millis(1000));
-        assert!((later - early - 100.0).abs() < 1e-9, "10 steps of sigma=10: {early} -> {later}");
+        assert!(
+            (later - early - 100.0).abs() < 1e-9,
+            "10 steps of sigma=10: {early} -> {later}"
+        );
     }
 
     #[test]
     fn hot_key_workload_targets_hot_key() {
-        let mut w = HotKeyWorkload { conflict: 0.4, hot_key: 0, private_keys: 10 };
+        let mut w = HotKeyWorkload {
+            conflict: 0.4,
+            hot_key: 0,
+            private_keys: 10,
+        };
         let mut rng = Rng64::seed(4);
         let mut hot = 0;
         let n = 10_000;
@@ -216,6 +237,10 @@ mod tests {
                 zero += 1;
             }
         }
-        assert!(zero as f64 / 5_000.0 > 0.4, "rank-0 fraction {}", zero as f64 / 5_000.0);
+        assert!(
+            zero as f64 / 5_000.0 > 0.4,
+            "rank-0 fraction {}",
+            zero as f64 / 5_000.0
+        );
     }
 }

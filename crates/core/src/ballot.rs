@@ -14,7 +14,9 @@ use std::fmt;
 ///
 /// `Ballot::default()` (counter 0) is smaller than every ballot produced by
 /// [`Ballot::first`] / [`Ballot::next`], so it can serve as "no promise yet".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct Ballot {
     /// Monotonically increasing round counter.
     pub counter: u32,
@@ -33,7 +35,10 @@ impl Ballot {
     /// Used after a preemption: a proposer that saw a higher ballot `b`
     /// calls `b.next(my_id)` to outbid it.
     pub const fn next(self, id: NodeId) -> Self {
-        Ballot { counter: self.counter + 1, id }
+        Ballot {
+            counter: self.counter + 1,
+            id,
+        }
     }
 
     /// Whether this is the zero ballot (no round started).
@@ -72,11 +77,20 @@ mod tests {
 
     #[test]
     fn counter_major_ordering() {
-        let lo = Ballot { counter: 1, id: NodeId::new(9, 9) };
-        let hi = Ballot { counter: 2, id: NodeId::new(0, 0) };
+        let lo = Ballot {
+            counter: 1,
+            id: NodeId::new(9, 9),
+        };
+        let hi = Ballot {
+            counter: 2,
+            id: NodeId::new(0, 0),
+        };
         assert!(lo < hi);
         // Same counter: node id breaks the tie.
-        let x = Ballot { counter: 2, id: NodeId::new(0, 1) };
+        let x = Ballot {
+            counter: 2,
+            id: NodeId::new(0, 1),
+        };
         assert!(hi < x);
     }
 }

@@ -8,6 +8,7 @@
 //! drives EPaxos dependency tracking and defines the "conflict" workload
 //! parameter `c` of the paper.
 
+use crate::group::GroupId;
 use crate::id::{NodeId, RequestId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -54,12 +55,18 @@ impl Command {
 
     /// Write command.
     pub fn put(key: Key, value: Value) -> Self {
-        Command { key, op: Op::Put(value) }
+        Command {
+            key,
+            op: Op::Put(value),
+        }
     }
 
     /// Delete command.
     pub fn delete(key: Key) -> Self {
-        Command { key, op: Op::Delete }
+        Command {
+            key,
+            op: Op::Delete,
+        }
     }
 
     /// Whether the command writes.
@@ -111,22 +118,73 @@ pub struct ClientResponse {
     /// command there; `None` means the replica has no better idea and the
     /// client should fall back to probing.
     pub redirect: Option<NodeId>,
+    /// Set when the request's key range was handed off to another consensus
+    /// group by a committed shard migration: the authoritative new routing
+    /// for the range, tagged with the routing epoch that installed it.
+    /// Routers adopt the override (if its epoch beats their cache) and
+    /// re-issue the command at the new owner.
+    pub handoff: Option<Handoff>,
+}
+
+/// An epoch-tagged range-ownership override carried on rejection responses
+/// after a shard migration commits: keys in `[lo, hi)` now belong to
+/// `group`, as of routing epoch `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Handoff {
+    /// Inclusive lower bound of the moved range.
+    pub lo: Key,
+    /// Exclusive upper bound of the moved range.
+    pub hi: Key,
+    /// The range's new owning group.
+    pub group: GroupId,
+    /// Routing epoch that installed the override (higher wins).
+    pub epoch: u64,
 }
 
 impl ClientResponse {
     /// Successful response carrying `value`.
     pub fn ok(id: RequestId, value: Option<Value>) -> Self {
-        ClientResponse { id, value, ok: true, redirect: None }
+        ClientResponse {
+            id,
+            value,
+            ok: true,
+            redirect: None,
+            handoff: None,
+        }
     }
 
     /// Failure/rejection response.
     pub fn err(id: RequestId) -> Self {
-        ClientResponse { id, value: None, ok: false, redirect: None }
+        ClientResponse {
+            id,
+            value: None,
+            ok: false,
+            redirect: None,
+            handoff: None,
+        }
     }
 
     /// Wrong-leader rejection pointing the client at `leader`.
     pub fn redirected(id: RequestId, leader: NodeId) -> Self {
-        ClientResponse { id, value: None, ok: false, redirect: Some(leader) }
+        ClientResponse {
+            id,
+            value: None,
+            ok: false,
+            redirect: Some(leader),
+            handoff: None,
+        }
+    }
+
+    /// Rejection because the key's range was migrated away: the client
+    /// should follow `handoff` to the range's new owning group.
+    pub fn handed_off(id: RequestId, handoff: Handoff) -> Self {
+        ClientResponse {
+            id,
+            value: None,
+            ok: false,
+            redirect: None,
+            handoff: Some(handoff),
+        }
     }
 }
 

@@ -33,7 +33,10 @@ pub struct BatchConfig {
 impl Default for BatchConfig {
     /// Batching off: one command per slot, exactly today's behavior.
     fn default() -> Self {
-        BatchConfig { max_batch: 1, batch_delay: Nanos::micros(200) }
+        BatchConfig {
+            max_batch: 1,
+            batch_delay: Nanos::micros(200),
+        }
     }
 }
 
@@ -41,7 +44,10 @@ impl BatchConfig {
     /// Batching enabled with batch size `max_batch` and the default
     /// 200 µs hold-down.
     pub fn of(max_batch: usize) -> Self {
-        BatchConfig { max_batch: max_batch.max(1), ..Self::default() }
+        BatchConfig {
+            max_batch: max_batch.max(1),
+            ..Self::default()
+        }
     }
 
     /// Whether batching is active (`max_batch > 1`).
@@ -66,7 +72,12 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// A LAN-style deployment: one zone of `n` nodes.
     pub fn lan(n: u8) -> Self {
-        ClusterConfig { zones: 1, per_zone: n, f: n / 2, fz: 0 }
+        ClusterConfig {
+            zones: 1,
+            per_zone: n,
+            f: n / 2,
+            fz: 0,
+        }
     }
 
     /// A WAN-style grid deployment of `zones × per_zone` nodes with node
@@ -75,7 +86,12 @@ impl ClusterConfig {
         assert!(zones > 0 && per_zone > 0);
         assert!(f < per_zone, "f must be < per_zone");
         assert!(fz < zones, "fz must be < zones");
-        ClusterConfig { zones, per_zone, f, fz }
+        ClusterConfig {
+            zones,
+            per_zone,
+            f,
+            fz,
+        }
     }
 
     /// Total node count.

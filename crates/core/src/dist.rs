@@ -29,7 +29,14 @@ impl Rng64 {
     /// Seeds the generator deterministically from one word.
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;
-        Rng64 { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Next raw 64-bit output.
@@ -276,7 +283,13 @@ mod tests {
 
     #[test]
     fn normal_keys_cluster_around_mu() {
-        let s = KeySampler::new(1000, KeyDist::Normal { mu: 500.0, sigma: 60.0 });
+        let s = KeySampler::new(
+            1000,
+            KeyDist::Normal {
+                mu: 500.0,
+                sigma: 60.0,
+            },
+        );
         let mut r = Rng64::seed(19);
         let mut near = 0;
         let n = 20_000;

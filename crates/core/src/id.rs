@@ -15,7 +15,9 @@ use std::fmt;
 /// Ordering is lexicographic on `(zone, node)` which gives every node a
 /// stable total order — ballots use this order to break ties between
 /// competing leaders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct NodeId {
     /// Failure/latency domain (region) of the node.
     pub zone: u8,
@@ -36,7 +38,10 @@ impl NodeId {
 
     /// Inverse of [`NodeId::pack`].
     pub const fn unpack(v: u16) -> Self {
-        NodeId { zone: (v >> 8) as u8, node: (v & 0xff) as u8 }
+        NodeId {
+            zone: (v >> 8) as u8,
+            node: (v & 0xff) as u8,
+        }
     }
 }
 
@@ -48,7 +53,9 @@ impl fmt::Display for NodeId {
 
 /// Identifier of a client session. Clients are not replicas; they attach to
 /// one node (usually in their own zone) and issue requests through it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct ClientId(pub u32);
 
 impl fmt::Display for ClientId {
@@ -61,7 +68,9 @@ impl fmt::Display for ClientId {
 /// a per-client sequence number. Protocols carry the `RequestId` through
 /// their message flow so the runtime can route the eventual response back to
 /// the waiting client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct RequestId {
     /// The client that issued the request.
     pub client: ClientId,

@@ -28,6 +28,8 @@
 //!   multi-group (sharded) deployments.
 //! * [`membership`] — dynamic membership: config-change deltas, stable and
 //!   joint (C_old,new) configurations, and the dual-majority quorum.
+//! * [`migration`] — elastic shard migration: replicated freeze / install /
+//!   commit records and the per-replica hand-off tracker.
 
 #![warn(missing_docs)]
 
@@ -40,6 +42,7 @@ pub mod group;
 pub mod id;
 pub mod membership;
 pub mod metrics;
+pub mod migration;
 pub mod obs;
 pub mod quorum;
 pub mod store;
@@ -47,7 +50,7 @@ pub mod time;
 pub mod traits;
 
 pub use ballot::Ballot;
-pub use command::{ClientRequest, ClientResponse, Command, Key, Op, Value};
+pub use command::{ClientRequest, ClientResponse, Command, Handoff, Key, Op, Value};
 pub use config::{BatchConfig, ClusterConfig};
 pub use dist::{KeyDist, KeySampler, Rng64};
 pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
@@ -55,6 +58,10 @@ pub use group::{GroupId, GroupMsg};
 pub use id::{ClientId, NodeId, RequestId};
 pub use membership::{ConfigChange, JointQuorum, Membership, CONFIG_KEY};
 pub use metrics::{Histogram, LatencySummary, Meter};
+pub use migration::{
+    as_migration_record, migration_command, CommitHalf, KeyRange, MigrationAction, MigrationPhase,
+    MigrationRecord, MigrationReject, MigrationSpec, MigrationTracker, MIGRATION_KEY,
+};
 pub use obs::{
     ClusterMetrics, DropCause, Gauge, Metric, MetricsRegistry, MetricsSnapshot, TraceEvent,
     TraceRing, TraceStage,

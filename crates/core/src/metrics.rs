@@ -58,7 +58,13 @@ fn bucket_low(idx: usize) -> u64 {
 impl Histogram {
     /// Empty histogram.
     pub fn new() -> Self {
-        Histogram { counts: Vec::new(), total: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Records one latency sample.
@@ -244,7 +250,9 @@ mod tests {
         let mut samples = Vec::new();
         let mut x = 0x2545_f491_4f6c_dd1du64;
         for _ in 0..100_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = 1_000 + (x >> 34) % 1_000_000_000;
             h.record(Nanos(v));
             samples.push(v);
@@ -254,7 +262,10 @@ mod tests {
             let exact = exact_quantile(&samples, q) as f64;
             let bucketed = h.quantile(q).0 as f64;
             let err = (bucketed - exact).abs() / exact;
-            assert!(err < 0.01, "q={q}: bucketed {bucketed} vs exact {exact} (err {err})");
+            assert!(
+                err < 0.01,
+                "q={q}: bucketed {bucketed} vs exact {exact} (err {err})"
+            );
         }
     }
 
@@ -297,7 +308,12 @@ mod tests {
         }
         let p50 = h.p50().0 as f64;
         let exact = Nanos::micros(5_000).0 as f64;
-        assert!((p50 - exact).abs() / exact < 0.01, "p50 {} vs {}", p50, exact);
+        assert!(
+            (p50 - exact).abs() / exact < 0.01,
+            "p50 {} vs {}",
+            p50,
+            exact
+        );
         let p99 = h.p99().0 as f64;
         let exact99 = Nanos::micros(9_900).0 as f64;
         assert!((p99 - exact99).abs() / exact99 < 0.01);

@@ -418,7 +418,12 @@ impl TraceRing {
     /// nothing but still counts `total`).
     pub fn new(capacity: usize) -> Self {
         let buf = Vec::with_capacity(capacity.min(1 << 20));
-        TraceRing { buf, head: 0, total: 0, cap: capacity }
+        TraceRing {
+            buf,
+            head: 0,
+            total: 0,
+            cap: capacity,
+        }
     }
 
     /// Appends one event, overwriting the oldest once full.
@@ -437,7 +442,9 @@ impl TraceRing {
 
     /// Events currently retained, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 
     /// Number of events currently retained.
@@ -481,9 +488,9 @@ impl ClusterMetrics {
     /// Total drops across all nodes that no known cause explains — the
     /// quantity chaos digests and CI assert is zero.
     pub fn unexplained_drops(&self) -> u64 {
-        self.nodes
-            .iter()
-            .fold(0u64, |a, s| a.saturating_add(s.metrics.drops(DropCause::Unexplained)))
+        self.nodes.iter().fold(0u64, |a, s| {
+            a.saturating_add(s.metrics.drops(DropCause::Unexplained))
+        })
     }
 
     /// All per-node registries folded into one.
@@ -505,9 +512,15 @@ impl ClusterMetrics {
                 s.push(',');
             }
             let metrics = snap.metrics.to_json();
-            s.push_str(&format!("{{\"node\":\"{}\",\"metrics\":{}}}", snap.node, metrics));
+            s.push_str(&format!(
+                "{{\"node\":\"{}\",\"metrics\":{}}}",
+                snap.node, metrics
+            ));
         }
-        s.push_str(&format!("],\"unexplained_drops\":{}}}", self.unexplained_drops()));
+        s.push_str(&format!(
+            "],\"unexplained_drops\":{}}}",
+            self.unexplained_drops()
+        ));
         s
     }
 }
@@ -571,7 +584,11 @@ mod tests {
         assert_eq!(ring.total(), 5);
         assert_eq!(ring.len(), 3);
         let ats: Vec<u64> = ring.iter().map(|e| e.at.0).collect();
-        assert_eq!(ats, vec![2, 3, 4], "oldest events overwritten, order preserved");
+        assert_eq!(
+            ats,
+            vec![2, 3, 4],
+            "oldest events overwritten, order preserved"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub struct MajorityQuorum {
 impl MajorityQuorum {
     /// Majority tracker for a cluster of `n` nodes.
     pub fn new(n: usize) -> Self {
-        MajorityQuorum { n, acks: HashSet::new() }
+        MajorityQuorum {
+            n,
+            acks: HashSet::new(),
+        }
     }
 
     /// The number of acks required.
@@ -92,7 +95,10 @@ pub struct CountQuorum {
 impl CountQuorum {
     /// Tracker requiring `size` distinct acks.
     pub fn new(size: usize) -> Self {
-        CountQuorum { size, acks: HashSet::new() }
+        CountQuorum {
+            size,
+            acks: HashSet::new(),
+        }
     }
 
     /// The number of acks required.
@@ -126,7 +132,9 @@ pub struct FastQuorum {
 impl FastQuorum {
     /// Fast quorum tracker for `n` nodes.
     pub fn new(n: usize) -> Self {
-        FastQuorum { inner: CountQuorum::new(fast_quorum_size(n)) }
+        FastQuorum {
+            inner: CountQuorum::new(fast_quorum_size(n)),
+        }
     }
 
     /// The number of acks required.
@@ -175,7 +183,12 @@ pub struct GridQuorum {
 impl GridQuorum {
     /// Grid tracker for the given phase.
     pub fn new(zones: u8, per_zone: u8, phase: GridPhase) -> Self {
-        GridQuorum { zones, per_zone, phase, acks: HashSet::new() }
+        GridQuorum {
+            zones,
+            per_zone,
+            phase,
+            acks: HashSet::new(),
+        }
     }
 
     fn zones_covered(&self) -> usize {
@@ -244,7 +257,14 @@ impl FlexibleGridQuorum {
     pub fn new(zones: u8, per_zone: u8, f: u8, fz: u8, phase: GridPhase) -> Self {
         assert!(f < per_zone, "f must be < nodes per zone");
         assert!(fz < zones, "fz must be < number of zones");
-        FlexibleGridQuorum { zones, per_zone, f, fz, phase, acks: HashSet::new() }
+        FlexibleGridQuorum {
+            zones,
+            per_zone,
+            f,
+            fz,
+            phase,
+            acks: HashSet::new(),
+        }
     }
 
     /// Nodes required per zone for this phase.
@@ -305,7 +325,10 @@ pub struct GroupQuorum {
 impl GroupQuorum {
     /// Majority-of-`members` tracker.
     pub fn new(members: Vec<NodeId>) -> Self {
-        GroupQuorum { members, acks: HashSet::new() }
+        GroupQuorum {
+            members,
+            acks: HashSet::new(),
+        }
     }
 
     /// The number of acks required.

@@ -57,7 +57,11 @@ impl MultiVersionStore {
         let chain = self.data.entry(key).or_default();
         let parent = chain.last().map(|v| v.seq).unwrap_or(0);
         let prev = chain.last().and_then(|v| v.value.clone());
-        chain.push(Version { seq: parent + 1, parent, value });
+        chain.push(Version {
+            seq: parent + 1,
+            parent,
+            value,
+        });
         prev
     }
 
@@ -94,12 +98,49 @@ impl MultiVersionStore {
         let mut data: Vec<(Key, Vec<Version>)> =
             self.data.iter().map(|(k, v)| (*k, v.clone())).collect();
         data.sort_unstable_by_key(|(k, _)| *k);
-        StoreDump { data, executed: self.executed }
+        StoreDump {
+            data,
+            executed: self.executed,
+        }
     }
 
     /// Rebuilds a store from a [`MultiVersionStore::dump`].
     pub fn restore(dump: StoreDump) -> Self {
-        MultiVersionStore { data: dump.data.into_iter().collect(), executed: dump.executed }
+        MultiVersionStore {
+            data: dump.data.into_iter().collect(),
+            executed: dump.executed,
+        }
+    }
+
+    /// Dumps only the keys in `[lo, hi)` — what a shard migration streams to
+    /// the destination group. Sorted by key like [`MultiVersionStore::dump`],
+    /// so every replica that froze the range extracts identical bytes. The
+    /// dump carries `executed: 0`: the executed counter is replica-local
+    /// bookkeeping, not part of the range.
+    pub fn extract_range(&self, lo: Key, hi: Key) -> StoreDump {
+        let mut data: Vec<(Key, Vec<Version>)> = self
+            .data
+            .iter()
+            .filter(|(k, _)| **k >= lo && **k < hi)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        data.sort_unstable_by_key(|(k, _)| *k);
+        StoreDump { data, executed: 0 }
+    }
+
+    /// Splices a migrated range's version chains into this store, replacing
+    /// any chain already present for those keys (idempotent re-install).
+    /// The executed counter is untouched — installs are not executions.
+    pub fn install_range(&mut self, dump: StoreDump) {
+        for (key, versions) in dump.data {
+            self.data.insert(key, versions);
+        }
+    }
+
+    /// Removes every key in `[lo, hi)` — the source side of a committed
+    /// migration dropping the range it handed off.
+    pub fn remove_range(&mut self, lo: Key, hi: Key) {
+        self.data.retain(|k, _| *k < lo || *k >= hi);
     }
 }
 
@@ -180,6 +221,38 @@ mod tests {
         assert_eq!(back.history(9), s.history(9));
         assert_eq!(back.get(2), s.get(2));
         assert_eq!(back.version_count(), s.version_count());
+    }
+
+    #[test]
+    fn range_extract_install_remove() {
+        let mut src = MultiVersionStore::new();
+        for k in 0..8u64 {
+            src.execute(&Command::put(k, vec![k as u8]));
+            src.execute(&Command::put(k, vec![k as u8, k as u8]));
+        }
+        let dump = src.extract_range(2, 4);
+        assert_eq!(
+            dump.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(dump.executed, 0, "executed counter stays local");
+
+        let mut dst = MultiVersionStore::new();
+        dst.execute(&Command::put(9, vec![9]));
+        let before = dst.executed();
+        dst.install_range(dump.clone());
+        assert_eq!(dst.history(2), src.history(2), "full chains move");
+        assert_eq!(dst.executed(), before, "install is not an execution");
+        dst.install_range(dump); // idempotent
+        assert_eq!(dst.history(3).len(), 2);
+
+        src.remove_range(2, 4);
+        assert_eq!(src.get(2), None);
+        assert_eq!(src.history(3), &[]);
+        assert!(
+            src.get(1).is_some() && src.get(4).is_some(),
+            "outside keys stay"
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in (virtual) time, or a duration, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct Nanos(pub u64);
 
 impl Nanos {
@@ -111,7 +113,10 @@ mod tests {
         let a = Nanos::millis(3) + Nanos::micros(500);
         assert_eq!(a.as_millis_f64(), 3.5);
         assert_eq!(a - Nanos::millis(3), Nanos::micros(500));
-        assert_eq!(Nanos::millis(1).saturating_sub(Nanos::millis(2)), Nanos::ZERO);
+        assert_eq!(
+            Nanos::millis(1).saturating_sub(Nanos::millis(2)),
+            Nanos::ZERO
+        );
         assert_eq!(Nanos::millis(1).max(Nanos::millis(2)), Nanos::millis(2));
     }
 

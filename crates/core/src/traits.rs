@@ -191,6 +191,16 @@ pub trait Replica {
     fn current_members(&self) -> Option<Vec<NodeId>> {
         None
     }
+
+    /// The replica's shard-migration tracker, if the protocol applies
+    /// replicated [`crate::migration::MigrationRecord`]s at execute time.
+    /// The sharded runtime polls this after each event to drive pending
+    /// hand-offs and fold committed ones into its routing table. The
+    /// default `None` means the protocol does not participate in shard
+    /// migration.
+    fn migration(&self) -> Option<&crate::migration::MigrationTracker> {
+        None
+    }
 }
 
 /// A constructor for a homogeneous cluster of replicas — the runtimes use

@@ -27,10 +27,12 @@
 //! reconfiguration in flight at a time is the supported regime.
 
 use paxi_core::ballot::Ballot;
-use paxi_core::command::{ClientRequest, ClientResponse, Command};
+use paxi_core::command::{ClientRequest, ClientResponse, Command, Handoff};
 use paxi_core::config::{BatchConfig, ClusterConfig};
+use paxi_core::group::GroupId;
 use paxi_core::id::{NodeId, RequestId};
 use paxi_core::membership::{self, ConfigChange, Membership, CONFIG_KEY};
+use paxi_core::migration::{as_migration_record, MigrationAction, MigrationTracker, MIGRATION_KEY};
 use paxi_core::obs::{Metric, TraceStage};
 use paxi_core::quorum::{majority, CountQuorum, QuorumTracker};
 use paxi_core::store::{MultiVersionStore, StoreDump};
@@ -217,6 +219,18 @@ pub enum PaxosWal {
         /// The new voting member set, sorted.
         members: Vec<NodeId>,
     },
+    /// A shard-migration record (freeze / install / commit) was executed in
+    /// `slot`. Redundant with the Accept record carrying the command — the
+    /// live tail re-executes through the ordinary path on recovery — but it
+    /// makes every phase transition of a hand-off explicit and auditable in
+    /// the WAL stream, and serves as an idempotent safety net for records
+    /// whose slots fall below a later snapshot base.
+    Migration {
+        /// The slot the record was executed in.
+        slot: u64,
+        /// The encoded [`paxi_core::migration::MigrationRecord`].
+        bytes: Vec<u8>,
+    },
 }
 
 /// The snapshot MultiPaxos installs when it compacts its WAL: everything
@@ -241,6 +255,11 @@ pub struct PaxosSnapshot {
     /// members)` triples: configs chosen below `base` live only here once
     /// their Accept records are compacted away.
     pub configs: Vec<(u64, u64, Vec<NodeId>)>,
+    /// The shard-migration tracker's state
+    /// ([`MigrationTracker::dump`]) at snapshot time: freezes and
+    /// cut-overs decided below `base` have no surviving log entries to
+    /// re-derive them from, exactly like compacted configs.
+    pub migration: Vec<u8>,
 }
 
 /// Snapshot-and-truncate the WAL once this many slots have been executed
@@ -290,6 +309,9 @@ pub struct MultiPaxos {
     wal: Option<Box<dyn Storage>>,
     /// All slots below this are covered by the installed snapshot.
     snapshot_base: u64,
+    /// Shard-migration state machine, driven by replicated records at
+    /// execute time. Inert (no group identity) outside sharded deployments.
+    migration: MigrationTracker,
 }
 
 impl MultiPaxos {
@@ -328,7 +350,16 @@ impl MultiPaxos {
             heartbeat_head: 0,
             wal: None,
             snapshot_base: 0,
+            migration: MigrationTracker::new(),
         }
+    }
+
+    /// Tells the replica which consensus group it serves in a sharded
+    /// deployment, arming the migration tracker. Unsharded deployments never
+    /// call this; the tracker then ignores every record and the replica
+    /// behaves exactly as before shard migration existed.
+    pub fn set_group(&mut self, group: GroupId) {
+        self.migration.set_group(group);
     }
 
     /// Phase-2 quorum size (leader included) at the proposal frontier.
@@ -538,6 +569,7 @@ impl MultiPaxos {
                 .iter()
                 .map(|(k, (e, m))| (*k, *e, m.clone()))
                 .collect(),
+            migration: self.migration.dump(),
         };
         let bytes = paxi_codec::to_bytes(&snap).expect("paxos snapshot must encode");
         self.wal
@@ -767,10 +799,63 @@ impl MultiPaxos {
             }
             // Execute the batch in order; replies fan back out per command.
             for (cmd, req) in &e.cmds {
+                // Data commands on a range this group froze (or already
+                // handed off) are deterministically rejected instead of
+                // executed — this is what pins the frozen range's contents
+                // at the `MigrationStart` log position on every replica. The
+                // client is told to retry (freeze window) or follow the
+                // epoch-tagged hand-off (after the source commit).
+                if cmd.key != CONFIG_KEY && cmd.key != MIGRATION_KEY {
+                    if let Some(rej) = self.migration.rejects(cmd.key) {
+                        if self.active {
+                            if let Some(id) = req {
+                                ctx.count(Metric::Redirects, 1);
+                                let resp = if rej.committed {
+                                    ClientResponse::handed_off(
+                                        *id,
+                                        Handoff {
+                                            lo: rej.spec.range.lo,
+                                            hi: rej.spec.range.hi,
+                                            group: rej.spec.to,
+                                            epoch: rej.spec.epoch,
+                                        },
+                                    )
+                                } else {
+                                    ClientResponse::err(*id)
+                                };
+                                ctx.reply(resp);
+                            }
+                        }
+                        continue;
+                    }
+                }
                 // Config commands mutate the configuration (at accept time,
                 // via `note_config`), not the store — but their client still
-                // gets an acknowledgment at the commit point.
+                // gets an acknowledgment at the commit point. Migration
+                // records likewise mutate the tracker (here, at execute
+                // time, so replay reconstructs the same transitions).
                 let value = if cmd.key == CONFIG_KEY {
+                    None
+                } else if cmd.key == MIGRATION_KEY {
+                    if let Some(rec) = as_migration_record(cmd) {
+                        // Audit record first (persist-before-effect); direct
+                        // field access because `e` still borrows the log.
+                        if let Some(wal) = &mut self.wal {
+                            let wal_rec = PaxosWal::Migration {
+                                slot,
+                                bytes: rec.encode(),
+                            };
+                            let bytes = paxi_codec::to_bytes(&wal_rec)
+                                .expect("paxos wal record must encode");
+                            wal.append(&bytes)
+                                .expect("paxos replica lost its durable store");
+                        }
+                        match self.migration.apply(&rec) {
+                            MigrationAction::Install(dump) => self.store.install_range(dump),
+                            MigrationAction::DropRange(r) => self.store.remove_range(r.lo, r.hi),
+                            MigrationAction::None => {}
+                        }
+                    }
                     None
                 } else {
                     let v = self.store.execute(cmd);
@@ -816,6 +901,12 @@ impl Replica for MultiPaxos {
             // records to re-derive them from.
             for (key, epoch, members) in snap.configs {
                 self.configs.insert(key, (epoch, members));
+            }
+            // Likewise the migration tracker: freezes and cut-overs below
+            // the base live only here. (The restored store already carries
+            // their effects — installs and drops — inside its image.)
+            if !self.migration.restore(&snap.migration) {
+                panic!("paxos snapshot carried a malformed migration tracker");
             }
             // The live tail rides inside the snapshot (atomic compaction):
             // restore it exactly as replaying its Accept records would.
@@ -871,6 +962,27 @@ impl Replica for MultiPaxos {
                     // Explicit activation record: idempotent with the
                     // `note_config` the Accept replay above just did.
                     self.configs.insert(slot + self.alpha(), (epoch, members));
+                }
+                PaxosWal::Migration { slot, bytes } => {
+                    // Records at or above the snapshot base must NOT be
+                    // applied here: their slots re-execute through the
+                    // ordinary path once commits re-arrive, and freezing
+                    // the range early would wrongly reject data commands
+                    // that originally executed *before* the freeze —
+                    // diverging the store. Records below the base are an
+                    // idempotent safety net (the snapshot's tracker dump
+                    // normally already covers them).
+                    if slot < self.snapshot_base {
+                        if let Some(rec) = paxi_core::migration::MigrationRecord::decode(&bytes) {
+                            match self.migration.apply(&rec) {
+                                MigrationAction::Install(dump) => self.store.install_range(dump),
+                                MigrationAction::DropRange(r) => {
+                                    self.store.remove_range(r.lo, r.hi)
+                                }
+                                MigrationAction::None => {}
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1183,6 +1295,10 @@ impl Replica for MultiPaxos {
         v.dedup();
         Some(v)
     }
+
+    fn migration(&self) -> Option<&MigrationTracker> {
+        Some(&self.migration)
+    }
 }
 
 /// Convenience factory for a homogeneous MultiPaxos cluster.
@@ -1381,6 +1497,7 @@ mod tests {
     struct Probe {
         id: NodeId,
         sent: Vec<(Option<NodeId>, PaxosMsg)>, // None = broadcast
+        replies: Vec<ClientResponse>,
     }
 
     impl Context<PaxosMsg> for Probe {
@@ -1404,7 +1521,9 @@ mod tests {
         fn set_timer(&mut self, _after: Nanos, _kind: u64) -> u64 {
             0
         }
-        fn reply(&mut self, _resp: ClientResponse) {}
+        fn reply(&mut self, resp: ClientResponse) {
+            self.replies.push(resp);
+        }
         fn forward(&mut self, _to: NodeId, _req: ClientRequest) {}
         fn rand_u64(&mut self) -> u64 {
             1
@@ -1415,6 +1534,7 @@ mod tests {
         Probe {
             id,
             sent: Vec::new(),
+            replies: Vec::new(),
         }
     }
 
@@ -1893,5 +2013,195 @@ mod tests {
             vec![NodeId::new(0, 0), NodeId::new(0, 1)],
             "recovery resurrected the old configuration"
         );
+    }
+
+    use paxi_core::migration::{
+        migration_command, CommitHalf, KeyRange, MigrationRecord, MigrationSpec,
+    };
+
+    fn mig_spec() -> MigrationSpec {
+        MigrationSpec {
+            id: 1,
+            from: GroupId(0),
+            to: GroupId(1),
+            range: KeyRange::new(10, 20),
+            epoch: 1,
+        }
+    }
+
+    /// Commits one command through the probe leader: propose, then ack the
+    /// phase-2 round from a follower so the slot commits and executes.
+    fn commit_request(r: &mut MultiPaxos, ctx: &mut Probe, seq: u64, cmd: Command) {
+        let slot = r.next_slot;
+        r.on_request(
+            ClientRequest {
+                id: RequestId::new(ClientId(1), seq),
+                cmd,
+            },
+            ctx,
+        );
+        let ballot = r.current_ballot();
+        r.on_message(NodeId::new(0, 1), PaxosMsg::P2b { ballot, slot }, ctx);
+    }
+
+    #[test]
+    fn frozen_range_rejects_writes_then_hands_off_after_commit() {
+        let (mut r, mut ctx) = probe_leader(PaxosConfig::default());
+        r.set_group(GroupId(0));
+        let spec = mig_spec();
+        // A pre-freeze write to the range executes normally.
+        commit_request(&mut r, &mut ctx, 0, Command::put(12, vec![7]));
+        assert!(ctx.replies.last().unwrap().ok);
+        // Freeze the range; the migration command itself acks ok.
+        commit_request(
+            &mut r,
+            &mut ctx,
+            1,
+            migration_command(&MigrationRecord::Start(spec)),
+        );
+        assert!(ctx.replies.last().unwrap().ok);
+        // A frozen-range write is rejected retryably (no hand-off yet)...
+        commit_request(&mut r, &mut ctx, 2, Command::put(12, vec![9]));
+        let rej = ctx.replies.last().unwrap();
+        assert!(
+            !rej.ok && rej.handoff.is_none(),
+            "freeze window rejects retryably"
+        );
+        // ...and never executed: the store keeps the pre-freeze value.
+        assert_eq!(r.store.get(12), Some(&vec![7]));
+        // Writes outside the range are untouched.
+        commit_request(&mut r, &mut ctx, 3, Command::put(3, vec![1]));
+        assert!(ctx.replies.last().unwrap().ok);
+        // The source commit drops the range and switches rejections to the
+        // epoch-tagged hand-off.
+        commit_request(
+            &mut r,
+            &mut ctx,
+            4,
+            migration_command(&MigrationRecord::Commit {
+                spec,
+                half: CommitHalf::Source,
+            }),
+        );
+        assert_eq!(r.store.get(12), None, "committed hand-off drops the range");
+        assert_eq!(r.migration.epoch(), 1);
+        commit_request(&mut r, &mut ctx, 5, Command::put(12, vec![9]));
+        let h = ctx
+            .replies
+            .last()
+            .unwrap()
+            .handoff
+            .expect("post-commit rejection carries the hand-off");
+        assert_eq!(h.group, GroupId(1));
+        assert_eq!(h.epoch, 1);
+        assert_eq!((h.lo, h.hi), (10, 20));
+    }
+
+    #[test]
+    fn installed_range_survives_amnesia_via_commit_reteaching() {
+        use paxi_core::migration::encode_range_state;
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let spec = mig_spec();
+        // Frozen-range state as streamed from the source group.
+        let mut src = MultiVersionStore::new();
+        src.execute(&Command::put(12, vec![4]));
+        src.execute(&Command::put(12, vec![5]));
+        let state = encode_range_state(&src.extract_range(10, 20));
+        // A durable follower of the DESTINATION group applies the install
+        // and the dest-half commit from its leader's log.
+        let mut r = durable_follower(&hub);
+        r.set_group(GroupId(1));
+        let mut ctx = probe(NodeId::new(0, 1));
+        let cmds = [
+            migration_command(&MigrationRecord::Install { spec, state }),
+            migration_command(&MigrationRecord::Commit {
+                spec,
+                half: CommitHalf::Dest,
+            }),
+        ];
+        for (slot, cmd) in cmds.into_iter().enumerate() {
+            let slot = slot as u64;
+            r.on_message(
+                leader,
+                PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    cmds: vec![(cmd, None)],
+                    commit_upto: slot,
+                },
+                &mut ctx,
+            );
+        }
+        r.on_message(leader, PaxosMsg::Commit { upto: 2 }, &mut ctx);
+        assert_eq!(r.store.get(12), Some(&vec![5]), "install spliced the chain");
+        assert!(r.migration.installed(1) && r.migration.done(1));
+        assert_eq!(r.migration.epoch(), 1);
+        // Amnesia: the rebuilt replica restores the log tail from its WAL
+        // Accept records; migration WAL records at or above the snapshot
+        // base are deliberately NOT replayed — the commit re-teaching
+        // re-executes the tail and rebuilds tracker and store identically.
+        drop(r);
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        r2.set_group(GroupId(1));
+        assert_eq!(r2.store.get(12), None, "nothing re-executed yet");
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        r2.on_message(leader, PaxosMsg::Commit { upto: 2 }, &mut ctx2);
+        assert_eq!(r2.store.get(12), Some(&vec![5]));
+        assert!(r2.migration.done(1));
+        assert_eq!(r2.migration.epoch(), 1);
+    }
+
+    #[test]
+    fn compaction_snapshot_carries_the_migration_tracker() {
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let ballot = Ballot::default().next(leader);
+        let spec = mig_spec();
+        let mut r = durable_follower(&hub);
+        r.set_group(GroupId(0));
+        let mut ctx = probe(NodeId::new(0, 1));
+        let total = COMPACT_EVERY + 8;
+        for slot in 0..total {
+            let cmd = match slot {
+                0 => migration_command(&MigrationRecord::Start(spec)),
+                1 => migration_command(&MigrationRecord::Commit {
+                    spec,
+                    half: CommitHalf::Source,
+                }),
+                // Keys 0..5 — outside the migrating [10, 20) range.
+                _ => Command::put(slot % 5, vec![1]),
+            };
+            r.on_message(
+                leader,
+                PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    cmds: vec![(cmd, None)],
+                    commit_upto: slot,
+                },
+                &mut ctx,
+            );
+        }
+        r.on_message(leader, PaxosMsg::Commit { upto: total }, &mut ctx);
+        assert!(r.snapshot_base > 0, "compaction must have run");
+        assert_eq!(r.migration.epoch(), 1);
+        // Freeze-crash rebuild: the hand-off's log slots were compacted
+        // away, so the tracker state now lives only in the snapshot.
+        drop(r);
+        let mut r2 = durable_follower(&hub);
+        r2.set_group(GroupId(0));
+        assert_eq!(r2.migration.epoch(), 1, "snapshot must carry the tracker");
+        assert!(
+            r2.migration
+                .rejects(12)
+                .expect("dropped range still rejects")
+                .committed
+        );
+        assert_eq!(r2.store.get(12), None);
     }
 }

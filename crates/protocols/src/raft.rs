@@ -18,10 +18,12 @@
 //! restarting mid-transition rescans its recovered log and rejoins in the
 //! joint or new configuration, never the old one.
 
-use paxi_core::command::{ClientRequest, ClientResponse, Command};
+use paxi_core::command::{ClientRequest, ClientResponse, Command, Handoff};
 use paxi_core::config::{BatchConfig, ClusterConfig};
+use paxi_core::group::GroupId;
 use paxi_core::id::{NodeId, RequestId};
 use paxi_core::membership::{self, ConfigChange, JointQuorum, Membership, CONFIG_KEY};
+use paxi_core::migration::{as_migration_record, MigrationAction, MigrationTracker, MIGRATION_KEY};
 use paxi_core::obs::{Metric, TraceStage};
 use paxi_core::quorum::{majority, QuorumTracker};
 use paxi_core::store::MultiVersionStore;
@@ -183,6 +185,17 @@ pub enum RaftWal {
         /// The adopted configuration.
         membership: Membership,
     },
+    /// A shard-migration record (freeze / install / commit) was applied at
+    /// log `index`. Purely an audit record: the checkpoint embeds the full
+    /// log and `commit`/`applied` are volatile, so recovery re-applies
+    /// every migration record through the ordinary path when the leader's
+    /// commit index re-drives execution — replay ignores these.
+    Migration {
+        /// Log index the record was applied at.
+        index: u64,
+        /// The encoded [`paxi_core::migration::MigrationRecord`].
+        bytes: Vec<u8>,
+    },
 }
 
 /// The checkpoint Raft installs when compacting its WAL. The whole log is
@@ -246,6 +259,9 @@ pub struct Raft {
     wal: Option<Box<dyn Storage>>,
     /// WAL records since the last checkpoint.
     wal_records: u64,
+    /// Shard-migration state machine, driven by replicated records at
+    /// apply time. Inert (no group identity) outside sharded deployments.
+    migration: MigrationTracker,
 }
 
 impl Raft {
@@ -293,7 +309,16 @@ impl Raft {
             stash: BTreeMap::new(),
             wal: None,
             wal_records: 0,
+            migration: MigrationTracker::new(),
         }
+    }
+
+    /// Tells the replica which consensus group it serves in a sharded
+    /// deployment, arming the migration tracker. Unsharded deployments never
+    /// call this; the tracker then ignores every record and the replica
+    /// behaves exactly as before shard migration existed.
+    pub fn set_group(&mut self, group: GroupId) {
+        self.migration.set_group(group);
     }
 
     /// Appends one WAL record before the caller acknowledges the change it
@@ -825,7 +850,62 @@ impl Raft {
     fn apply(&mut self, ctx: &mut dyn Context<RaftMsg>) {
         while self.applied < self.commit {
             self.applied += 1;
-            let e = &self.log[self.applied as usize];
+            let index = self.applied;
+            let e = &self.log[index as usize];
+            // Migration records mutate the tracker at apply time so crash
+            // recovery (which re-drives apply from the recovered log)
+            // reconstructs freezes, installs, and cut-overs exactly.
+            if e.cmd.key == MIGRATION_KEY {
+                let cmd = e.cmd.clone();
+                let req = e.req;
+                if let Some(rec) = as_migration_record(&cmd) {
+                    // Audit record (persist-before-effect).
+                    self.persist(&RaftWal::Migration {
+                        index,
+                        bytes: rec.encode(),
+                    });
+                    match self.migration.apply(&rec) {
+                        MigrationAction::Install(dump) => self.store.install_range(dump),
+                        MigrationAction::DropRange(r) => self.store.remove_range(r.lo, r.hi),
+                        MigrationAction::None => {}
+                    }
+                }
+                if self.role == Role::Leader {
+                    if let Some(id) = req {
+                        ctx.trace(TraceStage::Execute, id);
+                        ctx.reply(ClientResponse::ok(id, None));
+                    }
+                }
+                continue;
+            }
+            // Data commands on a range this group froze (or handed off) are
+            // deterministically rejected instead of executed, pinning the
+            // frozen range's contents on every replica. The client retries
+            // (freeze window) or follows the epoch-tagged hand-off.
+            if e.cmd.key != CONFIG_KEY {
+                if let Some(rej) = self.migration.rejects(e.cmd.key) {
+                    if self.role == Role::Leader {
+                        if let Some(id) = e.req {
+                            ctx.count(Metric::Redirects, 1);
+                            let resp = if rej.committed {
+                                ClientResponse::handed_off(
+                                    id,
+                                    Handoff {
+                                        lo: rej.spec.range.lo,
+                                        hi: rej.spec.range.hi,
+                                        group: rej.spec.to,
+                                        epoch: rej.spec.epoch,
+                                    },
+                                )
+                            } else {
+                                ClientResponse::err(id)
+                            };
+                            ctx.reply(resp);
+                        }
+                    }
+                    continue;
+                }
+            }
             // Config entries act at append time, not execute time: they
             // never touch the key-value store (the reserved key must not
             // shadow application data), but the proposing leader still
@@ -921,6 +1001,14 @@ impl Replica for Raft {
                 RaftWal::Membership { index, membership } => {
                     self.membership_index = index;
                     self.membership = membership;
+                }
+                RaftWal::Migration { .. } => {
+                    // Audit-only: `commit`/`applied` are volatile and the
+                    // recovered log re-applies every migration record
+                    // through the ordinary apply path when the leader's
+                    // commit index re-drives execution. Applying them here
+                    // would freeze ranges *before* the data commands below
+                    // the freeze re-execute — diverging the store.
                 }
             }
         }
@@ -1219,6 +1307,12 @@ impl Replica for Raft {
     /// after each event to add/remove peer links when a transition lands.
     fn current_members(&self) -> Option<Vec<NodeId>> {
         Some(self.membership.voters())
+    }
+
+    /// The replica-local migration tracker — the shard runtime polls this to
+    /// drive hand-off phases and audit range ownership.
+    fn migration(&self) -> Option<&MigrationTracker> {
+        Some(&self.migration)
     }
 }
 
@@ -1714,6 +1808,253 @@ mod tests {
             &mut ctx2,
         );
         assert_eq!(r2.store().unwrap().executed(), 600);
+        for key in 0..8u64 {
+            assert_eq!(
+                r2.store().unwrap().history(key),
+                r.store().unwrap().history(key)
+            );
+        }
+    }
+
+    fn mig_spec() -> paxi_core::migration::MigrationSpec {
+        paxi_core::migration::MigrationSpec {
+            id: 1,
+            from: GroupId(0),
+            to: GroupId(1),
+            range: paxi_core::migration::KeyRange::new(10, 20),
+            epoch: 1,
+        }
+    }
+
+    fn put_req(seq: u64, key: u64) -> paxi_core::ClientRequest {
+        paxi_core::ClientRequest {
+            id: RequestId::new(paxi_core::ClientId(1), seq),
+            cmd: Command::put(key, vec![7]),
+        }
+    }
+
+    #[test]
+    fn frozen_range_rejects_writes_then_hands_off_after_commit() {
+        use paxi_core::migration::{migration_command, CommitHalf, MigrationRecord};
+        let cluster = ClusterConfig::lan(1); // single node: commits immediately
+        let mut r = Raft::new(NodeId::new(0, 0), cluster, RaftConfig::default());
+        r.set_group(GroupId(0));
+        let mut ctx = probe(NodeId::new(0, 0));
+        r.on_start(&mut ctx);
+        assert!(r.is_leader());
+
+        // Pre-freeze write into the range succeeds.
+        r.on_request(put_req(0, 12), &mut ctx);
+        assert!(ctx.replies.last().unwrap().ok);
+
+        // The replicated Start freezes [10, 20).
+        let start = migration_command(&MigrationRecord::Start(mig_spec()));
+        r.on_request(
+            paxi_core::ClientRequest {
+                id: RequestId::new(paxi_core::ClientId(1), 1),
+                cmd: start,
+            },
+            &mut ctx,
+        );
+        assert!(ctx.replies.last().unwrap().ok, "start itself is acked");
+
+        // Frozen-range writes are rejected (retryable, no hand-off yet) and
+        // never executed.
+        r.on_request(put_req(2, 12), &mut ctx);
+        let rej = ctx.replies.last().unwrap();
+        assert!(!rej.ok);
+        assert!(rej.handoff.is_none(), "not committed yet: plain retry");
+        assert_eq!(r.store().unwrap().get(12), Some(&vec![7]));
+
+        // Keys outside the range are untouched by the freeze.
+        r.on_request(put_req(3, 30), &mut ctx);
+        assert!(ctx.replies.last().unwrap().ok);
+
+        // Commit (source half): range dropped, epoch bumped, hand-off taught.
+        let commit = migration_command(&MigrationRecord::Commit {
+            spec: mig_spec(),
+            half: CommitHalf::Source,
+        });
+        r.on_request(
+            paxi_core::ClientRequest {
+                id: RequestId::new(paxi_core::ClientId(1), 4),
+                cmd: commit,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.store().unwrap().get(12), None, "range dropped at source");
+        assert_eq!(r.migration.epoch(), 1);
+        r.on_request(put_req(5, 12), &mut ctx);
+        let handed = ctx.replies.last().unwrap();
+        assert!(!handed.ok);
+        let h = handed
+            .handoff
+            .expect("committed hand-off carries the route");
+        assert_eq!((h.lo, h.hi), (10, 20));
+        assert_eq!(h.group, GroupId(1));
+        assert_eq!(h.epoch, 1);
+    }
+
+    #[test]
+    fn installed_range_survives_amnesia_via_commit_reteaching() {
+        use paxi_core::migration::{
+            encode_range_state, migration_command, CommitHalf, MigrationRecord,
+        };
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+
+        // Range state streamed by the source: key 12 with one version.
+        let mut src = MultiVersionStore::new();
+        src.execute(&Command::put(12, vec![5]));
+        let state = encode_range_state(&src.extract_range(10, 20));
+
+        let entries = vec![
+            RaftEntry {
+                term: 1,
+                cmd: migration_command(&MigrationRecord::Install {
+                    spec: mig_spec(),
+                    state,
+                }),
+                req: None,
+            },
+            RaftEntry {
+                term: 1,
+                cmd: migration_command(&MigrationRecord::Commit {
+                    spec: mig_spec(),
+                    half: CommitHalf::Dest,
+                }),
+                req: None,
+            },
+        ];
+
+        let mut r = durable_follower(&hub);
+        r.set_group(GroupId(1)); // destination group
+        let mut ctx = probe(NodeId::new(0, 1));
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: entries.clone(),
+                commit: 0,
+            },
+            &mut ctx,
+        );
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 2,
+                prev_term: 1,
+                entries: Vec::new(),
+                commit: 2,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.store().unwrap().get(12), Some(&vec![5]));
+        assert!(r.migration.installed(1) && r.migration.done(1));
+        assert_eq!(r.migration.epoch(), 1);
+
+        // Amnesia: rebuild from disk. Replay ignores the audit records — the
+        // tracker and store stay empty until commit is re-taught, which
+        // re-applies the migration entries from the recovered log.
+        drop(r);
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        r2.set_group(GroupId(1));
+        assert_eq!(r2.last_index(), 2, "log entries survive");
+        assert_eq!(r2.store().unwrap().get(12), None, "state machine volatile");
+        assert!(!r2.migration.installed(1));
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        r2.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 2,
+                prev_term: 1,
+                entries: Vec::new(),
+                commit: 2,
+            },
+            &mut ctx2,
+        );
+        assert_eq!(r2.store().unwrap().get(12), Some(&vec![5]));
+        assert!(r2.migration.installed(1) && r2.migration.done(1));
+        assert_eq!(r2.migration.epoch(), 1);
+    }
+
+    #[test]
+    fn checkpointed_migration_entries_rebuild_the_tracker_on_reteach() {
+        use paxi_core::migration::{migration_command, CommitHalf, MigrationRecord};
+        use paxi_storage::{FsyncPolicy, MemHub};
+        let hub: MemHub<u32> = MemHub::new(FsyncPolicy::Always);
+        let leader = NodeId::new(0, 0);
+        let mut r = durable_follower(&hub);
+        r.set_group(GroupId(0)); // source group
+        let mut ctx = probe(NodeId::new(0, 1));
+        // Entry 1 freezes the range, entry 2 cuts it over; 600 data entries
+        // (outside the range) push the WAL past the checkpoint threshold.
+        let cmd_at = |i: u64| match i {
+            1 => migration_command(&MigrationRecord::Start(mig_spec())),
+            2 => migration_command(&MigrationRecord::Commit {
+                spec: mig_spec(),
+                half: CommitHalf::Source,
+            }),
+            _ => Command::put(i % 8, vec![i as u8]),
+        };
+        for i in 1..=600u64 {
+            r.on_message(
+                leader,
+                RaftMsg::AppendEntries {
+                    term: 1,
+                    prev_index: i - 1,
+                    prev_term: if i == 1 { 0 } else { 1 },
+                    entries: vec![RaftEntry {
+                        term: 1,
+                        cmd: cmd_at(i),
+                        req: None,
+                    }],
+                    commit: i - 1,
+                },
+                &mut ctx,
+            );
+        }
+        r.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 600,
+                prev_term: 1,
+                entries: Vec::new(),
+                commit: 600,
+            },
+            &mut ctx,
+        );
+        assert_eq!(r.migration.epoch(), 1);
+        assert!(r.migration.rejects(12).unwrap().committed);
+
+        // Amnesia across a checkpoint: the checkpoint embeds the full log
+        // (migration entries included), so re-teaching commit rebuilds the
+        // tracker even though the WAL tail was compacted away.
+        hub.crash(&1);
+        let mut r2 = durable_follower(&hub);
+        r2.set_group(GroupId(0));
+        assert_eq!(r2.last_index(), 600);
+        let mut ctx2 = probe(NodeId::new(0, 1));
+        r2.on_message(
+            leader,
+            RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 600,
+                prev_term: 1,
+                entries: Vec::new(),
+                commit: 600,
+            },
+            &mut ctx2,
+        );
+        assert_eq!(r2.migration.epoch(), 1);
+        assert!(r2.migration.rejects(12).unwrap().committed);
         for key in 0..8u64 {
             assert_eq!(
                 r2.store().unwrap().history(key),

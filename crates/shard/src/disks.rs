@@ -31,7 +31,10 @@ pub struct ShardDisks {
 impl ShardDisks {
     /// A disk array for `groups` groups, all namespaces under `policy`.
     pub fn new(policy: FsyncPolicy, groups: u32) -> Self {
-        ShardDisks { hub: MemHub::new(policy), groups: groups.max(1) }
+        ShardDisks {
+            hub: MemHub::new(policy),
+            groups: groups.max(1),
+        }
     }
 
     /// Number of groups (namespaces per node).
@@ -76,12 +79,16 @@ impl SimDisks for ShardDisks {
     /// All namespaces share the node's one pipeline: the simulator charges
     /// `t_fsync` for each sync any of them performed.
     fn drain_syncs(&self, node: NodeId) -> u64 {
-        (0..self.groups).map(|g| self.hub.drain_syncs(&(node, g))).sum()
+        (0..self.groups)
+            .map(|g| self.hub.drain_syncs(&(node, g)))
+            .sum()
     }
 
     /// WAL appends aggregate the same way for the observability counters.
     fn drain_appends(&self, node: NodeId) -> u64 {
-        (0..self.groups).map(|g| self.hub.drain_appends(&(node, g))).sum()
+        (0..self.groups)
+            .map(|g| self.hub.drain_appends(&(node, g)))
+            .sum()
     }
 }
 
@@ -105,8 +112,15 @@ mod tests {
         assert!(disks.unsynced_len(node, GroupId(2)) > 0);
         // One node crash wipes every namespace's unsynced suffix.
         disks.crash_node(node);
-        assert!(disks.synced_len(node, GroupId(0)) > 0, "synced data survives");
-        assert_eq!(disks.unsynced_len(node, GroupId(2)), 0, "unsynced data dies");
+        assert!(
+            disks.synced_len(node, GroupId(0)) > 0,
+            "synced data survives"
+        );
+        assert_eq!(
+            disks.unsynced_len(node, GroupId(2)),
+            0,
+            "unsynced data dies"
+        );
     }
 
     #[test]

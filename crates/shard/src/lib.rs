@@ -24,6 +24,10 @@
 //! * [`router`] — the client-side [`router::ShardRouter`]: partitions each
 //!   command, caches per-group leader hints, and retries wrong-leader
 //!   redirects with exponential backoff.
+//! * [`routing`] — the versioned [`routing::RoutingTable`]: the static
+//!   partitioner plus epoch-tagged [`routing::RangeOverride`]s learned from
+//!   committed shard migrations, shared by the server-side multiplexer and
+//!   the client-side router.
 
 #![warn(missing_docs)]
 
@@ -32,12 +36,14 @@ pub mod partition;
 pub mod placement;
 pub mod replica;
 pub mod router;
+pub mod routing;
 
 pub use disks::ShardDisks;
 pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
 pub use placement::spread_leader;
 pub use replica::{sharded_cluster, ShardSpec, ShardedReplica};
 pub use router::{ClientPool, RouteTransport, RouterConfig, RouterStats, ShardRouter};
+pub use routing::{RangeOverride, RoutingTable};
 
 /// Re-exported from `paxi-core`: the group id and group-tagged envelope.
 pub use paxi_core::group::{GroupId, GroupMsg};

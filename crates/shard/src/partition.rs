@@ -40,7 +40,9 @@ pub struct HashPartitioner {
 impl HashPartitioner {
     /// Partitioner over `groups` groups (at least 1).
     pub fn new(groups: u32) -> Self {
-        HashPartitioner { groups: groups.max(1) }
+        HashPartitioner {
+            groups: groups.max(1),
+        }
     }
 }
 
@@ -74,14 +76,19 @@ impl RangePartitioner {
     pub fn even(key_space: Key, groups: u32) -> Self {
         let groups = groups.max(1) as u64;
         let span = (key_space.max(groups) + groups - 1) / groups;
-        RangePartitioner { bounds: (1..groups).map(|g| g * span).collect() }
+        RangePartitioner {
+            bounds: (1..groups).map(|g| g * span).collect(),
+        }
     }
 
     /// Explicit split points: `bounds[g]` is the exclusive upper bound of
     /// group `g`; the number of groups is `bounds.len() + 1`. Bounds must be
     /// strictly increasing.
     pub fn with_bounds(bounds: Vec<Key>) -> Self {
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
         RangePartitioner { bounds }
     }
 

@@ -29,7 +29,9 @@ mod tests {
     fn leaders_spread_then_wrap() {
         let cluster = ClusterConfig::lan(5);
         let nodes = cluster.all_nodes();
-        let leaders: Vec<NodeId> = (0..8).map(|g| spread_leader(&cluster, GroupId(g))).collect();
+        let leaders: Vec<NodeId> = (0..8)
+            .map(|g| spread_leader(&cluster, GroupId(g)))
+            .collect();
         // First five groups take distinct nodes.
         for g in 0..5 {
             assert_eq!(leaders[g], nodes[g]);
@@ -42,6 +44,9 @@ mod tests {
     #[test]
     fn single_group_leads_on_the_default_node() {
         let cluster = ClusterConfig::lan(9);
-        assert_eq!(spread_leader(&cluster, GroupId(0)), cluster.initial_leader());
+        assert_eq!(
+            spread_leader(&cluster, GroupId(0)),
+            cluster.initial_leader()
+        );
     }
 }

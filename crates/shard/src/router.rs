@@ -9,9 +9,22 @@
 //! redirect mode). A node that can't help (no response, no hint) makes the
 //! router fall back to probing the remaining nodes round-robin, so it
 //! converges even from a cold or stale cache.
+//!
+//! Routing itself is versioned: the router holds a [`RoutingTable`] over
+//! the static partitioner, and [`ClientResponse::handoff`] rejections
+//! (a shard migration moved the key's range) teach it epoch-tagged range
+//! overrides, after which the command is re-aimed at the new owning group.
+//!
+//! Every degraded path is a *counted, retryable* outcome on
+//! [`RouterStats`], never a panic: an empty node set fails the command
+//! (and `set_nodes` refuses to install one), stale hand-offs are ignored
+//! but tallied, and exhausted probing returns `None` with the failure
+//! accounted.
 
 use crate::partition::Partitioner;
+use crate::routing::RoutingTable;
 use paxi_core::command::{ClientResponse, Command};
+use paxi_core::group::GroupId;
 use paxi_core::id::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -75,7 +88,9 @@ impl Default for RouterConfig {
     }
 }
 
-/// Per-router counters, for observability and tests.
+/// Per-router counters, for observability and tests. This is the router's
+/// drop ledger: every degraded outcome lands in exactly one counter, so a
+/// chaos run can attribute all client-visible losses.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RouterStats {
     /// Wrong-leader rejections that carried a usable hint.
@@ -84,12 +99,23 @@ pub struct RouterStats {
     pub retries: u64,
     /// Commands that exhausted every attempt.
     pub failures: u64,
+    /// Hand-off rejections whose range override was adopted (new epoch).
+    pub handoffs: u64,
+    /// Hand-off rejections already known or stale (same/lower epoch) —
+    /// ignored, but the command is still re-aimed through the table.
+    pub stale_handoffs: u64,
+    /// Commands failed because the router had no nodes to try.
+    pub no_targets: u64,
+    /// `set_nodes` calls refused because the proposed set was empty.
+    pub rejected_node_sets: u64,
 }
 
 /// Routes commands to group leaders, learning placement as it goes.
 pub struct ShardRouter<T> {
     transport: T,
-    partitioner: Arc<dyn Partitioner>,
+    /// Versioned routing view: the static partitioner plus range overrides
+    /// learned from hand-off rejections.
+    routing: RoutingTable,
     nodes: Vec<NodeId>,
     cfg: RouterConfig,
     /// Cached leader per group id.
@@ -102,16 +128,19 @@ impl<T: RouteTransport> ShardRouter<T> {
     /// A router over `nodes` (any order; used both as the cold-cache prior
     /// — group `g` is first tried on `nodes[g % n]`, matching
     /// [`crate::placement::spread_leader`] — and as the probe rotation).
+    ///
+    /// An empty `nodes` set is accepted (no panic): every command fails
+    /// retryably with [`RouterStats::no_targets`] counted until
+    /// [`ShardRouter::set_nodes`] installs a non-empty set.
     pub fn new(
         partitioner: Arc<dyn Partitioner>,
         nodes: Vec<NodeId>,
         transport: T,
         cfg: RouterConfig,
     ) -> Self {
-        assert!(!nodes.is_empty(), "router needs at least one node");
         ShardRouter {
             transport,
-            partitioner,
+            routing: RoutingTable::new(partitioner),
             nodes,
             cfg,
             leaders: HashMap::new(),
@@ -124,14 +153,28 @@ impl<T: RouteTransport> ShardRouter<T> {
         self.leaders.get(&group).copied()
     }
 
+    /// The router's current routing view (static split + learned
+    /// hand-offs).
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
     /// Replaces the router's node set after a membership change. Cached
     /// leaders outside the new set are evicted immediately — a departed node
     /// will never answer again, so waiting for `max_attempts` timeouts per
     /// group just to relearn that is pure stall. Entries pointing at
     /// surviving nodes are kept: leadership usually stays put across a
     /// reconfiguration that doesn't remove the leader.
+    ///
+    /// An empty set is refused (counted on
+    /// [`RouterStats::rejected_node_sets`]): wiping the rotation would turn
+    /// every future command into a guaranteed failure, which is never what
+    /// a membership delta means.
     pub fn set_nodes(&mut self, nodes: Vec<NodeId>) {
-        assert!(!nodes.is_empty(), "router needs at least one node");
+        if nodes.is_empty() {
+            self.stats.rejected_node_sets += 1;
+            return;
+        }
         self.leaders.retain(|_, leader| nodes.contains(leader));
         self.nodes = nodes;
     }
@@ -141,15 +184,22 @@ impl<T: RouteTransport> ShardRouter<T> {
         &self.nodes
     }
 
-    /// Executes `cmd` against its owning group, following redirects.
+    /// Executes `cmd` against its owning group, following redirects and
+    /// hand-offs.
     ///
     /// At-least-once semantics: a retry after a lost response may re-execute
-    /// the command (wrong-leader redirects never execute, so the common
-    /// retry cause is side-effect free).
+    /// the command (wrong-leader redirects and hand-off rejections never
+    /// execute, so the common retry causes are side-effect free).
     pub fn execute(&mut self, cmd: Command) -> Option<ClientResponse> {
-        let group = self.partitioner.group_of(cmd.key);
-        let prior = self.nodes[group.0 as usize % self.nodes.len()];
-        let mut target = self.leaders.get(&group.0).copied().unwrap_or(prior);
+        if self.nodes.is_empty() {
+            // No rotation to probe: a counted, retryable failure — never a
+            // modulo-by-zero panic.
+            self.stats.no_targets += 1;
+            self.stats.failures += 1;
+            return None;
+        }
+        let mut group = self.routing.group_of(cmd.key);
+        let mut target = self.target_for(group);
         for attempt in 0..self.cfg.max_attempts {
             if attempt > 0 {
                 self.stats.retries += 1;
@@ -161,7 +211,29 @@ impl<T: RouteTransport> ShardRouter<T> {
                     return Some(resp);
                 }
                 Some(resp) => {
-                    if let Some(leader) = resp.redirect.filter(|&l| l != target) {
+                    if let Some(h) = resp.handoff {
+                        // The key's range moved groups. Adopt the override
+                        // (epoch-gated: a stale or duplicate hand-off never
+                        // rolls the table back) and re-aim at the owner the
+                        // table now names.
+                        if self.routing.learn_handoff(&h) {
+                            self.stats.handoffs += 1;
+                        } else {
+                            self.stats.stale_handoffs += 1;
+                        }
+                        group = self.routing.group_of(cmd.key);
+                        let next = self.target_for(group);
+                        if next == target {
+                            // The table already aimed here (a stale
+                            // hand-off through a poisoned leader cache):
+                            // evict and probe onward instead of re-asking
+                            // the same node forever.
+                            self.leaders.remove(&group.0);
+                            target = self.next_after(target);
+                        } else {
+                            target = next;
+                        }
+                    } else if let Some(leader) = resp.redirect.filter(|&l| l != target) {
                         // Wrong leader, useful hint: go straight there. A
                         // hint naming a node outside the known set means a
                         // newer membership epoch — adopt the node into the
@@ -187,6 +259,13 @@ impl<T: RouteTransport> ShardRouter<T> {
         }
         self.stats.failures += 1;
         None
+    }
+
+    /// Cold-cache prior or cached leader for `group`. Callers guarantee the
+    /// node set is non-empty.
+    fn target_for(&self, group: GroupId) -> NodeId {
+        let prior = self.nodes[group.0 as usize % self.nodes.len()];
+        self.leaders.get(&group.0).copied().unwrap_or(prior)
     }
 
     fn next_after(&self, node: NodeId) -> NodeId {
@@ -386,6 +465,97 @@ mod tests {
             r.nodes().contains(&joined),
             "joined node enters the rotation"
         );
+    }
+
+    #[test]
+    fn empty_node_set_fails_retryably_instead_of_panicking() {
+        let part = Arc::new(RangePartitioner::even(100, 1));
+        let mut r = ShardRouter::new(part, Vec::new(), |_: NodeId, _: Command| None, cfg());
+        assert!(r.execute(Command::get(1)).is_none());
+        assert_eq!(r.stats.no_targets, 1);
+        assert_eq!(r.stats.failures, 1);
+        assert_eq!(r.stats.retries, 0, "nothing to probe, nothing retried");
+        // Installing an empty set later is refused, not obeyed.
+        r.set_nodes(vec![NodeId::new(0, 0)]);
+        r.set_nodes(Vec::new());
+        assert_eq!(r.stats.rejected_node_sets, 1);
+        assert_eq!(r.nodes(), &[NodeId::new(0, 0)], "previous set survives");
+    }
+
+    #[test]
+    fn handoffs_reroute_to_the_new_owning_group() {
+        use paxi_core::command::Handoff;
+        // Two groups on two nodes; keys [40, 60) were migrated from group 0
+        // to group 1. Node 0 (old owner) answers those keys with a hand-off;
+        // node 1 serves them.
+        let part = Arc::new(RangePartitioner::even(100, 2));
+        let transport = move |node: NodeId, cmd: Command| {
+            let migrated = (40..60).contains(&cmd.key);
+            let owner = if migrated {
+                NodeId::new(0, 1)
+            } else {
+                NodeId::new(0, u8::from(cmd.key >= 50))
+            };
+            Some(if node == owner {
+                ClientResponse::ok(rid(), None)
+            } else if migrated && node == NodeId::new(0, 0) {
+                ClientResponse::handed_off(
+                    rid(),
+                    Handoff {
+                        lo: 40,
+                        hi: 60,
+                        group: paxi_core::group::GroupId(1),
+                        epoch: 1,
+                    },
+                )
+            } else {
+                ClientResponse::redirected(rid(), owner)
+            })
+        };
+        let mut r = ShardRouter::new(part, nodes(2), transport, cfg());
+        // First migrated key: old owner rejects with the hand-off, the
+        // override is adopted, and the retry lands on the new owner.
+        assert!(r.execute(Command::get(45)).unwrap().ok);
+        assert_eq!(r.stats.handoffs, 1);
+        assert_eq!(r.routing().epoch(), 1);
+        // Second migrated key: routed straight to group 1, no more
+        // hand-offs needed.
+        let before = r.stats.retries;
+        assert!(r.execute(Command::get(55)).unwrap().ok);
+        assert_eq!(r.stats.handoffs, 1, "override remembered");
+        assert_eq!(r.stats.retries, before, "no retry on the second key");
+        // Unmigrated keys still follow the static split.
+        assert!(r.execute(Command::get(10)).unwrap().ok);
+    }
+
+    #[test]
+    fn stale_handoffs_are_counted_but_do_not_roll_back() {
+        use paxi_core::command::Handoff;
+        let part = Arc::new(RangePartitioner::even(100, 2));
+        let stale = Handoff {
+            lo: 40,
+            hi: 60,
+            group: paxi_core::group::GroupId(1),
+            epoch: 1,
+        };
+        // Node 0 always answers with the same (already-known) hand-off;
+        // node 1 serves.
+        let transport = move |node: NodeId, _cmd: Command| {
+            Some(if node == NodeId::new(0, 1) {
+                ClientResponse::ok(rid(), None)
+            } else {
+                ClientResponse::handed_off(rid(), stale)
+            })
+        };
+        let mut r = ShardRouter::new(part, nodes(2), transport, cfg());
+        assert!(r.execute(Command::get(45)).unwrap().ok);
+        assert_eq!(r.stats.handoffs, 1, "first sighting adopted");
+        // Poison the leader cache back to node 0 so the stale hand-off is
+        // seen again on the next command.
+        r.leaders.insert(1, NodeId::new(0, 0));
+        assert!(r.execute(Command::get(46)).unwrap().ok);
+        assert_eq!(r.stats.stale_handoffs, 1, "repeat sighting counted");
+        assert_eq!(r.routing().epoch(), 1, "epoch never regresses");
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Versioned routing: a static partitioner plus epoch-tagged range
+//! overrides.
+//!
+//! The static [`Partitioner`] fixes the *initial* keyspace split. Elastic
+//! shard migration moves a key range between groups at runtime, and every
+//! party that routes by key — the server-side [`crate::ShardedReplica`]
+//! multiplexer and the client-side [`crate::ShardRouter`] — must follow the
+//! move. [`RoutingTable`] is that follower: it wraps the base partitioner
+//! with a list of [`RangeOverride`]s, each recording that `[lo, hi)` now
+//! belongs to a different group as of some routing *epoch*.
+//!
+//! Overrides are learned, not replicated: replicas read them off their local
+//! migration trackers (which *are* replicated, through each group's log) and
+//! clients read them off [`paxi_core::command::Handoff`] rejections. Higher
+//! epochs win, so a stale override can never shadow a newer move of the same
+//! range, and learning is idempotent — applying the same override twice is a
+//! no-op.
+
+use crate::partition::Partitioner;
+use paxi_core::command::{Handoff, Key};
+use paxi_core::group::GroupId;
+use std::sync::Arc;
+
+/// One learned range move: keys in `[lo, hi)` belong to `to` as of routing
+/// epoch `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeOverride {
+    /// Inclusive lower bound of the moved range.
+    pub lo: Key,
+    /// Exclusive upper bound of the moved range.
+    pub hi: Key,
+    /// The range's owning group after the move.
+    pub to: GroupId,
+    /// Routing epoch that installed the move (higher wins).
+    pub epoch: u64,
+}
+
+impl RangeOverride {
+    /// Whether this override claims `key`.
+    pub fn covers(&self, key: Key) -> bool {
+        key >= self.lo && key < self.hi
+    }
+}
+
+/// A versioned routing table: the static base partitioner plus every range
+/// override learned so far.
+#[derive(Clone)]
+pub struct RoutingTable {
+    base: Arc<dyn Partitioner>,
+    overrides: Vec<RangeOverride>,
+    epoch: u64,
+}
+
+impl RoutingTable {
+    /// A table with no overrides: routes exactly like `base`.
+    pub fn new(base: Arc<dyn Partitioner>) -> Self {
+        RoutingTable {
+            base,
+            overrides: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Highest epoch of any learned override (0 = pristine).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The learned overrides, in learning order.
+    pub fn overrides(&self) -> &[RangeOverride] {
+        &self.overrides
+    }
+
+    /// Learns an override. Returns `true` if it changed the table: a
+    /// duplicate (same range, same target, same or lower epoch) is ignored,
+    /// and a higher-epoch override of the same range replaces the older one.
+    pub fn learn(&mut self, ov: RangeOverride) -> bool {
+        if let Some(existing) = self
+            .overrides
+            .iter_mut()
+            .find(|e| e.lo == ov.lo && e.hi == ov.hi)
+        {
+            if ov.epoch <= existing.epoch {
+                return false;
+            }
+            *existing = ov;
+        } else {
+            self.overrides.push(ov);
+        }
+        self.epoch = self.epoch.max(ov.epoch);
+        true
+    }
+
+    /// Learns the override carried on a [`Handoff`] rejection.
+    pub fn learn_handoff(&mut self, h: &Handoff) -> bool {
+        self.learn(RangeOverride {
+            lo: h.lo,
+            hi: h.hi,
+            to: h.group,
+            epoch: h.epoch,
+        })
+    }
+}
+
+impl Partitioner for RoutingTable {
+    fn groups(&self) -> u32 {
+        self.base.groups()
+    }
+
+    fn group_of(&self, key: Key) -> GroupId {
+        // Overrides are consulted highest-epoch-first so a re-migrated range
+        // follows its newest move; the base partitioner answers for
+        // untouched keys.
+        self.overrides
+            .iter()
+            .filter(|ov| ov.covers(key))
+            .max_by_key(|ov| ov.epoch)
+            .map(|ov| ov.to)
+            .unwrap_or_else(|| self.base.group_of(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RangePartitioner;
+
+    fn table() -> RoutingTable {
+        RoutingTable::new(Arc::new(RangePartitioner::even(8, 2)))
+    }
+
+    #[test]
+    fn pristine_table_routes_like_the_base() {
+        let t = table();
+        assert_eq!(t.groups(), 2);
+        assert_eq!(t.epoch(), 0);
+        for key in 0..8u64 {
+            assert_eq!(t.group_of(key), GroupId(u32::from(key >= 4)));
+        }
+    }
+
+    #[test]
+    fn overrides_shadow_the_base_within_their_range() {
+        let mut t = table();
+        assert!(t.learn(RangeOverride {
+            lo: 2,
+            hi: 4,
+            to: GroupId(1),
+            epoch: 1,
+        }));
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.group_of(1), GroupId(0), "below the range: base");
+        assert_eq!(t.group_of(2), GroupId(1), "inside: override");
+        assert_eq!(t.group_of(3), GroupId(1));
+        assert_eq!(t.group_of(4), GroupId(1), "above the range: base again");
+    }
+
+    #[test]
+    fn duplicate_and_stale_overrides_are_ignored() {
+        let mut t = table();
+        let ov = RangeOverride {
+            lo: 2,
+            hi: 4,
+            to: GroupId(1),
+            epoch: 2,
+        };
+        assert!(t.learn(ov));
+        assert!(!t.learn(ov), "exact duplicate is a no-op");
+        assert!(
+            !t.learn(RangeOverride {
+                lo: 2,
+                hi: 4,
+                to: GroupId(0),
+                epoch: 1,
+            }),
+            "lower epoch never rolls the route back"
+        );
+        assert_eq!(t.group_of(3), GroupId(1));
+        assert_eq!(t.epoch(), 2);
+    }
+
+    #[test]
+    fn higher_epoch_rewrites_the_same_range() {
+        let mut t = table();
+        t.learn(RangeOverride {
+            lo: 2,
+            hi: 4,
+            to: GroupId(1),
+            epoch: 1,
+        });
+        assert!(t.learn(RangeOverride {
+            lo: 2,
+            hi: 4,
+            to: GroupId(0),
+            epoch: 3,
+        }));
+        assert_eq!(t.group_of(3), GroupId(0), "range moved back at epoch 3");
+        assert_eq!(t.overrides().len(), 1, "same range replaces in place");
+        assert_eq!(t.epoch(), 3);
+    }
+
+    #[test]
+    fn handoffs_teach_the_same_override() {
+        let mut t = table();
+        let h = Handoff {
+            lo: 0,
+            hi: 2,
+            group: GroupId(1),
+            epoch: 5,
+        };
+        assert!(t.learn_handoff(&h));
+        assert!(!t.learn_handoff(&h));
+        assert_eq!(t.group_of(0), GroupId(1));
+        assert_eq!(t.epoch(), 5);
+    }
+}

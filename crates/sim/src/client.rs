@@ -17,6 +17,7 @@ use paxi_core::config::ClusterConfig;
 use paxi_core::dist::Rng64;
 use paxi_core::id::{ClientId, NodeId};
 use paxi_core::membership::{reconfig_command, ConfigChange};
+use paxi_core::migration::{migration_command, MigrationRecord, MigrationSpec};
 use paxi_core::time::Nanos;
 
 /// How a client issues requests.
@@ -220,6 +221,79 @@ impl<W: Workload> Workload for ReconfigWorkload<W> {
     }
 }
 
+/// Wraps a workload so that one designated client kicks off a shard
+/// migration (the replicated `MigrationStart` record, routed to the source
+/// group) once virtual time reaches `at`; every other request — and every
+/// other client — passes through to the inner workload untouched. The
+/// remaining phases (stream, install, commit) are driven server-side by the
+/// sharded runtime's migration driver.
+///
+/// Like [`ReconfigWorkload`], the kick-off is re-submitted every
+/// [`MigrationWorkload::REFIRE_EVERY`]-th request of the designated client:
+/// a lone submission can be eaten by a crashed source leader, and re-fires
+/// are safe by construction — a `Start` for an id the tracker already
+/// carries is an acknowledged no-op.
+///
+/// An invalid spec (empty range, or source == destination) is elided
+/// entirely, making the wrapper bit-identical to the inner workload — what
+/// the migration determinism fingerprints assert.
+pub struct MigrationWorkload<W> {
+    inner: W,
+    at: Nanos,
+    spec: MigrationSpec,
+    client: ClientId,
+    elide: bool,
+    fired: u64,
+    since_fire: u64,
+}
+
+impl<W: Workload> MigrationWorkload<W> {
+    /// The designated client re-submits the kick-off every this-many of its
+    /// own requests (first submission at `at`, then on this cadence).
+    pub const REFIRE_EVERY: u64 = 8;
+
+    /// Wraps `inner` so `client` submits `MigrationStart(spec)` starting at
+    /// the first request it issues at or after `at`.
+    pub fn new(inner: W, client: ClientId, at: Nanos, spec: MigrationSpec) -> Self {
+        let elide = !spec.is_valid();
+        MigrationWorkload {
+            inner,
+            at,
+            spec,
+            client,
+            elide,
+            fired: 0,
+            since_fire: 0,
+        }
+    }
+
+    /// Whether the kick-off request has been issued at least once.
+    pub fn fired(&self) -> bool {
+        self.fired > 0
+    }
+}
+
+impl<W: Workload> Workload for MigrationWorkload<W> {
+    fn next(
+        &mut self,
+        client: ClientId,
+        zone: u8,
+        seq: u64,
+        now: Nanos,
+        rng: &mut Rng64,
+    ) -> Command {
+        if !self.elide && client == self.client && now >= self.at {
+            if self.fired == 0 || self.since_fire + 1 >= Self::REFIRE_EVERY {
+                self.fired += 1;
+                self.since_fire = 0;
+                return migration_command(&MigrationRecord::Start(self.spec));
+            }
+            self.since_fire += 1;
+        }
+        self.inner.next(client, zone, seq, now, rng)
+    }
+}
+
 /// Encodes `(client, seq)` into a 12-byte unique value.
 pub fn unique_value(client: ClientId, seq: u64) -> Vec<u8> {
     let mut v = Vec::with_capacity(12);
@@ -257,6 +331,65 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn migration_workload_fires_then_refires_on_cadence() {
+        use paxi_core::group::GroupId;
+        use paxi_core::migration::{KeyRange, MIGRATION_KEY};
+        let spec = MigrationSpec {
+            id: 1,
+            from: GroupId(0),
+            to: GroupId(1),
+            range: KeyRange::new(2, 4),
+            epoch: 1,
+        };
+        let driver = ClientId(0);
+        let mut w = MigrationWorkload::new(uniform_workload(10), driver, Nanos::millis(5), spec);
+        let mut rng = Rng64::seed(1);
+        // Before `at`: pure passthrough.
+        let cmd = w.next(driver, 0, 0, Nanos::ZERO, &mut rng);
+        assert_ne!(cmd.key, MIGRATION_KEY);
+        assert!(!w.fired());
+        // At `at`: the designated client submits the kick-off, then refires
+        // every REFIRE_EVERY-th of its own requests.
+        let mut migs = 0;
+        for seq in 1..=32u64 {
+            let cmd = w.next(driver, 0, seq, Nanos::millis(6), &mut rng);
+            if cmd.key == MIGRATION_KEY {
+                migs += 1;
+            }
+        }
+        assert!(w.fired());
+        assert_eq!(migs, 4, "1 kick-off + refires every 8th over 32 reqs");
+        // Other clients are never hijacked.
+        for seq in 0..32u64 {
+            let cmd = w.next(ClientId(7), 0, seq, Nanos::millis(9), &mut rng);
+            assert_ne!(cmd.key, MIGRATION_KEY);
+        }
+    }
+
+    #[test]
+    fn invalid_migration_specs_are_elided() {
+        use paxi_core::group::GroupId;
+        use paxi_core::migration::KeyRange;
+        let noop = MigrationSpec {
+            id: 1,
+            from: GroupId(0),
+            to: GroupId(0), // source == destination: invalid
+            range: KeyRange::new(2, 4),
+            epoch: 1,
+        };
+        let mut w = MigrationWorkload::new(uniform_workload(10), ClientId(0), Nanos::ZERO, noop);
+        let mut plain = uniform_workload(10);
+        let mut ra = Rng64::seed(9);
+        let mut rb = Rng64::seed(9);
+        for seq in 0..64u64 {
+            let a = w.next(ClientId(0), 0, seq, Nanos::secs(1), &mut ra);
+            let b = plain.next(ClientId(0), 0, seq, Nanos::secs(1), &mut rb);
+            assert_eq!(a, b, "elided wrapper must be bit-identical to inner");
+        }
+        assert!(!w.fired());
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
         let reply = c.service_time(1, 1);
         let total = Nanos(req.0 + 7 * ack.0 + reply.0);
         // ~ (10+5+8.2) + 7*10 + (10+5+1) us ≈ 109 us -> ~9.2k rounds/s.
-        assert!(total >= Nanos::micros(100) && total <= Nanos::micros(120), "total {total}");
+        assert!(
+            total >= Nanos::micros(100) && total <= Nanos::micros(120),
+            "total {total}"
+        );
     }
 
     #[test]
@@ -178,7 +181,10 @@ mod tests {
             let round = c.service_time_batched(1, 8, k, k);
             round.0 as f64 / k as f64
         };
-        assert!(per_cmd(4) < per_cmd(1) / 2.0, "4-batch should halve per-command cost");
+        assert!(
+            per_cmd(4) < per_cmd(1) / 2.0,
+            "4-batch should halve per-command cost"
+        );
         assert!(per_cmd(16) < per_cmd(4));
         // Floor: marginal cost per command (1 serialization + 8 transmissions).
         let floor = (c.t_cmd.0 as f64) + 8.0 * c.cmd_nic().0 as f64;

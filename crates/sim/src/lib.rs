@@ -29,7 +29,7 @@ pub mod report;
 pub mod sim;
 pub mod topology;
 
-pub use client::{ClientSetup, LoadMode, ReconfigWorkload, Workload};
+pub use client::{ClientSetup, LoadMode, MigrationWorkload, ReconfigWorkload, Workload};
 pub use cost::CostModel;
 pub use faults::{CrashMode, FaultPlan, FaultWindow, MsgFate};
 pub use report::{NodeStats, OpRecord, SimReport};

@@ -89,13 +89,19 @@ pub struct SimReport {
 impl SimReport {
     /// The busiest node's utilization — the load on the bottleneck node.
     pub fn max_utilization(&self) -> f64 {
-        self.node_stats.iter().map(|n| n.utilization).fold(0.0, f64::max)
+        self.node_stats
+            .iter()
+            .map(|n| n.utilization)
+            .fold(0.0, f64::max)
     }
 
     /// The node that handled the most messages (the de-facto leader in
     /// single-leader protocols).
     pub fn busiest_node(&self) -> Option<NodeId> {
-        self.node_stats.iter().max_by_key(|n| n.handled).map(|n| n.id)
+        self.node_stats
+            .iter()
+            .max_by_key(|n| n.handled)
+            .map(|n| n.id)
     }
 
     /// Mean latency in milliseconds (convenience for tables).

@@ -91,9 +91,15 @@ enum Input<M> {
     /// Recovery from an amnesia crash: the simulator rebuilds the replica
     /// from the factory (volatile state is gone) before delivering this.
     Recover,
-    Msg { from: NodeId, msg: M },
+    Msg {
+        from: NodeId,
+        msg: M,
+    },
     Request(ClientRequest),
-    Timer { kind: u64, token: u64 },
+    Timer {
+        kind: u64,
+        token: u64,
+    },
 }
 
 enum EventKind<M> {
@@ -123,7 +129,10 @@ impl<M> PartialOrd for Event<M> {
 impl<M> Ord for Event<M> {
     // Reversed so BinaryHeap (a max-heap) pops the earliest event first.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -163,7 +172,10 @@ impl<M> Context<M> for SimCtx<'_, M> {
         self.effects.push(Effect::Broadcast { msg });
     }
     fn multicast(&mut self, to: &[NodeId], msg: M) {
-        self.effects.push(Effect::Multicast { to: to.to_vec(), msg });
+        self.effects.push(Effect::Multicast {
+            to: to.to_vec(),
+            msg,
+        });
     }
     fn set_timer(&mut self, after: Nanos, kind: u64) -> u64 {
         *self.token_counter += 1;
@@ -192,7 +204,12 @@ impl<M> Context<M> for SimCtx<'_, M> {
     }
     fn trace(&mut self, stage: TraceStage, req: RequestId) {
         if let Some(ring) = &mut self.trace {
-            ring.push(TraceEvent { at: self.now, node: self.id, req, stage });
+            ring.push(TraceEvent {
+                at: self.now,
+                node: self.id,
+                req,
+                stage,
+            });
         }
     }
 }
@@ -354,7 +371,10 @@ impl<R: Replica> Simulator<R> {
             now: Nanos::ZERO,
             rng,
             token_counter: 0,
-            clients: clients.into_iter().map(|setup| ClientState { setup, next_seq: 0 }).collect(),
+            clients: clients
+                .into_iter()
+                .map(|setup| ClientState { setup, next_seq: 0 })
+                .collect(),
             workload: Box::new(workload),
             faults: FaultPlan::new(),
             pending: HashMap::new(),
@@ -414,7 +434,11 @@ impl<R: Replica> Simulator<R> {
             }
         }
         self.event_seq += 1;
-        self.queue.push(Event { at, seq: self.event_seq, kind });
+        self.queue.push(Event {
+            at,
+            seq: self.event_seq,
+            kind,
+        });
     }
 
     /// Runs the simulation to the end of the measurement window and returns
@@ -466,7 +490,10 @@ impl<R: Replica> Simulator<R> {
                 self.draining = true;
                 match &ev.kind {
                     EventKind::ClientIssue { .. } | EventKind::RetryCheck { .. } => continue,
-                    EventKind::Node { input: Input::Timer { .. }, .. } => continue,
+                    EventKind::Node {
+                        input: Input::Timer { .. },
+                        ..
+                    } => continue,
                     _ => {}
                 }
             }
@@ -625,8 +652,11 @@ impl<R: Replica> Simulator<R> {
                 }
             }
         }
-        let cpu = (if charge_input { cost.t_in.0 + cost.cmd_cpu_extra(in_cmds) } else { 0 })
-            + cost.t_out.0 * serializations
+        let cpu = (if charge_input {
+            cost.t_in.0 + cost.cmd_cpu_extra(in_cmds)
+        } else {
+            0
+        }) + cost.t_out.0 * serializations
             + cmd_cpu;
         let cpu = (cpu as f64 * cost.cpu_penalty) as u64;
         // Disk time: every fsync the handler triggered stalls the pipeline
@@ -634,7 +664,11 @@ impl<R: Replica> Simulator<R> {
         // models the device, not the protocol's compute.
         let syncs = self.hub.as_ref().map(|h| h.drain_syncs(node)).unwrap_or(0);
         if let Some(ms) = &mut self.metrics {
-            let appends = self.hub.as_ref().map(|h| h.drain_appends(node)).unwrap_or(0);
+            let appends = self
+                .hub
+                .as_ref()
+                .map(|h| h.drain_appends(node))
+                .unwrap_or(0);
             let m = &mut ms[idx];
             if appends > 0 {
                 m.add(Metric::WalAppends, appends);
@@ -666,7 +700,13 @@ impl<R: Replica> Simulator<R> {
                     }
                 }
                 Effect::Timer { after, kind, token } => {
-                    self.push(start + after, EventKind::Node { to: node, input: Input::Timer { kind, token } });
+                    self.push(
+                        start + after,
+                        EventKind::Node {
+                            to: node,
+                            input: Input::Timer { kind, token },
+                        },
+                    );
                 }
                 Effect::Reply { resp } => {
                     if let Some(ring) = &mut self.trace_ring {
@@ -679,7 +719,10 @@ impl<R: Replica> Simulator<R> {
                     }
                     if let Some(p) = self.pending.get(&resp.id) {
                         let zone = self.clients[p.ci].setup.zone;
-                        let delay = self.cfg.topology.sample_one_way(&mut self.rng, node.zone, zone);
+                        let delay =
+                            self.cfg
+                                .topology
+                                .sample_one_way(&mut self.rng, node.zone, zone);
                         self.push(departure + delay, EventKind::ClientDone { resp });
                     }
                 }
@@ -688,10 +731,15 @@ impl<R: Replica> Simulator<R> {
                         MsgFate::Dropped => self.count_fault_drop(node),
                         MsgFate::Deliver { extra_delay } => {
                             let delay =
-                                self.cfg.topology.sample_one_way(&mut self.rng, node.zone, to.zone);
+                                self.cfg
+                                    .topology
+                                    .sample_one_way(&mut self.rng, node.zone, to.zone);
                             self.push(
                                 departure + delay + extra_delay,
-                                EventKind::Node { to, input: Input::Request(req) },
+                                EventKind::Node {
+                                    to,
+                                    input: Input::Request(req),
+                                },
                             );
                         }
                     }
@@ -711,16 +759,28 @@ impl<R: Replica> Simulator<R> {
     fn emit_msg(&mut self, from: NodeId, to: NodeId, msg: R::Msg, departure: Nanos) {
         if to == from {
             // Self-delivery bypasses the network.
-            self.push(departure, EventKind::Node { to, input: Input::Msg { from, msg } });
+            self.push(
+                departure,
+                EventKind::Node {
+                    to,
+                    input: Input::Msg { from, msg },
+                },
+            );
             return;
         }
         match self.faults.message_fate(from, to, departure, &mut self.rng) {
             MsgFate::Dropped => self.count_fault_drop(from),
             MsgFate::Deliver { extra_delay } => {
-                let delay = self.cfg.topology.sample_one_way(&mut self.rng, from.zone, to.zone);
+                let delay = self
+                    .cfg
+                    .topology
+                    .sample_one_way(&mut self.rng, from.zone, to.zone);
                 self.push(
                     departure + delay + extra_delay + self.cfg.cost.wire_overhead,
-                    EventKind::Node { to, input: Input::Msg { from, msg } },
+                    EventKind::Node {
+                        to,
+                        input: Input::Msg { from, msg },
+                    },
                 );
             }
         }
@@ -737,17 +797,35 @@ impl<R: Replica> Simulator<R> {
         let client_id = ClientId(ci as u32);
         let cmd = self.workload.next(client_id, zone, seq, now, &mut self.rng);
         let id = RequestId::new(client_id, seq);
-        self.pending.insert(id, Pending { ci, invoke: now, cmd: cmd.clone() });
+        self.pending.insert(
+            id,
+            Pending {
+                ci,
+                invoke: now,
+                cmd: cmd.clone(),
+            },
+        );
         if let Some(ring) = &mut self.trace_ring {
-            ring.push(TraceEvent { at: now, node: attach, req: id, stage: TraceStage::Submit });
+            ring.push(TraceEvent {
+                at: now,
+                node: attach,
+                req: id,
+                stage: TraceStage::Submit,
+            });
         }
         if now >= self.cfg.warmup {
             self.issued += 1;
         }
-        let delay = self.cfg.topology.sample_one_way(&mut self.rng, zone, attach.zone);
+        let delay = self
+            .cfg
+            .topology
+            .sample_one_way(&mut self.rng, zone, attach.zone);
         self.push(
             now + delay,
-            EventKind::Node { to: attach, input: Input::Request(ClientRequest { id, cmd }) },
+            EventKind::Node {
+                to: attach,
+                input: Input::Request(ClientRequest { id, cmd }),
+            },
         );
         if let Some(retry) = self.cfg.client_retry {
             self.push(now + retry, EventKind::RetryCheck { id });
@@ -845,7 +923,10 @@ impl<R: Replica> Simulator<R> {
                 .all_nodes
                 .iter()
                 .zip(ms)
-                .map(|(&id, m)| MetricsSnapshot { node: id, metrics: m.clone() })
+                .map(|(&id, m)| MetricsSnapshot {
+                    node: id,
+                    metrics: m.clone(),
+                })
                 .collect(),
         });
         SimReport {
@@ -919,7 +1000,9 @@ mod tests {
     }
 
     fn local_factory(_id: NodeId) -> LocalKv {
-        LocalKv { store: MultiVersionStore::new() }
+        LocalKv {
+            store: MultiVersionStore::new(),
+        }
     }
 
     #[test]
@@ -927,8 +1010,13 @@ mod tests {
         let cfg = SimConfig::default();
         let cluster = ClusterConfig::lan(3);
         let clients = ClientSetup::closed_in_zone(&cluster, 0, 1);
-        let mut sim =
-            Simulator::new(cfg, cluster, local_factory, crate::client::uniform_workload(100), clients);
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            local_factory,
+            crate::client::uniform_workload(100),
+            clients,
+        );
         let report = sim.run();
         assert!(report.completed > 1000, "completed {}", report.completed);
         // One client, no replication: latency ≈ client->node RTT ≈ 0.43 ms.
@@ -940,7 +1028,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
             let cluster = ClusterConfig::lan(3);
             let clients = ClientSetup::closed_per_zone(&cluster, 4);
             let mut sim = Simulator::new(
@@ -959,11 +1050,19 @@ mod tests {
 
     #[test]
     fn open_loop_throughput_tracks_rate() {
-        let cfg = SimConfig { measure: Nanos::secs(4), ..SimConfig::default() };
+        let cfg = SimConfig {
+            measure: Nanos::secs(4),
+            ..SimConfig::default()
+        };
         let cluster = ClusterConfig::lan(1);
         let clients = ClientSetup::open_single(2000.0);
-        let mut sim =
-            Simulator::new(cfg, cluster, local_factory, crate::client::uniform_workload(100), clients);
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            local_factory,
+            crate::client::uniform_workload(100),
+            clients,
+        );
         let report = sim.run();
         assert!(
             (report.throughput - 2000.0).abs() / 2000.0 < 0.1,
@@ -974,7 +1073,10 @@ mod tests {
 
     #[test]
     fn crashed_node_stalls_its_clients() {
-        let cfg = SimConfig { record_ops: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            record_ops: true,
+            ..SimConfig::default()
+        };
         let cluster = ClusterConfig::lan(2);
         // Client 0 -> node 0 (will crash), client 1 -> node 1.
         let clients = vec![
@@ -989,14 +1091,24 @@ mod tests {
                 mode: LoadMode::Closed { think: Nanos::ZERO },
             },
         ];
-        let mut sim =
-            Simulator::new(cfg, cluster, local_factory, crate::client::uniform_workload(10), clients);
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            local_factory,
+            crate::client::uniform_workload(10),
+            clients,
+        );
         // Crash node 0 for the whole run.
-        sim.faults_mut().crash(NodeId::new(0, 0), Nanos::ZERO, Nanos::secs(60));
+        sim.faults_mut()
+            .crash(NodeId::new(0, 0), Nanos::ZERO, Nanos::secs(60));
         let report = sim.run();
         // Only client 1 makes progress; client 0 completes nothing.
         assert!(report.completed > 0);
-        let c0_ops = report.ops.iter().filter(|o| o.client == ClientId(0) && o.ok).count();
+        let c0_ops = report
+            .ops
+            .iter()
+            .filter(|o| o.client == ClientId(0) && o.ok)
+            .count();
         assert_eq!(c0_ops, 0, "client of crashed node must not complete ops");
     }
 
@@ -1013,9 +1125,15 @@ mod tests {
             attach: NodeId::new(0, 0),
             mode: LoadMode::Closed { think: Nanos::ZERO },
         }];
-        let mut sim =
-            Simulator::new(cfg, cluster, local_factory, crate::client::uniform_workload(10), clients);
-        sim.faults_mut().crash(NodeId::new(0, 0), Nanos::ZERO, Nanos::secs(60));
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            local_factory,
+            crate::client::uniform_workload(10),
+            clients,
+        );
+        sim.faults_mut()
+            .crash(NodeId::new(0, 0), Nanos::ZERO, Nanos::secs(60));
         let report = sim.run();
         assert!(report.abandoned > 10, "abandoned {}", report.abandoned);
         assert_eq!(report.completed, 0);
@@ -1026,8 +1144,13 @@ mod tests {
         let cfg = SimConfig::default();
         let cluster = ClusterConfig::lan(2);
         let clients = ClientSetup::closed_in_zone(&cluster, 0, 2);
-        let mut sim =
-            Simulator::new(cfg, cluster, local_factory, crate::client::uniform_workload(10), clients);
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            local_factory,
+            crate::client::uniform_workload(10),
+            clients,
+        );
         let report = sim.run();
         let handled: u64 = report.node_stats.iter().map(|n| n.handled).sum();
         assert!(handled > 0);
@@ -1080,7 +1203,10 @@ mod tests {
         mode: Option<crate::faults::CrashMode>,
         hub: Option<paxi_storage::MemHub<NodeId>>,
     ) -> (SimReport, usize) {
-        let cfg = SimConfig { measure: Nanos::secs(3), ..SimConfig::default() };
+        let cfg = SimConfig {
+            measure: Nanos::secs(3),
+            ..SimConfig::default()
+        };
         let cluster = ClusterConfig::lan(2);
         let clients = vec![
             ClientSetup {
@@ -1096,14 +1222,22 @@ mod tests {
         ];
         let mk_hub = hub.clone();
         let factory = move |id: NodeId| {
-            let mut r = DurableKv { store: MultiVersionStore::new(), wal: None };
+            let mut r = DurableKv {
+                store: MultiVersionStore::new(),
+                wal: None,
+            };
             if let Some(h) = &mk_hub {
                 r.attach_storage(Box::new(h.open(id)));
             }
             r
         };
-        let mut sim =
-            Simulator::new(cfg, cluster, factory, crate::client::uniform_workload(8), clients);
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            factory,
+            crate::client::uniform_workload(8),
+            clients,
+        );
         if let Some(h) = hub {
             sim.set_storage(h);
         }
@@ -1128,17 +1262,24 @@ mod tests {
         // client stalls once its in-flight request dies with the crash
         // (closed loop, no retry), so everything in node 0's store was
         // written pre-crash.
-        let (_, freeze_vc) =
-            durable_run(Some(CrashMode::Freeze), Some(MemHub::new(FsyncPolicy::Always)));
-        let (_, amnesia_vc) =
-            durable_run(Some(CrashMode::Amnesia), Some(MemHub::new(FsyncPolicy::Always)));
+        let (_, freeze_vc) = durable_run(
+            Some(CrashMode::Freeze),
+            Some(MemHub::new(FsyncPolicy::Always)),
+        );
+        let (_, amnesia_vc) = durable_run(
+            Some(CrashMode::Amnesia),
+            Some(MemHub::new(FsyncPolicy::Always)),
+        );
         let (_, naked_vc) = durable_run(Some(CrashMode::Amnesia), None);
         assert!(freeze_vc > 0, "node 0 must have written before the crash");
         assert_eq!(
             amnesia_vc, freeze_vc,
             "WAL replay must rebuild exactly the durable write history"
         );
-        assert_eq!(naked_vc, 0, "without storage an amnesia crash loses everything");
+        assert_eq!(
+            naked_vc, 0,
+            "without storage an amnesia crash loses everything"
+        );
     }
 
     #[test]
@@ -1159,7 +1300,10 @@ mod tests {
 
     #[test]
     fn wan_client_sees_wan_latency_to_remote_attach() {
-        let cfg = SimConfig { topology: Topology::aws5(), ..SimConfig::default() };
+        let cfg = SimConfig {
+            topology: Topology::aws5(),
+            ..SimConfig::default()
+        };
         let cluster = ClusterConfig::wan(5, 1, 0, 0);
         // Client in JP (zone 4) attaches to a VA node (zone 0).
         let clients = vec![ClientSetup {
@@ -1167,10 +1311,18 @@ mod tests {
             attach: NodeId::new(0, 0),
             mode: LoadMode::Closed { think: Nanos::ZERO },
         }];
-        let mut sim =
-            Simulator::new(cfg, cluster, local_factory, crate::client::uniform_workload(10), clients);
+        let mut sim = Simulator::new(
+            cfg,
+            cluster,
+            local_factory,
+            crate::client::uniform_workload(10),
+            clients,
+        );
         let report = sim.run();
         let mean = report.latency.mean.as_millis_f64();
-        assert!((150.0..180.0).contains(&mean), "JP->VA RTT ~162ms, got {mean}");
+        assert!(
+            (150.0..180.0).contains(&mean),
+            "JP->VA RTT ~162ms, got {mean}"
+        );
     }
 }

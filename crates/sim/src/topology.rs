@@ -55,7 +55,12 @@ impl Topology {
                 );
             }
         }
-        Topology { zone_names, rtt_ms, lan_std_ms: AWS_LAN_RTT_STD_MS, wan_jitter: 0.02 }
+        Topology {
+            zone_names,
+            rtt_ms,
+            lan_std_ms: AWS_LAN_RTT_STD_MS,
+            wan_jitter: 0.02,
+        }
     }
 
     /// The paper's five-region AWS deployment: N. Virginia, Ohio,
@@ -89,7 +94,9 @@ impl Topology {
     pub fn aws3() -> Self {
         let five = Self::aws5();
         let names = vec!["VA".to_string(), "OH".to_string(), "CA".to_string()];
-        let m = (0..3).map(|a| (0..3).map(|b| five.rtt_ms[a][b]).collect()).collect();
+        let m = (0..3)
+            .map(|a| (0..3).map(|b| five.rtt_ms[a][b]).collect())
+            .collect();
         Topology::wan(names, m)
     }
 
@@ -116,8 +123,14 @@ impl Topology {
     /// positive floor so causality is never violated.
     pub fn sample_one_way(&self, rng: &mut Rng64, a: u8, b: u8) -> Nanos {
         let rtt = self.rtt_ms(a, b);
-        let std = if a == b { self.lan_std_ms } else { rtt * self.wan_jitter };
-        let ms = rng.normal(rtt / 2.0, std / std::f64::consts::SQRT_2).max(0.001);
+        let std = if a == b {
+            self.lan_std_ms
+        } else {
+            rtt * self.wan_jitter
+        };
+        let ms = rng
+            .normal(rtt / 2.0, std / std::f64::consts::SQRT_2)
+            .max(0.001);
         Nanos::from_millis_f64(ms)
     }
 

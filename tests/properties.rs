@@ -5,7 +5,8 @@ use paxi::core::dist::{KeyDist, KeySampler, Rng64};
 use paxi::core::metrics::Histogram;
 use paxi::core::quorum::{FlexibleGridQuorum, GridPhase, QuorumTracker};
 use paxi::core::store::MultiVersionStore;
-use paxi::core::{Ballot, Command, Nanos, NodeId};
+use paxi::core::{Ballot, Command, GroupId, Nanos, NodeId};
+use paxi::shard::{HashPartitioner, Partitioner, RangePartitioner};
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -596,5 +597,82 @@ proptest! {
         let bytes = codec::to_bytes(&rec).unwrap();
         let back: EpaxosWal = codec::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn hash_partitioner_is_total_and_owns_agrees_with_group_of(
+        groups in 1u32..64,
+        key in any::<u64>(),
+        probe in 0u32..64,
+    ) {
+        // Every key maps to exactly one in-range group, and `owns` is the
+        // characteristic function of `group_of` — no key is unowned, none
+        // is owned twice.
+        let p = HashPartitioner::new(groups);
+        prop_assert_eq!(p.groups(), groups);
+        let g = p.group_of(key);
+        prop_assert!(g.0 < groups, "group {} out of range", g.0);
+        prop_assert!(p.owns(g, key));
+        let other = GroupId(probe % groups);
+        prop_assert_eq!(p.owns(other, key), other == g);
+    }
+
+    #[test]
+    fn range_partitioner_is_total_and_owns_agrees_with_group_of(
+        key_space in 1u64..100_000,
+        groups in 1u32..32,
+        key in any::<u64>(),
+        probe in 0u32..32,
+    ) {
+        // Totality holds even for keys beyond the declared key space (the
+        // last group absorbs them — routing must never panic on a key the
+        // workload was not supposed to produce).
+        let p = RangePartitioner::even(key_space, groups);
+        prop_assert_eq!(p.groups(), groups);
+        let g = p.group_of(key);
+        prop_assert!(g.0 < groups, "group {} out of range", g.0);
+        prop_assert!(p.owns(g, key));
+        let other = GroupId(probe % groups);
+        prop_assert_eq!(p.owns(other, key), other == g);
+    }
+
+    #[test]
+    fn range_partitioner_edges_agree_with_group_of(
+        key_space in 1u64..100_000,
+        groups in 1u32..32,
+    ) {
+        // `range(g)` and `group_of` must tell the same story at every
+        // boundary: the first and last key of each slice belong to it, and
+        // the first key past it belongs to the next group — migrations cut
+        // ranges exactly at these edges.
+        let p = RangePartitioner::even(key_space, groups);
+        for gi in 0..groups {
+            let g = GroupId(gi);
+            let (lo, hi) = p.range(g);
+            prop_assert!(lo < hi, "group {gi} has an empty slice [{lo}, {hi})");
+            prop_assert_eq!(p.group_of(lo), g);
+            prop_assert_eq!(p.group_of(hi - 1), g);
+            prop_assert!(p.owns(g, lo) && p.owns(g, hi - 1));
+            if gi + 1 < groups {
+                prop_assert_eq!(p.group_of(hi), GroupId(gi + 1));
+                prop_assert!(!p.owns(g, hi));
+            }
+        }
+    }
+
+    #[test]
+    fn single_group_partitioners_map_everything_to_group_0(
+        key_space in 1u64..100_000,
+        key in any::<u64>(),
+    ) {
+        // groups = 1 is the unsharded degenerate case: every key lands in
+        // group 0 under both partitioners, so the sharded envelope routes
+        // exactly like the plain protocol.
+        let hash = HashPartitioner::new(1);
+        prop_assert_eq!(hash.group_of(key), GroupId(0));
+        prop_assert!(hash.owns(GroupId(0), key));
+        let range = RangePartitioner::even(key_space, 1);
+        prop_assert_eq!(range.group_of(key), GroupId(0));
+        prop_assert!(range.owns(GroupId(0), key));
     }
 }
