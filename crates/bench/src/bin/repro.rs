@@ -6,7 +6,7 @@
 //!                                    fig7, fig8, fig9, fig10, fig11, fig12,
 //!                                    fig13, table3, formulas, fig14,
 //!                                    ablation, batching, sharding, crossval,
-//!                                    availability, durability)
+//!                                    availability, durability, reactor)
 //! repro list                         list experiment ids
 //! ```
 //!
@@ -22,7 +22,7 @@ use std::path::Path;
 const IDS: &[&str] = &[
     "fig3", "table1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     "table3", "formulas", "fig14", "ablation", "batching", "sharding", "crossval",
-    "availability", "durability",
+    "availability", "durability", "reactor",
 ];
 
 /// Prints an experiment's tables, writes their CSVs, and — when the

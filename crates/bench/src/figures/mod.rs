@@ -25,6 +25,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod metrics;
+pub mod reactor;
 pub mod sharding;
 pub mod tables;
 
@@ -76,6 +77,7 @@ pub fn all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("crossval", crossval::run(quick)),
         ("availability", availability::run(quick)),
         ("durability", durability::run(quick)),
+        ("reactor", reactor::run(quick)),
     ]
 }
 
@@ -101,6 +103,7 @@ pub fn by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
         "crossval" => Some(crossval::run(quick)),
         "availability" => Some(availability::run(quick)),
         "durability" => Some(durability::run(quick)),
+        "reactor" => Some(reactor::run(quick)),
         _ => None,
     }
 }
@@ -112,6 +115,7 @@ pub fn baseline_for(name: &str, tables: &[Table]) -> Option<(&'static str, Strin
     match name {
         "batching" => Some(("BENCH_batching.json", batching::baseline_json(tables))),
         "sharding" => Some(("BENCH_sharding.json", sharding::baseline_json(tables))),
+        "reactor" => Some(("BENCH_reactor.json", reactor::baseline_json(tables))),
         _ => None,
     }
 }

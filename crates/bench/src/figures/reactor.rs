@@ -1,0 +1,282 @@
+//! Connection scalability sweep (ours, beyond the paper): throughput vs.
+//! concurrent client connections, threaded TCP runtime against the
+//! nonblocking reactor runtime.
+//!
+//! The paper's dissection holds the client population small and closed-loop;
+//! real deployments fan thousands of connections into each replica. The
+//! threaded runtime pays one OS thread per inbound connection, so its
+//! connection ceiling is the process's thread budget; the reactor runtime
+//! ([`paxi_transport::reactor`]) multiplexes every socket of a node onto one
+//! `poll(2)` loop, so its ceiling is the fd limit. This sweep drives both
+//! against the same 3-node batched-MultiPaxos cluster on localhost and
+//! reports, per connection count: connections actually established,
+//! sustained throughput, and unexplained drops (asserted zero — every shed
+//! frame must be on the cause ledger, including the reactor's
+//! `backpressure` cause).
+//!
+//! The threaded grid stops at 256 connections (one closed-loop blocking
+//! client thread each); the reactor grid climbs to 10,240 pipelined
+//! connections driven by a single swarm thread ([`paxi_transport::run_swarm`]).
+//! `PAXI_REACTOR_MAX_CONNS` caps the reactor grid for fd-limited
+//! environments (CI runs with a 1,000-connection cap and a raised ulimit).
+
+use crate::table::Table;
+
+/// Column layout shared by the real run and the non-unix stub.
+const COLS: &[&str] = &[
+    "runtime",
+    "conns_target",
+    "conns_achieved",
+    "tput_ops_s",
+    "unexplained_drops",
+];
+
+const TITLE: &str = "Connection scalability: threaded vs reactor runtime (3-node TCP Paxos)";
+
+#[cfg(unix)]
+mod imp {
+    use super::{COLS, TITLE};
+    use crate::table::{f0, Table};
+    use paxi_core::config::ClusterConfig;
+    use paxi_core::id::NodeId;
+    use paxi_core::obs::DropCause;
+    use paxi_protocols::paxos::{paxos_cluster, PaxosConfig};
+    use paxi_transport::{run_swarm, ReactorCluster, TcpCluster};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Requests each swarm connection keeps in flight.
+    const PIPELINE_WINDOW: usize = 4;
+
+    /// Optional ceiling on the reactor connection grid, for fd-limited
+    /// environments.
+    fn conns_cap() -> usize {
+        std::env::var("PAXI_REACTOR_MAX_CONNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(usize::MAX)
+    }
+
+    pub(super) fn run(quick: bool) -> Vec<Table> {
+        let cluster = ClusterConfig::lan(3);
+        let window = if quick {
+            Duration::from_millis(400)
+        } else {
+            Duration::from_secs(2)
+        };
+        let threaded_grid: Vec<usize> = if quick {
+            vec![1, 8, 32]
+        } else {
+            vec![1, 16, 64, 256]
+        };
+        let cap = conns_cap();
+        let mut reactor_grid: Vec<usize> = if quick {
+            vec![1, 32, 256]
+        } else {
+            vec![1, 64, 1024, 10_240]
+        };
+        for c in &mut reactor_grid {
+            *c = (*c).min(cap);
+        }
+        reactor_grid.dedup();
+
+        let mut t = Table::new(TITLE, COLS);
+        for &conns in &threaded_grid {
+            let (achieved, tput, unexplained) = threaded_point(&cluster, conns, window);
+            t.row(vec![
+                "threaded".to_string(),
+                conns.to_string(),
+                achieved.to_string(),
+                f0(tput),
+                unexplained.to_string(),
+            ]);
+        }
+        for &conns in &reactor_grid {
+            let (achieved, tput, unexplained) = reactor_point(&cluster, conns, window);
+            t.row(vec![
+                "reactor".to_string(),
+                conns.to_string(),
+                achieved.to_string(),
+                f0(tput),
+                unexplained.to_string(),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// One threaded-runtime point: `conns` blocking clients, each on its own
+    /// thread, closed-loop puts until the window closes.
+    fn threaded_point(
+        cluster: &ClusterConfig,
+        conns: usize,
+        window: Duration,
+    ) -> (usize, f64, u64) {
+        let run = TcpCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::batched(8)),
+        )
+        .expect("launch threaded cluster");
+        let attach = NodeId::new(0, 0);
+        let mut clients = Vec::new();
+        for _ in 0..conns {
+            // Brief retry: a burst of connects can transiently outrun the
+            // accept loop.
+            for attempt in 0..20u32 {
+                match run.client(attach) {
+                    Ok(c) => {
+                        clients.push(c);
+                        break;
+                    }
+                    Err(e) if attempt == 19 => panic!("threaded client connect: {e}"),
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        }
+        let achieved = clients.len();
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for (i, mut client) in clients.into_iter().enumerate() {
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                client.set_timeout(Duration::from_secs(2));
+                let mut done = 0u64;
+                let mut seq = 0u64;
+                let key_base = (i as u64 * 131) % 1024;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(resp) = client.put(key_base, vec![seq as u8]) {
+                        if resp.ok {
+                            done += 1;
+                        }
+                    }
+                    seq += 1;
+                }
+                done
+            }));
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        let completed: u64 = workers.into_iter().map(|w| w.join().unwrap_or(0)).sum();
+        let elapsed = start.elapsed();
+        let unexplained = run.drops().get(DropCause::Unexplained);
+        run.shutdown();
+        (
+            achieved,
+            completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            unexplained,
+        )
+    }
+
+    /// One reactor-runtime point: `conns` pipelined connections driven from
+    /// a single swarm thread.
+    fn reactor_point(
+        cluster: &ClusterConfig,
+        conns: usize,
+        window: Duration,
+    ) -> (usize, f64, u64) {
+        let run = ReactorCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::batched(8)),
+        )
+        .expect("launch reactor cluster");
+        let report = run_swarm(
+            run.addr(NodeId::new(0, 0)),
+            conns,
+            PIPELINE_WINDOW,
+            4_000_000,
+            window,
+        )
+        .expect("swarm");
+        let unexplained = run.drops().get(DropCause::Unexplained);
+        run.shutdown();
+        (report.connected, report.throughput(), unexplained)
+    }
+}
+
+/// Builds the connection-scalability table. On non-unix targets (no
+/// `poll(2)` reactor) the table is emitted empty rather than lying with
+/// threaded-only numbers.
+#[cfg(unix)]
+pub fn run(quick: bool) -> Vec<Table> {
+    imp::run(quick)
+}
+
+/// Non-unix stub: the reactor needs `poll(2)`.
+#[cfg(not(unix))]
+pub fn run(_quick: bool) -> Vec<Table> {
+    vec![Table::new(TITLE, COLS)]
+}
+
+/// Renders the sweep as the `BENCH_reactor.json` baseline the CI
+/// reactor-smoke job uploads, via the shared [`Table::baseline_json`]
+/// writer.
+pub fn baseline_json(tables: &[Table]) -> String {
+    tables
+        .first()
+        .map(|t| {
+            t.baseline_json(
+                "connection_scalability",
+                "3-node LAN, batched MultiPaxos over TCP; threaded runtime = one \
+                 blocking closed-loop client thread per connection, reactor \
+                 runtime = pipelined connections (window 4) from one swarm thread",
+                &[
+                    "runtime",
+                    "conns_target",
+                    "conns_achieved",
+                    "tput_ops_s",
+                    "unexplained_drops",
+                ],
+            )
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    #[test]
+    fn reactor_outscales_threaded_runtime() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let rows = |rt: &str| -> Vec<&Vec<String>> {
+            t.rows.iter().filter(|r| r[0] == rt).collect()
+        };
+        let threaded = rows("threaded");
+        let reactor = rows("reactor");
+        assert!(!threaded.is_empty() && !reactor.is_empty());
+        // Every reactor point established every connection it asked for,
+        // and every shed frame is on the cause ledger.
+        for r in &reactor {
+            assert_eq!(r[1], r[2], "reactor fell short of its connection target");
+            assert_eq!(r[4], "0", "unexplained drops in a reactor run");
+        }
+        let max_col = |rows: &[&Vec<String>], col: usize| -> f64 {
+            rows.iter()
+                .map(|r| r[col].parse::<f64>().expect("numeric cell"))
+                .fold(f64::MIN, f64::max)
+        };
+        // The reactor's connection ceiling clears the threaded grid's.
+        let reactor_conns = max_col(&reactor, 2);
+        let threaded_conns = max_col(&threaded, 2);
+        assert!(
+            reactor_conns > threaded_conns,
+            "reactor sustained {reactor_conns} conns vs threaded {threaded_conns}"
+        );
+        if std::env::var("PAXI_REACTOR_MAX_CONNS").is_err() {
+            assert!(reactor_conns >= 256.0, "quick grid tops out at 256");
+        }
+        // Saturation throughput: the reactor must not regress the threaded
+        // runtime (0.8 factor absorbs wall-clock noise in CI).
+        let reactor_tput = max_col(&reactor, 3);
+        let threaded_tput = max_col(&threaded, 3);
+        assert!(
+            reactor_tput >= 0.8 * threaded_tput,
+            "reactor saturation {reactor_tput} ops/s vs threaded {threaded_tput} ops/s"
+        );
+        // The JSON baseline embeds every row through the shared writer.
+        let json = super::baseline_json(&tables);
+        assert!(json.contains("\"benchmark\": \"connection_scalability\""));
+        assert!(json.contains("\"runtime\": \"reactor\""));
+        assert!(json.contains("\"unexplained_drops\": 0"));
+    }
+}

@@ -66,11 +66,17 @@ pub enum Metric {
     Commits,
     /// Client commands executed against the state machine.
     Executes,
+    /// Transport connections opened: accepted by a listener or dialed out
+    /// to a peer.
+    ConnAccepts,
+    /// Transport connections closed. After an orderly shutdown
+    /// `ConnAccepts == ConnCloses`; the conservation audit asserts it.
+    ConnCloses,
 }
 
 impl Metric {
     /// Every counter, in snapshot order.
-    pub const ALL: [Metric; 13] = [
+    pub const ALL: [Metric; 15] = [
         Metric::MsgsSent,
         Metric::MsgsReceived,
         Metric::CmdsSent,
@@ -84,6 +90,8 @@ impl Metric {
         Metric::Retransmissions,
         Metric::Commits,
         Metric::Executes,
+        Metric::ConnAccepts,
+        Metric::ConnCloses,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -102,6 +110,8 @@ impl Metric {
             Metric::Retransmissions => "retransmissions",
             Metric::Commits => "commits",
             Metric::Executes => "executes",
+            Metric::ConnAccepts => "conn_accepts",
+            Metric::ConnCloses => "conn_closes",
         }
     }
 }
@@ -127,13 +137,16 @@ pub enum DropCause {
     Reconnect,
     /// No route/address known for the destination.
     NoRoute,
+    /// A reactor connection's bounded write buffer was full and the frame
+    /// was shed (the readiness-loop analogue of [`DropCause::QueueFull`]).
+    Backpressure,
     /// A loss path that failed to name its cause — must stay zero.
     Unexplained,
 }
 
 impl DropCause {
     /// Every cause, in snapshot order.
-    pub const ALL: [DropCause; 8] = [
+    pub const ALL: [DropCause; 9] = [
         DropCause::Encode,
         DropCause::Oversize,
         DropCause::Fault,
@@ -141,6 +154,7 @@ impl DropCause {
         DropCause::QueueFull,
         DropCause::Reconnect,
         DropCause::NoRoute,
+        DropCause::Backpressure,
         DropCause::Unexplained,
     ];
 
@@ -154,6 +168,7 @@ impl DropCause {
             DropCause::QueueFull => "queue_full",
             DropCause::Reconnect => "reconnect",
             DropCause::NoRoute => "no_route",
+            DropCause::Backpressure => "backpressure",
             DropCause::Unexplained => "unexplained",
         }
     }
@@ -166,17 +181,20 @@ pub enum Gauge {
     QueueDepthHwm,
     /// Largest command batch ever packed into one slot/message.
     BatchHwm,
+    /// Most transport connections ever simultaneously open on the node.
+    ConnsHwm,
 }
 
 impl Gauge {
     /// Every gauge, in snapshot order.
-    pub const ALL: [Gauge; 2] = [Gauge::QueueDepthHwm, Gauge::BatchHwm];
+    pub const ALL: [Gauge; 3] = [Gauge::QueueDepthHwm, Gauge::BatchHwm, Gauge::ConnsHwm];
 
     /// Stable snake_case name used as the JSON key.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::QueueDepthHwm => "queue_depth_hwm",
             Gauge::BatchHwm => "batch_hwm",
+            Gauge::ConnsHwm => "conns_hwm",
         }
     }
 }

@@ -11,6 +11,10 @@
 //!   frames, blocking clients, reply relaying across forwards.
 //! * [`udp`] — one datagram socket per node; best-effort delivery with
 //!   client retries (for protocols that gain nothing from ordered delivery).
+//! * [`reactor`] (unix) — the nonblocking readiness-loop TCP runtime: all of
+//!   a node's sockets multiplexed onto one thread over hand-rolled
+//!   `poll(2)` ([`poll`]), pipelined clients, 10k+ concurrent connections
+//!   per node.
 //! * [`timer`] — the shared timer wheel behind `Context::set_timer`.
 //! * [`faults`] — live fault injection: every transport has a
 //!   `launch_chaotic` constructor that applies a
@@ -28,6 +32,10 @@ pub mod channel;
 pub mod envelope;
 pub mod faults;
 pub mod obs;
+#[cfg(unix)]
+pub mod poll;
+#[cfg(unix)]
+pub mod reactor;
 pub mod runtime;
 pub mod tcp;
 pub mod timer;
@@ -36,7 +44,9 @@ pub mod udp;
 pub use channel::{InProcCluster, SyncClient};
 pub use envelope::Envelope;
 pub use faults::{ChaosOut, FaultInjector, LinkDecision};
-pub use obs::DropCounters;
+pub use obs::{ConnCounters, DropCounters};
+#[cfg(unix)]
+pub use reactor::{run_swarm, PipelinedClient, ReactorCluster, SwarmReport};
 pub use runtime::Remake;
 pub use tcp::{TcpClient, TcpCluster};
 pub use timer::TimerService;

@@ -8,7 +8,7 @@
 //! every loss — the same `drops_by_cause` contract the simulator upholds,
 //! with `unexplained` pinned at zero.
 
-use paxi_core::obs::{DropCause, MetricsRegistry};
+use paxi_core::obs::{DropCause, Gauge, Metric, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 
@@ -73,6 +73,76 @@ impl DropCounters {
     }
 }
 
+/// Connection lifecycle accounting for one transport endpoint: opens
+/// (accepted or dialed), closes, the live count, and its high-water mark.
+///
+/// The conservation contract mirrors the drop ledger: after an orderly
+/// shutdown every opened connection has been closed (`opens == closes`), so
+/// a connect/disconnect storm that leaks readers or fds shows up as an
+/// imbalance instead of hiding in thread-scheduler noise. Clones share the
+/// same tallies.
+#[derive(Debug, Clone, Default)]
+pub struct ConnCounters {
+    inner: Arc<ConnInner>,
+}
+
+#[derive(Debug, Default)]
+struct ConnInner {
+    opens: AtomicU64,
+    closes: AtomicU64,
+    live: AtomicU64,
+    hwm: AtomicU64,
+}
+
+impl ConnCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        ConnCounters::default()
+    }
+
+    /// Records one connection coming up (accept or successful dial).
+    pub fn on_open(&self) {
+        self.inner.opens.fetch_add(1, Ordering::Relaxed);
+        let live = self.inner.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.hwm.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records one connection going away.
+    pub fn on_close(&self) {
+        self.inner.closes.fetch_add(1, Ordering::Relaxed);
+        self.inner.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections opened so far.
+    pub fn opens(&self) -> u64 {
+        self.inner.opens.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed so far.
+    pub fn closes(&self) -> u64 {
+        self.inner.closes.load(Ordering::Relaxed)
+    }
+
+    /// Connections open right now.
+    pub fn live(&self) -> u64 {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// Most connections ever simultaneously open.
+    pub fn hwm(&self) -> u64 {
+        self.inner.hwm.load(Ordering::Relaxed)
+    }
+
+    /// Folds the tallies into a [`MetricsRegistry`] snapshot
+    /// ([`Metric::ConnAccepts`], [`Metric::ConnCloses`],
+    /// [`Gauge::ConnsHwm`]).
+    pub fn fold_into(&self, reg: &mut MetricsRegistry) {
+        reg.add(Metric::ConnAccepts, self.opens());
+        reg.add(Metric::ConnCloses, self.closes());
+        reg.gauge_max(Gauge::ConnsHwm, self.hwm());
+    }
+}
+
 /// Logs a drop to stderr exactly once per call site (further occurrences
 /// are counted silently). Call sites hold a `static Once` so repeated
 /// failures — e.g. an unencodable message type retried in a loop — cannot
@@ -101,6 +171,26 @@ mod tests {
         assert_eq!(a.get(DropCause::Encode), 3);
         assert_eq!(a.get(DropCause::QueueFull), 1);
         assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn conn_counters_track_live_and_high_water() {
+        let c = ConnCounters::new();
+        c.on_open();
+        c.on_open();
+        c.on_open();
+        assert_eq!((c.opens(), c.live(), c.hwm()), (3, 3, 3));
+        c.on_close();
+        c.on_close();
+        assert_eq!((c.closes(), c.live(), c.hwm()), (2, 1, 3));
+        c.on_open(); // live back to 2, below the old high-water mark
+        assert_eq!(c.hwm(), 3);
+        let mut reg = MetricsRegistry::new();
+        c.fold_into(&mut reg);
+        assert_eq!(reg.get(Metric::ConnAccepts), 4);
+        assert_eq!(reg.get(Metric::ConnCloses), 2);
+        assert_eq!(reg.gauge(Gauge::ConnsHwm), 3);
+        assert!(reg.to_json().contains("\"conns_hwm\":3"));
     }
 
     #[test]

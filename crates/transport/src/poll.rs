@@ -1,0 +1,205 @@
+//! Minimal `poll(2)` wrapper for the reactor transport.
+//!
+//! The offline dependency set carries neither `mio` nor the `libc` crate, so
+//! the readiness loop binds the one syscall it needs directly: `poll` is in
+//! POSIX libc, which the Rust standard library already links on every unix
+//! target. The wrapper stays deliberately tiny — a `#[repr(C)]` pollfd, the
+//! event bit constants, and an EINTR-retrying safe call — and is the only
+//! unsafe code in the crate.
+//!
+//! [`WakePipe`] rides on `std`'s `UnixStream::pair`: one end lives in the
+//! reactor's poll set, the other is written by any thread that wants the
+//! loop to wake early (new registrations, freshly staged outbound bytes,
+//! shutdown). A pending flag keeps redundant wakes to one byte.
+
+use std::io::{Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Readable readiness (or a readable hangup payload).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is invalid (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set, layout-compatible with C's `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any of `mask`'s bits came back in `revents`.
+    pub fn returned(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// Whether the kernel flagged the fd as broken (error, hangup, or
+    /// invalid) — the connection should be torn down.
+    pub fn broken(&self) -> bool {
+        self.returned(POLLERR | POLLHUP | POLLNVAL)
+    }
+}
+
+extern "C" {
+    // POSIX: int poll(struct pollfd *fds, nfds_t nfds, int timeout);
+    // nfds_t is unsigned long on the targets we build for.
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Blocks until at least one entry is ready or `timeout` elapses. Returns
+/// the number of entries with nonzero `revents` (0 on timeout). `EINTR` is
+/// retried internally; any other error is returned.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> std::io::Result<usize> {
+    let timeout_ms: std::ffi::c_int = match timeout {
+        // Round up so a 100µs timeout doesn't spin as 0ms.
+        Some(t) => t.as_millis().min(i32::MAX as u128).max(1) as std::ffi::c_int,
+        None => -1,
+    };
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout entries and the length is its true
+        // length; the kernel only writes `revents` within the slice.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() == std::io::ErrorKind::Interrupted {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+/// A self-pipe that lets any thread wake a blocked [`poll_fds`] call.
+///
+/// Cloning shares the same pipe; the `pending` flag coalesces bursts of
+/// wakes into a single byte so a hot sender cannot fill the pipe.
+#[derive(Clone)]
+pub struct WakePipe {
+    reader: Arc<UnixStream>,
+    writer: Arc<UnixStream>,
+    pending: Arc<AtomicBool>,
+}
+
+impl WakePipe {
+    /// Builds the pipe; both ends are nonblocking.
+    pub fn new() -> std::io::Result<Self> {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        Ok(WakePipe {
+            reader: Arc::new(reader),
+            writer: Arc::new(writer),
+            pending: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The fd the reactor adds to its poll set (watch with [`POLLIN`]).
+    pub fn read_fd(&self) -> RawFd {
+        self.reader.as_raw_fd()
+    }
+
+    /// Wakes the poller (no-op if a wake is already pending).
+    pub fn wake(&self) {
+        if self.pending.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = (&*self.writer).write(&[1u8]);
+    }
+
+    /// Drains the pipe and clears the pending flag. The reactor calls this
+    /// when the read end polls readable, *before* consuming the work the
+    /// wake advertised, so a wake racing the drain is never lost.
+    pub fn drain(&self) {
+        self.pending.store(false, Ordering::Release);
+        let mut buf = [0u8; 64];
+        while matches!((&*self.reader).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poll_times_out_with_nothing_ready() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].returned(POLLIN));
+    }
+
+    #[test]
+    fn wake_makes_poll_return_and_drain_resets() {
+        let pipe = WakePipe::new().unwrap();
+        pipe.wake();
+        pipe.wake(); // coalesced: still one byte in the pipe
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].returned(POLLIN));
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "drained pipe polls idle");
+        // And wakes again after the drain.
+        pipe.wake();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+    }
+
+    #[test]
+    fn pollout_reports_writable_socket_and_pollin_tracks_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        // A fresh socket with an empty send buffer is writable, not readable.
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN | POLLOUT)];
+        poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert!(fds[0].returned(POLLOUT));
+        assert!(!fds[0].returned(POLLIN));
+
+        // After the server sends, the client polls readable.
+        use std::io::Write as _;
+        (&server).write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN)];
+        poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert!(fds[0].returned(POLLIN));
+
+        // A hangup on the peer is surfaced via revents.
+        drop(server);
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN)];
+        poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert!(fds[0].returned(POLLIN) || fds[0].broken());
+    }
+}

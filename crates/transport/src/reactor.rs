@@ -1,0 +1,1298 @@
+//! Nonblocking readiness-loop ("reactor") TCP transport.
+//!
+//! The thread-per-connection runtime in [`crate::tcp`] spends one OS thread
+//! per inbound connection plus one writer thread per outbound link. That is
+//! simple and fast at small scale, but a node serving thousands of clients
+//! pays for thousands of stacks, and a connect/disconnect storm turns into a
+//! thread-spawn storm. This module keeps the wire protocol, routing rules,
+//! and drop ledger of the threaded runtime while multiplexing **all** of a
+//! node's sockets onto a single reactor thread driven by `poll(2)`
+//! (see [`crate::poll`] — hand-rolled FFI, no mio/tokio).
+//!
+//! **Per-connection state machines.** Each connection owns a
+//! [`paxi_codec::FrameDecoder`] fed from nonblocking reads, so frames
+//! arriving in arbitrary fragments re-assemble exactly as they do on the
+//! blocking path. The first decoded frame is the [`Hello`] handshake; every
+//! later frame is an [`Envelope`] dispatched by the same
+//! (identity, envelope) rules as the threaded reader.
+//!
+//! **Interest-driven writes.** Outbound bytes are staged into a bounded
+//! per-connection buffer ([`ConnTx`]) by whichever thread produced them
+//! (the node event loop, usually). The reactor polls a connection for
+//! `POLLOUT` only while bytes are staged or partially written, drains them
+//! with as few `write` calls as the socket accepts — the coalescing
+//! behaviour of the threaded writer, without the thread — and then drops
+//! write interest so an idle connection costs nothing per tick. A full
+//! buffer sheds the frame and charges [`DropCause::Backpressure`]; quorum
+//! protocols tolerate the loss and the ledger keeps it from reading as
+//! mystery attrition.
+//!
+//! **Fate parity with the simulator.** Fault injection wraps the node's
+//! outbound half ([`ChaosOut`]) exactly as on the threaded path, *before*
+//! bytes reach any socket, so a fixed seed yields the same per-message
+//! fates on the reactor as in-process or threaded TCP.
+//!
+//! [`PipelinedClient`] is the client-side counterpart: one connection, many
+//! requests in flight, replies correlated by [`RequestId`]. [`run_swarm`]
+//! drives thousands of such pipelined connections from a single bench
+//! thread — the open-loop load generator behind `repro reactor`.
+
+use crate::envelope::Envelope;
+use crate::faults::{ChaosOut, FaultInjector};
+use crate::obs::{log_drop_once, ConnCounters, DropCounters};
+use crate::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
+use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
+use crate::tcp::Hello;
+use crate::timer::TimerService;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use paxi_core::command::{ClientResponse, Command};
+use paxi_core::config::ClusterConfig;
+use paxi_core::dist::Rng64;
+use paxi_core::id::{ClientId, NodeId, RequestId};
+use paxi_core::obs::DropCause;
+use paxi_core::traits::{Replica, ReplicaFactory};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bytes staged per connection before backpressure sheds frames. Sized so a
+/// slow-but-alive peer can absorb a large burst (the threaded writer's
+/// 4096-frame queue at typical frame sizes is in the same ballpark).
+const OUT_BUF_CAP: usize = 4 * 1024 * 1024;
+/// Read chunk per `read` call on a readable socket.
+const READ_CHUNK: usize = 64 * 1024;
+/// Poll timeout: the loop's housekeeping tick when no fd is ready.
+const POLL_TICK: Duration = Duration::from_millis(100);
+/// First reconnect delay; doubles per consecutive failure.
+const RECONNECT_BASE: Duration = Duration::from_millis(10);
+/// Reconnect delay ceiling.
+const RECONNECT_MAX: Duration = Duration::from_secs(2);
+
+/// Logged once per process when a framed envelope fails to encode.
+static REACTOR_ENCODE_WARN: std::sync::Once = std::sync::Once::new();
+
+/// Why a [`ConnTx::push`] refused the bytes.
+enum TxError {
+    /// The connection is gone; bytes can never be delivered.
+    Closed,
+    /// The bounded buffer is full; the frame is shed (backpressure).
+    Full,
+}
+
+/// The writer half of one reactor connection, shared between the producing
+/// threads (node event loop, response router) and the reactor thread.
+///
+/// Producers append framed bytes under a short critical section; the
+/// reactor swaps the staged buffer out wholesale when the socket polls
+/// writable, so the lock is never held across a syscall. `queued` tracks
+/// staged-but-undrained bytes so producers can check capacity and the
+/// reactor can compute write interest without taking the lock.
+struct ConnTx {
+    staged: Mutex<Vec<u8>>,
+    queued: AtomicUsize,
+    cap: usize,
+    open: AtomicBool,
+}
+
+impl ConnTx {
+    fn new(cap: usize) -> Self {
+        ConnTx {
+            staged: Mutex::new(Vec::new()),
+            queued: AtomicUsize::new(0),
+            cap,
+            open: AtomicBool::new(true),
+        }
+    }
+
+    /// Stages `bytes` for the reactor to drain. Frames are staged whole or
+    /// not at all, so a capacity rejection never leaves a torn frame on the
+    /// wire.
+    fn push(&self, bytes: &[u8]) -> Result<(), TxError> {
+        if !self.open.load(Ordering::Acquire) {
+            return Err(TxError::Closed);
+        }
+        let prev = self.queued.fetch_add(bytes.len(), Ordering::AcqRel);
+        if prev + bytes.len() > self.cap {
+            self.queued.fetch_sub(bytes.len(), Ordering::AcqRel);
+            return Err(TxError::Full);
+        }
+        self.staged.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Bytes staged and not yet claimed by the reactor.
+    fn queued(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Marks the connection dead: future pushes fail with `Closed` and the
+    /// reactor tears the socket down on its next pass.
+    fn close(&self) {
+        self.open.store(false, Ordering::Release);
+    }
+
+    fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+}
+
+/// Reply route for one client, reactor flavour (cf. `tcp::Route`).
+#[derive(Clone)]
+enum RRoute {
+    /// The client is connected to this node on the given connection.
+    Local(Arc<ConnTx>),
+    /// The request came through this peer; send responses back that way.
+    Via(NodeId),
+}
+
+/// Reconnect throttling state for one peer.
+struct Backoff {
+    next_attempt: Instant,
+    delay: Duration,
+}
+
+/// Per-node shared state: everything the node event loop, the response
+/// router, and the reactor thread all touch.
+struct RNet<M> {
+    me: NodeId,
+    addrs: Arc<HashMap<NodeId, SocketAddr>>,
+    peer_conns: Mutex<HashMap<NodeId, Arc<ConnTx>>>,
+    backoff: Mutex<HashMap<NodeId, Backoff>>,
+    jitter: Mutex<Rng64>,
+    routes: Mutex<HashMap<ClientId, RRoute>>,
+    /// Outbound dials made off the reactor thread, parked here until the
+    /// reactor adopts them into its poll set.
+    pending_regs: Mutex<Vec<(TcpStream, Arc<ConnTx>)>>,
+    waker: crate::poll::WakePipe,
+    shutdown: AtomicBool,
+    drops: DropCounters,
+    conns: ConnCounters,
+    inbox: Sender<NodeEvent<M>>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static> RNet<M> {
+    fn encode(env: &Envelope<M>) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(64);
+        paxi_codec::encode_frame_into(&mut out, env).ok()?;
+        Some(out)
+    }
+
+    /// Best-effort framed send to a peer: stages onto the live connection,
+    /// sheds under backpressure, redials (under backoff) if the link died.
+    fn send_to_peer(&self, to: NodeId, bytes: &[u8]) {
+        let cached = self.peer_conns.lock().get(&to).cloned();
+        if let Some(tx) = cached {
+            match tx.push(bytes) {
+                Ok(()) => {
+                    self.waker.wake();
+                    return;
+                }
+                // Buffer full: the peer is alive but slow — shed the frame,
+                // charging the loss so it never reads as mystery attrition.
+                Err(TxError::Full) => {
+                    self.drops.record(DropCause::Backpressure);
+                    return;
+                }
+                // Connection died: forget it, unless another thread already
+                // replaced it with a fresh one.
+                Err(TxError::Closed) => {
+                    let mut conns = self.peer_conns.lock();
+                    if conns.get(&to).is_some_and(|cur| Arc::ptr_eq(cur, &tx)) {
+                        conns.remove(&to);
+                    }
+                }
+            }
+        }
+        // Frames lost while the peer link is down (dial failed, or the
+        // backoff window is still closed) are reconnect-window losses.
+        match self.connect_peer(to) {
+            Some(tx) => {
+                if tx.push(bytes).is_ok() {
+                    self.waker.wake();
+                } else {
+                    self.drops.record(DropCause::Reconnect);
+                }
+            }
+            None => self.drops.record(DropCause::Reconnect),
+        }
+    }
+
+    /// Dials `to` unless its backoff window is still closed — identical
+    /// policy to the threaded transport (exponential, jittered).
+    fn connect_peer(&self, to: NodeId) -> Option<Arc<ConnTx>> {
+        if let Some(b) = self.backoff.lock().get(&to) {
+            if Instant::now() < b.next_attempt {
+                return None;
+            }
+        }
+        let addr = *self.addrs.get(&to)?;
+        match self.try_dial(addr) {
+            Some(tx) => {
+                self.backoff.lock().remove(&to);
+                self.peer_conns.lock().insert(to, Arc::clone(&tx));
+                Some(tx)
+            }
+            None => {
+                let mut backoff = self.backoff.lock();
+                let entry = backoff.entry(to).or_insert(Backoff {
+                    next_attempt: Instant::now(),
+                    delay: RECONNECT_BASE,
+                });
+                let jitter = 0.5 + self.jitter.lock().next_f64(); // factor in [0.5, 1.5)
+                entry.next_attempt = Instant::now() + entry.delay.mul_f64(jitter);
+                entry.delay = (entry.delay * 2).min(RECONNECT_MAX);
+                None
+            }
+        }
+    }
+
+    /// Forgets any cached connection (and backoff state) for a departed
+    /// peer; the reactor tears the socket down on its next pass.
+    fn drop_peer(&self, to: NodeId) {
+        if let Some(tx) = self.peer_conns.lock().remove(&to) {
+            tx.close();
+            self.waker.wake();
+        }
+        self.backoff.lock().remove(&to);
+    }
+
+    /// Dials `addr` (blocking connect, then nonblocking forever after),
+    /// stages the peer handshake, and parks the socket for the reactor.
+    fn try_dial(&self, addr: SocketAddr) -> Option<Arc<ConnTx>> {
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true).ok()?;
+        let mut hello = Vec::new();
+        paxi_codec::encode_frame_into(&mut hello, &Hello::Peer(self.me)).ok()?;
+        let tx = Arc::new(ConnTx::new(OUT_BUF_CAP));
+        tx.push(&hello).ok()?;
+        self.conns.on_open();
+        self.pending_regs.lock().push((stream, Arc::clone(&tx)));
+        self.waker.wake();
+        Some(tx)
+    }
+
+    fn deliver_response(&self, client: ClientId, resp: &ClientResponse) {
+        let Some(route) = self.routes.lock().get(&client).cloned() else {
+            // The client's connection (and its routes) are already gone.
+            self.drops.record(DropCause::NoRoute);
+            return;
+        };
+        let Some(bytes) = Self::encode(&Envelope::Response(resp.clone())) else {
+            self.drops.record(DropCause::Encode);
+            log_drop_once(
+                &REACTOR_ENCODE_WARN,
+                DropCause::Encode,
+                "reactor response failed to encode",
+            );
+            return;
+        };
+        match route {
+            RRoute::Local(tx) => match tx.push(&bytes) {
+                Ok(()) => self.waker.wake(),
+                Err(TxError::Full) => self.drops.record(DropCause::Backpressure),
+                // The connection died: nobody left to deliver to.
+                Err(TxError::Closed) => self.drops.record(DropCause::NoRoute),
+            },
+            RRoute::Via(peer) => self.send_to_peer(peer, &bytes),
+        }
+    }
+}
+
+/// The node's outbound half over the reactor, pluggable under [`ChaosOut`].
+struct ReactorOut<M> {
+    net: Arc<RNet<M>>,
+}
+
+impl<M> Clone for ReactorOut<M> {
+    fn clone(&self) -> Self {
+        ReactorOut {
+            net: Arc::clone(&self.net),
+        }
+    }
+}
+
+impl<M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static> Outbound<M>
+    for ReactorOut<M>
+{
+    fn to_node(&self, to: NodeId, env: Envelope<M>) {
+        match RNet::encode(&env) {
+            Some(bytes) => self.net.send_to_peer(to, &bytes),
+            None => {
+                self.net.drops.record(DropCause::Encode);
+                log_drop_once(
+                    &REACTOR_ENCODE_WARN,
+                    DropCause::Encode,
+                    "reactor node->node envelope failed to encode",
+                );
+            }
+        }
+    }
+    fn to_client(&self, client: ClientId, resp: ClientResponse) {
+        self.net.deliver_response(client, &resp);
+    }
+    fn connect_peer(&self, peer: NodeId) {
+        // Warm-up dial: failure just arms the backoff; the next protocol
+        // message retries through the normal send path.
+        let _ = self.net.connect_peer(peer);
+    }
+    fn disconnect_peer(&self, peer: NodeId) {
+        self.net.drop_peer(peer);
+    }
+}
+
+/// One connection's state inside the reactor thread.
+struct ConnState {
+    stream: TcpStream,
+    decoder: paxi_codec::FrameDecoder,
+    identity: Option<Hello>,
+    tx: Arc<ConnTx>,
+    /// Bytes claimed from `tx.staged` and not yet fully written.
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream, tx: Arc<ConnTx>) -> Self {
+        ConnState {
+            stream,
+            decoder: paxi_codec::FrameDecoder::new(),
+            identity: None,
+            tx,
+            pending: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Whether the reactor should poll this connection for `POLLOUT`.
+    fn wants_write(&self) -> bool {
+        self.pos < self.pending.len() || self.tx.queued() > 0
+    }
+}
+
+/// Reads until the socket would block, feeding the frame decoder and
+/// dispatching every completed frame. `Err(())` means tear the connection
+/// down (EOF, I/O error, or protocol violation).
+fn handle_readable<M>(c: &mut ConnState, net: &RNet<M>, buf: &mut [u8]) -> Result<(), ()>
+where
+    M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static,
+{
+    loop {
+        let n = match c.stream.read(buf) {
+            Ok(0) => return Err(()),
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        };
+        c.decoder.feed(&buf[..n]);
+        loop {
+            match c.decoder.next_frame() {
+                Ok(Some(frame)) => dispatch_frame(c, net, &frame)?,
+                Ok(None) => break,
+                Err(_) => return Err(()),
+            }
+        }
+        // A short read means the socket buffer is drained; go back to poll
+        // rather than eating one extra WouldBlock syscall.
+        if n < buf.len() {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one decoded frame by the same (identity, envelope) rules as
+/// the threaded reader in [`crate::tcp`].
+fn dispatch_frame<M>(c: &mut ConnState, net: &RNet<M>, frame: &[u8]) -> Result<(), ()>
+where
+    M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static,
+{
+    if c.identity.is_none() {
+        let hello = paxi_codec::from_bytes::<Hello>(frame).map_err(|_| ())?;
+        c.identity = Some(hello);
+        return Ok(());
+    }
+    let env = paxi_codec::from_bytes::<Envelope<M>>(frame).map_err(|_| ())?;
+    match (&c.identity, env) {
+        (Some(Hello::Client(cid)), Envelope::Request(req)) => {
+            net.routes
+                .lock()
+                .insert(*cid, RRoute::Local(Arc::clone(&c.tx)));
+            let _ = net.inbox.send(NodeEvent::Wire(Envelope::Request(req)));
+        }
+        (Some(Hello::Peer(pid)), Envelope::Request(req)) => {
+            // Forwarded request: remember the way back, unless we already
+            // hold the client locally.
+            let mut routes = net.routes.lock();
+            match routes.get(&req.id.client) {
+                Some(RRoute::Local(_)) => {}
+                _ => {
+                    routes.insert(req.id.client, RRoute::Via(*pid));
+                }
+            }
+            drop(routes);
+            let _ = net.inbox.send(NodeEvent::Wire(Envelope::Request(req)));
+        }
+        // A request before any handshake is a protocol violation.
+        (None, Envelope::Request(_)) => return Err(()),
+        (_, Envelope::Response(resp)) => {
+            // A relayed response passing through us toward the client.
+            net.deliver_response(resp.id.client, &resp);
+        }
+        (_, Envelope::Msg { from, msg }) => {
+            let _ = net.inbox.send(NodeEvent::Wire(Envelope::Msg { from, msg }));
+        }
+        (_, Envelope::Shutdown) => return Err(()),
+    }
+    Ok(())
+}
+
+/// Writes staged bytes until the socket would block or nothing is staged.
+/// The staged buffer is swapped out wholesale, so producers are never
+/// blocked behind a syscall.
+fn drain_write(c: &mut ConnState) -> Result<(), ()> {
+    loop {
+        if c.pos >= c.pending.len() {
+            c.pending.clear();
+            c.pos = 0;
+            {
+                let mut staged = c.tx.staged.lock();
+                if staged.is_empty() {
+                    return Ok(());
+                }
+                std::mem::swap(&mut *staged, &mut c.pending);
+            }
+            c.tx.queued.fetch_sub(c.pending.len(), Ordering::AcqRel);
+        }
+        match c.stream.write(&c.pending[c.pos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => c.pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Tears one connection down: closes the writer handle so producers see
+/// `Closed`, unhooks every route and peer slot pointing at it, closes the
+/// socket, and balances the connection ledger.
+fn close_conn<M>(net: &RNet<M>, c: ConnState) {
+    c.tx.close();
+    net.routes
+        .lock()
+        .retain(|_, r| !matches!(r, RRoute::Local(tx) if Arc::ptr_eq(tx, &c.tx)));
+    net.peer_conns
+        .lock()
+        .retain(|_, tx| !Arc::ptr_eq(tx, &c.tx));
+    let _ = c.stream.shutdown(std::net::Shutdown::Both);
+    net.conns.on_close();
+}
+
+/// The reactor: one thread, every socket of one node.
+///
+/// Level-triggered `poll(2)` over the wake pipe, the listener, and all live
+/// connections. The poll set is rebuilt per iteration — O(n) per tick, but
+/// n entries are 8 bytes each and the rebuild is what lets write interest
+/// track `wants_write` exactly with no registration bookkeeping.
+fn reactor_loop<M>(listener: TcpListener, net: Arc<RNet<M>>)
+where
+    M: Serialize + DeserializeOwned + Clone + std::fmt::Debug + Send + 'static,
+{
+    let _ = listener.set_nonblocking(true);
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tokens: Vec<u64> = Vec::new();
+    let mut buf = vec![0u8; READ_CHUNK];
+    loop {
+        if net.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Adopt outbound dials parked by other threads.
+        for (stream, tx) in net.pending_regs.lock().drain(..) {
+            let token = next_token;
+            next_token += 1;
+            let mut c = ConnState::new(stream, tx);
+            // Nothing arrives on a dial-out link (the remote replies over
+            // its own outbound connection); pre-filling the identity keeps
+            // any stray inbound frame from being misread as a handshake.
+            c.identity = Some(Hello::Peer(net.me));
+            conns.insert(token, c);
+        }
+        // Reap connections closed from outside (disconnect_peer).
+        let closed: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| !c.tx.is_open())
+            .map(|(t, _)| *t)
+            .collect();
+        for t in closed {
+            if let Some(c) = conns.remove(&t) {
+                close_conn(&net, c);
+            }
+        }
+        // Rebuild the poll set: wake pipe, listener, then every connection
+        // with write interest tracking staged bytes exactly.
+        fds.clear();
+        tokens.clear();
+        fds.push(PollFd::new(net.waker.read_fd(), POLLIN));
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        for (&token, c) in &conns {
+            let mut ev = POLLIN;
+            if c.wants_write() {
+                ev |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.stream.as_raw_fd(), ev));
+            tokens.push(token);
+        }
+        if poll_fds(&mut fds, Some(POLL_TICK)).is_err() {
+            continue;
+        }
+        if fds[0].returned(POLLIN) {
+            net.waker.drain();
+        }
+        if fds[1].returned(POLLIN) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true).ok();
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        net.conns.on_open();
+                        let token = next_token;
+                        next_token += 1;
+                        let tx = Arc::new(ConnTx::new(OUT_BUF_CAP));
+                        conns.insert(token, ConnState::new(stream, tx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut dead: Vec<u64> = Vec::new();
+        for (i, fd) in fds.iter().enumerate().skip(2) {
+            let token = tokens[i - 2];
+            let Some(c) = conns.get_mut(&token) else {
+                continue;
+            };
+            if fd.broken() && !fd.returned(POLLIN) {
+                // Pure error/hangup with nothing readable: tear down now.
+                // (A hangup with data still buffered polls POLLIN too; the
+                // read path consumes the tail, then sees EOF.)
+                dead.push(token);
+                continue;
+            }
+            if fd.returned(POLLIN) && handle_readable(c, &net, &mut buf).is_err() {
+                dead.push(token);
+                continue;
+            }
+            if (fd.returned(POLLOUT) || fd.broken()) && drain_write(c).is_err() {
+                dead.push(token);
+            }
+        }
+        for token in dead {
+            if let Some(c) = conns.remove(&token) {
+                close_conn(&net, c);
+            }
+        }
+    }
+    // Teardown: every connection still open is closed here, so the ledger
+    // balances (opens == closes) after an orderly shutdown.
+    for (_, c) in conns.drain() {
+        close_conn(&net, c);
+    }
+    for (stream, tx) in net.pending_regs.lock().drain(..) {
+        tx.close();
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        net.conns.on_close();
+    }
+}
+
+/// A running reactor cluster on localhost: per node, one listener, one
+/// reactor thread (all sockets), and one event-loop thread (the replica).
+pub struct ReactorCluster<R: Replica> {
+    addrs: Arc<HashMap<NodeId, SocketAddr>>,
+    inboxes: HashMap<NodeId, Sender<NodeEvent<R::Msg>>>,
+    node_handles: Vec<std::thread::JoinHandle<()>>,
+    reactor_handles: Vec<std::thread::JoinHandle<()>>,
+    nets: Vec<Arc<RNet<R::Msg>>>,
+    next_client: AtomicU32,
+    drops: DropCounters,
+    conns: ConnCounters,
+    _timers: Arc<TimerService>,
+}
+
+impl<R> ReactorCluster<R>
+where
+    R: Replica + Send + 'static,
+    R::Msg: Serialize + DeserializeOwned,
+{
+    /// Binds one listener per node on 127.0.0.1 and starts all replicas on
+    /// the reactor runtime.
+    pub fn launch<F>(cluster: ClusterConfig, factory: F) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
+    {
+        Self::launch_inner(cluster, factory, None)
+    }
+
+    /// Like [`ReactorCluster::launch`], but with fault injection applied at
+    /// the node's outbound half — the same [`ChaosOut`] wrapping as the
+    /// threaded TCP cluster, so per-message fates are identical for a
+    /// fixed seed.
+    pub fn launch_chaotic<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        injector: Arc<FaultInjector>,
+    ) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
+    {
+        Self::launch_inner(cluster, factory, Some(injector))
+    }
+
+    fn launch_inner<F>(
+        cluster: ClusterConfig,
+        factory: F,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Self>
+    where
+        F: ReplicaFactory<R = R> + Send + Sync + 'static,
+    {
+        let factory = Arc::new(factory);
+        let drops = DropCounters::new();
+        let conns = ConnCounters::new();
+        let all = cluster.all_nodes();
+        let mut listeners = Vec::new();
+        let mut addrs = HashMap::new();
+        for &id in &all {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.insert(id, l.local_addr()?);
+            listeners.push((id, l));
+        }
+        let addrs = Arc::new(addrs);
+        let timers = Arc::new(TimerService::new());
+        let epoch = Instant::now();
+        let mut inboxes = HashMap::new();
+        let mut node_handles = Vec::new();
+        let mut reactor_handles = Vec::new();
+        let mut nets = Vec::new();
+
+        for (i, (id, listener)) in listeners.into_iter().enumerate() {
+            let (tx, rx) = crossbeam::channel::unbounded::<NodeEvent<R::Msg>>();
+            inboxes.insert(id, tx.clone());
+            let net = Arc::new(RNet::<R::Msg> {
+                me: id,
+                addrs: Arc::clone(&addrs),
+                peer_conns: Mutex::new(HashMap::new()),
+                backoff: Mutex::new(HashMap::new()),
+                jitter: Mutex::new(Rng64::seed(0xAC7 ^ id.pack() as u64)),
+                routes: Mutex::new(HashMap::new()),
+                pending_regs: Mutex::new(Vec::new()),
+                waker: crate::poll::WakePipe::new()?,
+                shutdown: AtomicBool::new(false),
+                drops: drops.clone(),
+                conns: conns.clone(),
+                inbox: tx.clone(),
+                _marker: std::marker::PhantomData,
+            });
+            nets.push(Arc::clone(&net));
+            {
+                let net = Arc::clone(&net);
+                let handle = std::thread::Builder::new()
+                    .name(format!("paxi-reactor-{}", id.pack()))
+                    .spawn(move || reactor_loop(listener, net))?;
+                reactor_handles.push(handle);
+            }
+            let replica = factory.make(id);
+            let remake: Remake<R> = {
+                let f = Arc::clone(&factory);
+                Arc::new(move |id| f.make(id))
+            };
+            let peers = all.clone();
+            let out = ReactorOut { net };
+            let timers2 = Arc::clone(&timers);
+            let faults2 = faults.clone();
+            let seed = 0xFACE + i as u64;
+            let handle = match &faults {
+                Some(inj) => {
+                    let out = ChaosOut::new(out, id, Arc::clone(inj), Arc::clone(&timers));
+                    std::thread::spawn(move || {
+                        run_node(
+                            id,
+                            replica,
+                            peers,
+                            rx,
+                            tx,
+                            out,
+                            timers2,
+                            epoch,
+                            seed,
+                            faults2,
+                            Some(remake),
+                        )
+                    })
+                }
+                None => std::thread::spawn(move || {
+                    run_node(
+                        id, replica, peers, rx, tx, out, timers2, epoch, seed, None, None,
+                    )
+                }),
+            };
+            node_handles.push(handle);
+        }
+        if let Some(inj) = &faults {
+            inj.start(epoch);
+            inj.schedule_recoveries(&timers, &inboxes);
+        }
+        Ok(ReactorCluster {
+            addrs,
+            inboxes,
+            node_handles,
+            reactor_handles,
+            nets,
+            next_client: AtomicU32::new(0),
+            drops,
+            conns,
+            _timers: timers,
+        })
+    }
+
+    /// Per-cause ledger of every frame this cluster's nodes shed. Reactor
+    /// write-buffer overflow shows up as [`DropCause::Backpressure`];
+    /// `Unexplained` stays zero.
+    pub fn drops(&self) -> &DropCounters {
+        &self.drops
+    }
+
+    /// Connection lifecycle ledger (opens, closes, live, high-water mark)
+    /// summed over every node's reactor. After [`ReactorCluster::shutdown`],
+    /// `opens() == closes()`.
+    pub fn conn_stats(&self) -> &ConnCounters {
+        &self.conns
+    }
+
+    /// The address of a node's listener.
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.addrs[&node]
+    }
+
+    /// Connects a pipelined client to `attach`.
+    pub fn client(&self, attach: NodeId) -> std::io::Result<PipelinedClient> {
+        let id = ClientId(3_000_000 + self.next_client.fetch_add(1, Ordering::Relaxed));
+        PipelinedClient::connect(self.addr(attach), id)
+    }
+
+    /// Stops all node threads, then the reactors (which close every socket
+    /// and balance the connection ledger).
+    pub fn shutdown(mut self) {
+        for tx in self.inboxes.values() {
+            let _ = tx.send(NodeEvent::Wire(Envelope::Shutdown));
+        }
+        for h in self.node_handles.drain(..) {
+            let _ = h.join();
+        }
+        for net in &self.nets {
+            net.shutdown.store(true, Ordering::Release);
+            net.waker.wake();
+        }
+        for h in self.reactor_handles.drain(..) {
+            let _ = h.join();
+        }
+        // A node thread may have parked a dial between the reactor's final
+        // drain and its exit; balance those here.
+        for net in &self.nets {
+            for (stream, tx) in net.pending_regs.lock().drain(..) {
+                tx.close();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                net.conns.on_close();
+            }
+        }
+    }
+}
+
+/// A client that keeps many requests in flight on one connection.
+///
+/// [`PipelinedClient::submit`] writes a request and returns immediately;
+/// [`PipelinedClient::await_response`] blocks for one specific reply,
+/// stashing any other replies that arrive first (replies may complete out
+/// of submission order when requests are forwarded between nodes). The
+/// blocking [`PipelinedClient::execute`] matches [`crate::tcp::TcpClient`]'s
+/// API, so routers and pools built on closures run unchanged.
+pub struct PipelinedClient {
+    id: ClientId,
+    seq: u64,
+    stream: TcpStream,
+    decoder: paxi_codec::FrameDecoder,
+    ready: HashMap<RequestId, ClientResponse>,
+    timeout: Duration,
+}
+
+impl PipelinedClient {
+    /// Connects and handshakes.
+    pub fn connect(addr: SocketAddr, id: ClientId) -> std::io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Short read slices so await_response can interleave deadline
+        // checks with reads.
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let mut hello = Vec::new();
+        paxi_codec::encode_frame_into(&mut hello, &Hello::Client(id))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        stream.write_all(&hello)?;
+        Ok(PipelinedClient {
+            id,
+            seq: 0,
+            stream,
+            decoder: paxi_codec::FrameDecoder::new(),
+            ready: HashMap::new(),
+            timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Overrides the per-await timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Sends one command without waiting; the returned id claims the reply
+    /// later via [`PipelinedClient::await_response`].
+    pub fn submit(&mut self, cmd: Command) -> std::io::Result<RequestId> {
+        let req_id = RequestId::new(self.id, self.seq);
+        self.seq += 1;
+        let env: Envelope<()> = Envelope::Request(paxi_core::ClientRequest { id: req_id, cmd });
+        let mut frame = Vec::new();
+        paxi_codec::encode_frame_into(&mut frame, &env)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.stream.write_all(&frame)?;
+        Ok(req_id)
+    }
+
+    /// Blocks until the reply for `req_id` arrives (or the timeout lapses).
+    /// Replies for other in-flight requests encountered on the way are
+    /// stashed and claimed by their own awaits — each reply is delivered
+    /// exactly once.
+    pub fn await_response(&mut self, req_id: RequestId) -> Option<ClientResponse> {
+        if let Some(resp) = self.ready.remove(&req_id) {
+            return Some(resp);
+        }
+        let deadline = Instant::now() + self.timeout;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            while let Ok(Some(frame)) = self.decoder.next_frame() {
+                if let Ok(Envelope::<()>::Response(resp)) = paxi_codec::from_bytes(&frame) {
+                    if resp.id == req_id {
+                        return Some(resp);
+                    }
+                    self.ready.insert(resp.id, resp);
+                }
+            }
+            if let Some(resp) = self.ready.remove(&req_id) {
+                return Some(resp);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return None,
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Executes one command, blocking for the matching response — the
+    /// sequential API, for drop-in use where a [`crate::tcp::TcpClient`]
+    /// or [`crate::SyncClient`] would go.
+    pub fn execute(&mut self, cmd: Command) -> Option<ClientResponse> {
+        let req_id = self.submit(cmd).ok()?;
+        self.await_response(req_id)
+    }
+
+    /// Convenience: `PUT key value`.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> Option<ClientResponse> {
+        self.execute(Command::put(key, value))
+    }
+
+    /// Convenience: `GET key`.
+    pub fn get(&mut self, key: u64) -> Option<ClientResponse> {
+        self.execute(Command::get(key))
+    }
+}
+
+/// What [`run_swarm`] measured.
+#[derive(Debug, Clone, Copy)]
+pub struct SwarmReport {
+    /// Connections requested.
+    pub target_conns: usize,
+    /// Connections actually established (TCP connect + handshake staged).
+    pub connected: usize,
+    /// Responses received across all connections.
+    pub completed: u64,
+    /// Wall time of the measurement loop.
+    pub elapsed: Duration,
+}
+
+impl SwarmReport {
+    /// Completed operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// One swarm connection: nonblocking socket, its own frame decoder, and a
+/// staged-output cursor — the client-side mirror of the reactor's
+/// per-connection state machine.
+struct SwarmConn {
+    stream: TcpStream,
+    decoder: paxi_codec::FrameDecoder,
+    out: Vec<u8>,
+    pos: usize,
+    seq: u64,
+    id: ClientId,
+}
+
+impl SwarmConn {
+    fn stage_request(&mut self) -> bool {
+        let req_id = RequestId::new(self.id, self.seq);
+        let key = self.seq % 128;
+        self.seq += 1;
+        let env: Envelope<()> = Envelope::Request(paxi_core::ClientRequest {
+            id: req_id,
+            cmd: Command::put(key, vec![self.seq as u8]),
+        });
+        paxi_codec::encode_frame_into(&mut self.out, &env).is_ok()
+    }
+}
+
+/// Drives `conns` pipelined connections against one node from a single
+/// thread, each keeping `window` requests in flight, for `duration`.
+///
+/// This is the connection-scalability load generator: with the threaded
+/// runtime the server needs one thread per swarm connection, while the
+/// reactor serves the whole swarm from one thread — `repro reactor`
+/// reports both. Client ids start at `first_client` (keep clear of other
+/// id ranges; the swarm used by the bench starts at 4,000,000).
+pub fn run_swarm(
+    addr: SocketAddr,
+    conns: usize,
+    window: usize,
+    first_client: u32,
+    duration: Duration,
+) -> std::io::Result<SwarmReport> {
+    let mut swarm: Vec<SwarmConn> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        // Retry briefly: a localhost accept queue can overflow transiently
+        // when thousands of connects arrive faster than the accept loop.
+        let mut stream = None;
+        for attempt in 0..40u64 {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5 * (attempt / 8 + 1))),
+            }
+        }
+        let Some(stream) = stream else { continue };
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true)?;
+        let id = ClientId(first_client + i as u32);
+        let mut c = SwarmConn {
+            stream,
+            decoder: paxi_codec::FrameDecoder::new(),
+            out: Vec::new(),
+            pos: 0,
+            seq: 0,
+            id,
+        };
+        paxi_codec::encode_frame_into(&mut c.out, &Hello::Client(id))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        for _ in 0..window {
+            c.stage_request();
+        }
+        swarm.push(c);
+    }
+    let connected = swarm.len();
+
+    let start = Instant::now();
+    let deadline = start + duration;
+    let mut completed: u64 = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut buf = vec![0u8; READ_CHUNK];
+    while !swarm.is_empty() && Instant::now() < deadline {
+        fds.clear();
+        for c in &swarm {
+            let mut ev = POLLIN;
+            if c.pos < c.out.len() {
+                ev |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.stream.as_raw_fd(), ev));
+        }
+        if poll_fds(&mut fds, Some(Duration::from_millis(50))).is_err() {
+            continue;
+        }
+        let now_past = Instant::now() >= deadline;
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, fd) in fds.iter().enumerate() {
+            let c = &mut swarm[i];
+            if fd.broken() && !fd.returned(POLLIN) {
+                dead.push(i);
+                continue;
+            }
+            if fd.returned(POLLOUT) {
+                match c.stream.write(&c.out[c.pos..]) {
+                    Ok(0) => {
+                        dead.push(i);
+                        continue;
+                    }
+                    Ok(n) => {
+                        c.pos += n;
+                        if c.pos >= c.out.len() {
+                            c.out.clear();
+                            c.pos = 0;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead.push(i);
+                        continue;
+                    }
+                }
+            }
+            if fd.returned(POLLIN) {
+                let drop_conn = loop {
+                    match c.stream.read(&mut buf) {
+                        Ok(0) => break true,
+                        Ok(n) => {
+                            c.decoder.feed(&buf[..n]);
+                            let mut bad = false;
+                            loop {
+                                match c.decoder.next_frame() {
+                                    Ok(Some(frame)) => {
+                                        if let Ok(Envelope::<()>::Response(_)) =
+                                            paxi_codec::from_bytes(&frame)
+                                        {
+                                            completed += 1;
+                                            // Closed loop per slot: replace
+                                            // each completed request until
+                                            // the deadline.
+                                            if !now_past {
+                                                c.stage_request();
+                                            }
+                                        }
+                                    }
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        bad = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if bad {
+                                break true;
+                            }
+                            if n < buf.len() {
+                                break false;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break true,
+                    }
+                };
+                if drop_conn {
+                    dead.push(i);
+                }
+            }
+        }
+        // Remove dead connections back-to-front so indices stay valid.
+        for &i in dead.iter().rev() {
+            swarm.swap_remove(i);
+        }
+    }
+    Ok(SwarmReport {
+        target_conns: conns,
+        connected,
+        completed,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi_protocols::paxos::{paxos_cluster, PaxosConfig};
+
+    fn bare_net(me: NodeId, addrs: HashMap<NodeId, SocketAddr>) -> RNet<()> {
+        let (tx, _rx) = crossbeam::channel::unbounded::<NodeEvent<()>>();
+        // Keep the inbox receiver alive forever so sends succeed.
+        std::mem::forget(_rx);
+        RNet {
+            me,
+            addrs: Arc::new(addrs),
+            peer_conns: Mutex::new(HashMap::new()),
+            backoff: Mutex::new(HashMap::new()),
+            jitter: Mutex::new(Rng64::seed(1)),
+            routes: Mutex::new(HashMap::new()),
+            pending_regs: Mutex::new(Vec::new()),
+            waker: crate::poll::WakePipe::new().unwrap(),
+            shutdown: AtomicBool::new(false),
+            drops: DropCounters::new(),
+            conns: ConnCounters::new(),
+            inbox: tx,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[test]
+    fn conn_tx_backpressure_rejects_whole_frames() {
+        let tx = ConnTx::new(10);
+        assert!(tx.push(&[0u8; 6]).is_ok());
+        assert!(matches!(tx.push(&[0u8; 6]), Err(TxError::Full)));
+        // The rejected frame rolled its reservation back: a smaller frame
+        // that fits still goes through.
+        assert!(tx.push(&[0u8; 4]).is_ok());
+        assert_eq!(tx.queued(), 10);
+        tx.close();
+        assert!(matches!(tx.push(&[0u8; 1]), Err(TxError::Closed)));
+    }
+
+    #[test]
+    fn full_write_buffer_is_charged_as_backpressure_not_silence() {
+        let net = bare_net(NodeId::new(0, 0), HashMap::new());
+        let tx = Arc::new(ConnTx::new(8)); // tiny: any response overflows
+        let client = ClientId(77);
+        net.routes.lock().insert(client, RRoute::Local(Arc::clone(&tx)));
+        let resp = ClientResponse::ok(RequestId::new(client, 0), Some(vec![1, 2, 3]));
+        net.deliver_response(client, &resp);
+        assert_eq!(net.drops.get(DropCause::Backpressure), 1);
+        // A closed connection is a vanished route, not backpressure.
+        tx.close();
+        net.deliver_response(client, &resp);
+        assert_eq!(net.drops.get(DropCause::NoRoute), 1);
+        assert_eq!(net.drops.get(DropCause::Unexplained), 0);
+        assert_eq!(net.drops.total(), 2);
+    }
+
+    #[test]
+    fn dead_peer_send_backs_off_and_charges_reconnect() {
+        let mut addrs = HashMap::new();
+        let target = NodeId::new(0, 1);
+        addrs.insert(target, "127.0.0.1:1".parse().unwrap());
+        let net = bare_net(NodeId::new(0, 0), addrs);
+        for _ in 0..50 {
+            net.send_to_peer(target, &[0u8; 8]);
+        }
+        let backoff = net.backoff.lock();
+        let state = backoff.get(&target).expect("backoff entry");
+        assert!(state.delay > RECONNECT_BASE);
+        assert_eq!(net.drops.get(DropCause::Reconnect), 50);
+        assert_eq!(net.drops.total(), 50, "no other cause was charged");
+    }
+
+    #[test]
+    fn paxos_over_reactor_localhost() {
+        let cluster = ClusterConfig::lan(3);
+        let run = ReactorCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        )
+        .expect("launch");
+        let mut client = run.client(NodeId::new(0, 0)).expect("connect");
+        let w = client.put(1, b"reactor".to_vec()).expect("put");
+        assert!(w.ok);
+        let r = client.get(1).expect("get");
+        assert_eq!(r.value, Some(b"reactor".to_vec()));
+        // Forwarding through a follower relays replies back, as on TCP.
+        let mut follower = run.client(NodeId::new(0, 2)).expect("connect follower");
+        let w = follower.put(2, b"fwd".to_vec()).expect("put via follower");
+        assert!(w.ok);
+        let unexplained = run.drops().get(DropCause::Unexplained);
+        let conns = run.conn_stats().clone();
+        run.shutdown();
+        assert_eq!(unexplained, 0);
+        assert_eq!(
+            conns.opens(),
+            conns.closes(),
+            "orderly shutdown closes every connection it opened"
+        );
+        assert!(conns.hwm() >= 2, "two clients were live at once");
+    }
+
+    #[test]
+    fn pipelined_client_many_in_flight_exactly_once() {
+        let cluster = ClusterConfig::lan(3);
+        let run = ReactorCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::batched(8)),
+        )
+        .expect("launch");
+        let mut client = run.client(NodeId::new(0, 0)).expect("connect");
+        let n = 64u64;
+        let mut ids = Vec::new();
+        for i in 0..n {
+            ids.push(client.submit(Command::put(i, vec![i as u8])).expect("submit"));
+        }
+        // Await in reverse submission order: every reply must be claimable
+        // exactly once regardless of arrival order.
+        let mut seen = std::collections::HashSet::new();
+        for req_id in ids.iter().rev() {
+            let resp = client.await_response(*req_id).expect("response");
+            assert!(resp.ok);
+            assert_eq!(resp.id, *req_id);
+            assert!(seen.insert(resp.id), "reply delivered twice");
+        }
+        for i in 0..n {
+            let r = client.get(i).expect("get");
+            assert_eq!(r.value, Some(vec![i as u8]), "key {i}");
+        }
+        run.shutdown();
+    }
+
+    #[test]
+    fn swarm_of_pipelined_connections_completes_work() {
+        let cluster = ClusterConfig::lan(3);
+        let run = ReactorCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::batched(8)),
+        )
+        .expect("launch");
+        let report = run_swarm(
+            run.addr(NodeId::new(0, 0)),
+            32,
+            4,
+            4_000_000,
+            Duration::from_millis(400),
+        )
+        .expect("swarm");
+        assert_eq!(report.connected, 32, "all connections established");
+        assert!(report.completed > 0, "swarm made progress");
+        let unexplained = run.drops().get(DropCause::Unexplained);
+        let conns = run.conn_stats().clone();
+        run.shutdown();
+        assert_eq!(unexplained, 0);
+        assert_eq!(conns.opens(), conns.closes());
+        assert!(conns.hwm() >= 32, "the whole swarm was live at once");
+    }
+}

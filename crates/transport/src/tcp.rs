@@ -32,7 +32,7 @@
 
 use crate::envelope::Envelope;
 use crate::faults::{ChaosOut, FaultInjector};
-use crate::obs::{log_drop_once, DropCounters};
+use crate::obs::{log_drop_once, ConnCounters, DropCounters};
 use crate::runtime::{run_node, NodeEvent, Outbound, Remake};
 use crate::timer::TimerService;
 use crossbeam::channel::{bounded, Sender, TrySendError};
@@ -48,7 +48,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,9 +64,11 @@ const RECONNECT_BASE: Duration = Duration::from_millis(10);
 /// Reconnect delay ceiling.
 const RECONNECT_MAX: Duration = Duration::from_secs(2);
 
-/// Connection handshake: the first frame on every connection.
+/// Connection handshake: the first frame on every connection. Shared with
+/// the reactor runtime ([`crate::reactor`]) so both runtimes speak the same
+/// wire protocol and either one's clients can attach to either's nodes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum Hello {
+pub(crate) enum Hello {
     Peer(NodeId),
     Client(ClientId),
 }
@@ -83,6 +85,105 @@ enum Route {
 struct Backoff {
     next_attempt: Instant,
     delay: Duration,
+}
+
+/// One tracked inbound connection: the reader thread's handle and a clone
+/// of its stream, kept so shutdown can break a blocked read.
+struct ConnEntry {
+    handle: Option<std::thread::JoinHandle<()>>,
+    stream: Option<TcpStream>,
+}
+
+/// Per-node table of live reader threads.
+///
+/// The acceptor used to spawn readers fire-and-forget, so a
+/// connect/disconnect storm accumulated unjoined threads and a cluster
+/// shutdown left readers blocked on sockets the test still held open. Every
+/// accepted connection now registers here: finished readers are joined and
+/// removed opportunistically on each accept ([`ConnTable::reap_finished`]),
+/// and shutdown breaks every live reader's socket before joining it
+/// ([`ConnTable::shutdown_all`]). Clones share the table.
+#[derive(Clone, Default)]
+struct ConnTable {
+    inner: Arc<Mutex<HashMap<u64, ConnEntry>>>,
+}
+
+impl ConnTable {
+    /// Tracks a freshly accepted connection. The stream clone exists only
+    /// so shutdown can `shutdown(2)` it; if cloning fails the reader is
+    /// still joined, it just can't be interrupted early.
+    fn register(&self, token: u64, stream: &TcpStream) {
+        self.inner.lock().insert(
+            token,
+            ConnEntry {
+                handle: None,
+                stream: stream.try_clone().ok(),
+            },
+        );
+    }
+
+    /// Attaches the reader's join handle to its entry.
+    fn set_handle(&self, token: u64, handle: std::thread::JoinHandle<()>) {
+        if let Some(e) = self.inner.lock().get_mut(&token) {
+            e.handle = Some(handle);
+        }
+    }
+
+    /// Called by the reader itself on exit: the socket is done, so drop our
+    /// clone of it (releasing the fd) and leave only the handle to join.
+    fn mark_exited(&self, token: u64) {
+        if let Some(e) = self.inner.lock().get_mut(&token) {
+            e.stream = None;
+        }
+    }
+
+    /// Forgets an entry whose reader never started (thread spawn failed).
+    fn discard(&self, token: u64) {
+        self.inner.lock().remove(&token);
+    }
+
+    /// Joins and removes every reader that has already exited. Called on
+    /// each accept, so sustained churn keeps the table (and the process's
+    /// thread count) proportional to *live* connections, not total ever.
+    fn reap_finished(&self) {
+        let done: Vec<ConnEntry> = {
+            let mut map = self.inner.lock();
+            let tokens: Vec<u64> = map
+                .iter()
+                .filter(|(_, e)| match &e.handle {
+                    Some(h) => h.is_finished(),
+                    None => false,
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            tokens.into_iter().filter_map(|t| map.remove(&t)).collect()
+        };
+        for e in done {
+            if let Some(h) = e.handle {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Breaks every tracked socket, then joins every reader. The handles
+    /// are taken out under the lock but joined outside it — a reader's exit
+    /// path calls [`ConnTable::mark_exited`], which needs the lock.
+    fn shutdown_all(&self) {
+        let handles: Vec<std::thread::JoinHandle<()>> = {
+            let mut map = self.inner.lock();
+            map.drain()
+                .filter_map(|(_, e)| {
+                    if let Some(s) = &e.stream {
+                        let _ = s.shutdown(std::net::Shutdown::Both);
+                    }
+                    e.handle
+                })
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Logged once per process when a framed envelope fails to encode.
@@ -307,8 +408,12 @@ pub struct TcpCluster<R: Replica> {
     addrs: Arc<HashMap<NodeId, SocketAddr>>,
     inboxes: HashMap<NodeId, Sender<NodeEvent<R::Msg>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    acceptor_handles: Vec<std::thread::JoinHandle<()>>,
+    acceptor_stops: Vec<Arc<AtomicBool>>,
+    conn_tables: Vec<ConnTable>,
     next_client: AtomicU32,
     drops: DropCounters,
+    conns: ConnCounters,
     _timers: Arc<TimerService>,
 }
 
@@ -350,6 +455,7 @@ where
     {
         let factory = Arc::new(factory);
         let drops = DropCounters::new();
+        let conns = ConnCounters::new();
         let all = cluster.all_nodes();
         let mut listeners = Vec::new();
         let mut addrs = HashMap::new();
@@ -363,6 +469,9 @@ where
         let epoch = Instant::now();
         let mut inboxes = HashMap::new();
         let mut handles = Vec::new();
+        let mut acceptor_handles = Vec::new();
+        let mut acceptor_stops = Vec::new();
+        let mut conn_tables = Vec::new();
 
         for (i, (id, listener)) in listeners.into_iter().enumerate() {
             let (tx, rx) = crossbeam::channel::unbounded::<NodeEvent<R::Msg>>();
@@ -377,20 +486,61 @@ where
                 drops: drops.clone(),
                 _marker: std::marker::PhantomData,
             });
-            // Acceptor: one reader thread per inbound connection.
+            // Acceptor: one reader thread per inbound connection, tracked
+            // in a per-node table so churn can't leak threads or fds and
+            // shutdown can break every live reader.
+            let table = ConnTable::default();
+            let stop = Arc::new(AtomicBool::new(false));
             {
                 let net = Arc::clone(&net);
                 let inbox = tx.clone();
-                std::thread::spawn(move || {
-                    for stream in listener.incoming() {
-                        let Ok(stream) = stream else { break };
-                        stream.set_nodelay(true).ok();
-                        let net = Arc::clone(&net);
-                        let inbox = inbox.clone();
-                        std::thread::spawn(move || reader_loop::<R::Msg>(stream, net, inbox));
-                    }
-                });
+                let table = table.clone();
+                let conns_acc = conns.clone();
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name(format!("paxi-tcp-accept-{}", id.pack()))
+                    .spawn(move || {
+                        let mut next_token = 0u64;
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { break };
+                            stream.set_nodelay(true).ok();
+                            // Join readers that already exited before
+                            // admitting more, so sustained churn stays
+                            // bounded by the live connection count.
+                            table.reap_finished();
+                            let token = next_token;
+                            next_token += 1;
+                            conns_acc.on_open();
+                            table.register(token, &stream);
+                            let net = Arc::clone(&net);
+                            let inbox = inbox.clone();
+                            let table2 = table.clone();
+                            let conns2 = conns_acc.clone();
+                            let spawned = std::thread::Builder::new()
+                                .name("paxi-tcp-reader".into())
+                                .spawn(move || {
+                                    reader_loop::<R::Msg>(stream, net, inbox);
+                                    table2.mark_exited(token);
+                                    conns2.on_close();
+                                });
+                            match spawned {
+                                Ok(h) => table.set_handle(token, h),
+                                // Spawn failed: the closure (and its stream)
+                                // were dropped, so the connection is gone.
+                                Err(_) => {
+                                    table.discard(token);
+                                    conns_acc.on_close();
+                                }
+                            }
+                        }
+                    })?;
+                acceptor_handles.push(handle);
             }
+            conn_tables.push(table);
+            acceptor_stops.push(stop);
             let replica = factory.make(id);
             let remake: Remake<R> = {
                 let f = Arc::clone(&factory);
@@ -436,8 +586,12 @@ where
             addrs,
             inboxes,
             handles,
+            acceptor_handles,
+            acceptor_stops,
+            conn_tables,
             next_client: AtomicU32::new(0),
             drops,
+            conns,
             _timers: timers,
         })
     }
@@ -448,6 +602,14 @@ where
     /// the [`FaultInjector`]'s own counters instead.
     pub fn drops(&self) -> &DropCounters {
         &self.drops
+    }
+
+    /// Connection lifecycle ledger for inbound connections across all
+    /// nodes: accepts, reader exits, live count, and high-water mark. After
+    /// [`TcpCluster::shutdown`], `opens() == closes()` — a leaked reader
+    /// shows up as an imbalance.
+    pub fn conn_stats(&self) -> &ConnCounters {
+        &self.conns
     }
 
     /// The address of a node's listener.
@@ -461,13 +623,31 @@ where
         TcpClient::connect(self.addr(attach), id)
     }
 
-    /// Stops all node threads.
+    /// Stops all node threads, then the acceptors, then every tracked
+    /// reader — nothing spawned for a connection outlives the cluster.
     pub fn shutdown(mut self) {
         for tx in self.inboxes.values() {
             let _ = tx.send(NodeEvent::Wire(Envelope::Shutdown));
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Unblock each acceptor: raise its stop flag, then poke its
+        // listener with a throwaway connect so the blocking accept returns.
+        // The acceptor checks the flag before registering, so the poke
+        // never pollutes the connection ledger.
+        for stop in &self.acceptor_stops {
+            stop.store(true, Ordering::Release);
+        }
+        for addr in self.addrs.values() {
+            let _ = TcpStream::connect(*addr);
+        }
+        for h in self.acceptor_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Break and join every reader still attached to a socket.
+        for table in &self.conn_tables {
+            table.shutdown_all();
         }
     }
 }
@@ -727,6 +907,44 @@ mod tests {
         for (i, f) in frames.iter().enumerate() {
             assert_eq!(paxi_codec::from_bytes::<u32>(f).unwrap(), i as u32);
         }
+    }
+
+    #[test]
+    fn connect_disconnect_storm_leaks_no_connections() {
+        let cluster = ClusterConfig::lan(3);
+        let run = TcpCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        )
+        .expect("launch");
+        // Storm: short-lived clients connecting, (sometimes) issuing one
+        // command, and vanishing. Before readers were tracked, each of
+        // these left an unjoined thread behind.
+        for round in 0..40u64 {
+            let node = NodeId::new(0, (round % 3) as u8);
+            let mut c = run.client(node).expect("connect");
+            if round % 4 == 0 {
+                let w = c.put(round, vec![round as u8]).expect("put");
+                assert!(w.ok);
+            }
+            drop(c);
+        }
+        // The cluster still serves a fresh client after the storm.
+        let mut c = run.client(NodeId::new(0, 0)).expect("connect");
+        assert!(c.put(1_000, b"alive".to_vec()).expect("put").ok);
+        let stats = run.conn_stats().clone();
+        assert!(
+            stats.opens() >= 41,
+            "every storm connection was accepted (opens = {})",
+            stats.opens()
+        );
+        run.shutdown();
+        assert_eq!(
+            stats.opens(),
+            stats.closes(),
+            "a reader (and its fd) leaked through the churn"
+        );
+        assert_eq!(stats.live(), 0);
     }
 
     #[test]

@@ -67,6 +67,15 @@ static SEND_ENCODE_WARN: std::sync::Once = std::sync::Once::new();
 /// Logged once per process when a client response fails to encode.
 static RESP_ENCODE_WARN: std::sync::Once = std::sync::Once::new();
 
+thread_local! {
+    /// Reusable encode buffer for the datagram send path. Each sending
+    /// thread (a node's event loop, mostly) encodes every outbound datagram
+    /// into one long-lived allocation instead of paying a fresh `Vec` per
+    /// message — the UDP analogue of the TCP writer's burst buffer.
+    static ENCODE_SCRATCH: std::cell::RefCell<Vec<u8>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 struct UdpNet {
     socket: UdpSocket,
     addrs: Arc<HashMap<NodeId, SocketAddr>>,
@@ -85,9 +94,10 @@ impl UdpNet {
             self.drops.record(DropCause::NoRoute);
             return Ok(());
         };
-        let bytes = match paxi_codec::to_bytes(env) {
-            Ok(bytes) => bytes,
-            Err(_) => {
+        ENCODE_SCRATCH.with(|scratch| {
+            let mut bytes = scratch.borrow_mut();
+            bytes.clear();
+            if paxi_codec::to_bytes_into(&mut bytes, env).is_err() {
                 // Encode failures must not vanish: charge the ledger and say
                 // so once — a persistently unencodable message class would
                 // otherwise look like ordinary datagram loss.
@@ -99,41 +109,42 @@ impl UdpNet {
                 );
                 return Ok(());
             }
-        };
-        if bytes.len() > MAX_DGRAM {
-            self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
-            self.drops.record(DropCause::Oversize);
-            return Err(OversizeDatagram { len: bytes.len(), max: MAX_DGRAM });
-        }
-        let _ = self.socket.send_to(&bytes, addr);
-        Ok(())
+            if bytes.len() > MAX_DGRAM {
+                self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+                self.drops.record(DropCause::Oversize);
+                return Err(OversizeDatagram { len: bytes.len(), max: MAX_DGRAM });
+            }
+            let _ = self.socket.send_to(&bytes, addr);
+            Ok(())
+        })
     }
 
     fn deliver_response<M: Serialize>(&self, resp: &ClientResponse) {
         let route = self.routes.lock().get(&resp.id.client).copied();
         match route {
-            Some(Route::Local(addr)) => {
-                match paxi_codec::to_bytes(&Envelope::<()>::Response(resp.clone())) {
-                    Ok(bytes) => {
-                        if bytes.len() > MAX_DGRAM {
-                            self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
-                            self.drops.record(DropCause::Oversize);
-                            return;
-                        }
-                        let _ = self.socket.send_to(&bytes, addr);
-                    }
-                    Err(_) => {
-                        // Same hole as the request path: a response that
-                        // cannot encode is a real loss, not a non-event.
-                        self.drops.record(DropCause::Encode);
-                        log_drop_once(
-                            &RESP_ENCODE_WARN,
-                            DropCause::Encode,
-                            "UDP client response failed to encode",
-                        );
-                    }
+            Some(Route::Local(addr)) => ENCODE_SCRATCH.with(|scratch| {
+                let mut bytes = scratch.borrow_mut();
+                bytes.clear();
+                if paxi_codec::to_bytes_into(&mut bytes, &Envelope::<()>::Response(resp.clone()))
+                    .is_err()
+                {
+                    // Same hole as the request path: a response that cannot
+                    // encode is a real loss, not a non-event.
+                    self.drops.record(DropCause::Encode);
+                    log_drop_once(
+                        &RESP_ENCODE_WARN,
+                        DropCause::Encode,
+                        "UDP client response failed to encode",
+                    );
+                    return;
                 }
-            }
+                if bytes.len() > MAX_DGRAM {
+                    self.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+                    self.drops.record(DropCause::Oversize);
+                    return;
+                }
+                let _ = self.socket.send_to(&bytes, addr);
+            }),
             Some(Route::Via(peer)) => {
                 // The counter already recorded an oversize drop; the client
                 // will time out and retry like any other datagram loss.

@@ -1,0 +1,170 @@
+//! Reactor-transport integration: pipelined clients under chaos.
+//!
+//! Two claims, live counterparts of the simulator's delivery guarantees:
+//!
+//! 1. **Fate parity carries over.** The reactor wraps the node's outbound
+//!    half in the same `ChaosOut` as the threaded TCP runtime, so a
+//!    `FaultPlan` + seed produces the same per-message fates — the flaky-link
+//!    survival test below is the reactor twin of the TCP one in
+//!    `chaos_transport.rs`.
+//! 2. **Pipelining is exactly-once.** A `PipelinedClient` with N requests in
+//!    flight over one connection, against a cluster whose peer links drop
+//!    and reorder frames, claims every reply exactly once (correlated by
+//!    request id) and converges to the same final state as a sequential
+//!    `SyncClient` run of the same commands on a chaos-free cluster.
+
+#![cfg(unix)]
+
+use paxi::core::obs::DropCause;
+use paxi::core::{ClusterConfig, Command, FaultPlan, Nanos, NodeId};
+use paxi::protocols::paxos::{paxos_cluster, PaxosConfig};
+use paxi::transport::{FaultInjector, InProcCluster, ReactorCluster};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn n(i: u8) -> NodeId {
+    NodeId::new(0, i)
+}
+
+/// Reactor twin of `tcp_cluster_survives_flaky_links_under_injection`:
+/// same plan, same seed, same workload — the decision layer is shared, so
+/// the reactor must ride out the identical fate sequence.
+#[test]
+fn reactor_cluster_survives_flaky_links_under_injection() {
+    let cluster = ClusterConfig::lan(3);
+    let mut plan = FaultPlan::new();
+    plan.flaky_link(n(0), n(1), 0.2, Nanos::ZERO, Nanos::millis(800));
+    plan.flaky_link(n(1), n(0), 0.2, Nanos::ZERO, Nanos::millis(800));
+    let injector = FaultInjector::new(plan, 7);
+
+    let run = ReactorCluster::launch_chaotic(
+        cluster.clone(),
+        paxos_cluster(cluster.clone(), PaxosConfig::default()),
+        injector,
+    )
+    .expect("launch");
+    let mut client = run.client(n(0)).expect("client");
+    client.set_timeout(Duration::from_millis(500));
+
+    // Losing 20% of leader<->follower frames must not lose committed writes:
+    // retry until each put lands, then read everything back.
+    for i in 0..10u64 {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if client.put(i, vec![i as u8]).map(|r| r.ok).unwrap_or(false) {
+                break;
+            }
+            assert!(attempts < 50, "put {i} never succeeded");
+        }
+    }
+    client.set_timeout(Duration::from_secs(5));
+    for i in 0..10u64 {
+        let r = client.get(i).expect("get");
+        assert_eq!(r.value, Some(vec![i as u8]), "key {i}");
+    }
+    // Every frame the chaos shed is attributed; nothing vanished silently.
+    assert_eq!(run.drops().get(DropCause::Unexplained), 0);
+    let conns = run.conn_stats().clone();
+    run.shutdown();
+    assert_eq!(conns.opens(), conns.closes(), "no leaked reactor connections");
+}
+
+proptest! {
+    // Each case launches two real clusters; keep the case count low.
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pipelined_chaos_run_matches_sequential_reference(
+        seed in 0u64..1_000,
+        kvs in proptest::collection::btree_map(
+            0u64..64,
+            proptest::collection::vec(any::<u8>(), 1..8),
+            1..16,
+        ),
+    ) {
+        // Distinct keys (btree_map) so final state is order-independent and
+        // a retried put is idempotent.
+        let kvs: Vec<(u64, Vec<u8>)> = kvs.into_iter().collect();
+        let cluster = ClusterConfig::lan(3);
+
+        // Sequential reference: SyncClient on the chaos-free in-process
+        // cluster, same commands in submission order.
+        let reference = InProcCluster::launch(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::batched(8)),
+        );
+        let mut ref_client = reference.client(n(0));
+        ref_client.set_timeout(Duration::from_secs(5));
+        for (k, v) in &kvs {
+            let r = ref_client.put(*k, v.clone()).expect("reference put");
+            prop_assert!(r.ok);
+        }
+        let mut expect = Vec::new();
+        for (k, _) in &kvs {
+            let r = ref_client.get(*k).expect("reference get");
+            expect.push((*k, r.value));
+        }
+        reference.shutdown();
+
+        // Subject: every command in flight at once on one pipelined
+        // connection, peer links flaky until they heal, fates fixed by seed.
+        let mut plan = FaultPlan::new();
+        plan.flaky_link(n(0), n(1), 0.15, Nanos::ZERO, Nanos::millis(300));
+        plan.flaky_link(n(1), n(0), 0.15, Nanos::ZERO, Nanos::millis(300));
+        plan.heal(Nanos::millis(300));
+        let injector = FaultInjector::new(plan, seed);
+        let run = ReactorCluster::launch_chaotic(
+            cluster.clone(),
+            paxos_cluster(cluster.clone(), PaxosConfig::batched(8)),
+            injector,
+        )
+        .expect("launch");
+        let mut client = run.client(n(0)).expect("client");
+        client.set_timeout(Duration::from_millis(400));
+
+        // Submit the whole batch, then claim each reply; commands whose
+        // reply never arrived (dropped P2as, timeouts) are resubmitted under
+        // fresh request ids until they commit. Every claimed reply must
+        // correlate to its own request, and no id is ever claimed twice.
+        let mut pending: Vec<(u64, Vec<u8>)> = kvs.clone();
+        let mut claimed = HashSet::new();
+        let mut rounds = 0;
+        while !pending.is_empty() {
+            rounds += 1;
+            prop_assert!(rounds <= 50, "commands never all committed");
+            let mut ids = Vec::new();
+            for (k, v) in &pending {
+                let id = client.submit(Command::put(*k, v.clone())).expect("submit");
+                prop_assert!(claimed.insert(id), "request id reused");
+                ids.push(id);
+            }
+            let mut next = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                match client.await_response(*id) {
+                    Some(resp) => {
+                        prop_assert_eq!(resp.id, *id, "reply claimed by the wrong await");
+                        if !resp.ok {
+                            next.push(pending[i].clone());
+                        }
+                    }
+                    None => next.push(pending[i].clone()),
+                }
+            }
+            pending = next;
+        }
+
+        // Converged state equals the sequential reference.
+        client.set_timeout(Duration::from_secs(5));
+        for (k, v) in &expect {
+            let r = client.get(*k).expect("get");
+            prop_assert_eq!(&r.value, v, "key {}", k);
+        }
+        prop_assert_eq!(run.drops().get(DropCause::Unexplained), 0);
+        run.shutdown();
+    }
+}
